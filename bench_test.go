@@ -1,0 +1,444 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per table
+// and figure (BenchmarkTableI … BenchmarkFig7), plus micro-benchmarks for
+// every major subsystem and the ablations DESIGN.md calls out (pruning
+// policy, segmentation granularity, routing heuristic).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+package buffopt_test
+
+import (
+	"testing"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/circuit"
+	"buffopt/internal/core"
+	"buffopt/internal/elmore"
+	"buffopt/internal/experiments"
+	"buffopt/internal/moments"
+	"buffopt/internal/noise"
+	"buffopt/internal/noisesim"
+	"buffopt/internal/rctree"
+	"buffopt/internal/segment"
+	"buffopt/internal/steiner"
+)
+
+// benchNets is the suite size for table benchmarks: large enough to be
+// representative, small enough for -bench iterations.
+const benchNets = 40
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	s, err := experiments.NewSuite(experiments.Config{Seed: 1, NumNets: benchNets})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTableI regenerates the sink-distribution histogram.
+func BenchmarkTableI(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := s.RunTableI(); t.Total != benchNets {
+			b.Fatalf("bad table: %+v", t)
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the before/after verification, including
+// the detailed simulation of every net. A fresh suite per iteration keeps
+// the cached BuffOpt results from hiding the real cost.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := benchSuite(b)
+		b.StartTimer()
+		if t := s.RunTableII(); t.MetricAfter != 0 {
+			b.Fatalf("violations remain: %+v", t)
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the BuffOpt vs DelayOpt(k) comparison.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := benchSuite(b)
+		b.StartTimer()
+		if t := s.RunTableIII(); t.Rows[0].ViolationsRemaining != 0 {
+			b.Fatalf("BuffOpt left violations: %+v", t.Rows[0])
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the delay-penalty comparison.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := benchSuite(b)
+		b.StartTimer()
+		if t := s.RunTableIV(); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the with/without-buffer simulation demo.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig1()
+		if err != nil || !f.FixedByBuffer {
+			b.Fatalf("fig1 failed: %+v, %v", f, err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the worked noise computation.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := experiments.RunFig3(); !f.Violation {
+			b.Fatal("fig3 drifted")
+		}
+	}
+}
+
+// BenchmarkTheorem1 regenerates the l_max sweep (the Fig. 6 shape).
+func BenchmarkTheorem1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if sw := experiments.RunTheorem1Sweep(); len(sw.Points) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the iterative Algorithm 1 walk.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig7()
+		if err != nil || !f.Clean {
+			b.Fatalf("fig7 failed: %+v, %v", f, err)
+		}
+	}
+}
+
+// BenchmarkEq17 regenerates the separation sweep.
+func BenchmarkEq17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if sw := experiments.RunSeparationSweep(); len(sw.Points) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// -------------------------------------------------- subsystem benchmarks
+
+// benchNet returns one representative segmented multi-sink net.
+func benchNet(b *testing.B) (*rctree.Tree, *buffers.Library, noise.Params) {
+	b.Helper()
+	s := benchSuite(b)
+	// Pick the largest net for a meaty workload.
+	return s.Segmented[0], s.Library, s.Tech.Noise
+}
+
+// BenchmarkBuffOptMinBuffers is the Section V tool on one large net.
+func BenchmarkBuffOptMinBuffers(b *testing.B) {
+	tr, lib, p := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuffOptMinBuffers(tr, lib, p, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuffOpt is plain Algorithm 3 (Problem 2) on one large net.
+func BenchmarkBuffOpt(b *testing.B) {
+	tr, lib, p := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuffOpt(tr, lib, p, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDelayOpt is the unconstrained baseline on the same net.
+func BenchmarkDelayOpt(b *testing.B) {
+	tr, lib, _ := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DelayOpt(tr, lib, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDelayOptK4 is DelayOpt(4), the Table III workhorse.
+func BenchmarkDelayOptK4(b *testing.B) {
+	tr, lib, _ := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DelayOptK(tr, lib, 4, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlgorithm1 repairs a 12 mm two-pin line.
+func BenchmarkAlgorithm1(b *testing.B) {
+	p := noise.SectionV()
+	lib := buffers.DefaultLibrary(0.8)
+	tr := rctree.New("line", 300, 0)
+	if _, err := tr.AddSink(tr.Root(), rctree.Wire{R: 960, C: 2.4e-12, Length: 12e-3}, "s", 30e-15, 0, 0.8); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Algorithm1(tr, lib, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlgorithm2 repairs the largest multi-sink net (continuous
+// placements, no segmentation needed).
+func BenchmarkAlgorithm2(b *testing.B) {
+	s := benchSuite(b)
+	tr := s.Nets[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Algorithm2(tr, s.Library, s.Tech.Noise); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoiseAnalyze measures the Devgan metric on a segmented net.
+func BenchmarkNoiseAnalyze(b *testing.B) {
+	tr, _, p := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := noise.Analyze(tr, nil, p); r.MaxNoise <= 0 {
+			b.Fatal("no noise")
+		}
+	}
+}
+
+// BenchmarkElmoreAnalyze measures the timing analyzer on the same net.
+func BenchmarkElmoreAnalyze(b *testing.B) {
+	tr, _, _ := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := elmore.Analyze(tr, nil); r.MaxDelay <= 0 {
+			b.Fatal("no delay")
+		}
+	}
+}
+
+// BenchmarkNoiseSim measures one full coupled-RC transient verification.
+func BenchmarkNoiseSim(b *testing.B) {
+	s := benchSuite(b)
+	tr := s.Nets[len(s.Nets)/2]
+	opts := noisesim.Options{Params: s.Tech.Noise}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := noisesim.Simulate(tr, nil, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoiseSimAWE measures the moment-matching verifier on the same
+// net as BenchmarkNoiseSim — the RICE-style speedup over full transient.
+func BenchmarkNoiseSimAWE(b *testing.B) {
+	s := benchSuite(b)
+	tr := s.Nets[len(s.Nets)/2]
+	opts := noisesim.Options{Params: s.Tech.Noise}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := noisesim.SimulateAWE(tr, nil, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCircuitTransient measures the raw MNA engine on an RC ladder.
+func BenchmarkCircuitTransient(b *testing.B) {
+	build := func() *circuit.Netlist {
+		n := circuit.New()
+		prev := n.Node("in")
+		if err := n.AddV(prev, circuit.Ground, circuit.Ramp{V1: 1, Rise: 1e-10}); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			next := n.Node("")
+			if err := n.AddR(prev, next, 100); err != nil {
+				b.Fatal(err)
+			}
+			if err := n.AddC(next, circuit.Ground, 10e-15); err != nil {
+				b.Fatal(err)
+			}
+			prev = next
+		}
+		return n
+	}
+	nl := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := circuit.Transient(nl, circuit.TranOptions{Step: 1e-12, Duration: 2e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteinerMST and BenchmarkSteinerOneSteiner compare the routing
+// heuristics on a 10-sink net (the routing ablation).
+func BenchmarkSteinerMST(b *testing.B)        { benchSteiner(b, steiner.RectilinearMST) }
+func BenchmarkSteinerOneSteiner(b *testing.B) { benchSteiner(b, steiner.OneSteiner) }
+
+func benchSteiner(b *testing.B, alg steiner.Algorithm) {
+	b.Helper()
+	net := steiner.Net{Name: "bench", Driver: steiner.Point{}, DriverR: 200}
+	coords := []struct{ x, y float64 }{
+		{1, 0.5}, {2, 3}, {0.5, 2.5}, {3, 1}, {3.5, 3.5},
+		{1.5, 1.5}, {2.5, 0.2}, {0.2, 3.8}, {3.9, 2.2}, {2.2, 2.8},
+	}
+	for i, c := range coords {
+		net.Sinks = append(net.Sinks, steiner.Sink{
+			Name: "s", At: steiner.Point{X: c.x * 1e-3, Y: c.y * 1e-3},
+			Cap: 20e-15, NoiseMargin: 0.8,
+		})
+		_ = i
+	}
+	tech := steiner.Tech{RPerLen: 80e3, CPerLen: 200e-12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := steiner.Route(net, tech, alg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------------------- ablations
+
+// BenchmarkAblationPruning compares the paper's 2-D pruning against the
+// exact 4-D variant on the same net (DESIGN.md ablation: pruning policy).
+func BenchmarkAblationPruning(b *testing.B) {
+	tr, lib, p := benchNet(b)
+	for _, mode := range []struct {
+		name string
+		safe bool
+	}{{"paper", false}, {"safe", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuffOpt(tr, lib, p, core.Options{SafePruning: mode.safe}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSizing compares BuffOpt with and without simultaneous
+// wire sizing (the Lillis [18] extension) on one large net.
+func BenchmarkAblationSizing(b *testing.B) {
+	tr, lib, p := benchNet(b)
+	for _, mode := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"buffers-only", core.Options{}},
+		{"with-sizing", core.Options{Sizing: &core.Sizing{Widths: []float64{1, 2, 4}}}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuffOptMinBuffers(tr, lib, p, mode.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGreedyIterative measures the related-work baseline ([14],
+// [20]) on one large net, for comparison against BenchmarkBuffOpt.
+func BenchmarkGreedyIterative(b *testing.B) {
+	tr, lib, p := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyIterative(tr, lib, core.GreedyOptions{Noise: true, Params: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRouting runs the routing-substrate comparison.
+func BenchmarkAblationRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.RunRoutingAblation(10)
+		if err != nil || len(a.Rows) != 3 {
+			b.Fatalf("routing ablation failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkProblem3Tradeoff regenerates the buffers/slack trade-off curve.
+func BenchmarkProblem3Tradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := experiments.RunProblem3Tradeoff()
+		if err != nil || len(tr.Points) == 0 {
+			b.Fatalf("tradeoff failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkMoments measures moment computation and two-pole reduction on
+// a segmented net.
+func BenchmarkMoments(b *testing.B) {
+	tr, _, _ := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := moments.Delay50(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the multi-aggressor segmentation demo.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig2()
+		if err != nil || !f.ExplicitClean {
+			b.Fatalf("fig2 failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkAblationSegmentation sweeps the wire-segmenting granularity:
+// the Alpert–Devgan quality/run-time trade-off.
+func BenchmarkAblationSegmentation(b *testing.B) {
+	s := benchSuite(b)
+	base := s.Nets[0]
+	for _, seglen := range []struct {
+		name string
+		l    float64
+	}{{"1mm", 1e-3}, {"0.5mm", 0.5e-3}, {"0.25mm", 0.25e-3}} {
+		seg := base.Clone()
+		if _, err := segment.ByLength(seg, seglen.l); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := seg.InsertBelow(seg.Root()); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(seglen.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuffOptMinBuffers(seg, s.Library, s.Tech.Noise, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

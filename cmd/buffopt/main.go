@@ -1,0 +1,198 @@
+// Command buffopt runs the paper's buffer insertion algorithms on a net in
+// the netfmt text format and reports timing and noise before and after.
+//
+// Usage:
+//
+//	buffopt -net path/to/net.txt [-alg buffopt|minbuf|delayopt|delayoptk|alg1|alg2]
+//	        [-k N] [-seglen meters] [-lambda 0.7] [-rise 0.25e-9] [-vdd 1.8]
+//	        [-safe] [-verify] [-report] [-write out.txt]
+//
+// The default algorithm is minbuf, the BuffOpt tool configuration of
+// Section V (fewest buffers meeting both noise and timing). -verify
+// additionally runs the detailed coupled-RC simulation (the 3dnoise
+// stand-in) on the result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/core"
+	"buffopt/internal/elmore"
+	"buffopt/internal/netfmt"
+	"buffopt/internal/noise"
+	"buffopt/internal/noisesim"
+	"buffopt/internal/rctree"
+	"buffopt/internal/report"
+	"buffopt/internal/segment"
+)
+
+func main() {
+	var (
+		netPath  = flag.String("net", "", "net file in netfmt format (required)")
+		alg      = flag.String("alg", "minbuf", "algorithm: buffopt, minbuf, delayopt, delayoptk, alg1, alg2")
+		k        = flag.Int("k", 4, "buffer bound for delayoptk")
+		segLen   = flag.Float64("seglen", 0.5e-3, "wire segmenting length in meters (0 disables)")
+		lambda   = flag.Float64("lambda", 0.7, "coupling-to-total-capacitance ratio λ")
+		rise     = flag.Float64("rise", 0.25e-9, "aggressor rise time, s")
+		vdd      = flag.Float64("vdd", 1.8, "supply voltage, V")
+		margin   = flag.Float64("bufnm", 0.8, "buffer library noise margin, V")
+		safe     = flag.Bool("safe", false, "use exact multi-buffer pruning")
+		verify   = flag.Bool("verify", false, "verify the result with the detailed RC simulator")
+		rep      = flag.Bool("report", false, "print a full per-sink timing/noise report")
+		outPath  = flag.String("write", "", "write the buffered tree to this file (buffers noted as comments)")
+		spefPath = flag.String("spef", "", "also write the buffered tree's parasitics as a SPEF fragment")
+	)
+	flag.Parse()
+	if *netPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*netPath, *alg, *k, *segLen, *lambda, *rise, *vdd, *margin, *safe, *verify, *rep, *outPath, *spefPath); err != nil {
+		fmt.Fprintln(os.Stderr, "buffopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(netPath, alg string, k int, segLen, lambda, rise, vdd, margin float64, safe, verify, rep bool, outPath, spefPath string) error {
+	f, err := os.Open(netPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := netfmt.Read(f)
+	if err != nil {
+		return err
+	}
+	params := noise.Params{CouplingRatio: lambda, Slope: vdd / rise}
+	lib := buffers.DefaultLibrary(margin)
+	opts := core.Options{SafePruning: safe}
+
+	work := tr.Clone()
+	if segLen > 0 {
+		if _, err := segment.ByLength(work, segLen); err != nil {
+			return err
+		}
+		if _, err := work.InsertBelow(work.Root()); err != nil {
+			return err
+		}
+	}
+
+	before := noise.Analyze(tr, nil, params)
+	beforeTiming := elmore.Analyze(tr, nil)
+	fmt.Printf("net %s: %d sinks, %.3f mm, %.1f fF total\n",
+		tr.Node(tr.Root()).Name, tr.NumSinks(), tr.TotalWireLength()*1e3, tr.TotalCap()*1e15)
+	fmt.Printf("before: max delay %.1f ps, worst slack %.1f ps, noise violations %d (max %.3f V)\n",
+		beforeTiming.MaxDelay*1e12, beforeTiming.WorstSlack*1e12, len(before.Violations), before.MaxNoise)
+
+	var sol *core.Solution
+	var slack float64
+	haveSlack := false
+	switch alg {
+	case "buffopt":
+		r, err := core.BuffOpt(work, lib, params, opts)
+		if err != nil {
+			return err
+		}
+		sol, slack, haveSlack = r.Solution, r.Slack, true
+	case "minbuf":
+		r, err := core.BuffOptMinBuffers(work, lib, params, opts)
+		if err != nil {
+			return err
+		}
+		sol, slack, haveSlack = r.Solution, r.Slack, true
+	case "delayopt":
+		r, err := core.DelayOpt(work, lib, opts)
+		if err != nil {
+			return err
+		}
+		sol, slack, haveSlack = r.Solution, r.Slack, true
+	case "delayoptk":
+		r, err := core.DelayOptK(work, lib, k, opts)
+		if err != nil {
+			return err
+		}
+		sol, slack, haveSlack = r.Solution, r.Slack, true
+	case "alg1":
+		sol, err = core.Algorithm1(tr, lib, params)
+		if err != nil {
+			return err
+		}
+	case "alg2":
+		bin := tr.Clone()
+		bin.Binarize()
+		sol, err = core.Algorithm2(bin, lib, params)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+
+	after := noise.Analyze(sol.Tree, sol.Buffers, params)
+	afterTiming := elmore.Analyze(sol.Tree, sol.Buffers)
+	fmt.Printf("after %s: %d buffers, max delay %.1f ps, worst slack %.1f ps, noise violations %d (max %.3f V)\n",
+		alg, sol.NumBuffers(), afterTiming.MaxDelay*1e12, afterTiming.WorstSlack*1e12,
+		len(after.Violations), after.MaxNoise)
+	if haveSlack {
+		fmt.Printf("optimizer slack: %.1f ps\n", slack*1e12)
+	}
+
+	ids := make([]rctree.NodeID, 0, len(sol.Buffers))
+	for v := range sol.Buffers {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, v := range ids {
+		n := sol.Tree.Node(v)
+		fmt.Printf("  %s at node %d (%.3f, %.3f) mm\n", sol.Buffers[v].Name, v, n.X*1e3, n.Y*1e3)
+	}
+
+	if rep {
+		fmt.Println()
+		if err := report.Write(os.Stdout, sol.Tree, sol.Buffers, report.Options{
+			Params: params, ShowBuffers: true,
+		}); err != nil {
+			return err
+		}
+	}
+
+	if verify {
+		sim, err := noisesim.Simulate(sol.Tree, sol.Buffers, noisesim.Options{Vdd: vdd, Params: params})
+		if err != nil {
+			return fmt.Errorf("verification: %w", err)
+		}
+		fmt.Printf("simulator: peak noise %.3f V, violations %d\n", sim.MaxNoise, len(sim.Violations))
+	}
+
+	if outPath != "" {
+		out, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		fmt.Fprintf(out, "# buffered by %s; %d buffers\n", alg, sol.NumBuffers())
+		for _, v := range ids {
+			fmt.Fprintf(out, "# buffer %s at node %d\n", sol.Buffers[v].Name, v)
+		}
+		if err := netfmt.Write(out, sol.Tree); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if spefPath != "" {
+		out, err := os.Create(spefPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := netfmt.WriteSPEF(out, sol.Tree); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", spefPath)
+	}
+	return nil
+}

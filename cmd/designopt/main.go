@@ -1,0 +1,198 @@
+// Command designopt runs the whole-design flow of Section V: read every
+// net of a design, repair noise and timing with the BuffOpt tool in
+// parallel, write the buffered nets, and print a design-level summary —
+// the batch counterpart of cmd/buffopt.
+//
+// Usage:
+//
+//	designopt -in nets/ [-out buffered/] [-seglen 0.5e-3] [-lambda 0.7]
+//	          [-rise 0.25e-9] [-vdd 1.8] [-bufnm 0.8] [-workers N] [-sizing]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/core"
+	"buffopt/internal/netfmt"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+	"buffopt/internal/report"
+	"buffopt/internal/segment"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input directory of .net files (required)")
+		out     = flag.String("out", "", "output directory for buffered nets (optional)")
+		segLen  = flag.Float64("seglen", 0.5e-3, "wire segmenting length, m")
+		lambda  = flag.Float64("lambda", 0.7, "coupling ratio λ")
+		rise    = flag.Float64("rise", 0.25e-9, "aggressor rise time, s")
+		vdd     = flag.Float64("vdd", 1.8, "supply voltage, V")
+		margin  = flag.Float64("bufnm", 0.8, "buffer noise margin, V")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		sizing  = flag.Bool("sizing", false, "enable simultaneous wire sizing (widths 1, 2, 4)")
+		verbose = flag.Bool("v", false, "print one summary line per net")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *out, *segLen, *lambda, *rise, *vdd, *margin, *workers, *sizing, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "designopt:", err)
+		os.Exit(1)
+	}
+}
+
+type result struct {
+	name    string
+	buffers int
+	fixed   bool
+	wasBad  bool
+	err     error
+	summary string
+}
+
+func run(in, out string, segLen, lambda, rise, vdd, margin float64, workers int, sizing, verbose bool) error {
+	paths, err := filepath.Glob(filepath.Join(in, "*.net"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no .net files in %s", in)
+	}
+	sort.Strings(paths)
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+	}
+
+	params := noise.Params{CouplingRatio: lambda, Slope: vdd / rise}
+	lib := buffers.DefaultLibrary(margin)
+	opts := core.Options{}
+	if sizing {
+		opts.Sizing = &core.Sizing{Widths: []float64{1, 2, 4}}
+	}
+
+	start := time.Now()
+	results := make([]result, len(paths))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, workers))
+	for i, path := range paths {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, path string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = optimizeOne(path, out, segLen, params, lib, opts)
+		}(i, path)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	totalBuffers, bad, fixed, failed := 0, 0, 0, 0
+	for _, r := range results {
+		if verbose && r.err == nil {
+			fmt.Println(r.summary)
+		}
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", r.name, r.err)
+			continue
+		}
+		totalBuffers += r.buffers
+		if r.wasBad {
+			bad++
+			if r.fixed {
+				fixed++
+			}
+		}
+	}
+	fmt.Printf("design: %d nets, %d with noise violations, %d fixed, %d buffers inserted, %d failures, %.2fs\n",
+		len(paths), bad, fixed, totalBuffers, failed, elapsed.Seconds())
+	if fixed < bad {
+		return fmt.Errorf("%d nets could not be fixed", bad-fixed)
+	}
+	return nil
+}
+
+func optimizeOne(path, out string, segLen float64, params noise.Params, lib *buffers.Library, opts core.Options) result {
+	name := filepath.Base(path)
+	f, err := os.Open(path)
+	if err != nil {
+		return result{name: name, err: err}
+	}
+	tr, err := netfmt.Read(f)
+	f.Close()
+	if err != nil {
+		return result{name: name, err: err}
+	}
+
+	wasBad := !noise.Analyze(tr, nil, params).Clean()
+
+	work := tr.Clone()
+	if segLen > 0 {
+		if _, err := segment.ByLength(work, segLen); err != nil {
+			return result{name: name, err: err}
+		}
+		if _, err := work.InsertBelow(work.Root()); err != nil {
+			return result{name: name, err: err}
+		}
+	}
+	res, err := core.BuffOptMinBuffers(work, lib, params, opts)
+	if err != nil {
+		return result{name: name, err: err, wasBad: wasBad}
+	}
+	clean := noise.Analyze(res.Tree, res.Buffers, params).Clean()
+
+	if out != "" {
+		path := filepath.Join(out, name)
+		of, err := os.Create(path)
+		if err != nil {
+			return result{name: name, err: err}
+		}
+		werr := writeBuffered(of, res.Solution)
+		if cerr := of.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return result{name: name, err: werr}
+		}
+	}
+	return result{
+		name:    name,
+		buffers: res.NumBuffers(),
+		fixed:   clean,
+		wasBad:  wasBad,
+		summary: report.Summary(res.Tree, res.Buffers, params),
+	}
+}
+
+func writeBuffered(f *os.File, sol *core.Solution) error {
+	ids := make([]rctree.NodeID, 0, len(sol.Buffers))
+	for v := range sol.Buffers {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Fprintf(f, "# designopt: %d buffers\n", len(ids))
+	for _, v := range ids {
+		fmt.Fprintf(f, "# buffer %s at node %d\n", sol.Buffers[v].Name, v)
+	}
+	return netfmt.Write(f, sol.Tree)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

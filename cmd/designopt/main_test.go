@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"buffopt/internal/netfmt"
+	"buffopt/internal/netgen"
+	"buffopt/internal/noise"
+)
+
+func writeSuite(t *testing.T, n int) string {
+	t.Helper()
+	s, err := netgen.Generate(netgen.Config{Seed: 4, NumNets: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for i, tr := range s.Nets {
+		f, err := os.Create(filepath.Join(dir, tr.Node(0).Name+".net"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := netfmt.Write(f, tr); err != nil {
+			t.Fatalf("net %d: %v", i, err)
+		}
+		f.Close()
+	}
+	return dir
+}
+
+func TestDesignOptFlow(t *testing.T) {
+	in := writeSuite(t, 12)
+	out := t.TempDir()
+	if err := run(in, out, 0.5e-3, 0.7, 0.25e-9, 1.8, 0.8, 4, false, false); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(out, "*.net"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 12 {
+		t.Fatalf("wrote %d nets, want 12", len(files))
+	}
+	// Every written net must parse and validate.
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := netfmt.Read(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s unreadable: %v", filepath.Base(path), err)
+			continue
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", filepath.Base(path), err)
+		}
+	}
+	_ = noise.SectionV()
+}
+
+func TestDesignOptSizing(t *testing.T) {
+	in := writeSuite(t, 6)
+	if err := run(in, "", 0.5e-3, 0.7, 0.25e-9, 1.8, 0.8, 2, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDesignOptErrors(t *testing.T) {
+	if err := run(t.TempDir(), "", 0.5e-3, 0.7, 0.25e-9, 1.8, 0.8, 1, false, false); err == nil {
+		t.Errorf("empty input directory accepted")
+	}
+}

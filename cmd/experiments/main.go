@@ -1,0 +1,130 @@
+// Command experiments regenerates the paper's evaluation: every table
+// (I–IV) and the figure-shaped sweeps, printed in the same row structure
+// the paper reports.
+//
+// Usage:
+//
+//	experiments                 # everything, 500 nets (a few minutes)
+//	experiments -nets 100       # faster, smaller suite
+//	experiments -table 3        # only Table III
+//	experiments -fig 1          # only the Fig. 1 demo
+//
+// Absolute values differ from the paper (synthetic nets, host CPU); the
+// shapes are the reproduction target: who wins, by roughly what factor,
+// where the crossovers fall. See EXPERIMENTS.md for the recorded
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"buffopt/internal/experiments"
+)
+
+func main() {
+	var (
+		nets   = flag.Int("nets", 500, "suite size")
+		seed   = flag.Int64("seed", 1, "suite seed")
+		segLen = flag.Float64("seglen", 0.5e-3, "wire segmenting length, m")
+		table  = flag.Int("table", 0, "run only this table (1-4)")
+		fig    = flag.Int("fig", 0, "run only this figure (1, 2, 3, 6, 7, 17)")
+		abl    = flag.Bool("ablations", false, "run the wire-sizing and Problem 3 ablations")
+		safe   = flag.Bool("safe", false, "exact multi-buffer pruning")
+	)
+	flag.Parse()
+	if err := run(*nets, *seed, *segLen, *table, *fig, *abl, *safe); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nets int, seed int64, segLen float64, table, fig int, abl, safe bool) error {
+	if fig != 0 && !abl {
+		return runFig(fig)
+	}
+
+	if table != 0 || fig == 0 {
+		s, err := experiments.NewSuite(experiments.Config{
+			Seed: seed, NumNets: nets, SegmentLength: segLen, SafePruning: safe,
+		})
+		if err != nil {
+			return err
+		}
+		all := table == 0 && !abl
+		if all || table == 1 {
+			fmt.Println(s.RunTableI().Format())
+		}
+		if all || table == 2 {
+			fmt.Println(s.RunTableII().Format())
+		}
+		if all || table == 3 {
+			fmt.Println(s.RunTableIII().Format())
+		}
+		if all || table == 4 {
+			fmt.Println(s.RunTableIV().Format())
+		}
+		if abl {
+			fmt.Println(s.RunSizingAblation().Format())
+			tr, err := experiments.RunProblem3Tradeoff()
+			if err != nil {
+				return err
+			}
+			fmt.Println(tr.Format())
+			ra, err := experiments.RunRoutingAblation(30)
+			if err != nil {
+				return err
+			}
+			fmt.Println(ra.Format())
+			fmt.Println(s.RunGreedyAblation().Format())
+			fmt.Println(s.RunExplicitModeAblation().Format())
+			curve, err := experiments.RunBufferCountCurve()
+			if err != nil {
+				return err
+			}
+			fmt.Println(curve.Format())
+			return nil
+		}
+		if all {
+			return runFig(0)
+		}
+		return nil
+	}
+	return nil
+}
+
+func runFig(which int) error {
+	all := which == 0
+	if all || which == 1 {
+		f, err := experiments.RunFig1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Format())
+	}
+	if all || which == 2 {
+		f, err := experiments.RunFig2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Format())
+	}
+	if all || which == 3 {
+		fmt.Println(experiments.RunFig3().Format())
+	}
+	if all || which == 6 {
+		fmt.Println(experiments.RunTheorem1Sweep().Format())
+	}
+	if all || which == 7 {
+		f, err := experiments.RunFig7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Format())
+	}
+	if all || which == 17 {
+		fmt.Println(experiments.RunSeparationSweep().Format())
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command netgen emits the synthetic benchmark suite — the stand-in for
+// the paper's 500 PowerPC nets — as netfmt files, one per net, plus a
+// summary of the Table I sink distribution.
+//
+// Usage:
+//
+//	netgen -out nets/ [-n 500] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"buffopt/internal/netfmt"
+	"buffopt/internal/netgen"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "", "output directory (required)")
+		n    = flag.Int("n", 500, "number of nets")
+		seed = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*out, *n, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, n int, seed int64) error {
+	s, err := netgen.Generate(netgen.Config{Seed: seed, NumNets: n})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for i, tr := range s.Nets {
+		path := filepath.Join(out, fmt.Sprintf("%s.net", tr.Node(tr.Root()).Name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := netfmt.Write(f, tr); err != nil {
+			f.Close()
+			return fmt.Errorf("net %d: %w", i, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d nets to %s (seed %d)\n", len(s.Nets), out, seed)
+	hist := s.SinkHistogram()
+	for i, bin := range netgen.Bins() {
+		if bin[0] == bin[1] {
+			fmt.Printf("  %d sinks: %d nets\n", bin[0], hist[i])
+		} else {
+			fmt.Printf("  %d-%d sinks: %d nets\n", bin[0], bin[1], hist[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"buffopt/internal/netfmt"
+)
+
+func TestNetgenRun(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 15, 7); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.net"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 15 {
+		t.Fatalf("wrote %d files, want 15", len(files))
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := netfmt.Read(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s unreadable: %v", filepath.Base(path), err)
+			continue
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", filepath.Base(path), err)
+		}
+	}
+}
+
+func TestNetgenRunErrors(t *testing.T) {
+	if err := run(t.TempDir(), 0, 1); err == nil {
+		t.Errorf("zero net count accepted")
+	}
+	if err := run("/proc/definitely/not/writable", 2, 1); err == nil {
+		t.Errorf("unwritable directory accepted")
+	}
+}

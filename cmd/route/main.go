@@ -1,0 +1,156 @@
+// Command route builds a routing-tree estimate from pin placements and
+// writes it in the netfmt format, ready for cmd/buffopt.
+//
+// Input (one pin per line; '#' comments allowed):
+//
+//	driver <x_mm> <y_mm> <R_ohm> <T_ps>
+//	sink <name> <x_mm> <y_mm> <cap_fF> <rat_ns> <nm_V>
+//
+// Usage:
+//
+//	route -pins pins.txt -out net.net [-alg mst|steiner|pd] [-c 0.5]
+//	      [-rpermm 80] [-cpermm 200]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"buffopt/internal/netfmt"
+	"buffopt/internal/rctree"
+	"buffopt/internal/steiner"
+)
+
+func main() {
+	var (
+		pins   = flag.String("pins", "", "pin placement file (required)")
+		out    = flag.String("out", "", "output net file (required)")
+		alg    = flag.String("alg", "steiner", "topology: mst, steiner (iterated 1-Steiner), pd (Prim–Dijkstra)")
+		c      = flag.Float64("c", 0.5, "Prim–Dijkstra blend parameter (pd only)")
+		rPerMM = flag.Float64("rpermm", 80, "wire resistance, Ω/mm")
+		cPerMM = flag.Float64("cpermm", 200, "wire capacitance, fF/mm")
+		name   = flag.String("name", "net", "net name")
+	)
+	flag.Parse()
+	if *pins == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*pins, *out, *alg, *c, *rPerMM, *cPerMM, *name); err != nil {
+		fmt.Fprintln(os.Stderr, "route:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pinsPath, outPath, alg string, c, rPerMM, cPerMM float64, name string) error {
+	net, err := readPins(pinsPath, name)
+	if err != nil {
+		return err
+	}
+	tech := steiner.Tech{RPerLen: rPerMM * 1e3, CPerLen: cPerMM * 1e-15 / 1e-3}
+
+	var tr *rctree.Tree
+	switch alg {
+	case "mst":
+		tr, err = steiner.Route(net, tech, steiner.RectilinearMST)
+	case "steiner":
+		tr, err = steiner.Route(net, tech, steiner.OneSteiner)
+	case "pd":
+		tr, err = steiner.RoutePrimDijkstra(net, tech, c)
+	default:
+		err = fmt.Errorf("unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := netfmt.Write(f, tr); err != nil {
+		return err
+	}
+	fmt.Printf("routed %q: %d sinks, %.3f mm, %d nodes → %s\n",
+		name, tr.NumSinks(), tr.TotalWireLength()*1e3, tr.Len(), outPath)
+	return nil
+}
+
+func readPins(path, name string) (steiner.Net, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return steiner.Net{}, err
+	}
+	defer f.Close()
+
+	net := steiner.Net{Name: name}
+	haveDriver := false
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "driver":
+			if len(fields) != 5 {
+				return net, fmt.Errorf("line %d: driver wants x y R T", lineNo)
+			}
+			vals, err := floats(fields[1:], lineNo)
+			if err != nil {
+				return net, err
+			}
+			net.Driver = steiner.Point{X: vals[0] * 1e-3, Y: vals[1] * 1e-3}
+			net.DriverR = vals[2]
+			net.DriverT = vals[3] * 1e-12
+			haveDriver = true
+		case "sink":
+			if len(fields) != 7 {
+				return net, fmt.Errorf("line %d: sink wants name x y cap rat nm", lineNo)
+			}
+			vals, err := floats(fields[2:], lineNo)
+			if err != nil {
+				return net, err
+			}
+			net.Sinks = append(net.Sinks, steiner.Sink{
+				Name:        fields[1],
+				At:          steiner.Point{X: vals[0] * 1e-3, Y: vals[1] * 1e-3},
+				Cap:         vals[2] * 1e-15,
+				RAT:         vals[3] * 1e-9,
+				NoiseMargin: vals[4],
+			})
+		default:
+			return net, fmt.Errorf("line %d: unknown pin kind %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return net, err
+	}
+	if !haveDriver {
+		return net, fmt.Errorf("no driver line in %s", path)
+	}
+	if len(net.Sinks) == 0 {
+		return net, fmt.Errorf("no sinks in %s", path)
+	}
+	return net, nil
+}
+
+func floats(fields []string, lineNo int) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad number %q", lineNo, f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"buffopt/internal/netfmt"
+)
+
+const pinsFile = `# demo pins
+driver 0 0 250 40
+sink a 3.0 0.5 25 1.2 0.8
+sink b 1.5 1.5 18 1.2 0.8
+sink c 0.5 3.0 22 1.2 0.8
+`
+
+func writePins(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pins.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	pins := writePins(t, pinsFile)
+	for _, alg := range []string{"mst", "steiner", "pd"} {
+		out := filepath.Join(t.TempDir(), alg+".net")
+		if err := run(pins, out, alg, 0.5, 80, 200, "demo"); err != nil {
+			t.Fatalf("alg %s: %v", alg, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := netfmt.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("alg %s: output unreadable: %v", alg, err)
+		}
+		if tr.NumSinks() != 3 {
+			t.Errorf("alg %s: %d sinks", alg, tr.NumSinks())
+		}
+		if tr.Node(tr.Root()).Name != "demo" {
+			t.Errorf("alg %s: name %q", alg, tr.Node(tr.Root()).Name)
+		}
+	}
+}
+
+func TestReadPinsErrors(t *testing.T) {
+	cases := map[string]string{
+		"no driver":    "sink a 1 1 10 1 0.8\n",
+		"no sinks":     "driver 0 0 100 10\n",
+		"short driver": "driver 0 0\nsink a 1 1 10 1 0.8\n",
+		"short sink":   "driver 0 0 100 10\nsink a 1 1\n",
+		"bad number":   "driver 0 zero 100 10\nsink a 1 1 10 1 0.8\n",
+		"unknown kind": "driver 0 0 100 10\nwidget a 1 1 10 1 0.8\n",
+	}
+	for name, content := range cases {
+		t.Run(strings.ReplaceAll(name, " ", "_"), func(t *testing.T) {
+			if _, err := readPins(writePins(t, content), "x"); err == nil {
+				t.Errorf("%s accepted", name)
+			}
+		})
+	}
+	if _, err := readPins("/nonexistent", "x"); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	if err := run(writePins(t, pinsFile), filepath.Join(t.TempDir(), "o.net"), "bogus", 0.5, 80, 200, "x"); err == nil {
+		t.Errorf("unknown algorithm accepted")
+	}
+}

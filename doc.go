@@ -1,0 +1,14 @@
+// Package buffopt reproduces "Buffer Insertion for Noise and Delay
+// Optimization" (Alpert, Devgan, Quay; DAC 1998 / IEEE TCAD 18(11), 1999):
+// optimal buffer insertion under the Devgan coupled-noise metric, the
+// noise-constrained Van Ginneken dynamic program (BuffOpt), the DelayOpt
+// baseline, and every substrate the evaluation needs — Elmore timing,
+// Steiner-tree construction, wire segmenting, a synthetic benchmark
+// generator, and a coupled-RC transient simulator for independent
+// verification.
+//
+// The implementation lives under internal/; see README.md for the layout,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-versus-measured record. The root package exists to anchor
+// module-level documentation and the benchmark suite in bench_test.go.
+package buffopt

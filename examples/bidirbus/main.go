@@ -1,0 +1,82 @@
+// Bidirectional bus: a net with three terminals that can each drive — the
+// multi-source extension the paper attributes to Lillis [17]. One
+// bidirectional repeater placement must satisfy the noise and timing
+// constraints of every drive mode simultaneously.
+//
+//	go run ./examples/bidirbus
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/multisource"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+	"buffopt/internal/segment"
+)
+
+func main() {
+	params := noise.SectionV()
+
+	// A 3-terminal bus in Section V technology: T0 —4mm— tap —3mm— T1,
+	// with T2 hanging 2 mm below the tap. Every terminal has a 300 Ω
+	// driver and a 25 fF receiver with a 0.8 V margin.
+	base := rctree.New("bus", 300, 50e-12)
+	tap, err := base.AddInternal(base.Root(), wire(4), true)
+	check(err)
+	t1, err := base.AddSink(tap, wire(3), "T1", 25e-15, 2e-9, 0.8)
+	check(err)
+	t2, err := base.AddSink(tap, wire(2), "T2", 25e-15, 2e-9, 0.8)
+	check(err)
+	_, err = segment.ByLength(base, 0.5e-3)
+	check(err)
+
+	term := func(node rctree.NodeID) multisource.Terminal {
+		return multisource.Terminal{
+			Node: node, DriverR: 300, DriverT: 50e-12,
+			Cap: 25e-15, RAT: 2e-9, NoiseMargin: 0.8,
+		}
+	}
+	net := &multisource.Net{
+		Base:      base,
+		Terminals: []multisource.Terminal{term(base.Root()), term(t1), term(t2)},
+	}
+
+	fmt.Println("unbuffered bus, per drive mode:")
+	printModes(net, nil, params)
+
+	lib := buffers.DefaultLibrary(0.8)
+	assign, reports, err := net.Optimize(lib, params, 0)
+	check(err)
+	fmt.Printf("\ninserted %d bidirectional repeater(s):\n", len(assign))
+	for v, b := range assign {
+		n := base.Node(v)
+		fmt.Printf("  %s at (%.2f, %.2f) mm\n", b.Name, n.X*1e3, n.Y*1e3)
+	}
+	fmt.Println("\nafter optimization, per drive mode:")
+	for _, r := range reports {
+		fmt.Printf("  mode %d: worst slack %.1f ps, max delay %.1f ps, violations %d\n",
+			r.Mode, r.Slack*1e12, r.MaxDelay*1e12, r.Violations)
+	}
+}
+
+func printModes(net *multisource.Net, assign multisource.Placement, p noise.Params) {
+	reports, err := net.Evaluate(assign, p)
+	check(err)
+	for _, r := range reports {
+		fmt.Printf("  mode %d: worst slack %.1f ps, max delay %.1f ps, violations %d\n",
+			r.Mode, r.Slack*1e12, r.MaxDelay*1e12, r.Violations)
+	}
+}
+
+func wire(mm float64) rctree.Wire {
+	return rctree.Wire{R: 80 * mm, C: 200e-15 * mm, Length: mm * 1e-3}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

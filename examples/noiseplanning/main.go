@@ -1,0 +1,80 @@
+// Noise planning: the pre-route uses of the theory — Theorem 1's maximal
+// noise-safe run lengths as a buffer-spacing table per driver strength,
+// and eq. (17)'s required victim-aggressor separation as a spacing rule
+// for the router. These are the "estimation mode" applications Section
+// II-B describes, usable before any routing exists.
+//
+//	go run ./examples/noiseplanning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/core"
+	"buffopt/internal/noise"
+)
+
+const (
+	rPerM = 80e3    // Ω/m
+	cPerM = 200e-12 // F/m
+	nm    = 0.8     // V
+)
+
+func main() {
+	params := noise.SectionV()
+	lib := buffers.DefaultLibrary(nm)
+	iu := params.PerCap() * cPerM
+
+	fmt.Println("Buffer spacing table (Theorem 1): maximal noise-safe run per driver")
+	fmt.Printf("%-10s %-10s %s\n", "driver", "R (Ω)", "max run (mm)")
+	for _, b := range lib.Sorted() {
+		l, err := core.MaxSafeLength(b.R, rPerM, iu, 0, nm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-10.0f %.3f\n", b.Name, b.R, l*1e3)
+	}
+
+	fmt.Println("\nEffect of downstream current (a 200 Ω driver):")
+	fmt.Printf("%-22s %s\n", "downstream I (mA)", "max run (mm)")
+	for _, ma := range []float64{0, 0.2, 0.5, 1.0, 2.0} {
+		l, err := core.MaxSafeLength(200, rPerM, iu, ma*1e-3, nm)
+		if err != nil {
+			fmt.Printf("%-22.1f too late: a buffer is already required\n", ma)
+			continue
+		}
+		fmt.Printf("%-22.1f %.3f\n", ma, l*1e3)
+	}
+
+	// Router spacing rule, eq. (17): λ(d) = β/d with β calibrated so that
+	// λ = 0.7 at 0.5 µm spacing.
+	const beta = 0.7 * 0.5e-6
+	fmt.Println("\nRouter spacing rule (eq. 17): required separation from one aggressor")
+	fmt.Printf("%-14s %-14s %s\n", "run (mm)", "driver (Ω)", "separation (µm)")
+	for _, mm := range []float64{0.5, 1, 2, 3} {
+		for _, rb := range []float64{150.0, 400.0} {
+			d, err := core.RequiredSeparation(rb, rPerM, cPerM, params.Slope, beta, 0, nm, mm*1e-3)
+			if err != nil {
+				fmt.Printf("%-14.1f %-14.0f no spacing suffices — insert a buffer\n", mm, rb)
+				continue
+			}
+			fmt.Printf("%-14.1f %-14.0f %.3f\n", mm, rb, d*1e6)
+		}
+	}
+
+	// Sanity: a wire planned at exactly the table's length is clean, and
+	// 10% longer is not — demonstrating the bound is tight.
+	b, err := lib.MinResistance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := core.MaxSafeLength(b.R, rPerM, iu, 0, nm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	at := core.WireTopNoise(b.R, rPerM*l, iu*l, 0)
+	over := core.WireTopNoise(b.R, rPerM*l*1.1, iu*l*1.1, 0)
+	fmt.Printf("\ntightness: noise at l_max = %.4f V (margin %.1f), at 1.1·l_max = %.4f V\n", at, nm, over)
+}

@@ -1,0 +1,3 @@
+module buffopt
+
+go 1.22

@@ -1,0 +1,151 @@
+package buffers
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDelay(t *testing.T) {
+	b := Buffer{Name: "b", Cin: 1, R: 2, T: 3}
+	if got := b.Delay(5); got != 13 {
+		t.Errorf("Delay = %g, want 13", got)
+	}
+	if got := b.Delay(0); got != 3 {
+		t.Errorf("Delay(0) = %g, want T", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	good := Buffer{Name: "g", Cin: 1, R: 2, T: 3, NoiseMargin: 0.8}
+	if err := good.Valid(); err != nil {
+		t.Errorf("valid buffer rejected: %v", err)
+	}
+	cases := []Buffer{
+		{Name: "negC", Cin: -1, R: 1},
+		{Name: "nanR", Cin: 1, R: math.NaN()},
+		{Name: "zeroR", Cin: 1, R: 0},
+		{Name: "negT", Cin: 1, R: 1, T: -1},
+		{Name: "infNM", Cin: 1, R: 1, NoiseMargin: math.Inf(1)},
+	}
+	for _, b := range cases {
+		if err := b.Valid(); err == nil {
+			t.Errorf("%s accepted", b.Name)
+		}
+	}
+}
+
+func TestLibraryValidate(t *testing.T) {
+	if err := (&Library{}).Validate(); err == nil {
+		t.Errorf("empty library accepted")
+	}
+	l := &Library{Buffers: []Buffer{{Name: "a", Cin: 1, R: 1}}}
+	if err := l.Validate(); err != nil {
+		t.Errorf("valid library rejected: %v", err)
+	}
+	l.Buffers = append(l.Buffers, Buffer{Name: "bad", R: 0})
+	if err := l.Validate(); err == nil {
+		t.Errorf("library with invalid buffer accepted")
+	}
+}
+
+func TestMinResistance(t *testing.T) {
+	l := &Library{Buffers: []Buffer{
+		{Name: "c", Cin: 3, R: 2},
+		{Name: "a", Cin: 2, R: 1},
+		{Name: "b", Cin: 1, R: 1},
+	}}
+	b, err := l.MinResistance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ties on R break toward smaller Cin.
+	if b.Name != "b" {
+		t.Errorf("MinResistance = %s, want b", b.Name)
+	}
+	if _, err := (&Library{}).MinResistance(); err == nil {
+		t.Errorf("empty library accepted")
+	}
+	// Full tie: name order decides, deterministically.
+	tie := &Library{Buffers: []Buffer{
+		{Name: "z", Cin: 1, R: 1}, {Name: "a", Cin: 1, R: 1},
+	}}
+	if b, _ := tie.MinResistance(); b.Name != "a" {
+		t.Errorf("tie broke to %s, want a", b.Name)
+	}
+}
+
+func TestNonInvertingAndByName(t *testing.T) {
+	l := DefaultLibrary(0.8)
+	ni := l.NonInverting()
+	if len(ni.Buffers) != 6 {
+		t.Errorf("non-inverting count = %d, want 6", len(ni.Buffers))
+	}
+	for _, b := range ni.Buffers {
+		if b.Inverting {
+			t.Errorf("%s is inverting", b.Name)
+		}
+	}
+	if b, ok := l.ByName("INV_X5"); !ok || !b.Inverting {
+		t.Errorf("ByName(INV_X5) = %+v, %v", b, ok)
+	}
+	if _, ok := l.ByName("NOPE"); ok {
+		t.Errorf("ByName found a nonexistent buffer")
+	}
+}
+
+func TestSortedByDriveStrength(t *testing.T) {
+	l := DefaultLibrary(0.8)
+	s := l.Sorted()
+	for i := 1; i < len(s); i++ {
+		if s[i].R < s[i-1].R {
+			t.Errorf("Sorted not ascending in R at %d", i)
+		}
+	}
+	if len(s) != len(l.Buffers) {
+		t.Errorf("Sorted changed size")
+	}
+}
+
+func TestDefaultLibraryShape(t *testing.T) {
+	l := DefaultLibrary(0.8)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Buffers) != 11 {
+		t.Fatalf("size = %d, want 11", len(l.Buffers))
+	}
+	inv := 0
+	for _, b := range l.Buffers {
+		if b.Inverting {
+			inv++
+		}
+		if b.NoiseMargin != 0.8 {
+			t.Errorf("%s margin %g", b.Name, b.NoiseMargin)
+		}
+		if b.Cost() != 1 {
+			t.Errorf("%s default cost %d", b.Name, b.Cost())
+		}
+	}
+	if inv != 5 {
+		t.Errorf("inverters = %d, want 5", inv)
+	}
+	// The sizing trade-off: within each family, stronger (lower R) means
+	// larger input capacitance.
+	for _, fam := range []func(Buffer) bool{
+		func(b Buffer) bool { return !b.Inverting },
+		func(b Buffer) bool { return b.Inverting },
+	} {
+		var prev *Buffer
+		for _, b := range l.Sorted() {
+			b := b
+			if !fam(b) {
+				continue
+			}
+			if prev != nil && b.Cin > prev.Cin {
+				t.Errorf("sizing inverted: %s (R=%g, Cin=%g) after %s (R=%g, Cin=%g)",
+					b.Name, b.R, b.Cin, prev.Name, prev.R, prev.Cin)
+			}
+			prev = &b
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements asymptotic waveform evaluation (AWE) on the MNA
+// system: moment computation by recursive solves against the factored
+// conductance matrix, and a two-pole reduced-order model of any
+// source-to-node transfer function. This is the "moment-matching based
+// technique similar to RICE" the paper says 3dnoise is built on (Section
+// V / [25], [27]); the test suite cross-checks it against the transient
+// engine, and package noisesim uses it as a second, faster verifier.
+
+// Moments computes the first maxOrder+1 moments of the transfer function
+// from source srcIndex (an index into the netlist's voltage sources, in
+// AddV order) to every node: H_node(s) = Σ_k m_k·s^k for a unit input at
+// that source with every other source zeroed.
+//
+// The recursion is the standard AWE one: G·x₀ = b, G·x_k = −C·x_{k−1},
+// with G factored once.
+func (n *Netlist) Moments(srcIndex, maxOrder int) ([][]float64, error) {
+	if srcIndex < 0 || srcIndex >= len(n.sources) {
+		return nil, fmt.Errorf("circuit: source index %d out of range (%d sources)", srcIndex, len(n.sources))
+	}
+	if maxOrder < 1 {
+		return nil, fmt.Errorf("circuit: order %d must be at least 1", maxOrder)
+	}
+	nv := n.nodes - 1
+	m := nv + len(n.sources)
+
+	idx := func(node int) int { return node - 1 }
+
+	// G: resistors + gmin + source rows (capacitors excluded).
+	g := make([]float64, m*m)
+	stamp := func(i, j int, val float64) {
+		ii, jj := idx(i), idx(j)
+		if ii >= 0 {
+			g[ii*m+ii] += val
+		}
+		if jj >= 0 {
+			g[jj*m+jj] += val
+		}
+		if ii >= 0 && jj >= 0 {
+			g[ii*m+jj] -= val
+			g[jj*m+ii] -= val
+		}
+	}
+	for _, r := range n.resistors {
+		stamp(r.a, r.b, r.g)
+	}
+	for i := 0; i < nv; i++ {
+		g[i*m+i] += gmin
+	}
+	for k, s := range n.sources {
+		r := nv + k
+		if i := idx(s.pos); i >= 0 {
+			g[r*m+i] += 1
+			g[i*m+r] += 1
+		}
+		if i := idx(s.neg); i >= 0 {
+			g[r*m+i] -= 1
+			g[i*m+r] -= 1
+		}
+	}
+	lu, err := factor(g, m)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: AWE G factorization: %w", err)
+	}
+
+	// x_0: unit value at the chosen source.
+	rhs := make([]float64, m)
+	x := make([]float64, m)
+	rhs[nv+srcIndex] = 1
+	lu.solve(rhs, x)
+
+	// applyC computes y = C·x over node voltages (source currents carry
+	// no capacitance).
+	applyC := func(x, y []float64) {
+		for i := range y {
+			y[i] = 0
+		}
+		for _, c := range n.caps {
+			va := 0.0
+			if i := idx(c.a); i >= 0 {
+				va = x[i]
+			}
+			vb := 0.0
+			if i := idx(c.b); i >= 0 {
+				vb = x[i]
+			}
+			d := c.c * (va - vb)
+			if i := idx(c.a); i >= 0 {
+				y[i] += d
+			}
+			if i := idx(c.b); i >= 0 {
+				y[i] -= d
+			}
+		}
+	}
+
+	out := make([][]float64, maxOrder+1)
+	record := func(k int, x []float64) {
+		row := make([]float64, n.nodes)
+		for node := 1; node < n.nodes; node++ {
+			row[node] = x[idx(node)]
+		}
+		out[k] = row
+	}
+	record(0, x)
+	y := make([]float64, m)
+	for k := 1; k <= maxOrder; k++ {
+		applyC(x, y)
+		for i := range y {
+			y[i] = -y[i]
+		}
+		lu.solve(y, x)
+		record(k, x)
+	}
+	return out, nil
+}
+
+// Reduced is a two-pole AWE model of one transfer function in
+// pole/residue form,
+//
+//	H(s) = m0 + Σ_i k_i·(1/(s−p_i) + 1/p_i),
+//
+// a parameterization whose value at s = 0 is exactly the DC gain m0 and
+// whose Taylor moments are m_j = −Σ_i k_i/p_i^{j+1} for j ≥ 1. Callers
+// use the Step, Ramp, and PeakAbs responses.
+type Reduced struct {
+	M0     float64 // DC gain
+	K1, K2 float64 // residues
+	P1, P2 float64 // poles (negative real when Stable)
+	Stable bool
+}
+
+// ReduceTransfer fits a two-pole model to the transfer moments of node
+// (from Moments), using the classic AWE Hankel construction on m1..m4,
+// falling back to progressively simpler single-pole fits when the
+// two-pole system is degenerate or unstable.
+func ReduceTransfer(moments [][]float64, node int) (Reduced, error) {
+	if len(moments) < 5 {
+		return Reduced{}, fmt.Errorf("circuit: need moments up to order 4, have %d", len(moments)-1)
+	}
+	if node < 0 || node >= len(moments[0]) {
+		return Reduced{}, fmt.Errorf("circuit: node %d out of range", node)
+	}
+	m0 := moments[0][node]
+	m1 := moments[1][node]
+	m2 := moments[2][node]
+	m3 := moments[3][node]
+	m4 := moments[4][node]
+
+	// With m_j = −Σ k_i·μ_i^{j+1} (μ_i = 1/p_i), the moment sequence
+	// obeys the two-term recurrence m_{j+2} = a·m_{j+1} + b·m_j whose
+	// characteristic roots are the reciprocal poles μ_i. Solve the 2×2
+	// Hankel system
+	//   [m2 m1]   [a]   [m3]
+	//   [m3 m2] · [b] = [m4]
+	// then μ² − a·μ − b = 0 and p_i = 1/μ_i. (A repeated or vanishing
+	// root signals an effectively single-pole response.)
+	det := m2*m2 - m1*m3
+	if det == 0 || !isFinite(det) {
+		return fallbackPoles(m0, m1, m2, m3)
+	}
+	a := (m3*m2 - m1*m4) / det
+	b := (m2*m4 - m3*m3) / det
+	disc := a*a + 4*b
+	if disc < 0 {
+		return fallbackPoles(m0, m1, m2, m3)
+	}
+	r := math.Sqrt(disc)
+	mu1 := (a + r) / 2
+	mu2 := (a - r) / 2
+	if mu1 == 0 || mu2 == 0 || mu1 == mu2 {
+		return fallbackPoles(m0, m1, m2, m3)
+	}
+	p1 := 1 / mu1
+	p2 := 1 / mu2
+	if p1 >= 0 || p2 >= 0 {
+		return fallbackPoles(m0, m1, m2, m3)
+	}
+	// Residues from the first two moment relations of the pole/residue
+	// form (m_j = −Σ k_i/p_i^{j+1}):
+	//   m1 = −k1/p1² − k2/p2²
+	//   m2 = −k1/p1³ − k2/p2³
+	a11, a12 := -1/(p1*p1), -1/(p2*p2)
+	a21, a22 := -1/(p1*p1*p1), -1/(p2*p2*p2)
+	d := a11*a22 - a12*a21
+	if d == 0 {
+		return fallbackPoles(m0, m1, m2, m3)
+	}
+	k1 := (m1*a22 - m2*a12) / d
+	k2 := (a11*m2 - a21*m1) / d
+	return Reduced{M0: m0, K1: k1, K2: k2, P1: p1, P2: p2, Stable: true}, nil
+}
+
+// fallbackPoles tries the single-pole fits in order of fidelity.
+func fallbackPoles(m0, m1, m2, m3 float64) (Reduced, error) {
+	if r, err := onePole(m0, m1, m2); err == nil {
+		return r, nil
+	}
+	return dominantPole(m0, m1, m2, m3)
+}
+
+// onePole fits a single pole: m1 = −k/p², m2 = −k/p³ → p = m1/m2. When
+// that ratio is unstable (higher-order responses where the two leading
+// moments nearly cancel), the dominant pole is re-estimated from the
+// higher-moment ratio m2/m3, which converges to the slowest pole; the
+// residue still matches m1 exactly.
+func onePole(m0, m1, m2 float64) (Reduced, error) {
+	if m2 != 0 && isFinite(m1/m2) {
+		if p := m1 / m2; p < 0 {
+			return Reduced{M0: m0, K1: -m1 * p * p, K2: 0, P1: p, P2: p * 1e3, Stable: true}, nil
+		}
+	}
+	return Reduced{}, fmt.Errorf("circuit: unstable single-pole fit")
+}
+
+// dominantPole fits a single pole from the higher moments (p = m2/m3, the
+// power-iteration estimate of the slowest pole), matching the residue to
+// m1. Used as a last-resort fallback by callers.
+func dominantPole(m0, m1, m2, m3 float64) (Reduced, error) {
+	if m3 == 0 || !isFinite(m2/m3) {
+		return Reduced{}, fmt.Errorf("circuit: degenerate moments")
+	}
+	p := m2 / m3
+	if p >= 0 || m1 == 0 {
+		return Reduced{}, fmt.Errorf("circuit: unstable dominant-pole fit (p = %g)", p)
+	}
+	return Reduced{M0: m0, K1: -m1 * p * p, K2: 0, P1: p, P2: p * 1e3, Stable: true}, nil
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// Step evaluates the reduced model's response to a unit step at t ≥ 0.
+// From V(s) = H(s)/s with H(s) = m0 + Σ k_i·(1/(s−p_i) + 1/p_i):
+//
+//	v(t) = m0 + Σ (k_i/p_i)·e^{p_i t},
+//
+// which starts at the capacitive-feedthrough value m0 + Σ k_i/p_i and
+// settles to the DC gain m0. (Sanity anchor: the RC low-pass 1/(1+sτ)
+// has m0 = 1, p = −1/τ, k = 1/τ, giving 1 − e^{−t/τ}.)
+func (r Reduced) Step(t float64) float64 {
+	return r.M0 + r.K1/r.P1*math.Exp(r.P1*t) + r.K2/r.P2*math.Exp(r.P2*t)
+}
+
+// Ramp evaluates the response to a saturating ramp (0→1 over rise
+// seconds) at time t, by superposing two scaled integrated steps:
+// ramp(t) = (u(t)·t − u(t−rise)·(t−rise))/rise.
+func (r Reduced) Ramp(t, rise float64) float64 {
+	if rise <= 0 {
+		return r.Step(t)
+	}
+	return (r.stepIntegral(t) - r.stepIntegral(t-rise)) / rise
+}
+
+// stepIntegral is ∫₀ᵗ Step(τ)dτ for t ≥ 0, 0 otherwise.
+func (r Reduced) stepIntegral(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	v := r.M0 * t
+	v += r.K1 / (r.P1 * r.P1) * (math.Exp(r.P1*t) - 1)
+	v += r.K2 / (r.P2 * r.P2) * (math.Exp(r.P2*t) - 1)
+	return v
+}
+
+// PeakAbs scans the reduced ramp response for its absolute peak over a
+// horizon of the rise time plus several of the slowest time constant.
+func (r Reduced) PeakAbs(rise float64) (peak, at float64) {
+	if !r.Stable {
+		return math.NaN(), 0
+	}
+	tau := math.Max(-1/r.P1, -1/r.P2)
+	horizon := rise + 8*tau
+	const steps = 4000
+	for i := 0; i <= steps; i++ {
+		t := horizon * float64(i) / steps
+		if v := math.Abs(r.Ramp(t, rise)); v > peak {
+			peak, at = v, t
+		}
+	}
+	return peak, at
+}

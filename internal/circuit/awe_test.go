@@ -1,0 +1,212 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rcLowPass builds step → R → out with C to ground: H(s) = 1/(1+sRC).
+func rcLowPass(t *testing.T, r, c float64) (*Netlist, int) {
+	t.Helper()
+	n := New()
+	in := n.Node("in")
+	out := n.Node("out")
+	if err := n.AddV(in, Ground, Ramp{V1: 1, Rise: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR(in, out, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddC(out, Ground, c); err != nil {
+		t.Fatal(err)
+	}
+	return n, out
+}
+
+func TestMomentsLowPass(t *testing.T) {
+	// 1/(1+sτ) has moments m_k = (−τ)^k.
+	r, c := 1e3, 1e-9
+	tau := r * c
+	n, out := rcLowPass(t, r, c)
+	m, err := n.Moments(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 4; k++ {
+		want := math.Pow(-tau, float64(k))
+		// The gmin leak (1 TΩ to ground) perturbs moments by ~2e-9
+		// relative against this 1 kΩ circuit.
+		if math.Abs(m[k][out]-want) > 1e-7*math.Abs(want)+1e-30 {
+			t.Errorf("m%d = %g, want %g", k, m[k][out], want)
+		}
+	}
+}
+
+func TestReducedLowPassStep(t *testing.T) {
+	r, c := 1e3, 1e-9
+	tau := r * c
+	n, out := rcLowPass(t, r, c)
+	m, err := n.Moments(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := ReduceTransfer(m, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red.Stable {
+		t.Fatal("low-pass reduction unstable")
+	}
+	for _, x := range []float64{0, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := red.Step(x * tau); math.Abs(got-want) > 1e-6 {
+			t.Errorf("Step(%g τ) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestReducedMatchesTransientOnLadder(t *testing.T) {
+	// A 5-stage RC ladder: the two-pole step response must track the full
+	// transient at the far node within a few percent of the swing.
+	build := func() (*Netlist, int) {
+		n := New()
+		prev := n.Node("in")
+		_ = n.AddV(prev, Ground, Ramp{V1: 1, Rise: 0})
+		var last int
+		for i := 0; i < 5; i++ {
+			next := n.Node("")
+			_ = n.AddR(prev, next, 200)
+			_ = n.AddC(next, Ground, 50e-15)
+			prev, last = next, next
+		}
+		return n, last
+	}
+	n, out := build()
+	m, err := n.Moments(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := ReduceTransfer(m, out)
+	if err != nil || !red.Stable {
+		t.Fatalf("reduction failed: %+v, %v", red, err)
+	}
+	tau := -m[1][out] // Elmore time constant
+	n2, out2 := build()
+	tr, err := Transient(n2, TranOptions{Step: tau / 500, Duration: 6 * tau, Probes: []int{out2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave := tr.Waves[out2]
+	maxErr := 0.0
+	for i, tm := range tr.Times {
+		if e := math.Abs(red.Step(tm) - wave[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.04 {
+		t.Errorf("two-pole vs transient max error %g of a 1 V swing", maxErr)
+	}
+}
+
+// TestReducedCouplingPeak: on the coupled noise circuit, the AWE ramp
+// peak must approximate the transient peak closely and stay below the
+// Devgan-style bound Rv·Cc·slope.
+func TestReducedCouplingPeak(t *testing.T) {
+	build := func() (*Netlist, int, int) {
+		n := New()
+		agg := n.Node("agg")
+		vic := n.Node("vic")
+		far := n.Node("far")
+		_ = n.AddV(agg, Ground, Ramp{V1: 1, Rise: 1e-9})
+		_ = n.AddR(vic, Ground, 500)
+		_ = n.AddR(vic, far, 300)
+		_ = n.AddC(agg, vic, 60e-15)
+		_ = n.AddC(agg, far, 40e-15)
+		_ = n.AddC(vic, Ground, 30e-15)
+		_ = n.AddC(far, Ground, 20e-15)
+		return n, vic, far
+	}
+	n, _, far := build()
+	m, err := n.Moments(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := ReduceTransfer(m, far)
+	if err != nil || !red.Stable {
+		t.Fatalf("reduction failed: %+v, %v", red, err)
+	}
+	// DC gain of a coupling transfer is zero.
+	if math.Abs(red.M0) > 1e-9 {
+		t.Errorf("coupling DC gain = %g, want 0", red.M0)
+	}
+	rise := 1e-9
+	awePeak, aweAt := red.PeakAbs(rise)
+
+	n2, _, far2 := build()
+	tr, err := Transient(n2, TranOptions{Step: rise / 2000, Duration: 8 * rise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simPeak := tr.PeakAbs[far2]
+	if simPeak <= 0 {
+		t.Fatal("no simulated noise")
+	}
+	if rel := math.Abs(awePeak-simPeak) / simPeak; rel > 0.03 {
+		t.Errorf("AWE peak %g vs transient %g (%.1f%% apart)", awePeak, simPeak, 100*rel)
+	}
+	if aweAt <= 0 || aweAt > 3*rise {
+		t.Errorf("AWE peak at %g s, expected near the ramp", aweAt)
+	}
+}
+
+// TestAWERandomMeshesAgreeWithTransient: across random RC meshes the AWE
+// ramp peak stays within a modest band of the transient peak (two poles
+// cannot capture everything, but must not be wildly off).
+func TestAWERandomMeshesAgreeWithTransient(t *testing.T) {
+	checked := 0
+	for trial := 0; trial < 30; trial++ {
+		seed := int64(500 + trial)
+		n, probe := randomRCMesh(rand.New(rand.NewSource(seed)), 1)
+		m, err := n.Moments(0, 4)
+		if err != nil {
+			continue
+		}
+		red, err := ReduceTransfer(m, probe)
+		if err != nil || !red.Stable {
+			continue
+		}
+		n2, probe2 := randomRCMesh(rand.New(rand.NewSource(seed)), 1)
+		tr, err := Transient(n2, TranOptions{Step: 1e-12, Duration: 5e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		simFinal := tr.Final[probe2]
+		aweFinal := red.Step(5e-9)
+		if math.Abs(simFinal-aweFinal) > 0.02 {
+			t.Errorf("trial %d: final value AWE %g vs transient %g", trial, aweFinal, simFinal)
+		}
+		checked++
+	}
+	if checked < 15 {
+		t.Fatalf("only %d meshes reduced", checked)
+	}
+}
+
+func TestMomentsErrors(t *testing.T) {
+	n, _ := rcLowPass(t, 1e3, 1e-9)
+	if _, err := n.Moments(1, 4); err == nil {
+		t.Errorf("bad source index accepted")
+	}
+	if _, err := n.Moments(0, 0); err == nil {
+		t.Errorf("order 0 accepted")
+	}
+	m, _ := n.Moments(0, 2)
+	if _, err := ReduceTransfer(m, 1); err == nil {
+		t.Errorf("too few moments accepted")
+	}
+	m4, _ := n.Moments(0, 4)
+	if _, err := ReduceTransfer(m4, 99); err == nil {
+		t.Errorf("bad node accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWaveforms(t *testing.T) {
+	if got := (DC(2.5)).V(17); got != 2.5 {
+		t.Errorf("DC = %g", got)
+	}
+	r := Ramp{V0: 0, V1: 2, Start: 1, Rise: 2}
+	for _, tc := range []struct{ t, want float64 }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {10, 2},
+	} {
+		if got := r.V(tc.t); got != tc.want {
+			t.Errorf("Ramp.V(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	// Zero rise time: an ideal step.
+	step := Ramp{V0: 0, V1: 1, Start: 1, Rise: 0}
+	if step.V(0.5) != 0 || step.V(1.5) != 1 {
+		t.Errorf("step ramp broken")
+	}
+	p := NewPWL([]float64{2, 0, 1}, []float64{4, 0, 2})
+	for _, tc := range []struct{ t, want float64 }{
+		{-1, 0}, {0.5, 1}, {1.5, 3}, {5, 4},
+	} {
+		if got := p.V(tc.t); got != tc.want {
+			t.Errorf("PWL.V(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	var empty PWL
+	if empty.V(1) != 0 {
+		t.Errorf("empty PWL nonzero")
+	}
+}
+
+func TestResistorDivider(t *testing.T) {
+	// 1V DC through R1=1k into R2=3k to ground: node b = 0.75 V.
+	n := New()
+	a := n.Node("a")
+	b := n.Node("b")
+	if err := n.AddV(a, Ground, DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR(a, b, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR(b, Ground, 3e3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Transient(n, TranOptions{Step: 1e-6, Duration: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Final[b]; math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("divider output = %g, want 0.75", got)
+	}
+}
+
+func TestRCRampResponse(t *testing.T) {
+	// A 1-V ramp with rise tr into R=1k, C=1n (τ = 1 µs). The exact
+	// response is v(t) = (y(t) − y(t−tr))/tr with y the unit-ramp response
+	// y(t) = t − τ + τ·e^(−t/τ) for t ≥ 0 and 0 before.
+	tau := 1e-6
+	tr := 0.2 * tau
+	y := func(tm float64) float64 {
+		if tm <= 0 {
+			return 0
+		}
+		return tm - tau + tau*math.Exp(-tm/tau)
+	}
+	exact := func(tm float64) float64 { return (y(tm) - y(tm-tr)) / tr }
+
+	for _, method := range []Method{Trapezoidal, BackwardEuler} {
+		n := New()
+		in := n.Node("in")
+		out := n.Node("out")
+		if err := n.AddV(in, Ground, Ramp{V1: 1, Rise: tr}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddR(in, out, 1e3); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddC(out, Ground, 1e-9); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Transient(n, TranOptions{
+			Step: tr / 100, Duration: 5 * tau, Method: method, Probes: []int{out},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wave := res.Waves[out]
+		maxErr := 0.0
+		for i, tm := range res.Times {
+			if e := math.Abs(wave[i] - exact(tm)); e > maxErr {
+				maxErr = e
+			}
+		}
+		limit := 2e-3 // backward Euler, first order in h
+		if method == Trapezoidal {
+			limit = 2e-5 // second order
+		}
+		if maxErr > limit {
+			t.Errorf("method %v: max error %g exceeds %g", method, maxErr, limit)
+		}
+		if got := res.Final[out]; math.Abs(got-exact(5*tau)) > 2e-3 {
+			t.Errorf("method %v: final = %g, want %g", method, got, exact(5*tau))
+		}
+	}
+}
+
+func TestCapacitiveCouplingPulse(t *testing.T) {
+	// Classic noise circuit: aggressor ramp couples through Cc into a
+	// victim held by Rv to ground. The injected current during the ramp is
+	// ~Cc·slope, so the peak victim voltage is bounded by Rv·Cc·slope (the
+	// Devgan bound for this degenerate single-node case), and the victim
+	// must return to ~0 afterwards.
+	n := New()
+	agg := n.Node("agg")
+	vic := n.Node("vic")
+	slope := 1e9 // 1 V/ns
+	rise := 1e-9
+	if err := n.AddV(agg, Ground, Ramp{V1: slope * rise, Rise: rise}); err != nil {
+		t.Fatal(err)
+	}
+	rv, cc := 500.0, 100e-15
+	if err := n.AddR(vic, Ground, rv); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddC(agg, vic, cc); err != nil {
+		t.Fatal(err)
+	}
+	// Also a ground cap on the victim (makes the pulse realistic).
+	if err := n.AddC(vic, Ground, 50e-15); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Transient(n, TranOptions{Step: rise / 2000, Duration: 6 * rise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := rv * cc * slope // 50 mV
+	peak := res.PeakAbs[vic]
+	if peak <= 0 {
+		t.Fatalf("no noise pulse observed")
+	}
+	if peak > bound*(1+1e-6) {
+		t.Errorf("peak %g V exceeds Devgan bound %g V", peak, bound)
+	}
+	if peak < 0.3*bound {
+		t.Errorf("peak %g V implausibly far below bound %g V", peak, bound)
+	}
+	if tail := math.Abs(res.Final[vic]); tail > 1e-3*bound {
+		t.Errorf("victim did not settle: %g V", tail)
+	}
+	if res.PeakTime[vic] <= 0 || res.PeakTime[vic] > 2*rise {
+		t.Errorf("peak at %g s, expected during/near the ramp", res.PeakTime[vic])
+	}
+}
+
+func TestTrapezoidalMatchesBackwardEuler(t *testing.T) {
+	// The two integrators must agree on a multi-node RC mesh at small h.
+	build := func() *Netlist {
+		n := New()
+		a, b, c := n.Node("a"), n.Node("b"), n.Node("c")
+		_ = n.AddV(a, Ground, Ramp{V1: 1, Rise: 1e-9})
+		_ = n.AddR(a, b, 1e3)
+		_ = n.AddR(b, c, 2e3)
+		_ = n.AddC(b, Ground, 1e-13)
+		_ = n.AddC(c, Ground, 2e-13)
+		_ = n.AddC(b, c, 5e-14)
+		return n
+	}
+	o := TranOptions{Step: 1e-12, Duration: 4e-9, Probes: []int{3}}
+	r1, err := Transient(build(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Method = BackwardEuler
+	r2, err := Transient(build(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(r1.PeakAbs[3] - r2.PeakAbs[3]); d > 1e-3 {
+		t.Errorf("methods disagree on peak by %g", d)
+	}
+	if d := math.Abs(r1.Final[3] - r2.Final[3]); d > 1e-3 {
+		t.Errorf("methods disagree on final by %g", d)
+	}
+}
+
+func TestNetlistErrors(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	if err := n.AddR(a, 42, 100); err == nil {
+		t.Errorf("bad node accepted")
+	}
+	if err := n.AddR(a, Ground, 0); err == nil {
+		t.Errorf("zero resistance accepted")
+	}
+	if err := n.AddC(a, Ground, -1); err == nil {
+		t.Errorf("negative capacitance accepted")
+	}
+	if err := n.AddC(a, Ground, 0); err != nil {
+		t.Errorf("zero capacitance rejected: %v", err)
+	}
+	if err := n.AddV(a, Ground, nil); err == nil {
+		t.Errorf("nil waveform accepted")
+	}
+	if _, err := Transient(n, TranOptions{Step: 0, Duration: 1}); err == nil {
+		t.Errorf("zero step accepted")
+	}
+	if _, err := Transient(n, TranOptions{Step: 1, Duration: 0}); err == nil {
+		t.Errorf("zero duration accepted")
+	}
+	if _, err := Transient(New(), TranOptions{Step: 1, Duration: 1}); err == nil {
+		t.Errorf("empty netlist accepted")
+	}
+	if n.Name(a) != "a" || n.Name(Ground) != "gnd" {
+		t.Errorf("names broken")
+	}
+	nn := New()
+	x := nn.Node("")
+	if nn.Name(x) == "" {
+		t.Errorf("unnamed node has empty fallback name")
+	}
+}
+
+func TestFloatingNodeCaughtByGmin(t *testing.T) {
+	// A node connected only through a capacitor would make pure MNA
+	// singular at DC; gmin must rescue it and the node must follow the
+	// coupled charge.
+	n := New()
+	a := n.Node("a")
+	b := n.Node("b")
+	if err := n.AddV(a, Ground, DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddC(a, b, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transient(n, TranOptions{Step: 1e-9, Duration: 1e-6}); err != nil {
+		t.Errorf("floating capacitor node not handled: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package circuit is a small linear circuit simulator: modified nodal
+// analysis (MNA) over resistors, capacitors, and independent voltage
+// sources with arbitrary waveforms, integrated in time with the
+// trapezoidal rule (or backward Euler).
+//
+// It exists to play the role of the paper's "3dnoise" — a detailed,
+// simulation-based noise analysis tool used to independently verify the
+// buffer insertion results (Section V). Package noisesim builds the
+// coupled victim/aggressor circuit from a routing tree and runs this
+// engine.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// lu is a dense LU factorization with partial pivoting. The transient
+// engine factors the (constant) companion-model conductance matrix once
+// and back-substitutes every time step.
+type lu struct {
+	n    int
+	a    []float64 // row-major n×n, overwritten with L\U factors
+	perm []int
+}
+
+var errSingular = errors.New("circuit: singular MNA matrix (floating node or voltage-source loop?)")
+
+// factor decomposes a (row-major n×n, destroyed in place).
+func factor(a []float64, n int) (*lu, error) {
+	if len(a) != n*n {
+		return nil, fmt.Errorf("circuit: matrix size %d does not match n=%d", len(a), n)
+	}
+	f := &lu{n: n, a: a, perm: make([]int, n)}
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p, max := k, math.Abs(a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a[i*n+k]); v > max {
+				p, max = i, v
+			}
+		}
+		if max == 0 || math.IsNaN(max) {
+			return nil, errSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[k*n+j], a[p*n+j] = a[p*n+j], a[k*n+j]
+			}
+			f.perm[k], f.perm[p] = f.perm[p], f.perm[k]
+		}
+		pivInv := 1 / a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := a[i*n+k] * pivInv
+			a[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= m * a[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// solve computes x such that A·x = b, writing into x (b is not modified).
+func (f *lu) solve(b, x []float64) {
+	n := f.n
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	// Forward substitution (unit lower).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := f.a[i*n:]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := f.a[i*n:]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+}

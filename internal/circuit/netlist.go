@@ -1,0 +1,138 @@
+package circuit
+
+import "fmt"
+
+// Ground is the reference node of every Netlist.
+const Ground = 0
+
+// Netlist is a linear circuit under construction: resistors, capacitors,
+// inductors, and independent voltage sources between nodes. Node 0 is
+// ground.
+type Netlist struct {
+	nodes     int
+	resistors []resistor
+	caps      []capacitor
+	inductors []inductor
+	sources   []vsource
+	names     map[int]string
+}
+
+type resistor struct {
+	a, b int
+	g    float64 // conductance
+}
+
+type capacitor struct {
+	a, b int
+	c    float64
+}
+
+type inductor struct {
+	a, b int
+	l    float64
+}
+
+type vsource struct {
+	pos, neg int
+	wave     Waveform
+}
+
+// New creates an empty netlist containing only the ground node.
+func New() *Netlist {
+	return &Netlist{nodes: 1, names: map[int]string{Ground: "gnd"}}
+}
+
+// Node allocates a new circuit node and returns its index.
+func (n *Netlist) Node(name string) int {
+	id := n.nodes
+	n.nodes++
+	if name != "" {
+		n.names[id] = name
+	}
+	return id
+}
+
+// NumNodes returns the number of nodes including ground.
+func (n *Netlist) NumNodes() int { return n.nodes }
+
+// Name returns the node's label, or a numeric fallback.
+func (n *Netlist) Name(node int) string {
+	if s, ok := n.names[node]; ok {
+		return s
+	}
+	return fmt.Sprintf("n%d", node)
+}
+
+func (n *Netlist) checkNode(node int) error {
+	if node < 0 || node >= n.nodes {
+		return fmt.Errorf("circuit: node %d does not exist", node)
+	}
+	return nil
+}
+
+// AddR connects a resistor of r ohms between nodes a and b.
+func (n *Netlist) AddR(a, b int, r float64) error {
+	if err := n.checkNode(a); err != nil {
+		return err
+	}
+	if err := n.checkNode(b); err != nil {
+		return err
+	}
+	if r <= 0 {
+		return fmt.Errorf("circuit: resistor %g Ω must be positive", r)
+	}
+	n.resistors = append(n.resistors, resistor{a: a, b: b, g: 1 / r})
+	return nil
+}
+
+// AddC connects a capacitor of c farads between nodes a and b. Zero-valued
+// capacitors are accepted and ignored.
+func (n *Netlist) AddC(a, b int, c float64) error {
+	if err := n.checkNode(a); err != nil {
+		return err
+	}
+	if err := n.checkNode(b); err != nil {
+		return err
+	}
+	if c < 0 {
+		return fmt.Errorf("circuit: capacitor %g F must be non-negative", c)
+	}
+	if c == 0 {
+		return nil
+	}
+	n.caps = append(n.caps, capacitor{a: a, b: b, c: c})
+	return nil
+}
+
+// AddL connects an inductor of l henries between nodes a and b. Inductors
+// exist so the test suite can probe the Devgan metric's overdamped-RLC
+// bound claim (Section II-B); the AWE moment path does not support them.
+func (n *Netlist) AddL(a, b int, l float64) error {
+	if err := n.checkNode(a); err != nil {
+		return err
+	}
+	if err := n.checkNode(b); err != nil {
+		return err
+	}
+	if l <= 0 {
+		return fmt.Errorf("circuit: inductor %g H must be positive", l)
+	}
+	n.inductors = append(n.inductors, inductor{a: a, b: b, l: l})
+	return nil
+}
+
+// AddV connects an independent voltage source between pos and neg
+// (typically ground) with the given waveform.
+func (n *Netlist) AddV(pos, neg int, w Waveform) error {
+	if err := n.checkNode(pos); err != nil {
+		return err
+	}
+	if err := n.checkNode(neg); err != nil {
+		return err
+	}
+	if w == nil {
+		return fmt.Errorf("circuit: nil waveform")
+	}
+	n.sources = append(n.sources, vsource{pos: pos, neg: neg, wave: w})
+	return nil
+}

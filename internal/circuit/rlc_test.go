@@ -1,0 +1,129 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+// seriesRLC builds step → R → L → out with C to ground.
+func seriesRLC(t *testing.T, r, l, c float64) (*Netlist, int) {
+	t.Helper()
+	n := New()
+	in := n.Node("in")
+	mid := n.Node("mid")
+	out := n.Node("out")
+	if err := n.AddV(in, Ground, Ramp{V1: 1, Rise: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR(in, mid, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddL(mid, out, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddC(out, Ground, c); err != nil {
+		t.Fatal(err)
+	}
+	return n, out
+}
+
+// rlcStep is the analytic unit-step response of the series RLC at the
+// capacitor, valid for both damping regimes.
+func rlcStep(r, l, c, t float64) float64 {
+	alpha := r / (2 * l)
+	w0sq := 1 / (l * c)
+	disc := alpha*alpha - w0sq
+	switch {
+	case disc > 0: // overdamped
+		s1 := -alpha + math.Sqrt(disc)
+		s2 := -alpha - math.Sqrt(disc)
+		a := s2 / (s2 - s1)
+		b := -s1 / (s2 - s1)
+		return 1 - a*math.Exp(s1*t) - b*math.Exp(s2*t)
+	case disc < 0: // underdamped
+		wd := math.Sqrt(-disc)
+		return 1 - math.Exp(-alpha*t)*(math.Cos(wd*t)+alpha/wd*math.Sin(wd*t))
+	default: // critically damped
+		return 1 - math.Exp(-alpha*t)*(1+alpha*t)
+	}
+}
+
+func TestSeriesRLCOverdamped(t *testing.T) {
+	// R=1k, L=10n, C=1p: α = 5e10, ω0 ≈ 1e10 → overdamped.
+	r, l, c := 1e3, 10e-9, 1e-12
+	n, out := seriesRLC(t, r, l, c)
+	tau := r * c
+	res, err := Transient(n, TranOptions{Step: tau / 2000, Duration: 8 * tau, Probes: []int{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := 0.0
+	for i, tm := range res.Times {
+		if tm < 20*res.Times[1] {
+			continue // skip the ideal-step discontinuity region
+		}
+		if e := math.Abs(res.Waves[out][i] - rlcStep(r, l, c, tm)); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 5e-3 {
+		t.Errorf("overdamped RLC max error %g", maxErr)
+	}
+	// No overshoot when overdamped.
+	if res.PeakAbs[out] > 1.001 {
+		t.Errorf("overdamped response overshot to %g", res.PeakAbs[out])
+	}
+}
+
+func TestSeriesRLCUnderdampedRings(t *testing.T) {
+	// R=10, L=100n, C=1p: α = 5e7 << ω0 ≈ 1e8·√10 → rings hard.
+	r, l, c := 10.0, 100e-9, 1e-12
+	n, out := seriesRLC(t, r, l, c)
+	w0 := 1 / math.Sqrt(l*c)
+	period := 2 * math.Pi / w0
+	// α·t ≈ 10 needs ~100 ring periods at this Q before the envelope dies.
+	res, err := Transient(n, TranOptions{Step: period / 400, Duration: 100 * period, Probes: []int{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := res.PeakAbs[out]
+	want := 1 + math.Exp(-r/(2*l)*math.Pi/math.Sqrt(1/(l*c)-r*r/(4*l*l)))
+	if math.Abs(peak-want) > 0.02 {
+		t.Errorf("underdamped first overshoot %g, analytic %g", peak, want)
+	}
+	// It must eventually settle to 1.
+	if math.Abs(res.Final[out]-1) > 0.01 {
+		t.Errorf("did not settle: %g", res.Final[out])
+	}
+}
+
+func TestInductorDCIsShort(t *testing.T) {
+	// DC divider through an inductor: out follows the source at DC.
+	n := New()
+	in := n.Node("in")
+	out := n.Node("out")
+	_ = n.AddV(in, Ground, DC(1))
+	_ = n.AddL(in, out, 1e-9)
+	_ = n.AddR(out, Ground, 100)
+	res, err := Transient(n, TranOptions{Step: 1e-12, Duration: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Final[out]-1) > 1e-3 {
+		t.Errorf("inductor not a DC short: %g", res.Final[out])
+	}
+}
+
+func TestAddLErrors(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	if err := n.AddL(a, 42, 1e-9); err == nil {
+		t.Errorf("bad node accepted")
+	}
+	if err := n.AddL(a, Ground, 0); err == nil {
+		t.Errorf("zero inductance accepted")
+	}
+	if err := n.AddL(a, Ground, -1); err == nil {
+		t.Errorf("negative inductance accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package circuit
+
+import "sort"
+
+// Waveform is a time-domain voltage source definition.
+type Waveform interface {
+	// V returns the source voltage at time t ≥ 0.
+	V(t float64) float64
+}
+
+// DC is a constant voltage.
+type DC float64
+
+// V implements Waveform.
+func (d DC) V(float64) float64 { return float64(d) }
+
+// Ramp rises linearly from V0 to V1 between Start and Start+Rise and holds
+// V1 afterwards — the aggressor switching waveform of the noise model,
+// with slope (V1−V0)/Rise.
+type Ramp struct {
+	V0, V1      float64
+	Start, Rise float64
+}
+
+// V implements Waveform.
+func (r Ramp) V(t float64) float64 {
+	switch {
+	case t <= r.Start:
+		return r.V0
+	case r.Rise <= 0 || t >= r.Start+r.Rise:
+		return r.V1
+	default:
+		return r.V0 + (r.V1-r.V0)*(t-r.Start)/r.Rise
+	}
+}
+
+// PWL is a piecewise-linear waveform through the given (time, voltage)
+// points; it holds the first value before the first point and the last
+// value after the last point.
+type PWL struct {
+	T, Y []float64
+}
+
+// NewPWL builds a PWL waveform, sorting the points by time.
+func NewPWL(t, y []float64) PWL {
+	type pt struct{ t, y float64 }
+	pts := make([]pt, len(t))
+	for i := range t {
+		pts[i] = pt{t[i], y[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].t < pts[j].t })
+	out := PWL{T: make([]float64, len(pts)), Y: make([]float64, len(pts))}
+	for i, p := range pts {
+		out.T[i], out.Y[i] = p.t, p.y
+	}
+	return out
+}
+
+// V implements Waveform.
+func (p PWL) V(t float64) float64 {
+	n := len(p.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.T[0] {
+		return p.Y[0]
+	}
+	if t >= p.T[n-1] {
+		return p.Y[n-1]
+	}
+	i := sort.SearchFloat64s(p.T, t)
+	// p.T[i-1] < t ≤ p.T[i]
+	t0, t1 := p.T[i-1], p.T[i]
+	if t1 == t0 {
+		return p.Y[i]
+	}
+	f := (t - t0) / (t1 - t0)
+	return p.Y[i-1] + f*(p.Y[i]-p.Y[i-1])
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// Algorithm1 solves Problem 1 for a single-sink tree: insert the minimum
+// number of buffers such that no noise constraint is violated (Section
+// III-B of the paper, proved optimal in Theorem 3, O(n) time).
+//
+// The tree must have exactly one sink (a source-to-sink path); internal
+// nodes along the path are fine and their wires may carry explicit
+// aggressor lists. The algorithm walks from the sink toward the source
+// maintaining the downstream current I and noise slack NS. On each wire it
+// first tests whether a buffer placed at the wire's top would be
+// noise-clean (Step 3); if not, Theorem 1 gives the buffer's maximal legal
+// distance up the wire, the buffer is placed there (Step 4), and the walk
+// restarts above it with I = 0 and NS equal to the buffer's own noise
+// margin. At the source, a buffer is inserted immediately after the driver
+// if the driver's resistance alone violates the remaining slack (Step 5,
+// possible only when the driver is weaker than the buffer).
+//
+// A library with multiple buffer types reduces to the single smallest-
+// resistance buffer: by Theorem 1, smaller resistance never decreases the
+// legal spacing, so the minimum-R buffer is optimal (Section III-B).
+//
+// The returned Solution owns a private augmented copy of t; the input tree
+// is never modified.
+func Algorithm1(t *rctree.Tree, lib *buffers.Library, p noise.Params) (*Solution, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if n := t.NumSinks(); n != 1 {
+		return nil, fmt.Errorf("core: Algorithm1 requires a single-sink tree, got %d sinks", n)
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	buf, err := lib.MinResistance()
+	if err != nil {
+		return nil, err
+	}
+
+	work := t.Clone()
+	assign := make(map[rctree.NodeID]buffers.Buffer)
+	sink := work.Sinks()[0]
+
+	cur := sink
+	down := 0.0                       // I(cur), eq. 7
+	ns := work.Node(sink).NoiseMargin // NS(cur), eq. 12
+
+	for cur != work.Root() {
+		w := work.Node(cur).Wire
+		iw := p.WireCurrent(w)
+
+		if WireTopNoise(buf.R, w.R, iw, down) <= ns {
+			// No buffer needed anywhere on this wire: accumulate and climb.
+			ns -= w.R * (down + iw/2)
+			down += iw
+			cur = work.Node(cur).Parent
+			continue
+		}
+		// A buffer is needed somewhere on this wire.
+		if w.Length <= 0 {
+			return nil, fmt.Errorf("core: zero-length wire above node %d violates noise and has no interior: %w",
+				cur, ErrNoiseUnfixable)
+		}
+		r := w.R / w.Length
+		iu := iw / w.Length
+		l, err := MaxSafeLength(buf.R, r, iu, down, ns)
+		if err != nil {
+			return nil, err
+		}
+		l *= placementBackoff
+		if l <= 0 && down == 0 {
+			// Even a freshly buffered wire of zero length violates: the
+			// buffer noise margin itself is exhausted. No placement fixes
+			// this net.
+			return nil, fmt.Errorf("core: buffer noise margin %g V cannot cover wire above node %d: %w",
+				buf.NoiseMargin, cur, ErrNoiseUnfixable)
+		}
+		if l >= w.Length {
+			// The top test failing implies l < Length; guard against
+			// floating-point disagreement by treating it as "no buffer".
+			ns -= w.R * (down + iw/2)
+			down += iw
+			cur = work.Node(cur).Parent
+			continue
+		}
+		at, err := work.SplitWire(cur, l/w.Length)
+		if err != nil {
+			return nil, err
+		}
+		assign[at] = buf
+		// Restart above the buffer: it is a restoring stage, so no current
+		// propagates past it, and its own input must now be protected.
+		cur = at
+		down = 0
+		ns = buf.NoiseMargin
+	}
+
+	// Step 5: the driver itself.
+	if work.DriverResistance*down > ns {
+		if buf.R*down > ns {
+			return nil, fmt.Errorf("core: even a buffer at the source output violates noise: %w", ErrNoiseUnfixable)
+		}
+		at, err := work.InsertBelow(work.Root())
+		if err != nil {
+			return nil, err
+		}
+		assign[at] = buf
+	}
+
+	return &Solution{Tree: work, Buffers: assign}, nil
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+	"buffopt/internal/segment"
+)
+
+// unitParams makes I_w numerically equal to C_w.
+var unitParams = noise.Params{CouplingRatio: 1, Slope: 1}
+
+// singleBufferLib holds one buffer with R=1, NM=5.
+func singleBufferLib() *buffers.Library {
+	return &buffers.Library{Buffers: []buffers.Buffer{
+		{Name: "B1", Cin: 0.1, R: 1, T: 0, NoiseMargin: 5},
+	}}
+}
+
+// line builds a two-pin net: a single wire of the given length with unit
+// resistance and capacitance per length, sink noise margin nm, driver
+// resistance rso.
+func line(t *testing.T, length, nm, rso float64) *rctree.Tree {
+	t.Helper()
+	tr := rctree.New("line", rso, 0)
+	if _, err := tr.AddSink(tr.Root(), rctree.Wire{R: length, C: length, Length: length}, "s", 0.1, 0, nm); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAlgorithm1LongLine(t *testing.T) {
+	tr := line(t, 10, 5, 1)
+	sol, err := Algorithm1(tr, singleBufferLib(), unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand walk (see the derivation in the package tests design notes):
+	// fresh-state maximal spacing solves 0.5·l² + l − 5 = 0 → l = −1+√11.
+	// 10 / 2.3166 → 4 buffers, then the remaining 0.7335 reaches the
+	// driver cleanly.
+	if got := sol.NumBuffers(); got != 4 {
+		t.Fatalf("NumBuffers = %d, want 4", got)
+	}
+	if err := sol.Tree.Validate(); err != nil {
+		t.Fatalf("solution tree invalid: %v", err)
+	}
+	if r := noise.Analyze(sol.Tree, sol.Buffers, unitParams); !r.Clean() {
+		t.Fatalf("solution not noise clean: %+v", r.Violations)
+	}
+	// Buffer spacing: each buffered segment below a buffer has length
+	// −1+√11 (maximal placement).
+	want := -1 + math.Sqrt(11)
+	spacings := bufferedSegmentLengths(sol)
+	for i, got := range spacings {
+		if !approx(got, want) {
+			t.Errorf("buffered segment %d has length %v, want %v", i, got, want)
+		}
+	}
+}
+
+// bufferedSegmentLengths returns, for each buffer, the wire length between
+// the buffer and the next restoring stage (buffer or sink) below it.
+func bufferedSegmentLengths(sol *Solution) []float64 {
+	var out []float64
+	for v := range sol.Buffers {
+		l := 0.0
+		cur := v
+		for {
+			ch := sol.Tree.Node(cur).Children
+			if len(ch) != 1 {
+				break
+			}
+			c := ch[0]
+			l += sol.Tree.Node(c).Wire.Length
+			if _, buffered := sol.Buffers[c]; buffered || sol.Tree.Node(c).Kind == rctree.Sink {
+				break
+			}
+			cur = c
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func TestAlgorithm1ShortLineNoBuffer(t *testing.T) {
+	// Fresh-state safe length is −1+√11 ≈ 2.317 for NM 5; a length-1.5
+	// line driven by R_so = 1 has top noise 1·1.5 + 1.5·0.75 = 2.625 ≤ 5.
+	tr := line(t, 1.5, 5, 1)
+	sol, err := Algorithm1(tr, singleBufferLib(), unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.NumBuffers(); got != 0 {
+		t.Errorf("NumBuffers = %d, want 0", got)
+	}
+	if !noise.Analyze(sol.Tree, sol.Buffers, unitParams).Clean() {
+		t.Errorf("unbuffered short line reported unclean")
+	}
+}
+
+func TestAlgorithm1SourceBuffer(t *testing.T) {
+	// The wire itself is clean under a buffer (top noise with R_b = 1:
+	// 1·1.5 + 1.5·0.75 = 2.625 ≤ 5), but the weak driver (R_so = 10)
+	// pushes 10·1.5 = 15 > 3.875 of remaining slack, so Step 5 must add a
+	// buffer right after the source.
+	tr := line(t, 1.5, 5, 10)
+	sol, err := Algorithm1(tr, singleBufferLib(), unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.NumBuffers(); got != 1 {
+		t.Fatalf("NumBuffers = %d, want 1", got)
+	}
+	if r := noise.Analyze(sol.Tree, sol.Buffers, unitParams); !r.Clean() {
+		t.Fatalf("solution not clean: %+v", r.Violations)
+	}
+	// The buffer must sit electrically at the source: zero-length wire.
+	for v := range sol.Buffers {
+		if sol.Tree.Node(v).Parent != sol.Tree.Root() {
+			t.Errorf("source buffer at node %d, parent %d; want child of root", v, sol.Tree.Node(v).Parent)
+		}
+		if l := sol.Tree.Node(v).Wire.Length; l != 0 {
+			t.Errorf("source buffer wire length = %g, want 0", l)
+		}
+	}
+}
+
+func TestAlgorithm1MatchesExhaustiveCount(t *testing.T) {
+	for _, length := range []float64{3, 5, 8, 10} {
+		tr := line(t, length, 5, 1)
+		sol, err := Algorithm1(tr, singleBufferLib(), unitParams)
+		if err != nil {
+			t.Fatalf("length %g: %v", length, err)
+		}
+		// Discretize finely and search exhaustively; the continuous optimum
+		// can never need more buffers than the best discrete solution.
+		seg := tr.Clone()
+		if _, err := segment.ByCount(seg, 8); err != nil {
+			t.Fatal(err)
+		}
+		best, _, ok, err := ExhaustiveMinBuffersNoise(seg, singleBufferLib(), unitParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("length %g: exhaustive found no clean assignment", length)
+		}
+		if sol.NumBuffers() > best {
+			t.Errorf("length %g: Algorithm1 used %d buffers, discrete optimum %d", length, sol.NumBuffers(), best)
+		}
+		// With 8 segments per wire the discrete optimum should also not
+		// beat the continuous optimum.
+		if best < sol.NumBuffers() {
+			t.Errorf("length %g: discrete %d beats continuous %d", length, best, sol.NumBuffers())
+		}
+	}
+}
+
+func TestAlgorithm1MultipleBufferTypesUsesStrongest(t *testing.T) {
+	lib := &buffers.Library{Buffers: []buffers.Buffer{
+		{Name: "weak", Cin: 0.1, R: 4, T: 0, NoiseMargin: 5},
+		{Name: "strong", Cin: 0.3, R: 1, T: 0, NoiseMargin: 5},
+		{Name: "mid", Cin: 0.2, R: 2, T: 0, NoiseMargin: 5},
+	}}
+	tr := line(t, 10, 5, 1)
+	sol, err := Algorithm1(tr, lib, unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, b := range sol.Buffers {
+		if b.Name != "strong" {
+			t.Errorf("node %d uses %q, want the minimum-resistance buffer", v, b.Name)
+		}
+	}
+	if got := sol.NumBuffers(); got != 4 {
+		t.Errorf("NumBuffers = %d, want 4 (same as single-buffer case)", got)
+	}
+}
+
+func TestAlgorithm1Errors(t *testing.T) {
+	// Multi-sink tree rejected.
+	tr := rctree.New("y", 1, 0)
+	v, _ := tr.AddInternal(tr.Root(), rctree.Wire{R: 1, C: 1, Length: 1}, true)
+	_, _ = tr.AddSink(v, rctree.Wire{R: 1, C: 1, Length: 1}, "a", 0, 0, 1)
+	_, _ = tr.AddSink(v, rctree.Wire{R: 1, C: 1, Length: 1}, "b", 0, 0, 1)
+	if _, err := Algorithm1(tr, singleBufferLib(), unitParams); err == nil {
+		t.Errorf("multi-sink tree accepted")
+	}
+
+	// Empty library rejected.
+	if _, err := Algorithm1(line(t, 5, 5, 1), &buffers.Library{}, unitParams); err == nil {
+		t.Errorf("empty library accepted")
+	}
+
+	// Buffer noise margin of zero cannot cover a noisy line.
+	zeroNM := &buffers.Library{Buffers: []buffers.Buffer{
+		{Name: "z", Cin: 0.1, R: 1, NoiseMargin: 0},
+	}}
+	_, err := Algorithm1(line(t, 10, 5, 1), zeroNM, unitParams)
+	if !errors.Is(err, ErrNoiseUnfixable) {
+		t.Errorf("err = %v, want ErrNoiseUnfixable", err)
+	}
+
+	// Invalid tree rejected.
+	bad := line(t, 5, 5, 1)
+	bad.Node(bad.Sinks()[0]).Cap = math.NaN()
+	if _, err := Algorithm1(bad, singleBufferLib(), unitParams); err == nil {
+		t.Errorf("invalid tree accepted")
+	}
+}
+
+func TestAlgorithm1DoesNotMutateInput(t *testing.T) {
+	tr := line(t, 10, 5, 1)
+	before := tr.Len()
+	if _, err := Algorithm1(tr, singleBufferLib(), unitParams); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != before {
+		t.Errorf("input tree grew from %d to %d nodes", before, tr.Len())
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+	"buffopt/internal/segment"
+)
+
+// lib2 holds one buffer with R=1, NM=4 used by the hand-derived Y case.
+func lib2() *buffers.Library {
+	return &buffers.Library{Buffers: []buffers.Buffer{
+		{Name: "B", Cin: 0.1, R: 1, T: 0, NoiseMargin: 4},
+	}}
+}
+
+// buildNoisyY builds the hand-derived multi-sink case:
+//
+//	so --(R=1,C=1,L=1)--> v1 --(R=3,C=3,L=3)--> s1 (NM 4)
+//	                       \---(R=3,C=3,L=3)--> s2 (NM 4)
+//
+// driver R_so = 2; λμ = 1. The continuous optimum uses 3 buffers: one at
+// distance 2 above each sink (the Theorem 1 maximum: 0.5·l²+l−4=0 → l=2)
+// and one on the stem within 0.4641 of v1 (−3+√12).
+func buildNoisyY(t *testing.T) *rctree.Tree {
+	t.Helper()
+	tr := rctree.New("y", 2, 0)
+	v1, err := tr.AddInternal(tr.Root(), rctree.Wire{R: 1, C: 1, Length: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.AddSink(v1, rctree.Wire{R: 3, C: 3, Length: 3}, "s1", 0.1, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.AddSink(v1, rctree.Wire{R: 3, C: 3, Length: 3}, "s2", 0.1, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAlgorithm2HandCase(t *testing.T) {
+	tr := buildNoisyY(t)
+	sol, err := Algorithm2(tr, lib2(), unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Tree.Validate(); err != nil {
+		t.Fatalf("solution tree invalid: %v", err)
+	}
+	if r := noise.Analyze(sol.Tree, sol.Buffers, unitParams); !r.Clean() {
+		t.Fatalf("solution not clean: %+v", r.Violations)
+	}
+	if got := sol.NumBuffers(); got != 3 {
+		t.Errorf("NumBuffers = %d, want 3", got)
+	}
+}
+
+func TestAlgorithm2MatchesExhaustive(t *testing.T) {
+	tr := buildNoisyY(t)
+	sol, err := Algorithm2(tr, lib2(), unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := tr.Clone()
+	if _, err := segment.ByCount(seg, 6); err != nil {
+		t.Fatal(err)
+	}
+	best, _, ok, err := ExhaustiveMinBuffersNoise(seg, lib2(), unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("exhaustive found no clean assignment")
+	}
+	if sol.NumBuffers() > best {
+		t.Errorf("Algorithm2 used %d buffers, discrete optimum %d", sol.NumBuffers(), best)
+	}
+	if best < sol.NumBuffers() {
+		t.Errorf("discrete optimum %d beats continuous %d", best, sol.NumBuffers())
+	}
+}
+
+func TestAlgorithm2CleanTreeNoBuffers(t *testing.T) {
+	tr := rctree.New("small", 1, 0)
+	v1, _ := tr.AddInternal(tr.Root(), rctree.Wire{R: 0.2, C: 0.2, Length: 0.2}, true)
+	_, _ = tr.AddSink(v1, rctree.Wire{R: 0.2, C: 0.2, Length: 0.2}, "a", 0.1, 0, 4)
+	_, _ = tr.AddSink(v1, rctree.Wire{R: 0.2, C: 0.2, Length: 0.2}, "b", 0.1, 0, 4)
+	sol, err := Algorithm2(tr, lib2(), unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.NumBuffers(); got != 0 {
+		t.Errorf("NumBuffers = %d, want 0", got)
+	}
+}
+
+func TestAlgorithm2EqualsAlgorithm1OnPaths(t *testing.T) {
+	for _, length := range []float64{2, 5, 10, 17} {
+		tr := rctree.New("line", 1, 0)
+		if _, err := tr.AddSink(tr.Root(), rctree.Wire{R: length, C: length, Length: length}, "s", 0.1, 0, 5); err != nil {
+			t.Fatal(err)
+		}
+		lib := singleBufferLib()
+		s1, err := Algorithm1(tr, lib, unitParams)
+		if err != nil {
+			t.Fatalf("Algorithm1(%g): %v", length, err)
+		}
+		s2, err := Algorithm2(tr, lib, unitParams)
+		if err != nil {
+			t.Fatalf("Algorithm2(%g): %v", length, err)
+		}
+		if s1.NumBuffers() != s2.NumBuffers() {
+			t.Errorf("length %g: Algorithm1 used %d, Algorithm2 used %d", length, s1.NumBuffers(), s2.NumBuffers())
+		}
+		if r := noise.Analyze(s2.Tree, s2.Buffers, unitParams); !r.Clean() {
+			t.Errorf("length %g: Algorithm2 solution not clean", length)
+		}
+	}
+}
+
+func TestAlgorithm2SourceBuffer(t *testing.T) {
+	// Branches too weak for the driver alone: driver R_so = 20 forces a
+	// buffer right after the source even though each branch is clean.
+	tr := rctree.New("y", 20, 0)
+	v1, _ := tr.AddInternal(tr.Root(), rctree.Wire{R: 0.2, C: 0.2, Length: 0.2}, true)
+	_, _ = tr.AddSink(v1, rctree.Wire{R: 0.2, C: 0.2, Length: 0.2}, "a", 0.1, 0, 4)
+	_, _ = tr.AddSink(v1, rctree.Wire{R: 0.2, C: 0.2, Length: 0.2}, "b", 0.1, 0, 4)
+	sol, err := Algorithm2(tr, lib2(), unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := noise.Analyze(sol.Tree, sol.Buffers, unitParams); !r.Clean() {
+		t.Fatalf("solution not clean: %+v", r.Violations)
+	}
+	if got := sol.NumBuffers(); got != 1 {
+		t.Errorf("NumBuffers = %d, want 1", got)
+	}
+}
+
+func TestAlgorithm2RequiresBinary(t *testing.T) {
+	tr := rctree.New("star", 1, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := tr.AddSink(tr.Root(), rctree.Wire{R: 1, C: 1, Length: 1}, "s", 0.1, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Algorithm2(tr, lib2(), unitParams); err == nil {
+		t.Errorf("ternary tree accepted without Binarize")
+	}
+	tr.Binarize()
+	sol, err := Algorithm2(tr, lib2(), unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := noise.Analyze(sol.Tree, sol.Buffers, unitParams); !r.Clean() {
+		t.Errorf("solution not clean after Binarize: %+v", r.Violations)
+	}
+}
+
+func TestAlgorithm2DeepUnbalanced(t *testing.T) {
+	// A caterpillar: long spine with short sink stubs, forcing repeated
+	// merges with accumulated current.
+	tr := rctree.New("cat", 1, 0)
+	cur := tr.Root()
+	for i := 0; i < 6; i++ {
+		v, err := tr.AddInternal(cur, rctree.Wire{R: 1, C: 1, Length: 1}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.AddSink(v, rctree.Wire{R: 0.3, C: 0.3, Length: 0.3}, "s", 0.1, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+		cur = v
+	}
+	// Terminate the spine with a final sink.
+	if _, err := tr.AddSink(cur, rctree.Wire{R: 1, C: 1, Length: 1}, "end", 0.1, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Algorithm2(tr, lib2(), unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Tree.Validate(); err != nil {
+		t.Fatalf("solution tree invalid: %v", err)
+	}
+	if r := noise.Analyze(sol.Tree, sol.Buffers, unitParams); !r.Clean() {
+		t.Fatalf("solution not clean: %+v", r.Violations)
+	}
+	// Compare against the discrete optimum.
+	seg := tr.Clone()
+	if _, err := segment.ByCount(seg, 2); err != nil {
+		t.Fatal(err)
+	}
+	best, _, ok, err := ExhaustiveMinBuffersNoise(seg, lib2(), unitParams)
+	if err != nil {
+		t.Skipf("exhaustive too large: %v", err)
+	}
+	if ok && sol.NumBuffers() > best {
+		t.Errorf("Algorithm2 used %d buffers, discrete optimum %d", sol.NumBuffers(), best)
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// Options tunes the Algorithm 3 family. The zero value reproduces the
+// paper's configuration.
+type Options struct {
+	// SafePruning keeps noise slack and current in the dominance test,
+	// guaranteeing exactness for multi-buffer libraries (Section IV-C
+	// explains why the paper's pruning is only exact for a single buffer
+	// type). Slower; off by default, as in the paper.
+	SafePruning bool
+	// Sizing enables simultaneous wire sizing (the Lillis [18] extension
+	// the paper builds on): every wire additionally chooses a width from
+	// Sizing.Widths. Nil disables sizing (all wires at minimum width).
+	Sizing *Sizing
+}
+
+// Sizing configures simultaneous wire sizing. Widening a wire divides its
+// resistance by the width multiplier and grows the non-fringe part of its
+// capacitance proportionally; the sidewall coupling current is unchanged,
+// so widening is itself a noise-avoidance move.
+type Sizing struct {
+	// Widths are the available width multipliers (relative to minimum
+	// width), e.g. {1, 2, 4}. Include 1 unless minimum width is banned.
+	Widths []float64
+	// Fringe is the fraction of a minimum-width wire's capacitance that
+	// does not scale with width. Zero means 0.5.
+	Fringe float64
+}
+
+// vgo builds the engine options shared by every public entry point.
+func (o Options) vgo() vgOptions {
+	v := vgOptions{safePruning: o.SafePruning}
+	if o.Sizing != nil {
+		v.widths = o.Sizing.Widths
+		v.fringe = o.Sizing.Fringe
+	}
+	return v
+}
+
+// Result bundles a Solution with the dynamic program's own view of it, so
+// callers do not need to re-run analysis to learn what the optimizer
+// thought it achieved.
+type Result struct {
+	*Solution
+	// Slack is the timing slack at the source, min over sinks of
+	// RAT − delay, as computed by the dynamic program.
+	Slack float64
+	// Cost is the solution's total buffer weight (the Lillis power
+	// function; equal to the buffer count when every weight is 1).
+	Cost int
+}
+
+// BuffOpt solves Problem 2: maximize the slack at the source subject to
+// every noise constraint (Algorithm 3, Section IV; optimal for a single
+// buffer type per Theorem 5). It returns ErrNoiseUnfixable (wrapped) when
+// no buffer assignment satisfies the noise constraints.
+func BuffOpt(t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options) (*Result, error) {
+	vo := opts.vgo()
+	vo.noise = true
+	vo.params = p
+	cands, err := runVG(t, lib, vo)
+	if err != nil {
+		return nil, err
+	}
+	best, ok := maxSlack(cands, math.MaxInt)
+	if !ok {
+		return nil, fmt.Errorf("core: BuffOpt found no noise-feasible solution: %w", ErrNoiseUnfixable)
+	}
+	return finishVG(t, best, vo)
+}
+
+// BuffOptMinBuffers solves Problem 3: insert the minimum total buffer
+// weight (the Lillis power function — the buffer count when all weights
+// are 1, or area/power with explicit Buffer.Weight values) such that both
+// the noise constraints and the timing constraints (slack ≥ 0) hold,
+// maximizing slack as a secondary objective. This is the configuration of
+// the BuffOpt tool used in the Section V experiments, built on the Lillis
+// buffer-count-indexed candidate lists.
+//
+// Buffer counts are explored by iterative deepening (caps 2, 4, 8, …): a
+// feasible solution found under cap m is count-minimal outright, because
+// every smaller count was also explored, and most nets resolve at the
+// first cap. This keeps BuffOpt's candidate lists shorter than
+// DelayOpt(k)'s — the run-time effect Section V reports (noise pruning
+// plus small caps mean fewer candidates to analyze).
+//
+// When no buffer count achieves non-negative slack, the noise-feasible
+// solution with maximum slack is returned (best effort): noise constraints
+// are hard, timing is maximized.
+func BuffOptMinBuffers(t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options) (*Result, error) {
+	const hardCap = 64
+	var lastErr error
+	var fallback *vgCand
+	vo := opts.vgo()
+	vo.noise = true
+	vo.params = p
+	vo.countIndexed = true
+	for limit := 2; limit <= hardCap; limit *= 2 {
+		vo.maxBuffers = limit
+		cands, err := runVG(t, lib, vo)
+		if err != nil {
+			return nil, err
+		}
+		if len(cands) == 0 {
+			lastErr = fmt.Errorf("core: BuffOpt found no noise-feasible solution: %w", ErrNoiseUnfixable)
+			continue
+		}
+		// cands is sorted by ascending cost; the first candidate with
+		// non-negative slack is the cost-minimal feasible solution.
+		bestPerCount := map[int]vgCand{}
+		for _, c := range cands {
+			if cur, ok := bestPerCount[c.cost]; !ok || c.q > cur.q {
+				bestPerCount[c.cost] = c
+			}
+		}
+		for k := 0; k <= maxKey(bestPerCount); k++ {
+			if c, ok := bestPerCount[k]; ok && c.q >= 0 {
+				return finishVG(t, c, vo)
+			}
+		}
+		// Noise is satisfiable but timing is not (yet): remember the best
+		// slack and allow more buffers in case they close the gap; stop
+		// once extra headroom no longer improves anything.
+		if c, ok := maxSlack(cands, math.MaxInt); ok {
+			if fallback != nil && c.q <= fallback.q {
+				lastErr = nil
+				break
+			}
+			cc := c
+			fallback = &cc
+		}
+		lastErr = nil
+	}
+	if fallback != nil {
+		return finishVG(t, *fallback, vo)
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("core: BuffOpt found no noise-feasible solution: %w", ErrNoiseUnfixable)
+}
+
+// DelayOpt is the Section V baseline: Van Ginneken's algorithm with the
+// Lillis extensions but no noise constraints — Algorithm 3 without the
+// boldface modifications. It maximizes the slack at the source.
+func DelayOpt(t *rctree.Tree, lib *buffers.Library, opts Options) (*Result, error) {
+	vo := opts.vgo()
+	cands, err := runVG(t, lib, vo)
+	if err != nil {
+		return nil, err
+	}
+	best, ok := maxSlack(cands, math.MaxInt)
+	if !ok {
+		return nil, fmt.Errorf("core: DelayOpt produced no candidates")
+	}
+	return finishVG(t, best, vo)
+}
+
+// DelayOptK is DelayOpt(k) of Section V: the best slack achievable with at
+// most k buffers, via buffer-count-indexed candidate lists.
+func DelayOptK(t *rctree.Tree, lib *buffers.Library, k int, opts Options) (*Result, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("core: negative buffer bound %d", k)
+	}
+	vo := opts.vgo()
+	vo.countIndexed = true
+	vo.maxBuffers = k
+	cands, err := runVG(t, lib, vo)
+	if err != nil {
+		return nil, err
+	}
+	best, ok := maxSlack(cands, k)
+	if !ok {
+		return nil, fmt.Errorf("core: DelayOpt(%d) produced no candidates", k)
+	}
+	return finishVG(t, best, vo)
+}
+
+// BuffOptK returns the noise-feasible solution with the best slack using
+// at most k buffers. Used by ablation studies; the Section V tool is
+// BuffOptMinBuffers.
+func BuffOptK(t *rctree.Tree, lib *buffers.Library, p noise.Params, k int, opts Options) (*Result, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("core: negative buffer bound %d", k)
+	}
+	vo := opts.vgo()
+	vo.noise = true
+	vo.params = p
+	vo.countIndexed = true
+	vo.maxBuffers = k
+	cands, err := runVG(t, lib, vo)
+	if err != nil {
+		return nil, err
+	}
+	best, ok := maxSlack(cands, k)
+	if !ok {
+		return nil, fmt.Errorf("core: BuffOpt(%d) found no noise-feasible solution: %w", k, ErrNoiseUnfixable)
+	}
+	return finishVG(t, best, vo)
+}
+
+// maxSlack picks the candidate with the largest slack among those of
+// total weight at most k (weight equals count for unit-weight libraries);
+// ties break toward smaller weight.
+func maxSlack(cands []vgCand, k int) (vgCand, bool) {
+	var best vgCand
+	found := false
+	for _, c := range cands {
+		if c.cost > k {
+			continue
+		}
+		if !found || c.q > best.q || (c.q == best.q && c.cost < best.cost) {
+			best, found = c, true
+		}
+	}
+	return best, found
+}
+
+func maxKey(m map[int]vgCand) int {
+	max := 0
+	for k := range m {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// finishVG materializes a chosen candidate into a Result with a private
+// tree copy, applying any chosen wire widths to the copy's parasitics so
+// the standard analyzers see exactly what the dynamic program computed.
+func finishVG(t *rctree.Tree, c vgCand, vo vgOptions) (*Result, error) {
+	assign, widths := collectSol(c.sol)
+	work := t.Clone()
+	for v, wd := range widths {
+		node := work.Node(v)
+		w := node.Wire
+		oldC := w.C
+		w.R, w.C = vo.wireVariant(w, wd)
+		if vo.noise && vo.params.Slope > 0 && w.C > 0 {
+			// Freeze the coupling current at its minimum-width (sidewall)
+			// value: the metric's estimation mode would otherwise scale it
+			// with the grown ground capacitance.
+			iw := vo.params.WireCurrent(node.Wire)
+			w.Aggressors = []rctree.Coupling{{
+				Ratio: iw / (vo.params.Slope * w.C),
+				Slope: vo.params.Slope,
+			}}
+			_ = oldC
+		}
+		node.Wire = w
+	}
+	if len(widths) == 0 {
+		widths = nil
+	}
+	sol := &Solution{Tree: work, Buffers: assign, Widths: widths}
+	return &Result{Solution: sol, Slack: c.q, Cost: c.cost}, nil
+}

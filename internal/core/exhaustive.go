@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/elmore"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// The exhaustive searches below enumerate every possible buffer assignment
+// on the tree's feasible nodes and evaluate each with the independent
+// analyzers in packages elmore and noise. They exist as oracles for the
+// test suite and the optimality ablations: the dynamic programs must match
+// them on small instances. Their cost is (|B|+1)^(#feasible nodes); calls
+// exceeding MaxExhaustiveAssignments are rejected.
+
+// MaxExhaustiveAssignments bounds the search space of the exhaustive
+// oracles.
+const MaxExhaustiveAssignments = 4 << 20
+
+// feasibleNodes lists the nodes where a buffer may be inserted.
+func feasibleNodes(t *rctree.Tree) []rctree.NodeID {
+	var out []rctree.NodeID
+	for _, v := range t.Preorder() {
+		n := t.Node(v)
+		if n.BufferOK && n.Kind == rctree.Internal && v != t.Root() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// enumerate walks every assignment of (no buffer | one of lib's buffers)
+// to the feasible nodes, invoking visit with a reused map. visit must not
+// retain the map.
+func enumerate(t *rctree.Tree, lib *buffers.Library, visit func(map[rctree.NodeID]buffers.Buffer)) error {
+	sites := feasibleNodes(t)
+	choices := len(lib.Buffers) + 1
+	total := 1.0
+	for range sites {
+		total *= float64(choices)
+		if total > MaxExhaustiveAssignments {
+			return fmt.Errorf("core: exhaustive search over %d sites × %d choices too large", len(sites), choices)
+		}
+	}
+	assign := make(map[rctree.NodeID]buffers.Buffer, len(sites))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(sites) {
+			visit(assign)
+			return
+		}
+		rec(i + 1) // no buffer at sites[i]
+		for _, b := range lib.Buffers {
+			assign[sites[i]] = b
+			rec(i + 1)
+		}
+		delete(assign, sites[i])
+	}
+	rec(0)
+	return nil
+}
+
+// ExhaustiveMinBuffersNoise returns the minimum number of buffers over all
+// assignments on the tree's feasible nodes such that the tree is noise
+// clean (the discrete version of Problem 1), together with one witness
+// assignment. ok is false when no assignment is clean.
+func ExhaustiveMinBuffersNoise(t *rctree.Tree, lib *buffers.Library, p noise.Params) (best int, witness map[rctree.NodeID]buffers.Buffer, ok bool, err error) {
+	best = math.MaxInt
+	err = enumerate(t, lib, func(assign map[rctree.NodeID]buffers.Buffer) {
+		if len(assign) >= best {
+			return
+		}
+		if noise.Analyze(t, assign, p).Clean() {
+			best = len(assign)
+			witness = cloneAssign(assign)
+		}
+	})
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if best == math.MaxInt {
+		return 0, nil, false, nil
+	}
+	return best, witness, true, nil
+}
+
+// ExhaustiveMaxSlackNoise returns the maximum worst-sink timing slack over
+// all assignments that are noise clean (the discrete version of Problem
+// 2), with a witness. Polarity is respected: assignments whose inversion
+// parity differs across or at sinks are skipped.
+func ExhaustiveMaxSlackNoise(t *rctree.Tree, lib *buffers.Library, p noise.Params, enforceNoise bool) (bestSlack float64, witness map[rctree.NodeID]buffers.Buffer, ok bool, err error) {
+	bestSlack = math.Inf(-1)
+	err = enumerate(t, lib, func(assign map[rctree.NodeID]buffers.Buffer) {
+		if !polarityOK(t, assign) {
+			return
+		}
+		if enforceNoise && !noise.Analyze(t, assign, p).Clean() {
+			return
+		}
+		s := elmore.Analyze(t, assign).WorstSlack
+		if s > bestSlack {
+			bestSlack = s
+			witness = cloneAssign(assign)
+			ok = true
+		}
+	})
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return bestSlack, witness, ok, nil
+}
+
+// polarityOK reports whether every sink sees an even number of inverting
+// stages from the source.
+func polarityOK(t *rctree.Tree, assign map[rctree.NodeID]buffers.Buffer) bool {
+	parity := make([]uint8, t.Len())
+	for _, v := range t.Preorder() {
+		if v != t.Root() {
+			parity[v] = parity[t.Node(v).Parent]
+		}
+		if b, ok := assign[v]; ok && b.Inverting {
+			parity[v] ^= 1
+		}
+		if t.Node(v).Kind == rctree.Sink && parity[v] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneAssign(a map[rctree.NodeID]buffers.Buffer) map[rctree.NodeID]buffers.Buffer {
+	out := make(map[rctree.NodeID]buffers.Buffer, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/elmore"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// GreedyOptions configures GreedyIterative.
+type GreedyOptions struct {
+	// Noise makes the noise constraints part of the objective: moves that
+	// reduce the violation count dominate moves that only improve slack.
+	Noise bool
+	// Params are the estimation-mode noise parameters (required when
+	// Noise is set).
+	Params noise.Params
+	// MaxBuffers bounds the number of insertions; 0 means no bound.
+	MaxBuffers int
+}
+
+// GreedyIterative is the iterative single-buffer baseline the paper's
+// related work describes (Kannan et al. [14]; Lin and Marek-Sadowska
+// [20]): repeatedly evaluate every (feasible node, buffer type) insertion
+// with the full analyzers, commit the best one, and stop when nothing
+// improves. The objective is lexicographic — fewer noise violations
+// first (when Noise is set), then larger worst slack.
+//
+// It exists as a baseline for the ablation studies: the paper's dynamic
+// programs dominate it by construction (Theorem 5 / Van Ginneken
+// optimality), and the experiments quantify by how much. Each round costs
+// O(sites × |B|) full analyses, so the whole run is O(rounds × sites ×
+// |B| × n) — polynomial but far heavier per solution than the DP.
+func GreedyIterative(t *rctree.Tree, lib *buffers.Library, opts GreedyOptions) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Noise && opts.Params.Slope <= 0 {
+		return nil, fmt.Errorf("core: greedy noise mode requires noise parameters")
+	}
+	// The heuristic places one buffer at a time and cannot plan inverter
+	// pairs, so it uses the non-inverting sub-library (as the iterative
+	// methods it models do).
+	lib = lib.NonInverting()
+	if len(lib.Buffers) == 0 {
+		return nil, fmt.Errorf("core: greedy needs at least one non-inverting buffer")
+	}
+
+	work := t.Clone()
+	assign := make(map[rctree.NodeID]buffers.Buffer)
+
+	type state struct {
+		violations int
+		excess     float64 // total noise above margins, V
+		slack      float64
+	}
+	eval := func() state {
+		s := state{slack: elmore.Analyze(work, assign).WorstSlack}
+		if opts.Noise {
+			r := noise.Analyze(work, assign, opts.Params)
+			s.violations = len(r.Violations)
+			for _, v := range r.Violations {
+				s.excess += v.Noise - v.Margin
+			}
+		}
+		return s
+	}
+	// Lexicographic objective: fewer violations, then less total excess
+	// noise (so partial progress on a still-violated sink counts), then
+	// more slack.
+	better := func(a, b state) bool {
+		if a.violations != b.violations {
+			return a.violations < b.violations
+		}
+		if a.excess < b.excess-1e-12 {
+			return true
+		}
+		if a.excess > b.excess+1e-12 {
+			return false
+		}
+		return a.slack > b.slack+1e-15
+	}
+
+	cur := eval()
+	var sites []rctree.NodeID
+	for _, v := range work.Preorder() {
+		n := work.Node(v)
+		if n.BufferOK && n.Kind == rctree.Internal && v != work.Root() {
+			sites = append(sites, v)
+		}
+	}
+
+	for {
+		if opts.MaxBuffers > 0 && len(assign) >= opts.MaxBuffers {
+			break
+		}
+		bestState := cur
+		var bestSite rctree.NodeID = rctree.None
+		var bestBuf buffers.Buffer
+		for _, v := range sites {
+			if _, used := assign[v]; used {
+				continue
+			}
+			for _, b := range lib.Buffers {
+				assign[v] = b
+				if s := eval(); better(s, bestState) {
+					bestState, bestSite, bestBuf = s, v, b
+				}
+				delete(assign, v)
+			}
+		}
+		if bestSite == rctree.None {
+			break // local optimum
+		}
+		assign[bestSite] = bestBuf
+		cur = bestState
+	}
+
+	if opts.Noise && cur.violations > 0 {
+		// Local optimum with violations left: report it as unfixable by
+		// this heuristic (the DP may still succeed — that is the point of
+		// the comparison).
+		return &Result{
+				Solution: &Solution{Tree: work, Buffers: assign},
+				Slack:    cur.slack,
+				Cost:     costOf(assign),
+			}, fmt.Errorf("core: greedy left %d noise violations: %w",
+				cur.violations, ErrNoiseUnfixable)
+	}
+	return &Result{
+		Solution: &Solution{Tree: work, Buffers: assign},
+		Slack:    cur.slack,
+		Cost:     costOf(assign),
+	}, nil
+}
+
+func costOf(assign map[rctree.NodeID]buffers.Buffer) int {
+	c := 0
+	for _, b := range assign {
+		c += b.Cost()
+	}
+	return c
+}
+
+// greedySlackUpperBound is a tiny helper for tests: the DP's optimal
+// slack can never be below the greedy result's.
+func greedySlackUpperBound(dp, greedy float64) bool {
+	return dp >= greedy-1e-9*math.Max(1, math.Abs(greedy))
+}

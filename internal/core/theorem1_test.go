@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMaxSafeLengthHandCase(t *testing.T) {
+	// rb=1, r=1, i=2, down=1, ns=10 → l² + 3l − 9 = 0 → l = (−3+√45)/2.
+	l, err := MaxSafeLength(1, 1, 2, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (-3 + math.Sqrt(45)) / 2
+	if !approx(l, want) {
+		t.Errorf("l = %v, want %v", l, want)
+	}
+	// At l the noise equals the slack exactly.
+	noise := 1*(1+2*l) + 1*l*(1+2*l/2)
+	if !approx(noise, 10) {
+		t.Errorf("noise at l_max = %v, want 10", noise)
+	}
+}
+
+func TestMaxSafeLengthDegenerate(t *testing.T) {
+	// Zero coupling and zero downstream current: unbounded wire.
+	l, err := MaxSafeLength(1, 1, 0, 0, 5)
+	if err != nil || !math.IsInf(l, 1) {
+		t.Errorf("l = %v, err = %v; want +Inf", l, err)
+	}
+	// Zero wire resistance: linear, l = (ns − rb·down)/(rb·i).
+	l, err = MaxSafeLength(2, 0, 1, 1, 10)
+	if err != nil || !approx(l, (10.0-2)/2) {
+		t.Errorf("l = %v, err = %v; want 4", l, err)
+	}
+	// Zero coupling but nonzero downstream current: l = (ns − rb·down)/(r·down).
+	l, err = MaxSafeLength(1, 2, 0, 1, 5)
+	if err != nil || !approx(l, (5.0-1)/2) {
+		t.Errorf("l = %v, err = %v; want 2", l, err)
+	}
+	// Slack exactly exhausted: zero length, no error.
+	l, err = MaxSafeLength(2, 1, 1, 3, 6)
+	if err != nil || !approx(l, 0) {
+		t.Errorf("l = %v, err = %v; want 0", l, err)
+	}
+}
+
+func TestMaxSafeLengthTooLate(t *testing.T) {
+	_, err := MaxSafeLength(2, 1, 1, 5, 6)
+	if !errors.Is(err, ErrNoiseUnfixable) {
+		t.Errorf("err = %v, want ErrNoiseUnfixable", err)
+	}
+	if _, err := MaxSafeLength(-1, 1, 1, 1, 1); err == nil {
+		t.Errorf("negative rb accepted")
+	}
+}
+
+// TestMaxSafeLengthIsMaximal property: for random parameters, the noise at
+// l_max equals ns, and at 1.01·l_max it exceeds ns.
+func TestMaxSafeLengthIsMaximal(t *testing.T) {
+	f := func(rb, r, i, down, ns uint16) bool {
+		Rb := 0.1 + float64(rb%997)/100
+		ru := 0.1 + float64(r%991)/100
+		iu := 0.1 + float64(i%983)/100
+		I := float64(down%97) / 10
+		NS := Rb*I + 0.1 + float64(ns%89)/10 // guarantee feasibility
+		l, err := MaxSafeLength(Rb, ru, iu, I, NS)
+		if err != nil {
+			return false
+		}
+		noiseAt := func(x float64) float64 {
+			return Rb*(I+iu*x) + ru*x*(I+iu*x/2)
+		}
+		if math.Abs(noiseAt(l)-NS) > 1e-6*NS {
+			return false
+		}
+		return noiseAt(l*1.01) > NS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireTopNoiseConsistentWithMaxSafeLength(t *testing.T) {
+	// A wire exactly l_max long must pass the top test with equality.
+	rb, r, i, down, ns := 1.5, 0.8, 1.2, 0.5, 7.0
+	l, err := MaxSafeLength(rb, r, i, down, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := WireTopNoise(rb, r*l, i*l, down)
+	if !approx(top, ns) {
+		t.Errorf("WireTopNoise at l_max = %v, want %v", top, ns)
+	}
+}
+
+func TestRequiredSeparation(t *testing.T) {
+	// μ·β·c·l·(r·l/2 + rb) / (ns − rb·down − r·down·l).
+	d, err := RequiredSeparation(2, 1, 3, 4, 0.5, 0.25, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num := 4 * 0.5 * 3 * 2 * (1.0*2/2 + 2)
+	den := 10 - 2*0.25 - 1*0.25*2
+	if !approx(d, num/den) {
+		t.Errorf("d = %v, want %v", d, num/den)
+	}
+	// Budget exhausted by non-coupling noise → error.
+	if _, err := RequiredSeparation(2, 1, 3, 4, 0.5, 5, 10, 2); !errors.Is(err, ErrNoiseUnfixable) {
+		t.Errorf("err = %v, want ErrNoiseUnfixable", err)
+	}
+	// Zero coupling needs zero separation.
+	d, err = RequiredSeparation(2, 1, 3, 0, 0.5, 0, 10, 2)
+	if err != nil || d != 0 {
+		t.Errorf("d = %v, err = %v; want 0", d, err)
+	}
+	if _, err := RequiredSeparation(2, 1, 3, 4, -0.5, 0, 10, 2); err == nil {
+		t.Errorf("negative beta accepted")
+	}
+}
+
+// TestSeparationSufficient property: a wire at the returned separation,
+// with coupling ratio β/d, exactly meets the noise slack.
+func TestSeparationSufficient(t *testing.T) {
+	f := func(seed uint16) bool {
+		rb := 1 + float64(seed%7)
+		r := 0.5 + float64(seed%11)/10
+		c := 1 + float64(seed%13)/10
+		mu := 1 + float64(seed%5)
+		beta := 0.2 + float64(seed%3)/10
+		down := float64(seed % 2)
+		l := 1 + float64(seed%17)/10
+		ns := rb*down + r*down*l + 1 + float64(seed%19)/10
+		d, err := RequiredSeparation(rb, r, c, mu, beta, down, ns, l)
+		if err != nil {
+			return false
+		}
+		lambda := beta / d
+		iu := mu * lambda * c
+		noise := rb*(down+iu*l) + r*l*(down+iu*l/2)
+		return math.Abs(noise-ns) < 1e-6*ns
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// vgCand is an Algorithm 3 candidate: the five-tuple (C, q, I, NS, M) of
+// Section IV-A, plus the buffer count for the Lillis extension and the
+// inversion parity for libraries containing inverters.
+type vgCand struct {
+	load float64 // C: downstream capacitance seen at the node
+	q    float64 // slack at the node
+	down float64 // I: downstream coupling current
+	ns   float64 // NS: noise slack
+	nbuf int     // buffers used in the subtree solution
+	cost int     // Problem 3 weight of those buffers (Lillis power function)
+	pol  uint8   // parity of inverting stages to every sink (0 = in phase)
+	sol  *solLink
+}
+
+// solLink is one decision in a persistent solution list shared between
+// candidates: either a buffer assignment at a node, or (isWidth) a width
+// multiplier chosen for the node's parent wire.
+type solLink struct {
+	node    rctree.NodeID
+	buf     buffers.Buffer
+	width   float64
+	isWidth bool
+	prev    [2]*solLink
+}
+
+// collectSol flattens a solution DAG into a buffer assignment and a wire
+// width map.
+func collectSol(s *solLink) (map[rctree.NodeID]buffers.Buffer, map[rctree.NodeID]float64) {
+	assign := make(map[rctree.NodeID]buffers.Buffer)
+	widths := make(map[rctree.NodeID]float64)
+	seen := map[*solLink]bool{}
+	stack := []*solLink{s}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if l == nil || seen[l] {
+			continue
+		}
+		seen[l] = true
+		if l.isWidth {
+			widths[l.node] = l.width
+		} else {
+			assign[l.node] = l.buf
+		}
+		stack = append(stack, l.prev[0], l.prev[1])
+	}
+	return assign, widths
+}
+
+// vgOptions configures one run of the dynamic program.
+type vgOptions struct {
+	noise        bool         // enforce noise constraints (BuffOpt) or not (DelayOpt)
+	params       noise.Params // estimation-mode noise parameters
+	countIndexed bool         // keep per-buffer-count lists (Lillis [18])
+	maxBuffers   int          // with countIndexed: drop candidates above this count (0 = unlimited)
+	safePruning  bool         // include (I, NS) in the dominance test
+	// widths are the wire width multipliers available per wire (Lillis
+	// [18] simultaneous wire sizing); nil or empty means {1}.
+	widths []float64
+	// fringe is the fraction of a minimum-width wire's capacitance that
+	// does not scale with width (fringe + sidewall); the rest is area
+	// capacitance multiplied by the width. Zero means 0.5.
+	fringe float64
+}
+
+// wireVariant returns the electrical parameters of a wire at width wd.
+func (o vgOptions) wireVariant(w rctree.Wire, wd float64) (r, c float64) {
+	if wd == 1 {
+		return w.R, w.C
+	}
+	fr := o.fringe
+	if fr == 0 {
+		fr = 0.5
+	}
+	return w.R / wd, w.C * (fr + (1-fr)*wd)
+}
+
+// runVG executes the bottom-up dynamic program of Figs. 10–11 and returns
+// the root candidates after the driver's delay and noise have been applied
+// and infeasible candidates (noise violations when opts.noise is set, or
+// inverted polarity) have been discarded. The result is pruned and sorted
+// by ascending buffer count.
+func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if !t.IsBinary() {
+		return nil, fmt.Errorf("core: the dynamic program requires a binary tree; call Binarize first")
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+
+	lists := make([][]vgCand, t.Len())
+	for _, v := range t.Postorder() {
+		node := t.Node(v)
+		var list []vgCand
+		switch {
+		case node.Kind == rctree.Sink:
+			list = []vgCand{{
+				load: node.Cap,
+				q:    node.RAT,
+				down: 0,
+				ns:   node.NoiseMargin,
+				pol:  0,
+			}}
+		case len(node.Children) == 1:
+			list = append([]vgCand(nil), lists[node.Children[0]]...)
+		case len(node.Children) == 2:
+			list = mergeVG(lists[node.Children[0]], lists[node.Children[1]], opts)
+		default:
+			return nil, fmt.Errorf("core: internal node %d has no children", v)
+		}
+
+		// Step 5: consider inserting each buffer type at v.
+		if node.BufferOK && v != t.Root() {
+			list = append(list, insertBuffers(v, list, lib, opts)...)
+		}
+
+		list = pruneVG(list, opts)
+
+		// Step 6: charge the parent wire, once per available width. The
+		// coupling current I_w is a sidewall quantity and does not change
+		// with width; the resistance drops and the ground capacitance
+		// grows, which is why widening is itself a noise fix.
+		if v != t.Root() {
+			w := node.Wire
+			iw := opts.params.WireCurrent(w)
+			widths := opts.widths
+			if len(widths) == 0 {
+				widths = oneWidth
+			}
+			sized := make([]vgCand, 0, len(list)*len(widths))
+			for _, c := range list {
+				for _, wd := range widths {
+					r, cw := opts.wireVariant(w, wd)
+					nc := c
+					nc.q -= r * (cw/2 + c.load)
+					nc.load += cw
+					nc.ns -= r * (c.down + iw/2)
+					nc.down += iw
+					if wd != 1 {
+						nc.sol = &solLink{node: v, width: wd, isWidth: true, prev: [2]*solLink{c.sol, nil}}
+					}
+					sized = append(sized, nc)
+				}
+			}
+			list = sized
+			if len(widths) > 1 {
+				list = pruneVG(list, opts)
+			}
+		}
+		lists[v] = list
+	}
+
+	// Add the driver (Steps 2–3 of Fig. 10) and filter.
+	var out []vgCand
+	for _, c := range lists[t.Root()] {
+		if c.pol != 0 {
+			continue // inverted signal at the sinks
+		}
+		if opts.noise && t.DriverResistance*c.down > c.ns {
+			continue // eq. 11 violated at the source gate
+		}
+		c.q -= t.DriverDelay + t.DriverResistance*c.load
+		out = append(out, c)
+	}
+	out = pruneVG(out, opts)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].cost != out[j].cost {
+			return out[i].cost < out[j].cost
+		}
+		return out[i].q > out[j].q
+	})
+	return out, nil
+}
+
+// oneWidth is the default (no sizing) width set.
+var oneWidth = []float64{1}
+
+// insertBuffers generates buffered candidates at node v: for each buffer
+// type (and, in count-indexed mode, each resulting buffer count and each
+// parity) the candidate producing the largest post-buffer slack, subject
+// to the noise constraint R_b·I(v) ≤ NS(v) when noise is enforced — the
+// boldface modification of Fig. 11, Step 5.
+func insertBuffers(v rctree.NodeID, list []vgCand, lib *buffers.Library, opts vgOptions) []vgCand {
+	type key struct {
+		buf  int
+		pol  uint8
+		cost int
+	}
+	best := map[key]vgCand{}
+	for bi, b := range lib.Buffers {
+		for _, c := range list {
+			if opts.noise && b.R*c.down > c.ns {
+				continue // inserting here would violate downstream noise
+			}
+			if opts.countIndexed && opts.maxBuffers > 0 && c.cost+b.Cost() > opts.maxBuffers {
+				continue
+			}
+			q := c.q - b.Delay(c.load)
+			k := key{buf: bi, pol: c.pol}
+			if b.Inverting {
+				k.pol ^= 1
+			}
+			if opts.countIndexed {
+				k.cost = c.cost + b.Cost()
+			}
+			cur, ok := best[k]
+			if !ok || q > cur.q {
+				best[k] = vgCand{
+					load: b.Cin,
+					q:    q,
+					down: 0,
+					ns:   b.NoiseMargin,
+					nbuf: c.nbuf + 1,
+					cost: c.cost + b.Cost(),
+					pol:  k.pol,
+					sol:  &solLink{node: v, buf: b, prev: [2]*solLink{c.sol, nil}},
+				}
+			}
+		}
+	}
+	out := make([]vgCand, 0, len(best))
+	for _, c := range best {
+		out = append(out, c)
+	}
+	// Deterministic order (map iteration is randomized).
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].cost != out[j].cost {
+			return out[i].cost < out[j].cost
+		}
+		if out[i].load != out[j].load {
+			return out[i].load < out[j].load
+		}
+		return out[i].q > out[j].q
+	})
+	return out
+}
+
+// mergeVG combines the candidate lists of two sibling branches: loads and
+// currents add, slacks take the minimum (Steps 3–4 of Fig. 11). Only
+// parity-compatible pairs merge. The pruned per-branch frontiers are small,
+// so the full cross product is used; pruning immediately follows in the
+// caller.
+func mergeVG(left, right []vgCand, opts vgOptions) []vgCand {
+	out := make([]vgCand, 0, len(left)+len(right))
+	for _, a := range left {
+		for _, b := range right {
+			if a.pol != b.pol {
+				continue
+			}
+			if opts.countIndexed && opts.maxBuffers > 0 && a.cost+b.cost > opts.maxBuffers {
+				continue
+			}
+			var sol *solLink
+			switch {
+			case a.sol == nil:
+				sol = b.sol
+			case b.sol == nil:
+				sol = a.sol
+			default:
+				// Junction link: reuse a's head with both prevs via a
+				// synthetic link carrying a's head assignment would double
+				// count; instead create a link that repeats a's head
+				// assignment — maps deduplicate identical (node, buf)
+				// pairs, so repeating is safe and keeps links binary.
+				sol = &solLink{
+					node: a.sol.node, buf: a.sol.buf,
+					width: a.sol.width, isWidth: a.sol.isWidth,
+					prev: [2]*solLink{a.sol, b.sol},
+				}
+			}
+			out = append(out, vgCand{
+				load: a.load + b.load,
+				q:    math.Min(a.q, b.q),
+				down: a.down + b.down,
+				ns:   math.Min(a.ns, b.ns),
+				nbuf: a.nbuf + b.nbuf,
+				cost: a.cost + b.cost,
+				pol:  a.pol,
+				sol:  sol,
+			})
+		}
+	}
+	return out
+}
+
+// pruneVG removes inferior candidates (Step 7 of Fig. 11): within each
+// (parity[, buffer count]) group, candidate α1 is inferior to α2 iff
+// C1 ≥ C2 and q1 ≤ q2 — the paper's rule — and additionally, in safe
+// pruning mode, I1 ≥ I2 and NS1 ≤ NS2, which restores exactness for
+// multi-buffer libraries at the cost of longer lists (see the discussion
+// in Section IV-C).
+func pruneVG(list []vgCand, opts vgOptions) []vgCand {
+	if len(list) <= 1 {
+		return list
+	}
+	type group struct {
+		pol  uint8
+		cost int
+	}
+	byGroup := map[group][]vgCand{}
+	for _, c := range list {
+		g := group{pol: c.pol}
+		if opts.countIndexed {
+			g.cost = c.cost
+		}
+		byGroup[g] = append(byGroup[g], c)
+	}
+	groups := make([]group, 0, len(byGroup))
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].cost != groups[j].cost {
+			return groups[i].cost < groups[j].cost
+		}
+		return groups[i].pol < groups[j].pol
+	})
+
+	var out []vgCand
+	for _, g := range groups {
+		cands := byGroup[g]
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].load != cands[j].load {
+				return cands[i].load < cands[j].load
+			}
+			return cands[i].q > cands[j].q
+		})
+		if !opts.safePruning {
+			bestQ := math.Inf(-1)
+			for _, c := range cands {
+				if c.q > bestQ {
+					out = append(out, c)
+					bestQ = c.q
+				}
+			}
+			continue
+		}
+		var kept []vgCand
+		for _, c := range cands {
+			dominated := false
+			for _, k := range kept {
+				if k.load <= c.load && k.q >= c.q && k.down <= c.down && k.ns >= c.ns {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				kept = append(kept, c)
+			}
+		}
+		out = append(out, kept...)
+	}
+	return out
+}

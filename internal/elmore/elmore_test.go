@@ -1,0 +1,157 @@
+package elmore
+
+import (
+	"math"
+	"testing"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/rctree"
+)
+
+// buildY builds the hand-computed Y tree:
+//
+//	so --(R=2,C=3)--> v1 --(R=1,C=2)--> s1 (cap 1, RAT 100)
+//	                   \---(R=4,C=1)--> s2 (cap 2, RAT 100)
+//
+// driven by a gate with R=2, T=1.
+func buildY(t *testing.T) (*rctree.Tree, rctree.NodeID, rctree.NodeID, rctree.NodeID) {
+	t.Helper()
+	tr := rctree.New("net0", 2, 1)
+	v1, err := tr.AddInternal(tr.Root(), rctree.Wire{R: 2, C: 3, Length: 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := tr.AddSink(v1, rctree.Wire{R: 1, C: 2, Length: 2}, "s1", 1, 100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := tr.AddSink(v1, rctree.Wire{R: 4, C: 1, Length: 1}, "s2", 2, 100, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, v1, s1, s2
+}
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestLoadsUnbuffered(t *testing.T) {
+	tr, v1, s1, s2 := buildY(t)
+	caps := Loads(tr)
+	// C(s1)=1, C(s2)=2, C(v1)=(2+1)+(1+2)=6, C(so)=3+6=9.
+	for _, tc := range []struct {
+		node rctree.NodeID
+		want float64
+	}{{s1, 1}, {s2, 2}, {v1, 6}, {tr.Root(), 9}} {
+		if got := caps[tc.node]; !approx(got, tc.want) {
+			t.Errorf("C(%d) = %g, want %g", tc.node, got, tc.want)
+		}
+	}
+}
+
+func TestAnalyzeUnbuffered(t *testing.T) {
+	tr, v1, s1, s2 := buildY(t)
+	r := Analyze(tr, nil)
+	// Driver: 1 + 2·9 = 19. Wire (so,v1): 2·(1.5+6) = 15.
+	// Wire (v1,s1): 1·(1+1) = 2. Wire (v1,s2): 4·(0.5+2) = 10.
+	if got := r.Arrival[v1]; !approx(got, 34) {
+		t.Errorf("Arrival(v1) = %g, want 34", got)
+	}
+	if got := r.Arrival[s1]; !approx(got, 36) {
+		t.Errorf("Arrival(s1) = %g, want 36", got)
+	}
+	if got := r.Arrival[s2]; !approx(got, 44) {
+		t.Errorf("Arrival(s2) = %g, want 44", got)
+	}
+	if got := r.WorstSlack; !approx(got, 100-44) {
+		t.Errorf("WorstSlack = %g, want 56", got)
+	}
+	if r.WorstSink != s2 {
+		t.Errorf("WorstSink = %d, want %d", r.WorstSink, s2)
+	}
+	if got := r.MaxDelay; !approx(got, 44) {
+		t.Errorf("MaxDelay = %g, want 44", got)
+	}
+}
+
+func TestAnalyzeBuffered(t *testing.T) {
+	tr, v1, s1, s2 := buildY(t)
+	b := buffers.Buffer{Name: "b", Cin: 0.5, R: 1, T: 2, NoiseMargin: 10}
+	assign := Assignment{v1: b}
+	r := Analyze(tr, assign)
+	// C(v1) = Cin = 0.5; C(so) = 3.5; driver = 1 + 2·3.5 = 8.
+	// Arrival(v1) = 8 + 2·(1.5+0.5) = 12.
+	// Buffer drives 6; delay 2 + 1·6 = 8.
+	// Arrival(s1) = 12 + 8 + 2 = 22; Arrival(s2) = 12 + 8 + 10 = 30.
+	if got := r.Cap[v1]; !approx(got, 0.5) {
+		t.Errorf("Cap(v1) = %g, want 0.5", got)
+	}
+	if got := r.Drive[v1]; !approx(got, 6) {
+		t.Errorf("Drive(v1) = %g, want 6", got)
+	}
+	if got := r.Arrival[v1]; !approx(got, 12) {
+		t.Errorf("Arrival(v1) = %g, want 12", got)
+	}
+	if got := r.Arrival[s1]; !approx(got, 22) {
+		t.Errorf("Arrival(s1) = %g, want 22", got)
+	}
+	if got := r.Arrival[s2]; !approx(got, 30) {
+		t.Errorf("Arrival(s2) = %g, want 30", got)
+	}
+	if got := r.WorstSlack; !approx(got, 70) {
+		t.Errorf("WorstSlack = %g, want 70", got)
+	}
+}
+
+func TestSinkDelayMatchesAnalyze(t *testing.T) {
+	tr, _, s1, s2 := buildY(t)
+	r := Analyze(tr, nil)
+	for _, s := range []rctree.NodeID{s1, s2} {
+		if got, want := SinkDelay(tr, s), r.Arrival[s]; !approx(got, want) {
+			t.Errorf("SinkDelay(%d) = %g, Analyze gives %g", s, got, want)
+		}
+	}
+}
+
+func TestWireDelay(t *testing.T) {
+	w := rctree.Wire{R: 3, C: 4}
+	if got := WireDelay(w, 5); !approx(got, 3*(2+5)) {
+		t.Errorf("WireDelay = %g, want 21", got)
+	}
+}
+
+func TestWorstSlackWrapper(t *testing.T) {
+	tr, _, _, _ := buildY(t)
+	if got := WorstSlack(tr, nil); !approx(got, 56) {
+		t.Errorf("WorstSlack = %g, want 56", got)
+	}
+}
+
+// TestBufferedChain checks arrival-time accumulation through two buffers
+// in series on a segmented two-pin line.
+func TestBufferedChain(t *testing.T) {
+	tr := rctree.New("line", 1, 0)
+	a, _ := tr.AddInternal(tr.Root(), rctree.Wire{R: 1, C: 1, Length: 1}, true)
+	b, _ := tr.AddInternal(a, rctree.Wire{R: 1, C: 1, Length: 1}, true)
+	s, _ := tr.AddSink(b, rctree.Wire{R: 1, C: 1, Length: 1}, "s", 1, 0, 1)
+	buf := buffers.Buffer{Name: "x", Cin: 0.5, R: 2, T: 1, NoiseMargin: 1}
+	r := Analyze(tr, Assignment{a: buf, b: buf})
+	// C(s)=1; C(b)=Cin=0.5; C(a)=Cin=0.5.
+	// Driver load = 1+0.5 = 1.5 → driver delay = 0 + 1·1.5 = 1.5.
+	// Arrival(a) = 1.5 + 1·(0.5+0.5) = 2.5.
+	// Buffer at a drives 1+0.5 = 1.5 → delay 1+2·1.5 = 4; out 6.5.
+	// Arrival(b) = 6.5 + 1·(0.5+0.5) = 7.5.
+	// Buffer at b drives 1+1 = 2 → delay 1+2·2 = 5; out 12.5.
+	// Arrival(s) = 12.5 + 1·(0.5+1) = 14.
+	if got := r.Arrival[s]; !approx(got, 14) {
+		t.Errorf("Arrival(s) = %g, want 14", got)
+	}
+	if got := r.SinkSlack[s]; !approx(got, -14) {
+		t.Errorf("SinkSlack(s) = %g, want -14", got)
+	}
+	// Non-sink nodes report +Inf slack.
+	if !math.IsInf(r.SinkSlack[a], 1) {
+		t.Errorf("SinkSlack(internal) = %g, want +Inf", r.SinkSlack[a])
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import "testing"
+
+func TestSizingAblation(t *testing.T) {
+	s := testSuite(t)
+	a := s.RunSizingAblation()
+	if a.Failures != 0 {
+		t.Errorf("%d failures", a.Failures)
+	}
+	// Sizing enlarges the search space: never more buffers in total.
+	if a.BuffersSized > a.BuffersPlain {
+		t.Errorf("sizing increased total buffers %d → %d", a.BuffersPlain, a.BuffersSized)
+	}
+	if a.WidenedWires == 0 {
+		t.Errorf("sizing never widened a wire across the suite")
+	}
+	if s := a.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestProblem3Tradeoff(t *testing.T) {
+	tr, err := RunProblem3Tradeoff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) < 5 {
+		t.Fatalf("too few points: %d", len(tr.Points))
+	}
+	// The curve must show the Section IV-C trade: infeasible at low
+	// budgets, then monotonically improving slack with diminishing
+	// returns.
+	sawInfeasible := false
+	prev := -1e18
+	for _, p := range tr.Points {
+		if !p.Clean {
+			sawInfeasible = true
+			continue
+		}
+		if p.SlackPS < prev-1e-6 {
+			t.Errorf("slack decreased with larger budget: %v", tr.Points)
+		}
+		prev = p.SlackPS
+	}
+	if !sawInfeasible {
+		t.Errorf("no infeasible low-budget points; the instance is too easy")
+	}
+	if prev < 0 {
+		t.Errorf("final slack negative: %g", prev)
+	}
+	if s := tr.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestGreedyAblation(t *testing.T) {
+	a := testSuite(t).RunGreedyAblation()
+	// The DP fixes everything the greedy baseline fixes (and possibly
+	// more), and greedy can never beat the optimal slack.
+	if a.DPFixed < a.GreedyFixed {
+		t.Errorf("DP fixed %d nets, greedy %d", a.DPFixed, a.GreedyFixed)
+	}
+	if a.DPFixed != a.Nets {
+		t.Errorf("DP failed to fix %d nets", a.Nets-a.DPFixed)
+	}
+	if a.SlackGapAvg < -1e-12 {
+		t.Errorf("greedy average slack beats the optimal DP by %g", -a.SlackGapAvg)
+	}
+	if s := a.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestExplicitModeAblation(t *testing.T) {
+	a := testSuite(t).RunExplicitModeAblation()
+	if a.Failures != 0 {
+		t.Errorf("%d failures", a.Failures)
+	}
+	// Measured couplings are drawn at or below the worst-case estimate,
+	// so explicit mode can never need more buffers in total.
+	if a.ExplicitBuffers > a.EstimationBuffers {
+		t.Errorf("explicit mode needed more buffers (%d) than estimation (%d)",
+			a.ExplicitBuffers, a.EstimationBuffers)
+	}
+	if a.NetsCheaper == 0 {
+		t.Errorf("lighter couplings never saved a buffer; the ablation is degenerate")
+	}
+	if s := a.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestBufferCountCurve(t *testing.T) {
+	c, err := RunBufferCountCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 11 {
+		t.Fatalf("points = %d", len(c.Points))
+	}
+	// Delay is non-increasing in the buffer budget (DelayOpt is optimal
+	// per budget) and the first buffers buy the most.
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i].DelayPS > c.Points[i-1].DelayPS+1e-6 {
+			t.Errorf("delay rose at k=%d: %v", i, c.Points)
+		}
+	}
+	firstGain := c.Points[0].DelayPS - c.Points[1].DelayPS
+	lastGain := c.Points[len(c.Points)-2].DelayPS - c.Points[len(c.Points)-1].DelayPS
+	if firstGain <= lastGain {
+		t.Errorf("no diminishing returns: first gain %.1f, last %.1f", firstGain, lastGain)
+	}
+	if s := c.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}

@@ -1,0 +1,177 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) on the synthetic benchmark suite:
+//
+//	Table I   — sink distribution of the 500 test nets
+//	Table II  — noise violations reported by the detailed simulator
+//	            (noisesim, standing in for 3dnoise) before and after
+//	            BuffOpt, plus the metric's conservatism gap
+//	Table III — noise avoidance of BuffOpt versus DelayOpt(k)
+//	Table IV  — average delay reduction and the BuffOpt delay penalty
+//
+// plus the figure-shaped parameter sweeps (Theorem 1 maximal lengths,
+// eq. 17 separation distances, the Fig. 1 with/without-buffer noise demo,
+// and the Fig. 7 iterative placement walk).
+//
+// Every run is deterministic in Config.Seed. Work is spread across
+// goroutines net-by-net; all reported CPU times are wall-clock for the
+// whole parallel batch.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"buffopt/internal/core"
+	"buffopt/internal/netgen"
+	"buffopt/internal/rctree"
+	"buffopt/internal/segment"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	Seed    int64
+	NumNets int // suite size; the paper uses 500
+	// SegmentLength is the wire-segmenting granularity fed to the dynamic
+	// programs (Alpert–Devgan preprocessing). Default 0.5 mm.
+	SegmentLength float64
+	// MaxDelayOptK is the largest DelayOpt(k) run in Table III. 0 means
+	// "the largest buffer count BuffOpt used", matching the paper's
+	// choice of 4.
+	MaxDelayOptK int
+	// SafePruning switches Algorithm 3 to exact multi-buffer pruning.
+	SafePruning bool
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumNets == 0 {
+		c.NumNets = 500
+	}
+	if c.SegmentLength == 0 {
+		c.SegmentLength = 0.5e-3
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Suite bundles the generated nets with their segmented copies (the form
+// the dynamic programs consume).
+type Suite struct {
+	*netgen.Suite
+	Segmented []*rctree.Tree
+	Config    Config
+
+	buffOptOnce sync.Once
+	buffOpt     []netResult
+	buffOptCPU  time.Duration
+}
+
+// NewSuite generates and segments the benchmark suite.
+func NewSuite(cfg Config) (*Suite, error) {
+	cfg = cfg.withDefaults()
+	base, err := netgen.Generate(netgen.Config{Seed: cfg.Seed, NumNets: cfg.NumNets})
+	if err != nil {
+		return nil, err
+	}
+	s := &Suite{Suite: base, Config: cfg}
+	s.Segmented = make([]*rctree.Tree, len(base.Nets))
+	for i, tr := range base.Nets {
+		seg := tr.Clone()
+		if _, err := segment.ByLength(seg, cfg.SegmentLength); err != nil {
+			return nil, fmt.Errorf("experiments: segmenting net %d: %w", i, err)
+		}
+		// A candidate site directly at the driver output: weak drivers on
+		// multi-branch nets can only be decoupled there (Algorithm 1/2
+		// insert this node themselves; the dynamic program needs it to
+		// exist).
+		if _, err := seg.InsertBelow(seg.Root()); err != nil {
+			return nil, fmt.Errorf("experiments: root site for net %d: %w", i, err)
+		}
+		s.Segmented[i] = seg
+	}
+	return s, nil
+}
+
+// forEachNet runs fn(i) for every net index across Config.Workers
+// goroutines and waits.
+func (s *Suite) forEachNet(fn func(i int)) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.Config.Workers)
+	for i := range s.Nets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ---------------------------------------------------------------- Table I
+
+// TableI is the sink-count distribution of the suite.
+type TableI struct {
+	Bins   [][2]int
+	Counts []int
+	Total  int
+}
+
+// RunTableI computes the Table I histogram.
+func (s *Suite) RunTableI() TableI {
+	return TableI{Bins: netgen.Bins(), Counts: s.SinkHistogram(), Total: len(s.Nets)}
+}
+
+// Format renders the table in the paper's row style.
+func (t TableI) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: sink distribution of the %d test nets\n", t.Total)
+	fmt.Fprintf(&b, "%-12s %s\n", "sinks", "nets")
+	for i, bin := range t.Bins {
+		label := fmt.Sprintf("%d", bin[0])
+		if bin[1] != bin[0] {
+			label = fmt.Sprintf("%d-%d", bin[0], bin[1])
+		}
+		fmt.Fprintf(&b, "%-12s %d\n", label, t.Counts[i])
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------- BuffOpt
+
+// netResult is the per-net outcome of the BuffOpt tool (Problem 3
+// configuration, as shipped in Section V).
+type netResult struct {
+	sol        *core.Solution
+	slack      float64
+	numBuffers int
+	err        error
+}
+
+// runBuffOpt executes the BuffOpt tool on every segmented net (cached on
+// the suite after the first call).
+func (s *Suite) runBuffOpt() []netResult {
+	s.buffOptOnce.Do(func() {
+		start := time.Now()
+		defer func() { s.buffOptCPU = time.Since(start) }()
+		res := make([]netResult, len(s.Nets))
+		s.forEachNet(func(i int) {
+			r, err := core.BuffOptMinBuffers(s.Segmented[i], s.Library, s.Tech.Noise,
+				core.Options{SafePruning: s.Config.SafePruning})
+			if err != nil {
+				res[i] = netResult{err: err}
+				return
+			}
+			res[i] = netResult{sol: r.Solution, slack: r.Slack, numBuffers: r.NumBuffers()}
+		})
+		s.buffOpt = res
+	})
+	return s.buffOpt
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// testSuite builds a small suite once per test binary.
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := NewSuite(Config{Seed: 1, NumNets: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSuiteConstruction(t *testing.T) {
+	s := testSuite(t)
+	if len(s.Segmented) != len(s.Nets) {
+		t.Fatalf("segmented %d, nets %d", len(s.Segmented), len(s.Nets))
+	}
+	for i := range s.Nets {
+		if err := s.Segmented[i].Validate(); err != nil {
+			t.Errorf("segmented net %d invalid: %v", i, err)
+		}
+		if s.Segmented[i].Len() <= s.Nets[i].Len() {
+			t.Errorf("net %d gained no segmentation nodes", i)
+		}
+		// Totals preserved by segmentation.
+		if a, b := s.Segmented[i].TotalCap(), s.Nets[i].TotalCap(); math.Abs(a-b) > 1e-12*b {
+			t.Errorf("net %d capacitance changed: %g vs %g", i, a, b)
+		}
+		// Root site present.
+		root := s.Segmented[i].Root()
+		ch := s.Segmented[i].Node(root).Children
+		if len(ch) != 1 || !s.Segmented[i].Node(ch[0]).BufferOK {
+			t.Errorf("net %d missing driver-output buffer site", i)
+		}
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	tab := testSuite(t).RunTableI()
+	total := 0
+	for _, c := range tab.Counts {
+		total += c
+	}
+	if total != tab.Total || total != 30 {
+		t.Errorf("histogram total %d, want 30", total)
+	}
+	if s := tab.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestTableIIReproducesShape(t *testing.T) {
+	tab := testSuite(t).RunTableII()
+	// The metric is an upper bound, so it must flag at least every net
+	// the detailed simulator flags.
+	if tab.MetricBefore < tab.SimBefore {
+		t.Errorf("metric flags %d nets, simulator %d — bound violated", tab.MetricBefore, tab.SimBefore)
+	}
+	if tab.MetricBefore == 0 {
+		t.Errorf("suite has no violations to fix")
+	}
+	// BuffOpt fixes everything, by all three tools.
+	if tab.MetricAfter != 0 || tab.SimAfter != 0 || tab.AWEAfter != 0 {
+		t.Errorf("violations remain after BuffOpt: metric %d, sim %d, awe %d",
+			tab.MetricAfter, tab.SimAfter, tab.AWEAfter)
+	}
+	// The AWE verifier approximates the transient one and stays within
+	// the metric's envelope.
+	if tab.AWEBefore > tab.MetricBefore {
+		t.Errorf("AWE flags %d nets, above the metric's %d", tab.AWEBefore, tab.MetricBefore)
+	}
+	if diff := tab.AWEBefore - tab.SimBefore; diff < -2 || diff > 2 {
+		t.Errorf("AWE (%d) and transient (%d) verdicts far apart", tab.AWEBefore, tab.SimBefore)
+	}
+	if tab.Unfixable != 0 {
+		t.Errorf("%d nets unfixable", tab.Unfixable)
+	}
+	if s := tab.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestTableIIIReproducesShape(t *testing.T) {
+	tab := testSuite(t).RunTableIII()
+	if len(tab.Rows) < 2 {
+		t.Fatalf("only %d rows", len(tab.Rows))
+	}
+	buffOpt := tab.Rows[0]
+	if buffOpt.Name != "BuffOpt" || buffOpt.ViolationsRemaining != 0 {
+		t.Errorf("BuffOpt row = %+v", buffOpt)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	// DelayOpt with the same buffer budget leaves violations (Theorem 2's
+	// empirical face) while inserting at least as many buffers.
+	if last.ViolationsRemaining == 0 {
+		t.Errorf("DelayOpt(max) fixed everything; the Table III contrast is gone")
+	}
+	if last.TotalBuffers <= buffOpt.TotalBuffers {
+		t.Errorf("DelayOpt(max) inserted %d ≤ BuffOpt's %d", last.TotalBuffers, buffOpt.TotalBuffers)
+	}
+	// Violations shrink as k grows.
+	prev := math.MaxInt32
+	for _, r := range tab.Rows[1:] {
+		if r.ViolationsRemaining > prev {
+			t.Errorf("violations increased at %s", r.Name)
+		}
+		prev = r.ViolationsRemaining
+	}
+	if s := tab.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestTableIVPenaltySmall(t *testing.T) {
+	tab := testSuite(t).RunTableIV()
+	if len(tab.Rows) == 0 {
+		t.Fatalf("no rows")
+	}
+	// DelayOpt with the same budget can only be at least as good on
+	// average (equal per-net RATs make slack ≡ max-delay).
+	if tab.AvgDelayOpt < tab.AvgBuffOpt-1e-15 {
+		t.Errorf("DelayOpt average %g worse than BuffOpt %g", tab.AvgDelayOpt, tab.AvgBuffOpt)
+	}
+	// The paper's headline: the noise-avoidance delay penalty is small.
+	if tab.PenaltyPercent < 0 || tab.PenaltyPercent > 10 {
+		t.Errorf("penalty %.2f%% outside [0, 10]", tab.PenaltyPercent)
+	}
+	for _, r := range tab.Rows {
+		if r.Nets <= 0 || r.BuffOptReduction <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	if s := tab.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	f, err := RunFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.FixedByBuffer {
+		t.Errorf("buffer did not fix the Fig. 1 violation")
+	}
+	if f.BufferedSinkPeak >= f.BarePeak {
+		t.Errorf("buffer did not reduce sink noise: %g → %g", f.BarePeak, f.BufferedSinkPeak)
+	}
+	if f.BarePeak > f.MetricBare || f.BufferedSinkPeak > f.MetricBufferedSink {
+		t.Errorf("simulation exceeds the Devgan bound")
+	}
+	if s := f.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestFig3MatchesHandComputation(t *testing.T) {
+	f := RunFig3()
+	if f.CurrentV1 != 3 || f.CurrentRoot != 6 || f.NoiseS1 != 22 || f.NoiseS2 != 23 ||
+		f.SlackV1 != 20 || f.SlackRoot != 11 || f.DriverTerm != 12 || !f.Violation {
+		t.Errorf("worked example drifted: %+v", f)
+	}
+	if s := f.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestTheorem1SweepMonotone(t *testing.T) {
+	sw := RunTheorem1Sweep()
+	if len(sw.Points) == 0 {
+		t.Fatal("empty sweep")
+	}
+	// Within a downstream-current group, l_max strictly decreases with
+	// driver resistance; across groups, more current means shorter wires.
+	byDown := map[float64][]Theorem1Point{}
+	for _, p := range sw.Points {
+		byDown[p.Downstream] = append(byDown[p.Downstream], p)
+	}
+	for down, pts := range byDown {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].DriverR > pts[i-1].DriverR && pts[i].MaxLenMM >= pts[i-1].MaxLenMM {
+				t.Errorf("down %g: l_max not decreasing in driver R", down)
+			}
+		}
+	}
+	if s := sw.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestFig7Positions(t *testing.T) {
+	f, err := RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Clean || len(f.Positions) == 0 {
+		t.Fatalf("Fig. 7 walk failed: %+v", f)
+	}
+	for i := 1; i < len(f.Positions); i++ {
+		if f.Positions[i] <= f.Positions[i-1] {
+			t.Errorf("positions not ascending: %v", f.Positions)
+		}
+	}
+	if f.Positions[len(f.Positions)-1] >= f.LineMM {
+		t.Errorf("buffer beyond the line: %v", f.Positions)
+	}
+	if s := f.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}
+
+func TestSeparationSweepMonotone(t *testing.T) {
+	sw := RunSeparationSweep()
+	if len(sw.Points) < 3 {
+		t.Fatalf("sweep too short: %+v", sw)
+	}
+	for i := 1; i < len(sw.Points); i++ {
+		if sw.Points[i].SeparationUM <= sw.Points[i-1].SeparationUM {
+			t.Errorf("longer lines must need more separation: %+v", sw.Points)
+		}
+	}
+	if s := sw.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}

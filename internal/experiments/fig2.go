@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/core"
+	"buffopt/internal/noise"
+	"buffopt/internal/noisesim"
+	"buffopt/internal/rctree"
+	"buffopt/internal/segment"
+)
+
+// Fig2 demonstrates the wire-segmenting scheme for multiple aggressor
+// nets: a victim wire is cut at every aggressor-overlap boundary so each
+// segment couples to a fixed set of aggressors (Fig. 2 of the paper), and
+// buffer insertion then runs in explicit post-routing mode instead of the
+// uniform estimation mode.
+type Fig2 struct {
+	LineMM   float64
+	Segments int // pieces after boundary segmentation
+	// Currents per segment, A — the I_w of eq. (6) per piece.
+	SegmentCurrents []float64
+	// Buffers placed and the resulting cleanliness in explicit mode.
+	ExplicitBuffers int
+	ExplicitClean   bool
+	SimClean        bool
+	// The estimation-mode result on the same geometry for contrast: the
+	// uniform single-aggressor assumption is pessimistic, so it may place
+	// more buffers.
+	EstimationBuffers int
+}
+
+// RunFig2 builds an 8 mm line crossed by three aggressors with partial
+// overlaps (the Fig. 2 pattern) and repairs it with Algorithm 1 in both
+// modes.
+func RunFig2() (Fig2, error) {
+	tech := noise.SectionV()
+	const mm = 8.0
+	build := func() (*rctree.Tree, rctree.NodeID) {
+		tr := rctree.New("fig2", 250, 0)
+		sink, err := tr.AddSink(tr.Root(),
+			rctree.Wire{R: 80 * mm, C: 200e-15 * mm, Length: mm * 1e-3}, "s", 25e-15, 0, 0.8)
+		if err != nil {
+			panic(err)
+		}
+		return tr, sink
+	}
+	lib := buffers.DefaultLibrary(0.8)
+	out := Fig2{LineMM: mm}
+
+	// Explicit mode: three aggressors, each over part of the line.
+	explicit, sink := build()
+	spans := []segment.Span{
+		{From: 0.5e-3, To: 3.5e-3, Ratio: 0.3, Slope: tech.Slope / 2},
+		{From: 2.5e-3, To: 5.5e-3, Ratio: 0.2, Slope: tech.Slope / 4},
+		{From: 5.0e-3, To: 7.5e-3, Ratio: 0.35, Slope: tech.Slope / 2},
+	}
+	chain, err := segment.ApplyAggressors(explicit, sink, spans)
+	if err != nil {
+		return out, err
+	}
+	out.Segments = len(chain)
+	for _, id := range chain {
+		out.SegmentCurrents = append(out.SegmentCurrents, tech.WireCurrent(explicit.Node(id).Wire))
+	}
+	esol, err := core.Algorithm1(explicit, lib, tech)
+	if err != nil {
+		return out, err
+	}
+	out.ExplicitBuffers = esol.NumBuffers()
+	out.ExplicitClean = noise.Analyze(esol.Tree, esol.Buffers, tech).Clean()
+	sim, err := noisesim.Simulate(esol.Tree, esol.Buffers, noisesim.Options{Params: tech})
+	if err != nil {
+		return out, err
+	}
+	out.SimClean = sim.Clean()
+
+	// Estimation mode on the same bare geometry.
+	estTree, _ := build()
+	ssol, err := core.Algorithm1(estTree, lib, tech)
+	if err != nil {
+		return out, err
+	}
+	out.EstimationBuffers = ssol.NumBuffers()
+	return out, nil
+}
+
+// Format renders the demonstration.
+func (f Fig2) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2: wire segmenting for multiple aggressors (%.0f mm line)\n", f.LineMM)
+	fmt.Fprintf(&b, "segments after boundary cuts: %d\n", f.Segments)
+	for i, c := range f.SegmentCurrents {
+		fmt.Fprintf(&b, "  segment %d injects %.3f mA\n", i+1, c*1e3)
+	}
+	fmt.Fprintf(&b, "explicit mode: %d buffers, metric clean %v, simulation clean %v\n",
+		f.ExplicitBuffers, f.ExplicitClean, f.SimClean)
+	fmt.Fprintf(&b, "estimation mode (uniform λ=0.7): %d buffers — the pessimistic bound\n",
+		f.EstimationBuffers)
+	return b.String()
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestFig2(t *testing.T) {
+	f, err := RunFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three partially overlapping spans over an 8 mm line yield 7 pieces
+	// (2 uncovered ends, 3 single-aggressor, 2 double-aggressor).
+	if f.Segments != 7 {
+		t.Errorf("segments = %d, want 7", f.Segments)
+	}
+	if len(f.SegmentCurrents) != f.Segments {
+		t.Fatalf("current list mismatch")
+	}
+	// Uncovered end pieces inject nothing.
+	if f.SegmentCurrents[0] != 0 || f.SegmentCurrents[f.Segments-1] != 0 {
+		t.Errorf("end segments inject current: %v", f.SegmentCurrents)
+	}
+	// Covered pieces inject something.
+	for i := 1; i < f.Segments-1; i++ {
+		if f.SegmentCurrents[i] <= 0 {
+			t.Errorf("covered segment %d injects nothing", i)
+		}
+	}
+	if !f.ExplicitClean || !f.SimClean {
+		t.Errorf("explicit-mode repair not clean: %+v", f)
+	}
+	// The estimation mode's uniform worst-case assumption can only demand
+	// at least as many buffers as the true explicit coupling.
+	if f.EstimationBuffers < f.ExplicitBuffers {
+		t.Errorf("estimation mode (%d buffers) cheaper than explicit (%d)",
+			f.EstimationBuffers, f.ExplicitBuffers)
+	}
+	if s := f.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}

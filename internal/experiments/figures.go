@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/core"
+	"buffopt/internal/noise"
+	"buffopt/internal/noisesim"
+	"buffopt/internal/rctree"
+)
+
+// Fig1 is the motivating demonstration: coupled noise on a victim line
+// with and without a buffer, measured by the detailed simulator.
+type Fig1 struct {
+	LineMM             float64
+	BarePeak           float64 // simulated sink peak, no buffer, V
+	BufferedSinkPeak   float64 // simulated sink peak with a mid buffer, V
+	BufferedInputPeak  float64 // simulated peak at the buffer input, V
+	MetricBare         float64 // Devgan bound, no buffer, V
+	MetricBufferedSink float64
+	NoiseMargin        float64
+	FixedByBuffer      bool
+}
+
+// RunFig1 builds a Section V-style 4 mm line and inserts one mid buffer.
+func RunFig1() (Fig1, error) {
+	tech := noise.SectionV()
+	const mm = 4.0
+	tr := rctree.New("fig1", 180, 40e-12)
+	sink, err := tr.AddSink(tr.Root(),
+		rctree.Wire{R: 80 * mm, C: 200e-15 * mm, Length: mm * 1e-3}, "sink", 25e-15, 0, 0.8)
+	if err != nil {
+		return Fig1{}, err
+	}
+	out := Fig1{LineMM: mm, NoiseMargin: 0.8}
+
+	bare, err := noisesim.Simulate(tr, nil, noisesim.Options{Params: tech})
+	if err != nil {
+		return Fig1{}, err
+	}
+	out.BarePeak = bare.Peak[sink]
+	out.MetricBare = noise.Analyze(tr, nil, tech).Noise[sink]
+
+	buffered := tr.Clone()
+	mid, err := buffered.SplitWire(buffered.Sinks()[0], 0.5)
+	if err != nil {
+		return Fig1{}, err
+	}
+	b := buffers.Buffer{Name: "BUF", Cin: 20e-15, R: 150, T: 50e-12, NoiseMargin: 0.8}
+	assign := map[rctree.NodeID]buffers.Buffer{mid: b}
+	sim, err := noisesim.Simulate(buffered, assign, noisesim.Options{Params: tech})
+	if err != nil {
+		return Fig1{}, err
+	}
+	s2 := buffered.Sinks()[0]
+	out.BufferedSinkPeak = sim.Peak[s2]
+	out.BufferedInputPeak = sim.Peak[mid]
+	out.MetricBufferedSink = noise.Analyze(buffered, assign, tech).Noise[s2]
+	out.FixedByBuffer = sim.Clean() && !bare.Clean()
+	return out, nil
+}
+
+// Format renders the demonstration.
+func (f Fig1) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1: noise on a %.0f mm victim line (margin %.2f V)\n", f.LineMM, f.NoiseMargin)
+	fmt.Fprintf(&b, "%-26s %-14s %s\n", "", "simulated (V)", "Devgan bound (V)")
+	fmt.Fprintf(&b, "%-26s %-14.3f %.3f\n", "no buffer, sink", f.BarePeak, f.MetricBare)
+	fmt.Fprintf(&b, "%-26s %-14.3f %.3f\n", "mid buffer, sink", f.BufferedSinkPeak, f.MetricBufferedSink)
+	fmt.Fprintf(&b, "%-26s %-14.3f\n", "mid buffer, buffer input", f.BufferedInputPeak)
+	fmt.Fprintf(&b, "violation fixed by the buffer: %v\n", f.FixedByBuffer)
+	return b.String()
+}
+
+// Theorem1Point is one sample of the maximal noise-safe length surface.
+type Theorem1Point struct {
+	DriverR    float64 // Ω
+	Downstream float64 // A
+	MaxLenMM   float64
+}
+
+// Theorem1Sweep samples eq. (13): l_max versus driver resistance for
+// several downstream currents, under Section V wire parasitics. This is
+// the shape behind Fig. 6's discussion: the safe length shrinks as the
+// driver weakens or the subtree already carries current.
+type Theorem1Sweep struct {
+	Points []Theorem1Point
+}
+
+// RunTheorem1Sweep computes the sweep.
+func RunTheorem1Sweep() Theorem1Sweep {
+	tech := noise.SectionV()
+	const (
+		r  = 80e3    // Ω/m
+		c  = 200e-12 // F/m
+		nm = 0.8
+	)
+	iu := tech.PerCap() * c
+	var out Theorem1Sweep
+	for _, down := range []float64{0, 0.5e-3, 1e-3} {
+		for _, rb := range []float64{50, 100, 200, 400, 800} {
+			ns := nm
+			l, err := core.MaxSafeLength(rb, r, iu, down, ns)
+			if err != nil {
+				out.Points = append(out.Points, Theorem1Point{DriverR: rb, Downstream: down, MaxLenMM: 0})
+				continue
+			}
+			out.Points = append(out.Points, Theorem1Point{DriverR: rb, Downstream: down, MaxLenMM: l * 1e3})
+		}
+	}
+	return out
+}
+
+// Format renders the sweep as rows.
+func (t Theorem1Sweep) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Theorem 1: maximal noise-safe wire length (mm), Section V wires, NM = 0.8 V\n")
+	fmt.Fprintf(&b, "%-12s %-16s %s\n", "driver R", "downstream (mA)", "l_max (mm)")
+	for _, p := range t.Points {
+		fmt.Fprintf(&b, "%-12.0f %-16.2f %.3f\n", p.DriverR, p.Downstream*1e3, p.MaxLenMM)
+	}
+	return b.String()
+}
+
+// SeparationPoint samples eq. (17).
+type SeparationPoint struct {
+	LineMM       float64
+	SeparationUM float64
+}
+
+// SeparationSweep is the required victim-aggressor spacing versus line
+// length under the geometric coupling model λ(d) = β/d.
+type SeparationSweep struct {
+	Beta   float64
+	Points []SeparationPoint
+}
+
+// RunSeparationSweep computes eq. (17) across line lengths.
+func RunSeparationSweep() SeparationSweep {
+	tech := noise.SectionV()
+	const (
+		r    = 80e3
+		c    = 200e-12
+		rb   = 180.0
+		nm   = 0.8
+		beta = 0.35e-6 // λ = 0.7 at 0.5 µm spacing
+	)
+	out := SeparationSweep{Beta: beta}
+	for _, mm := range []float64{0.5, 1, 1.5, 2, 2.5, 3} {
+		l := mm * 1e-3
+		d, err := core.RequiredSeparation(rb, r, c, tech.Slope, beta, 0, nm, l)
+		if err != nil {
+			continue
+		}
+		out.Points = append(out.Points, SeparationPoint{LineMM: mm, SeparationUM: d * 1e6})
+	}
+	return out
+}
+
+// Format renders the sweep.
+func (s SeparationSweep) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Eq. 17: required aggressor separation (β = %.2g m)\n", s.Beta)
+	fmt.Fprintf(&b, "%-12s %s\n", "line (mm)", "separation (µm)")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%-12.1f %.3f\n", p.LineMM, p.SeparationUM)
+	}
+	return b.String()
+}
+
+// Fig7 walks Algorithm 1 up a long two-pin line and reports the buffer
+// positions (distance from the sink, mm) — the iterative application of
+// Theorem 1 the figure illustrates.
+type Fig7 struct {
+	LineMM    float64
+	Positions []float64 // mm from the sink
+	Clean     bool
+}
+
+// RunFig7 runs Algorithm 1 on a 12 mm Section V line.
+func RunFig7() (Fig7, error) {
+	tech := noise.SectionV()
+	const mm = 12.0
+	tr := rctree.New("fig7", 250, 0)
+	if _, err := tr.AddSink(tr.Root(),
+		rctree.Wire{R: 80 * mm, C: 200e-15 * mm, Length: mm * 1e-3}, "s", 30e-15, 0, 0.8); err != nil {
+		return Fig7{}, err
+	}
+	lib := buffers.DefaultLibrary(0.8)
+	sol, err := core.Algorithm1(tr, lib, tech)
+	if err != nil {
+		return Fig7{}, err
+	}
+	out := Fig7{LineMM: mm}
+	// Positions: walk from the sink up, accumulating wire length.
+	sink := sol.Tree.Sinks()[0]
+	dist := 0.0
+	for v := sink; v != sol.Tree.Root(); v = sol.Tree.Node(v).Parent {
+		dist += sol.Tree.Node(v).Wire.Length
+		if _, ok := sol.Buffers[sol.Tree.Node(v).Parent]; ok {
+			out.Positions = append(out.Positions, dist*1e3)
+		}
+	}
+	out.Clean = noise.Analyze(sol.Tree, sol.Buffers, tech).Clean()
+	return out, nil
+}
+
+// Format renders the walk.
+func (f Fig7) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7: Algorithm 1 maximal placements on a %.0f mm line\n", f.LineMM)
+	fmt.Fprintf(&b, "buffers: %d, noise clean: %v\n", len(f.Positions), f.Clean)
+	for i, p := range f.Positions {
+		fmt.Fprintf(&b, "buffer %d at %.3f mm from the sink\n", i+1, p)
+	}
+	return b.String()
+}
+
+// Fig3 prints the worked noise computation of the paper's example tree
+// (Section II-B) using this repository's reconstructed instance.
+type Fig3 struct {
+	CurrentV1, CurrentRoot float64
+	NoiseS1, NoiseS2       float64
+	SlackV1, SlackRoot     float64
+	DriverTerm             float64
+	Violation              bool
+}
+
+// RunFig3 evaluates the worked example.
+func RunFig3() Fig3 {
+	p := noise.Params{CouplingRatio: 1, Slope: 1}
+	tr := rctree.New("fig3", 2, 0)
+	v1, _ := tr.AddInternal(tr.Root(), rctree.Wire{R: 2, C: 3, Length: 3}, true)
+	s1, _ := tr.AddSink(v1, rctree.Wire{R: 1, C: 2, Length: 2}, "s1", 1, 0, 25)
+	s2, _ := tr.AddSink(v1, rctree.Wire{R: 4, C: 1, Length: 1}, "s2", 2, 0, 22)
+	r := noise.Analyze(tr, nil, p)
+	ns := noise.Slacks(tr, p)
+	return Fig3{
+		CurrentV1:   r.Downstream[v1],
+		CurrentRoot: r.Downstream[tr.Root()],
+		NoiseS1:     r.Noise[s1],
+		NoiseS2:     r.Noise[s2],
+		SlackV1:     ns[v1],
+		SlackRoot:   ns[tr.Root()],
+		DriverTerm:  tr.DriverResistance * r.Downstream[tr.Root()],
+		Violation:   !r.Clean(),
+	}
+}
+
+// Format renders the example.
+func (f Fig3) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3: worked noise computation (unit λμ)\n")
+	fmt.Fprintf(&b, "I(v1) = %.1f, I(so) = %.1f\n", f.CurrentV1, f.CurrentRoot)
+	fmt.Fprintf(&b, "Noise(s1) = %.1f, Noise(s2) = %.1f\n", f.NoiseS1, f.NoiseS2)
+	fmt.Fprintf(&b, "NS(v1) = %.1f, NS(so) = %.1f, driver term R_so·I = %.1f\n", f.SlackV1, f.SlackRoot, f.DriverTerm)
+	fmt.Fprintf(&b, "violation: %v (driver term exceeds NS(so))\n", f.Violation)
+	return b.String()
+}

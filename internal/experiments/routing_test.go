@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+func TestRoutingAblation(t *testing.T) {
+	a, err := RunRoutingAblation(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(a.Rows))
+	}
+	var mst, pd, st *RoutingRow
+	for i := range a.Rows {
+		switch a.Rows[i].Name {
+		case "rect. MST":
+			mst = &a.Rows[i]
+		case "Prim-Dijkstra(.5)":
+			pd = &a.Rows[i]
+		case "1-Steiner":
+			st = &a.Rows[i]
+		}
+	}
+	if mst == nil || pd == nil || st == nil {
+		t.Fatalf("missing rows: %+v", a.Rows)
+	}
+	for _, r := range a.Rows {
+		if r.Failures != 0 {
+			t.Errorf("%s: %d failures", r.Name, r.Failures)
+		}
+		if r.WirelengthMM <= 0 || r.Buffers <= 0 || r.FixedDelayPS <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Name, r)
+		}
+		// BuffOpt must actually help the delay on these noisy nets.
+		if r.FixedDelayPS >= r.BareDelayPS {
+			t.Errorf("%s: buffering did not reduce total delay (%g → %g)",
+				r.Name, r.BareDelayPS, r.FixedDelayPS)
+		}
+	}
+	// Structural orderings of the heuristics.
+	if st.WirelengthMM > mst.WirelengthMM+1e-9 {
+		t.Errorf("1-Steiner wirelength %g exceeds MST %g", st.WirelengthMM, mst.WirelengthMM)
+	}
+	if pd.WirelengthMM < mst.WirelengthMM-1e-9 {
+		t.Errorf("PD(0.5) wirelength %g below MST %g", pd.WirelengthMM, mst.WirelengthMM)
+	}
+	if s := a.Format(); s == "" {
+		t.Errorf("empty format")
+	}
+}

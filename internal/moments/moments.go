@@ -1,0 +1,322 @@
+// Package moments implements moment computation and reduced-order (AWE /
+// RICE-style) delay estimation on RC trees — the model-order-reduction
+// machinery the paper's introduction discusses as the engine behind
+// detailed analysis tools like 3dnoise ("accurate moment-matching based
+// techniques that are similar to RICE", Section V).
+//
+// For a step applied behind the driver resistance, the voltage transfer
+// to node v has the Taylor expansion H_v(s) = Σ_k m_k(v)·s^k. Moments
+// follow the classic O(n)-per-order tree recursion: the k-th moment
+// "current" injected at node u is C_u·m_{k−1}(u), and m_k drops along
+// each resistance by the downstream moment current.
+//
+// The first moment recovers the Elmore delay exactly (m1 = −T_Elmore),
+// which the test suite exploits as a cross-check against package elmore;
+// a two-pole Padé approximation of H(s) then gives threshold-crossing
+// delays that track the transient simulator far more closely than the
+// Elmore bound.
+package moments
+
+import (
+	"fmt"
+	"math"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/rctree"
+)
+
+// Moments holds m_0..m_K for every node of an unbuffered tree.
+type Moments struct {
+	// M[k][v] is the k-th moment of node v's transfer function.
+	M [][]float64
+}
+
+// Compute returns the first maxOrder+1 moments (orders 0..maxOrder) of
+// every node of the unbuffered tree, driven through the tree's driver
+// resistance. Wire capacitances are lumped half at each end (the π-model
+// used everywhere in this repository), so m1 equals the negative Elmore
+// delay exactly.
+func Compute(t *rctree.Tree, maxOrder int) (*Moments, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if maxOrder < 1 {
+		return nil, fmt.Errorf("moments: order %d must be at least 1", maxOrder)
+	}
+	n := t.Len()
+
+	// Nodal capacitance: half of every incident wire plus pin caps.
+	cap := make([]float64, n)
+	for _, v := range t.Preorder() {
+		node := t.Node(v)
+		if v != t.Root() {
+			cap[v] += node.Wire.C / 2
+			cap[node.Parent] += node.Wire.C / 2
+		}
+		if node.Kind == rctree.Sink {
+			cap[v] += node.Cap
+		}
+	}
+
+	post := t.Postorder()
+	pre := t.Preorder()
+
+	m := make([][]float64, maxOrder+1)
+	m[0] = make([]float64, n)
+	for i := range m[0] {
+		m[0][i] = 1 // DC gain
+	}
+	for k := 1; k <= maxOrder; k++ {
+		prev := m[k-1]
+		// Downstream moment current: S[v] = Σ_{u ∈ subtree(v)} C_u·m_{k−1}(u).
+		s := make([]float64, n)
+		for _, v := range post {
+			s[v] = cap[v] * prev[v]
+			for _, c := range t.Node(v).Children {
+				s[v] += s[c]
+			}
+		}
+		cur := make([]float64, n)
+		for _, v := range pre {
+			if v == t.Root() {
+				cur[v] = -t.DriverResistance * s[v]
+				continue
+			}
+			cur[v] = cur[t.Node(v).Parent] - t.Node(v).Wire.R*s[v]
+		}
+		m[k] = cur
+	}
+	return &Moments{M: m}, nil
+}
+
+// ElmoreDelay returns −m1 for every node: exactly the Elmore delay from
+// the driver input (excluding the driver's intrinsic delay).
+func (m *Moments) ElmoreDelay() []float64 {
+	out := make([]float64, len(m.M[1]))
+	for i, v := range m.M[1] {
+		out[i] = -v
+	}
+	return out
+}
+
+// TwoPole is a reduced-order model of one node's transfer function:
+// H(s) ≈ (1 + a·s) / (1 + b1·s + b2·s²), matched to m1..m3 (an AWE [1/2]
+// Padé approximant).
+type TwoPole struct {
+	A, B1, B2 float64
+	// P1, P2 are the (negative, real) poles; Stable is false when the
+	// approximant's poles are complex or non-negative, in which case
+	// callers should fall back to the Elmore estimate.
+	P1, P2 float64
+	Stable bool
+}
+
+// Reduce builds the two-pole model for node v.
+func (m *Moments) Reduce(v rctree.NodeID) (TwoPole, error) {
+	if len(m.M) < 4 {
+		return TwoPole{}, fmt.Errorf("moments: need orders up to 3, have %d", len(m.M)-1)
+	}
+	m1, m2, m3 := m.M[1][v], m.M[2][v], m.M[3][v]
+	den := m2 - m1*m1
+	if den == 0 {
+		return TwoPole{}, fmt.Errorf("moments: degenerate moments at node %d", v)
+	}
+	b1 := (m1*m2 - m3) / den
+	b2 := -m2 - b1*m1
+	tp := TwoPole{A: b1 + m1, B1: b1, B2: b2}
+	if b2 != 0 {
+		disc := b1*b1 - 4*b2
+		if disc >= 0 {
+			r := math.Sqrt(disc)
+			tp.P1 = (-b1 + r) / (2 * b2)
+			tp.P2 = (-b1 - r) / (2 * b2)
+			tp.Stable = tp.P1 < 0 && tp.P2 < 0
+		}
+	} else if b1 > 0 {
+		// Single-pole degenerate case.
+		tp.P1 = -1 / b1
+		tp.P2 = tp.P1
+		tp.Stable = true
+	}
+	return tp, nil
+}
+
+// Step evaluates the reduced model's unit step response at time t ≥ 0.
+func (tp TwoPole) Step(t float64) float64 {
+	if !tp.Stable {
+		return math.NaN()
+	}
+	if tp.P1 == tp.P2 {
+		// Repeated pole: v(t) = 1 − (1 + (p·a−1)·p·t)·e^{p·t} with the
+		// residue worked out from H(s)/s; use the limit form.
+		p := tp.P1
+		k := (1 + tp.A*p)
+		return 1 - math.Exp(p*t)*(1-k*p*t)
+	}
+	// Partial fractions of H(s)/s: residues at 0, p1, p2 (using
+	// p1·p2 = 1/b2). k1 + k2 = −1, so Step(0) = 0 and Step(∞) = 1.
+	k1 := (1 + tp.A*tp.P1) * tp.P2 / (tp.P1 - tp.P2)
+	k2 := -(1 + tp.A*tp.P2) * tp.P1 / (tp.P1 - tp.P2)
+	return 1 + k1*math.Exp(tp.P1*t) + k2*math.Exp(tp.P2*t)
+}
+
+// Delay returns the time at which the reduced step response first crosses
+// the given threshold (0 < threshold < 1), by bisection. An error is
+// returned for unstable approximants.
+func (tp TwoPole) Delay(threshold float64) (float64, error) {
+	if !tp.Stable {
+		return 0, fmt.Errorf("moments: unstable two-pole model")
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return 0, fmt.Errorf("moments: threshold %g outside (0, 1)", threshold)
+	}
+	// Bracket: the slowest time constant bounds the settling.
+	tau := math.Max(-1/tp.P1, -1/tp.P2)
+	hi := tau
+	for i := 0; i < 200 && tp.Step(hi) < threshold; i++ {
+		hi *= 2
+	}
+	if tp.Step(hi) < threshold {
+		return 0, fmt.Errorf("moments: response never reaches %g", threshold)
+	}
+	lo := 0.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if tp.Step(mid) < threshold {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// Delay50 returns the 50% threshold delay for every sink, falling back to
+// the Elmore value when the reduced model is unstable (rare, and always
+// conservative).
+func Delay50(t *rctree.Tree) (map[rctree.NodeID]float64, error) {
+	m, err := Compute(t, 3)
+	if err != nil {
+		return nil, err
+	}
+	elmore := m.ElmoreDelay()
+	out := make(map[rctree.NodeID]float64)
+	for _, s := range t.Sinks() {
+		tp, err := m.Reduce(s)
+		if err == nil && tp.Stable {
+			if d, err := tp.Delay(0.5); err == nil {
+				out[s] = d
+				continue
+			}
+		}
+		out[s] = elmore[s]
+	}
+	return out, nil
+}
+
+// Delay50Buffered returns the 50% threshold delay of every sink of a
+// buffered tree. A buffer restores the signal edge, so a buffered path
+// decomposes into stages: each restoring gate drives one subnet, the
+// subnet's 50% delay comes from its own reduced-order model, and the gate
+// delays (driver and buffers, eq. 3) add — the standard stage-wise
+// composition for repeated interconnect.
+//
+// Buffer intrinsic delays are taken from the assignment; the driver's
+// from the tree. Unstable reductions fall back to the stage's Elmore
+// delay, keeping the total an upper-bound-leaning estimate.
+func Delay50Buffered(t *rctree.Tree, assign map[rctree.NodeID]buffers.Buffer) (map[rctree.NodeID]float64, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	// Split the tree into subnets at the buffers, exactly as the elmore
+	// analyzer does, but materialize each subnet as a standalone tree so
+	// the unbuffered machinery above applies.
+	type stage struct {
+		tree *rctree.Tree
+		// fromBase maps base node → subnet node for sinks and buffer
+		// inputs of this stage.
+		fromBase map[rctree.NodeID]rctree.NodeID
+	}
+	buildStage := func(root rctree.NodeID, driverR, driverT float64) (*stage, error) {
+		st := &stage{fromBase: map[rctree.NodeID]rctree.NodeID{}}
+		sub := rctree.New("stage", driverR, driverT)
+		st.tree = sub
+		var walk func(baseParent rctree.NodeID, subParent rctree.NodeID) error
+		walk = func(baseParent, subParent rctree.NodeID) error {
+			for _, c := range t.Node(baseParent).Children {
+				node := t.Node(c)
+				if b, ok := assign[c]; ok {
+					// The buffer input terminates this stage as a sink
+					// with the buffer's input capacitance.
+					id, err := sub.AddSink(subParent, node.Wire, "buf", b.Cin, 0, b.NoiseMargin)
+					if err != nil {
+						return err
+					}
+					st.fromBase[c] = id
+					continue
+				}
+				if node.Kind == rctree.Sink {
+					id, err := sub.AddSink(subParent, node.Wire, node.Name, node.Cap, node.RAT, node.NoiseMargin)
+					if err != nil {
+						return err
+					}
+					st.fromBase[c] = id
+					continue
+				}
+				id, err := sub.AddInternal(subParent, node.Wire, node.BufferOK)
+				if err != nil {
+					return err
+				}
+				if err := walk(c, id); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(root, sub.Root()); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+
+	// arrival[v] is the 50% arrival at each restoring-stage output root
+	// (the source, or a buffer's output).
+	out := make(map[rctree.NodeID]float64)
+	type item struct {
+		root    rctree.NodeID
+		atInput float64 // accumulated delay at the stage driver's input
+		r, tint float64 // stage driver model
+	}
+	queue := []item{{root: t.Root(), atInput: 0, r: t.DriverResistance, tint: t.DriverDelay}}
+	for len(queue) > 0 {
+		it := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		st, err := buildStage(it.root, it.r, it.tint)
+		if err != nil {
+			return nil, err
+		}
+		if st.tree.NumSinks() == 0 {
+			continue
+		}
+		d, err := Delay50(st.tree)
+		if err != nil {
+			return nil, err
+		}
+		// The stage's reduced model already includes the driving
+		// resistance (Compute folds it into the moments); only the gate's
+		// intrinsic delay is added on top.
+		for base, subNode := range st.fromBase {
+			stageDelay, ok := d[subNode]
+			if !ok {
+				continue
+			}
+			arr := it.atInput + it.tint + stageDelay
+			if b, buffered := assign[base]; buffered {
+				queue = append(queue, item{root: base, atInput: arr, r: b.R, tint: b.T})
+				continue
+			}
+			out[base] = arr
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,308 @@
+package moments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/circuit"
+	"buffopt/internal/elmore"
+	"buffopt/internal/rctree"
+	"buffopt/internal/testutil"
+)
+
+func near(a, b, rel float64) bool {
+	return math.Abs(a-b) <= rel*(1e-30+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestFirstMomentIsElmore: m1 = −T_Elmore exactly, on random trees,
+// cross-checked against the independent elmore package (whose arrival
+// times include the driver's intrinsic delay, subtracted here).
+func TestFirstMomentIsElmore(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{MaxInternal: 8, MaxSinks: 5})
+		m, err := Compute(tr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := m.ElmoreDelay()
+		an := elmore.Analyze(tr, nil)
+		for _, s := range tr.Sinks() {
+			want := an.Arrival[s] - tr.DriverDelay
+			if !near(d[s], want, 1e-9) {
+				t.Fatalf("trial %d sink %d: moment delay %g, elmore %g", trial, s, d[s], want)
+			}
+		}
+	}
+}
+
+// TestMomentSigns: for RC trees the moments alternate in sign:
+// m1 < 0, m2 > 0, m3 < 0 at every node with upstream resistance.
+func TestMomentSigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 100; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{MaxInternal: 6, MaxSinks: 4})
+		m, err := Compute(tr, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range tr.Sinks() {
+			if !(m.M[1][s] < 0 && m.M[2][s] > 0 && m.M[3][s] < 0) {
+				t.Fatalf("trial %d sink %d: moments %g, %g, %g do not alternate",
+					trial, s, m.M[1][s], m.M[2][s], m.M[3][s])
+			}
+		}
+	}
+}
+
+// TestTwoPoleStepShape: the reduced response starts at ~0, ends at 1, and
+// is monotone for stable real-pole models.
+func TestTwoPoleStepShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	stable := 0
+	for trial := 0; trial < 100; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{MaxInternal: 6, MaxSinks: 4})
+		m, err := Compute(tr, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range tr.Sinks() {
+			tp, err := m.Reduce(s)
+			if err != nil || !tp.Stable {
+				continue
+			}
+			stable++
+			if v := tp.Step(0); math.Abs(v) > 1e-9 {
+				t.Fatalf("trial %d: Step(0) = %g", trial, v)
+			}
+			tau := math.Max(-1/tp.P1, -1/tp.P2)
+			if v := tp.Step(50 * tau); math.Abs(v-1) > 1e-6 {
+				t.Fatalf("trial %d: Step(∞) = %g", trial, v)
+			}
+			// The exact RC response is monotone; the Padé approximant may
+			// wiggle slightly because of its zero, but must stay within a
+			// small band and never leave [−1%, 101%].
+			prev := 0.0
+			for i := 1; i <= 100; i++ {
+				v := tp.Step(float64(i) * tau / 10)
+				if v < prev-1e-2 {
+					t.Fatalf("trial %d: step response dropped %g → %g", trial, prev, v)
+				}
+				if v < -0.01 || v > 1.01 {
+					t.Fatalf("trial %d: step response out of band: %g", trial, v)
+				}
+				prev = v
+			}
+		}
+	}
+	if stable < 50 {
+		t.Fatalf("only %d stable reductions; generator too degenerate", stable)
+	}
+}
+
+// simDelay50 measures the 50% crossing of the real circuit: step source
+// behind the driver resistance into the tree's RC.
+func simDelay50(t *testing.T, tr *rctree.Tree, sink rctree.NodeID, tau float64) float64 {
+	t.Helper()
+	nl := circuit.New()
+	nodes := make([]int, tr.Len())
+	src := nl.Node("vsrc")
+	if err := nl.AddV(src, circuit.Ground, circuit.Ramp{V1: 1, Rise: tau / 1e4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range tr.Preorder() {
+		nodes[v] = nl.Node("")
+		node := tr.Node(v)
+		if v == tr.Root() {
+			r := tr.DriverResistance
+			if r <= 0 {
+				r = 1e-3
+			}
+			if err := nl.AddR(src, nodes[v], r); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			r := node.Wire.R
+			if r <= 0 {
+				r = 1e-6
+			}
+			if err := nl.AddR(nodes[node.Parent], nodes[v], r); err != nil {
+				t.Fatal(err)
+			}
+			if err := nl.AddC(nodes[node.Parent], circuit.Ground, node.Wire.C/2); err != nil {
+				t.Fatal(err)
+			}
+			if err := nl.AddC(nodes[v], circuit.Ground, node.Wire.C/2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if node.Kind == rctree.Sink {
+			if err := nl.AddC(nodes[v], circuit.Ground, node.Cap); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res, err := circuit.Transient(nl, circuit.TranOptions{
+		Step: tau / 2000, Duration: 10 * tau, Probes: []int{nodes[sink]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave := res.Waves[nodes[sink]]
+	for i, v := range wave {
+		if v >= 0.5 {
+			return res.Times[i]
+		}
+	}
+	t.Fatalf("sink never crossed 50%%")
+	return 0
+}
+
+// TestTwoPoleBeatsElmoreAgainstSimulation: the reduced-order 50% delay
+// tracks the transient simulator more closely than the Elmore bound, and
+// Elmore stays an upper bound on the simulated 50% delay (its classic
+// property for RC trees).
+func TestTwoPoleBeatsElmoreAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	wins, trials := 0, 0
+	for trial := 0; trial < 12; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{MaxInternal: 5, MaxSinks: 3})
+		m, err := Compute(tr, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elm := m.ElmoreDelay()
+		sinks := tr.Sinks()
+		s := sinks[rng.Intn(len(sinks))]
+		if elm[s] <= 0 {
+			continue
+		}
+		tp, err := m.Reduce(s)
+		if err != nil || !tp.Stable {
+			continue
+		}
+		d2, err := tp.Delay(0.5)
+		if err != nil {
+			continue
+		}
+		sim := simDelay50(t, tr, s, elm[s])
+		if sim > elm[s]*(1+0.02) {
+			t.Errorf("trial %d: simulated 50%% delay %g exceeds Elmore %g", trial, sim, elm[s])
+		}
+		trials++
+		if math.Abs(d2-sim) <= math.Abs(elm[s]-sim) {
+			wins++
+		}
+	}
+	if trials < 5 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+	if wins*2 < trials {
+		t.Errorf("two-pole beat Elmore only %d/%d times", wins, trials)
+	}
+}
+
+// TestDelay50Wrapper covers the convenience API and its Elmore fallback.
+func TestDelay50Wrapper(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	tr := testutil.RandomTree(rng, testutil.TreeOptions{MaxInternal: 5, MaxSinks: 4})
+	d, err := Delay50(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != tr.NumSinks() {
+		t.Fatalf("got %d delays for %d sinks", len(d), tr.NumSinks())
+	}
+	m, _ := Compute(tr, 3)
+	elm := m.ElmoreDelay()
+	for s, v := range d {
+		if v <= 0 || v > elm[s]+1e-12 {
+			t.Errorf("sink %d: 50%% delay %g outside (0, Elmore=%g]", s, v, elm[s])
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	tr := rctree.New("x", 1, 0)
+	if _, err := Compute(tr, 3); err == nil {
+		t.Errorf("invalid (sink-less) tree accepted")
+	}
+	if _, err := tr.AddSink(tr.Root(), rctree.Wire{R: 1, C: 1, Length: 1}, "s", 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compute(tr, 0); err == nil {
+		t.Errorf("order 0 accepted")
+	}
+	m, err := Compute(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Reduce(1); err == nil {
+		t.Errorf("Reduce with too few moments accepted")
+	}
+	m3, _ := Compute(tr, 3)
+	tp, err := m3.Reduce(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.Delay(0); err == nil {
+		t.Errorf("threshold 0 accepted")
+	}
+	if _, err := tp.Delay(1.5); err == nil {
+		t.Errorf("threshold > 1 accepted")
+	}
+}
+
+// TestDelay50Buffered: the stage-wise reduced-order delay of a buffered
+// line lands between zero and the Elmore arrival, and tracks the
+// analyzer's structure (more buffers on a long line → smaller 50% delay,
+// same ordering as Elmore).
+func TestDelay50Buffered(t *testing.T) {
+	tr := rctree.New("line", 2, 0.3)
+	sink, err := tr.AddSink(tr.Root(), rctree.Wire{R: 8, C: 8, Length: 8}, "s", 0.3, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert two buffers by hand at thirds.
+	n1, err := tr.SplitWire(sink, 1.0/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := tr.SplitWire(n1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := buffers.Buffer{Name: "B", Cin: 0.2, R: 1, T: 0.4, NoiseMargin: 5}
+	assign := map[rctree.NodeID]buffers.Buffer{n1: buf, n2: buf}
+
+	d, err := Delay50Buffered(tr, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d[sink]
+	if !ok || got <= 0 {
+		t.Fatalf("no sink delay: %v", d)
+	}
+	elm := elmore.Analyze(tr, assign)
+	if got > elm.Arrival[sink] {
+		t.Errorf("50%% delay %g above Elmore arrival %g", got, elm.Arrival[sink])
+	}
+	if got < 0.3*elm.Arrival[sink] {
+		t.Errorf("50%% delay %g implausibly far below Elmore %g", got, elm.Arrival[sink])
+	}
+
+	// Unbuffered comparison: Delay50Buffered(nil) ≡ Delay50 + driver T.
+	plain, err := Delay50Buffered(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Delay50(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := plain[sink] - (base[sink] + tr.DriverDelay); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("unbuffered composition off by %g", diff)
+	}
+}

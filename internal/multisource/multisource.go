@@ -1,0 +1,315 @@
+// Package multisource handles nets with more than one driver — buses and
+// bidirectional signals — the extension the paper attributes to Lillis
+// [17] ("Timing optimization for multi-source nets: characterization and
+// optimal repeater insertion").
+//
+// A multi-source net is an unrooted routing tree with k terminals, each
+// of which can either drive the net (one at a time) or receive it. Mode i
+// re-roots the tree at terminal i; inserted repeaters are bidirectional
+// (an anti-parallel pair at one location, the standard realization), so a
+// single placement must satisfy the timing and noise constraints of every
+// mode simultaneously.
+//
+// The package provides the re-rooting transform with a stable node
+// mapping, per-mode analysis, and a worst-mode optimizer built on the
+// same greedy framework as core.GreedyIterative. The exact multi-mode
+// dynamic program of [17] is out of scope (see DESIGN.md); the optimizer
+// here is a documented heuristic whose results are verified mode-by-mode
+// with the standard analyzers.
+package multisource
+
+import (
+	"fmt"
+	"math"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/elmore"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// Terminal is one endpoint that can both drive and receive.
+type Terminal struct {
+	// Node is the terminal's node in the base tree: the source for
+	// terminal 0, a sink for the others.
+	Node rctree.NodeID
+	// Driving personality (used when this terminal is the active source).
+	DriverR, DriverT float64
+	// Receiving personality (used in every other mode).
+	Cap, RAT, NoiseMargin float64
+}
+
+// Net is a multi-source net: a base tree rooted at terminal 0 plus the
+// terminal list.
+type Net struct {
+	Base      *rctree.Tree
+	Terminals []Terminal
+}
+
+// Validate checks the net's structure.
+func (n *Net) Validate() error {
+	if err := n.Base.Validate(); err != nil {
+		return err
+	}
+	if len(n.Terminals) < 2 {
+		return fmt.Errorf("multisource: need at least 2 terminals, have %d", len(n.Terminals))
+	}
+	if n.Terminals[0].Node != n.Base.Root() {
+		return fmt.Errorf("multisource: terminal 0 must be the base root")
+	}
+	for i, term := range n.Terminals {
+		if i == 0 {
+			continue
+		}
+		if int(term.Node) >= n.Base.Len() || n.Base.Node(term.Node).Kind != rctree.Sink {
+			return fmt.Errorf("multisource: terminal %d node %d is not a sink of the base tree", i, term.Node)
+		}
+		if term.DriverR <= 0 {
+			return fmt.Errorf("multisource: terminal %d has no driving resistance", i)
+		}
+	}
+	return nil
+}
+
+// Mode returns the tree rooted at terminal i — terminal i becomes the
+// source with its driving personality, every other terminal a sink with
+// its receiving personality — plus the mapping from base node IDs to mode
+// node IDs (terminals may gain a zero-wire pin node; the map points at
+// the node carrying the original node's position in the topology, which
+// is where a buffer at that base node lands).
+func (n *Net) Mode(i int) (*rctree.Tree, map[rctree.NodeID]rctree.NodeID, error) {
+	if err := n.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if i < 0 || i >= len(n.Terminals) {
+		return nil, nil, fmt.Errorf("multisource: mode %d out of range", i)
+	}
+	term := n.Terminals[i]
+
+	// Undirected adjacency with the wire attached to each edge.
+	type edge struct {
+		to   rctree.NodeID
+		wire rctree.Wire
+	}
+	adj := make([][]edge, n.Base.Len())
+	for _, v := range n.Base.Preorder() {
+		if v == n.Base.Root() {
+			continue
+		}
+		p := n.Base.Node(v).Parent
+		w := n.Base.Node(v).Wire
+		adj[p] = append(adj[p], edge{to: v, wire: w})
+		adj[v] = append(adj[v], edge{to: p, wire: w})
+	}
+	termIdx := map[rctree.NodeID]int{}
+	for ti, t := range n.Terminals {
+		termIdx[t.Node] = ti
+	}
+
+	out := rctree.New(n.Base.Node(n.Base.Root()).Name, term.DriverR, term.DriverT)
+	out.Node(out.Root()).X = n.Base.Node(term.Node).X
+	out.Node(out.Root()).Y = n.Base.Node(term.Node).Y
+
+	mapping := map[rctree.NodeID]rctree.NodeID{term.Node: out.Root()}
+	visited := make([]bool, n.Base.Len())
+	visited[term.Node] = true
+
+	// DFS from the new root; attach every neighbor through its edge wire.
+	type frame struct {
+		base rctree.NodeID
+		mode rctree.NodeID
+	}
+	stack := []frame{{base: term.Node, mode: out.Root()}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range adj[f.base] {
+			if visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			baseNode := n.Base.Node(e.to)
+			ti, isTerm := termIdx[e.to]
+			degree := len(adj[e.to])
+
+			var id rctree.NodeID
+			var err error
+			switch {
+			case isTerm && degree == 1:
+				// A leaf terminal: plain sink with its receiving data.
+				t := n.Terminals[ti]
+				id, err = out.AddSink(f.mode, e.wire, baseNode.Name, t.Cap, t.RAT, t.NoiseMargin)
+			case isTerm:
+				// A through terminal (the old root with children, or a
+				// tapped sink): internal routing node plus a zero-wire pin.
+				id, err = out.AddInternal(f.mode, e.wire, baseNode.BufferOK || baseNode.Kind != rctree.Internal)
+				if err == nil {
+					t := n.Terminals[ti]
+					_, err = out.AddSink(id, rctree.Wire{}, baseNode.Name, t.Cap, t.RAT, t.NoiseMargin)
+				}
+			case baseNode.Kind == rctree.Sink:
+				id, err = out.AddSink(f.mode, e.wire, baseNode.Name, baseNode.Cap, baseNode.RAT, baseNode.NoiseMargin)
+			default:
+				id, err = out.AddInternal(f.mode, e.wire, baseNode.BufferOK)
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			out.Node(id).X, out.Node(id).Y = baseNode.X, baseNode.Y
+			mapping[e.to] = id
+			stack = append(stack, frame{base: e.to, mode: id})
+		}
+	}
+	out.Binarize()
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("multisource: mode %d tree invalid: %w", i, err)
+	}
+	return out, mapping, nil
+}
+
+// Placement is a bidirectional-repeater assignment on base-tree nodes.
+type Placement = map[rctree.NodeID]buffers.Buffer
+
+// ModeReport is one mode's analysis of a placement.
+type ModeReport struct {
+	Mode       int
+	Slack      float64
+	MaxDelay   float64
+	Violations int
+	// Excess is the total noise above margins across the mode's gate
+	// inputs, V — the hill-climbing signal between violation counts.
+	Excess float64
+}
+
+// Evaluate analyzes a placement in every mode.
+func (n *Net) Evaluate(assign Placement, p noise.Params) ([]ModeReport, error) {
+	reports := make([]ModeReport, len(n.Terminals))
+	for i := range n.Terminals {
+		tree, mapping, err := n.Mode(i)
+		if err != nil {
+			return nil, err
+		}
+		modeAssign := make(map[rctree.NodeID]buffers.Buffer, len(assign))
+		for v, b := range assign {
+			mv, ok := mapping[v]
+			if !ok {
+				return nil, fmt.Errorf("multisource: placement node %d missing from mode %d", v, i)
+			}
+			if mv == tree.Root() {
+				return nil, fmt.Errorf("multisource: buffer at terminal %d conflicts with mode %d", v, i)
+			}
+			modeAssign[mv] = b
+		}
+		timing := elmore.Analyze(tree, modeAssign)
+		nz := noise.Analyze(tree, modeAssign, p)
+		excess := 0.0
+		for _, v := range nz.Violations {
+			excess += v.Noise - v.Margin
+		}
+		reports[i] = ModeReport{
+			Mode:       i,
+			Slack:      timing.WorstSlack,
+			MaxDelay:   timing.MaxDelay,
+			Violations: len(nz.Violations),
+			Excess:     excess,
+		}
+	}
+	return reports, nil
+}
+
+// worst aggregates mode reports lexicographically: total violations
+// first, then total excess noise, then the minimum slack.
+func worst(reports []ModeReport) (violations int, excess, slack float64) {
+	slack = math.Inf(1)
+	for _, r := range reports {
+		violations += r.Violations
+		excess += r.Excess
+		if r.Slack < slack {
+			slack = r.Slack
+		}
+	}
+	return violations, excess, slack
+}
+
+// betterState compares (violations, excess, slack) lexicographically.
+func betterState(v1 int, e1, s1 float64, v2 int, e2, s2 float64) bool {
+	if v1 != v2 {
+		return v1 < v2
+	}
+	if e1 < e2-1e-12 {
+		return true
+	}
+	if e1 > e2+1e-12 {
+		return false
+	}
+	return s1 > s2+1e-15
+}
+
+// Optimize greedily inserts bidirectional repeaters to first eliminate
+// noise violations in every mode and then maximize the worst-mode slack —
+// the multi-source counterpart of core.GreedyIterative. maxBuffers bounds
+// the insertions (0 = unbounded). The exact [17] dynamic program is out
+// of scope; results are certified per mode by Evaluate.
+func (n *Net) Optimize(lib *buffers.Library, p noise.Params, maxBuffers int) (Placement, []ModeReport, error) {
+	if err := n.Validate(); err != nil {
+		return nil, nil, err
+	}
+	lib = lib.NonInverting()
+	if err := lib.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("multisource: %w", err)
+	}
+
+	var sites []rctree.NodeID
+	for _, v := range n.Base.Preorder() {
+		node := n.Base.Node(v)
+		if node.Kind == rctree.Internal && node.BufferOK {
+			sites = append(sites, v)
+		}
+	}
+	assign := Placement{}
+	reports, err := n.Evaluate(assign, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	curV, curE, curS := worst(reports)
+
+	for {
+		if maxBuffers > 0 && len(assign) >= maxBuffers {
+			break
+		}
+		bestV, bestE, bestS := curV, curE, curS
+		var bestSite rctree.NodeID = rctree.None
+		var bestBuf buffers.Buffer
+		for _, v := range sites {
+			if _, used := assign[v]; used {
+				continue
+			}
+			for _, b := range lib.Buffers {
+				assign[v] = b
+				r, err := n.Evaluate(assign, p)
+				delete(assign, v)
+				if err != nil {
+					return nil, nil, err
+				}
+				tv, te, ts := worst(r)
+				if betterState(tv, te, ts, bestV, bestE, bestS) {
+					bestV, bestE, bestS, bestSite, bestBuf = tv, te, ts, v, b
+				}
+			}
+		}
+		if bestSite == rctree.None {
+			break
+		}
+		assign[bestSite] = bestBuf
+		curV, curE, curS = bestV, bestE, bestS
+	}
+
+	reports, err = n.Evaluate(assign, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if v, _, _ := worst(reports); v > 0 {
+		return assign, reports, fmt.Errorf("multisource: %d noise violations remain across modes", v)
+	}
+	return assign, reports, nil
+}

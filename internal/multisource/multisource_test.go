@@ -1,0 +1,230 @@
+package multisource
+
+import (
+	"math"
+	"testing"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/elmore"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+	"buffopt/internal/segment"
+)
+
+var unitParams = noise.Params{CouplingRatio: 1, Slope: 1}
+
+// busNet builds a 3-terminal bus: T0 (base root) — 4 units — v — 3 units
+// — T1, with T2 hanging 2 units below v. All terminals can drive.
+func busNet(t *testing.T) *Net {
+	t.Helper()
+	base := rctree.New("bus", 1.5, 0.1)
+	v, err := base.AddInternal(base.Root(), rctree.Wire{R: 4, C: 4, Length: 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := base.AddSink(v, rctree.Wire{R: 3, C: 3, Length: 3}, "T1", 0.2, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := base.AddSink(v, rctree.Wire{R: 2, C: 2, Length: 2}, "T2", 0.3, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := segment.ByCount(base, 4); err != nil {
+		t.Fatal(err)
+	}
+	return &Net{
+		Base: base,
+		Terminals: []Terminal{
+			{Node: base.Root(), DriverR: 1.5, DriverT: 0.1, Cap: 0.25, RAT: 50, NoiseMargin: 5},
+			{Node: t1, DriverR: 2, DriverT: 0.2, Cap: 0.2, RAT: 50, NoiseMargin: 5},
+			{Node: t2, DriverR: 1, DriverT: 0.1, Cap: 0.3, RAT: 50, NoiseMargin: 5},
+		},
+	}
+}
+
+func TestModeZeroIsBase(t *testing.T) {
+	n := busNet(t)
+	tree, mapping, err := n.Mode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumSinks() != n.Base.NumSinks() {
+		t.Errorf("mode 0 sinks %d, base %d", tree.NumSinks(), n.Base.NumSinks())
+	}
+	if math.Abs(tree.TotalWireCap()-n.Base.TotalWireCap()) > 1e-12 {
+		t.Errorf("mode 0 wire cap changed")
+	}
+	if mapping[n.Base.Root()] != tree.Root() {
+		t.Errorf("root not mapped to root")
+	}
+	if tree.DriverResistance != 1.5 {
+		t.Errorf("mode 0 driver = %g", tree.DriverResistance)
+	}
+}
+
+func TestReRootingPreservesElectricalTotals(t *testing.T) {
+	n := busNet(t)
+	baseWireCap := n.Base.TotalWireCap()
+	baseLen := n.Base.TotalWireLength()
+	for i := range n.Terminals {
+		tree, mapping, err := n.Mode(i)
+		if err != nil {
+			t.Fatalf("mode %d: %v", i, err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("mode %d invalid: %v", i, err)
+		}
+		if math.Abs(tree.TotalWireCap()-baseWireCap) > 1e-12 {
+			t.Errorf("mode %d wire cap %g, base %g", i, tree.TotalWireCap(), baseWireCap)
+		}
+		if math.Abs(tree.TotalWireLength()-baseLen) > 1e-12 {
+			t.Errorf("mode %d length %g, base %g", i, tree.TotalWireLength(), baseLen)
+		}
+		if tree.DriverResistance != n.Terminals[i].DriverR {
+			t.Errorf("mode %d driver %g", i, tree.DriverResistance)
+		}
+		// Every other terminal appears as a sink with its receiving cap.
+		for j, term := range n.Terminals {
+			if j == i {
+				continue
+			}
+			mv, ok := mapping[term.Node]
+			if !ok {
+				t.Fatalf("mode %d: terminal %d unmapped", i, j)
+			}
+			// The terminal's pin is either the mapped node itself (leaf)
+			// or a zero-wire child of it (through terminal).
+			pin := mv
+			if tree.Node(mv).Kind != rctree.Sink {
+				found := false
+				for _, c := range tree.Node(mv).Children {
+					if tree.Node(c).Kind == rctree.Sink && tree.Node(c).Wire.Length == 0 {
+						pin, found = c, true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("mode %d: terminal %d has no pin below node %d", i, j, mv)
+				}
+			}
+			if got := tree.Node(pin).Cap; got != term.Cap {
+				t.Errorf("mode %d terminal %d cap %g, want %g", i, j, got, term.Cap)
+			}
+		}
+	}
+}
+
+// TestTwoPinModeSymmetry: on a symmetric two-terminal line with identical
+// drivers, the two modes must produce identical delays and noise.
+func TestTwoPinModeSymmetry(t *testing.T) {
+	base := rctree.New("p2p", 2, 0.3)
+	s, err := base.AddSink(base.Root(), rctree.Wire{R: 5, C: 5, Length: 5}, "far", 0.4, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &Net{
+		Base: base,
+		Terminals: []Terminal{
+			{Node: base.Root(), DriverR: 2, DriverT: 0.3, Cap: 0.4, RAT: 50, NoiseMargin: 5},
+			{Node: s, DriverR: 2, DriverT: 0.3, Cap: 0.4, RAT: 50, NoiseMargin: 5},
+		},
+	}
+	reports, err := n.Evaluate(nil, unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reports[0].MaxDelay-reports[1].MaxDelay) > 1e-12 {
+		t.Errorf("asymmetric delays: %g vs %g", reports[0].MaxDelay, reports[1].MaxDelay)
+	}
+	if math.Abs(reports[0].Slack-reports[1].Slack) > 1e-12 {
+		t.Errorf("asymmetric slacks: %g vs %g", reports[0].Slack, reports[1].Slack)
+	}
+	if reports[0].Violations != reports[1].Violations {
+		t.Errorf("asymmetric violations")
+	}
+}
+
+// TestModeDelayMatchesDirectAnalysis: a mode's report equals analyzing
+// the re-rooted tree directly.
+func TestModeDelayMatchesDirectAnalysis(t *testing.T) {
+	n := busNet(t)
+	for i := range n.Terminals {
+		tree, _, err := n.Mode(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := n.Evaluate(nil, unitParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := elmore.Analyze(tree, nil)
+		if math.Abs(reports[i].MaxDelay-an.MaxDelay) > 1e-12 {
+			t.Errorf("mode %d delay %g, direct %g", i, reports[i].MaxDelay, an.MaxDelay)
+		}
+	}
+}
+
+func TestOptimizeFixesAllModes(t *testing.T) {
+	n := busNet(t)
+	lib := &buffers.Library{Buffers: []buffers.Buffer{
+		{Name: "BD", Cin: 0.05, R: 1, T: 0.2, NoiseMargin: 5},
+	}}
+	// The bare net must violate in at least one mode for the test to
+	// mean anything.
+	before, err := n.Evaluate(nil, unitParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := worst(before); v == 0 {
+		t.Fatalf("bus is clean unbuffered; instance too easy")
+	}
+	assign, reports, err := n.Optimize(lib, unitParams, 0)
+	if err != nil {
+		t.Fatalf("optimize: %v (placement %v)", err, assign)
+	}
+	for _, r := range reports {
+		if r.Violations != 0 {
+			t.Errorf("mode %d still violates", r.Mode)
+		}
+	}
+	if len(assign) == 0 {
+		t.Errorf("no repeaters inserted on a violating bus")
+	}
+	// The placement must also improve (or at least not destroy) the
+	// worst-mode slack relative to doing nothing only when the bare net
+	// was noise-clean — here it fixed violations, which dominates.
+}
+
+func TestOptimizeRespectsBound(t *testing.T) {
+	n := busNet(t)
+	lib := &buffers.Library{Buffers: []buffers.Buffer{
+		{Name: "BD", Cin: 0.05, R: 1, T: 0.2, NoiseMargin: 5},
+	}}
+	assign, _, _ := n.Optimize(lib, unitParams, 1)
+	if len(assign) > 1 {
+		t.Errorf("bound ignored: %d buffers", len(assign))
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	n := busNet(t)
+	bad := &Net{Base: n.Base, Terminals: n.Terminals[:1]}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("single-terminal net accepted")
+	}
+	swapped := &Net{Base: n.Base, Terminals: []Terminal{n.Terminals[1], n.Terminals[0]}}
+	if err := swapped.Validate(); err == nil {
+		t.Errorf("terminal 0 not at root accepted")
+	}
+	nonSink := &Net{Base: n.Base, Terminals: []Terminal{
+		n.Terminals[0],
+		{Node: 1, DriverR: 1}, // node 1 is internal
+	}}
+	if err := nonSink.Validate(); err == nil {
+		t.Errorf("internal-node terminal accepted")
+	}
+	if _, _, err := n.Mode(99); err == nil {
+		t.Errorf("out-of-range mode accepted")
+	}
+}

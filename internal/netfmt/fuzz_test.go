@@ -1,0 +1,61 @@
+package netfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the parser with arbitrary input: it must never panic,
+// and anything it accepts must be a valid tree that survives a write/read
+// round trip. Run the full fuzzer with
+//
+//	go test -fuzz=FuzzRead ./internal/netfmt
+//
+// (the seed corpus below runs on every ordinary `go test`).
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"",
+		"end\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n" +
+			"node 1 sink parent=0 wire=10,1e-15,0.001 x=0.001 y=0 cap=1e-15 rat=1e-9 nm=0.8 name=s\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n" +
+			"node 1 internal parent=0 wire=1,1,1 x=0 y=0 bufok=1\n" +
+			"node 2 sink parent=1 wire=1,1,1 x=0 y=0 cap=1 rat=0 nm=1 name=a aggr=0.5:2;0.2:1\n" +
+			"node 3 sink parent=1 wire=1,1,1 x=0 y=0 cap=1 rat=0 nm=1 name=b aggr=none\nend\n",
+		"# comment\nnet y\ndriver r=2 t=1e-12\nnode 0 source x=-1 y=2\n" +
+			"node 1 sink parent=0 wire=0,0,0 x=0 y=0 cap=0 rat=0 nm=0 name=-\nend\n",
+		"net x\ndriver r=nan t=0\nnode 0 source x=0 y=0\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nnode 1 sink parent=99 wire=1,1,1 x=0 y=0 cap=1 rat=0 nm=1 name=s\nend\n",
+		"node 5 sink\n",
+		"net\n",
+		strings.Repeat("net x\n", 100),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must be a valid tree...
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("Read accepted an invalid tree: %v\ninput: %q", verr, data)
+		}
+		// ...that round-trips.
+		var buf bytes.Buffer
+		if werr := Write(&buf, tr); werr != nil {
+			t.Fatalf("Write failed on accepted tree: %v", werr)
+		}
+		tr2, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v\nserialized: %q", rerr, buf.String())
+		}
+		if tr2.Len() != tr.Len() || tr2.NumSinks() != tr.NumSinks() {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d sinks",
+				tr.Len(), tr2.Len(), tr.NumSinks(), tr2.NumSinks())
+		}
+	})
+}

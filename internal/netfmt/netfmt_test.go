@@ -1,0 +1,205 @@
+package netfmt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"buffopt/internal/elmore"
+	"buffopt/internal/netgen"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+	"buffopt/internal/testutil"
+)
+
+func roundtrip(t *testing.T, tr *rctree.Tree) *rctree.Tree {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v\ninput:\n%s", err, buf.String())
+	}
+	return got
+}
+
+func TestRoundtripSmall(t *testing.T) {
+	tr := rctree.New("demo", 150, 40e-12)
+	v1, _ := tr.AddInternal(tr.Root(), rctree.Wire{R: 160, C: 400e-15, Length: 2e-3}, true)
+	tr.Node(v1).X, tr.Node(v1).Y = 1e-3, 2e-3
+	_, _ = tr.AddSink(v1, rctree.Wire{R: 240, C: 600e-15, Length: 3e-3}, "s one", 25e-15, 1e-9, 0.8)
+	_, _ = tr.AddSink(v1, rctree.Wire{
+		R: 80, C: 200e-15, Length: 1e-3,
+		Aggressors: []rctree.Coupling{{Ratio: 0.5, Slope: 7.2e9}, {Ratio: 0.2, Slope: 3.6e9}},
+	}, "s2", 15e-15, 2e-9, 0.75)
+
+	got := roundtrip(t, tr)
+	if got.Len() != tr.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), tr.Len())
+	}
+	if got.DriverResistance != 150 || got.DriverDelay != 40e-12 {
+		t.Errorf("driver = %g, %g", got.DriverResistance, got.DriverDelay)
+	}
+	for i := 0; i < tr.Len(); i++ {
+		a, b := tr.Node(rctree.NodeID(i)), got.Node(rctree.NodeID(i))
+		if a.Kind != b.Kind || a.Parent != b.Parent || a.Wire.R != b.Wire.R ||
+			a.Wire.C != b.Wire.C || a.Wire.Length != b.Wire.Length ||
+			a.Cap != b.Cap || a.RAT != b.RAT || a.NoiseMargin != b.NoiseMargin ||
+			a.BufferOK != b.BufferOK || a.X != b.X || a.Y != b.Y {
+			t.Errorf("node %d differs: %+v vs %+v", i, a, b)
+		}
+		if len(a.Wire.Aggressors) != len(b.Wire.Aggressors) {
+			t.Errorf("node %d aggressors differ", i)
+		}
+		for j := range a.Wire.Aggressors {
+			if a.Wire.Aggressors[j] != b.Wire.Aggressors[j] {
+				t.Errorf("node %d aggressor %d differs", i, j)
+			}
+		}
+	}
+	// The sink name with a space must roundtrip sanitized, not break
+	// parsing.
+	if got.Node(2).Name != "s_one" {
+		t.Errorf("sink name = %q, want s_one", got.Node(2).Name)
+	}
+}
+
+func TestRoundtripGeneratedSuite(t *testing.T) {
+	s, err := netgen.Generate(netgen.Config{Seed: 5, NumNets: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relEq := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+	}
+	for i, tr := range s.Nets {
+		got := roundtrip(t, tr)
+		// Totals are summed in node order, which renumbering permutes, so
+		// compare to within floating-point reassociation error.
+		if got.Len() != tr.Len() || got.NumSinks() != tr.NumSinks() ||
+			!relEq(got.TotalCap(), tr.TotalCap()) ||
+			!relEq(got.TotalWireLength(), tr.TotalWireLength()) {
+			t.Errorf("net %d changed in roundtrip", i)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("net %d invalid after roundtrip: %v", i, err)
+		}
+		// The format is a fixed point after one pass: writing the re-read
+		// tree reproduces the first serialization byte for byte.
+		var first, second bytes.Buffer
+		if err := Write(&first, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := Write(&second, got); err != nil {
+			t.Fatal(err)
+		}
+		if first.String() != second.String() {
+			t.Errorf("net %d serialization not a fixed point", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"missing end", "net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n"},
+		{"node before source", "net x\ndriver r=1 t=0\nnode 0 sink parent=0 wire=1,1,1 x=0 y=0 cap=1 rat=0 nm=1 name=s\nend\n"},
+		{"driver after source", "net x\nnode 0 source x=0 y=0\ndriver r=1 t=0\nend\n"},
+		{"sparse ids", "net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nnode 2 sink parent=0 wire=1,1,1 x=0 y=0 cap=1 rat=0 nm=1 name=s\nend\n"},
+		{"bad kind", "net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nnode 1 widget parent=0 wire=1,1,1 x=0 y=0\nend\n"},
+		{"bad wire", "net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nnode 1 sink parent=0 wire=1,1 x=0 y=0 cap=1 rat=0 nm=1 name=s\nend\n"},
+		{"missing field", "net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nnode 1 sink parent=0 wire=1,1,1 x=0 y=0 rat=0 nm=1 name=s\nend\n"},
+		{"garbage field", "net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nnode 1 internal parent=0 wire=1,1,1 x=0 y=0 bufok=1 junk\nend\n"},
+		{"unknown directive", "nodule 1\n"},
+		{"sink-less tree", "net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nend\n"},
+		{"bad aggressor", "net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nnode 1 sink parent=0 wire=1,1,1 x=0 y=0 cap=1 rat=0 nm=1 name=s aggr=0.5\nend\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("Read accepted %q", tc.name)
+			}
+		})
+	}
+}
+
+func TestReadIgnoresCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+net demo
+
+driver r=100 t=0
+node 0 source x=0 y=0
+# another comment
+node 1 sink parent=0 wire=10,1e-15,0.001 x=0.001 y=0 cap=1e-15 rat=1e-9 nm=0.8 name=s
+end
+`
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Node(0).Name != "demo" || tr.NumSinks() != 1 {
+		t.Errorf("parsed tree wrong: %+v", tr.Node(0))
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	tr := rctree.New("x", 1, 0)
+	// No sinks → invalid.
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err == nil {
+		t.Errorf("Write accepted an invalid tree")
+	}
+}
+
+func TestExplicitEmptyAggressorsRoundtrip(t *testing.T) {
+	tr := rctree.New("x", 1, 0)
+	_, _ = tr.AddSink(tr.Root(), rctree.Wire{R: 1, C: 1, Length: 1, Aggressors: []rctree.Coupling{}}, "s", 0, 0, 1)
+	got := roundtrip(t, tr)
+	ag := got.Node(1).Wire.Aggressors
+	if ag == nil || len(ag) != 0 {
+		t.Errorf("explicit empty aggressor list did not roundtrip: %v", ag)
+	}
+}
+
+// TestRoundtripRandomTrees drives write/read over randomized topologies
+// with random explicit aggressor lists.
+func TestRoundtripRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{
+			MaxInternal: 9, MaxSinks: 6, BufferSites: rng.Intn(2) == 0,
+		})
+		for _, v := range tr.Preorder() {
+			if v == tr.Root() || rng.Intn(3) != 0 {
+				continue
+			}
+			n := rng.Intn(3)
+			ag := make([]rctree.Coupling, n)
+			for i := range ag {
+				ag[i] = rctree.Coupling{Ratio: rng.Float64(), Slope: rng.Float64() * 5}
+			}
+			tr.Node(v).Wire.Aggressors = ag
+		}
+		got := roundtrip(t, tr)
+		if got.Len() != tr.Len() || got.NumSinks() != tr.NumSinks() {
+			t.Fatalf("trial %d: shape changed", trial)
+		}
+		// Electrical equivalence: both analyzers agree across the trip.
+		p := noise.Params{CouplingRatio: 0.5, Slope: 2}
+		a, b := noise.Analyze(tr, nil, p), noise.Analyze(got, nil, p)
+		if math.Abs(a.MaxNoise-b.MaxNoise) > 1e-9*(1+a.MaxNoise) {
+			t.Fatalf("trial %d: noise changed %g → %g", trial, a.MaxNoise, b.MaxNoise)
+		}
+		da, db := elmore.Analyze(tr, nil), elmore.Analyze(got, nil)
+		if math.Abs(da.MaxDelay-db.MaxDelay) > 1e-9*(1+da.MaxDelay) {
+			t.Fatalf("trial %d: delay changed %g → %g", trial, da.MaxDelay, db.MaxDelay)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package netfmt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"buffopt/internal/elmore"
+	"buffopt/internal/netgen"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+func spefRoundtrip(t *testing.T, tr *rctree.Tree) *rctree.Tree {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSPEF(&buf, tr); err != nil {
+		t.Fatalf("WriteSPEF: %v", err)
+	}
+	got, err := ReadSPEF(&buf)
+	if err != nil {
+		t.Fatalf("ReadSPEF: %v\n%s", err, buf.String())
+	}
+	return got
+}
+
+func TestSPEFRoundtripSmall(t *testing.T) {
+	tr := rctree.New("clk", 150, 40e-12)
+	v1, _ := tr.AddInternal(tr.Root(), rctree.Wire{R: 160, C: 400e-15, Length: 2e-3}, true)
+	_, _ = tr.AddSink(v1, rctree.Wire{R: 240, C: 600e-15, Length: 3e-3}, "a", 25e-15, 1e-9, 0.8)
+	_, _ = tr.AddSink(v1, rctree.Wire{R: 80, C: 200e-15, Length: 1e-3}, "b", 15e-15, 2e-9, 0.75)
+
+	got := spefRoundtrip(t, tr)
+	if got.Len() != tr.Len() || got.NumSinks() != 2 {
+		t.Fatalf("shape changed: %d nodes, %d sinks", got.Len(), got.NumSinks())
+	}
+	if got.DriverResistance != 150 || got.DriverDelay != 40e-12 {
+		t.Errorf("driver = %g, %g", got.DriverResistance, got.DriverDelay)
+	}
+	// Electrical equivalence: identical delay and noise analyses.
+	relEq := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*(1e-30+math.Max(math.Abs(a), math.Abs(b)))
+	}
+	p := noise.SectionV()
+	if !relEq(noise.Analyze(tr, nil, p).MaxNoise, noise.Analyze(got, nil, p).MaxNoise) {
+		t.Errorf("noise changed across SPEF roundtrip")
+	}
+	if !relEq(elmore.Analyze(tr, nil).MaxDelay, elmore.Analyze(got, nil).MaxDelay) {
+		t.Errorf("delay changed across SPEF roundtrip")
+	}
+	if !relEq(got.TotalCap(), tr.TotalCap()) {
+		t.Errorf("total cap %g, want %g", got.TotalCap(), tr.TotalCap())
+	}
+	// Sink data carried through the *CONN attributes.
+	for _, s := range got.Sinks() {
+		n := got.Node(s)
+		if n.RAT == 0 || n.NoiseMargin == 0 || n.Cap == 0 {
+			t.Errorf("sink %s lost attributes: %+v", n.Name, n)
+		}
+	}
+}
+
+func TestSPEFRoundtripGenerated(t *testing.T) {
+	s, err := netgen.Generate(netgen.Config{Seed: 6, NumNets: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := noise.SectionV()
+	for i, tr := range s.Nets {
+		got := spefRoundtrip(t, tr)
+		a := elmore.Analyze(tr, nil).MaxDelay
+		b := elmore.Analyze(got, nil).MaxDelay
+		if math.Abs(a-b) > 1e-9*a {
+			t.Errorf("net %d: delay %g → %g", i, a, b)
+		}
+		na := noise.Analyze(tr, nil, p).MaxNoise
+		nb := noise.Analyze(got, nil, p).MaxNoise
+		if math.Abs(na-nb) > 1e-9*(1e-30+na) {
+			t.Errorf("net %d: noise %g → %g", i, na, nb)
+		}
+	}
+}
+
+func TestSPEFOutputShape(t *testing.T) {
+	tr := rctree.New("demo", 100, 0)
+	_, _ = tr.AddSink(tr.Root(), rctree.Wire{R: 10, C: 1e-15, Length: 1e-4}, "s", 1e-15, 0, 1)
+	var buf bytes.Buffer
+	if err := WriteSPEF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"*SPEF", "*D_NET demo", "*CONN", "*CAP", "*RES", "*END", "demo:drv", "demo:s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SPEF missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadSPEFErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"no end":    "*D_NET x 1\n*RES\n1 a b 5 *LEN 1\n",
+		"no driver": "*D_NET x 1\n*RES\n1 a b 5 *LEN 1\n*END\n",
+		"no res":    "*D_NET x 1\n*CONN\n*I x:drv O *D R=1 T=0\n*END\n",
+		"bad res":   "*D_NET x 1\n*CONN\n*I x:drv O *D R=1 T=0\n*RES\n1 x:drv x:s five\n*END\n",
+		"bad attr":  "*D_NET x 1\n*CONN\n*I x:drv O *D R=one T=0\n*RES\n1 x:drv x:s 5 *LEN 1\n*END\n",
+		"sinkless":  "*D_NET x 1\n*CONN\n*I x:drv O *D R=1 T=0\n*RES\n1 x:drv x:n 5 *LEN 1\n*END\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadSPEF(strings.NewReader(in)); err == nil {
+				t.Errorf("%s accepted", name)
+			}
+		})
+	}
+	if err := WriteSPEF(&bytes.Buffer{}, rctree.New("x", 1, 0)); err == nil {
+		t.Errorf("invalid tree accepted by WriteSPEF")
+	}
+}

@@ -1,0 +1,251 @@
+// Package netgen generates the synthetic stand-in for the paper's
+// proprietary experimental data: "a set of 500 nets from a modern PowerPC
+// microprocessor design", selected as the 500 nets with the largest total
+// capacitance (Section V).
+//
+// The generator reproduces the published statistics rather than the
+// (unavailable) raw data:
+//
+//   - sink counts are drawn from a Table I-shaped distribution dominated
+//     by two- and few-pin nets with a long tail to ~30 sinks;
+//   - pin placements are spread over spans of a few millimeters and routed
+//     into Steiner estimates by package steiner;
+//   - electrical constants follow Section V: coupling ratio λ = 0.7,
+//     aggressor slope 1.8 V / 0.25 ns, noise margin 0.8 V for every gate;
+//   - drivers and sinks take their R/C values from a synthetic
+//     precharacterized cell library spanning realistic power levels;
+//   - a candidate pool is generated and the highest-total-capacitance nets
+//     are kept, mimicking the paper's selection rule (which deliberately
+//     biases the suite toward noise-prone nets).
+//
+// Everything is deterministic in Config.Seed.
+package netgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+	"buffopt/internal/steiner"
+)
+
+// Tech bundles the technology assumptions of the experiment.
+type Tech struct {
+	Wire        steiner.Tech // per-unit-length wire parasitics
+	Vdd         float64      // supply, V
+	Noise       noise.Params // estimation-mode coupling parameters
+	NoiseMargin float64      // tolerable noise at every gate input, V
+}
+
+// SectionVTech returns the Section V technology: 0.25 µm-class upper-metal
+// wires (80 Ω/mm, 200 fF/mm), Vdd = 1.8 V, λ = 0.7, rise 0.25 ns,
+// NM = 0.8 V.
+func SectionVTech() Tech {
+	return Tech{
+		Wire:        steiner.Tech{RPerLen: 80e3, CPerLen: 200e-12},
+		Vdd:         1.8,
+		Noise:       noise.SectionV(),
+		NoiseMargin: 0.8,
+	}
+}
+
+// Config controls suite generation.
+type Config struct {
+	Seed int64
+	// NumNets is the suite size after selection (500 in the paper).
+	NumNets int
+	// PoolFactor generates PoolFactor×NumNets candidates before keeping
+	// the largest-capacitance NumNets. Default 2.
+	PoolFactor int
+	// Tech defaults to SectionVTech().
+	Tech *Tech
+	// MaxSinks caps the sink-count distribution's tail. Default 30.
+	MaxSinks int
+}
+
+// Suite is a generated benchmark set.
+type Suite struct {
+	Nets []*rctree.Tree
+	Tech Tech
+	// Library is the 11-buffer (5 inverting + 6 non-inverting) insertion
+	// library of Section V.
+	Library *buffers.Library
+}
+
+// sinkBin is one row of the Table I-shaped sink-count distribution.
+type sinkBin struct {
+	lo, hi int
+	weight float64
+}
+
+// tableIBins reconstructs the shape of Table I (the published scan's
+// numerals are illegible; the bins and the dominance of few-pin nets are
+// from the table's structure). See DESIGN.md, "Known deviations".
+var tableIBins = []sinkBin{
+	{1, 1, 0.45}, // two-pin nets dominate the large global wires
+	{2, 4, 0.30},
+	{5, 9, 0.15},
+	{10, 18, 0.07},
+	{19, 30, 0.03},
+}
+
+// Generate builds a deterministic benchmark suite.
+func Generate(cfg Config) (*Suite, error) {
+	if cfg.NumNets <= 0 {
+		return nil, fmt.Errorf("netgen: NumNets %d must be positive", cfg.NumNets)
+	}
+	if cfg.PoolFactor == 0 {
+		cfg.PoolFactor = 2
+	}
+	if cfg.PoolFactor < 1 {
+		return nil, fmt.Errorf("netgen: PoolFactor %d must be at least 1", cfg.PoolFactor)
+	}
+	if cfg.MaxSinks == 0 {
+		cfg.MaxSinks = 30
+	}
+	tech := SectionVTech()
+	if cfg.Tech != nil {
+		tech = *cfg.Tech
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pool := make([]*rctree.Tree, 0, cfg.NumNets*cfg.PoolFactor)
+	for i := 0; i < cfg.NumNets*cfg.PoolFactor; i++ {
+		tr, err := generateNet(rng, i, tech, cfg.MaxSinks)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, tr)
+	}
+	// Keep the largest-total-capacitance nets, as in Section V.
+	sort.SliceStable(pool, func(i, j int) bool { return pool[i].TotalCap() > pool[j].TotalCap() })
+	nets := pool[:cfg.NumNets]
+
+	return &Suite{
+		Nets:    nets,
+		Tech:    tech,
+		Library: buffers.DefaultLibrary(tech.NoiseMargin),
+	}, nil
+}
+
+// sampleSinkCount draws a sink count from the Table I-shaped bins.
+func sampleSinkCount(rng *rand.Rand, maxSinks int) int {
+	r := rng.Float64()
+	acc := 0.0
+	for _, b := range tableIBins {
+		acc += b.weight
+		if r <= acc {
+			n := b.lo + rng.Intn(b.hi-b.lo+1)
+			if n > maxSinks {
+				n = maxSinks
+			}
+			return n
+		}
+	}
+	return 1
+}
+
+// generateNet builds one routed net.
+func generateNet(rng *rand.Rand, index int, tech Tech, maxSinks int) (*rctree.Tree, error) {
+	sinks := sampleSinkCount(rng, maxSinks)
+
+	// Two populations, as on a real die: long "global" wires (noise-prone)
+	// and short "local" nets that rank high in total capacitance only
+	// because they drive heavy pin loads (latch banks, macros) — these are
+	// the noise-clean minority that Table II's 500−423 = 77 nets represent.
+	local := rng.Float64() < 0.34
+	pinCapLo, pinCapHi := 10e-15, 50e-15
+	var span float64
+	switch {
+	case local:
+		span = (0.4 + 1.8*rng.Float64()) * 1e-3
+		pinCapLo, pinCapHi = 80e-15, 400e-15
+		if sinks < 2 {
+			sinks = 2 + rng.Intn(4)
+		}
+	case sinks == 1:
+		span = (1 + 7*rng.Float64()) * 1e-3
+	default:
+		// Shrink the bounding box as fanout grows so total wirelength
+		// (which scales like span·√sinks) stays in the few-buffer regime
+		// the paper reports (at most four buffers per net, Table III).
+		span = (2 + 6*rng.Float64()) * 1e-3 / math.Sqrt(math.Max(1, float64(sinks)/3))
+	}
+
+	// Per-net wire-layer variation: ±30% around the nominal parasitics.
+	layer := 0.7 + 0.7*rng.Float64()
+	wire := steiner.Tech{
+		RPerLen: tech.Wire.RPerLen * layer,
+		CPerLen: tech.Wire.CPerLen * (0.85 + 0.3*rng.Float64()),
+	}
+
+	// Driver from the synthetic cell library: power levels from strong
+	// (120 Ω) to weak (900 Ω).
+	driverR := 120 + 780*rng.Float64()
+	driverT := (30 + 50*rng.Float64()) * 1e-12
+
+	net := steiner.Net{
+		Name:    fmt.Sprintf("net%04d", index),
+		Driver:  steiner.Point{X: 0, Y: 0},
+		DriverR: driverR,
+		DriverT: driverT,
+	}
+	// One required arrival time per net, around 2 ns, identical at every
+	// sink: with equal RATs, maximizing the slack at the source is exactly
+	// minimizing the maximum source-to-sink delay (footnote 6 of the
+	// paper), which keeps the Table IV delay comparison apples-to-apples.
+	// The budget is loose enough that noise, not timing, dominates buffer
+	// counts, matching the Section V observation that BuffOpt never needed
+	// more than four buffers per net.
+	rat := (1.8 + 0.8*rng.Float64()) * 1e-9
+	for s := 0; s < sinks; s++ {
+		net.Sinks = append(net.Sinks, steiner.Sink{
+			Name:        fmt.Sprintf("s%d", s),
+			At:          steiner.Point{X: (rng.Float64() - 0.5) * span, Y: (rng.Float64() - 0.5) * span},
+			Cap:         pinCapLo + (pinCapHi-pinCapLo)*rng.Float64(),
+			RAT:         rat,
+			NoiseMargin: tech.NoiseMargin,
+		})
+	}
+	// For two-pin nets, stretch the single sink to the full span so the
+	// "span" is the actual routed length.
+	if sinks == 1 {
+		angle := rng.Float64()
+		net.Sinks[0].At = steiner.Point{X: span * angle, Y: span * (1 - angle)}
+	}
+
+	alg := steiner.OneSteiner
+	if sinks > 10 {
+		alg = steiner.RectilinearMST // keep many-pin routing cheap
+	}
+	return steiner.Route(net, wire, alg)
+}
+
+// SinkHistogram bins the suite's sink counts like Table I. The returned
+// slice is indexed like tableIBins.
+func (s *Suite) SinkHistogram() []int {
+	counts := make([]int, len(tableIBins))
+	for _, tr := range s.Nets {
+		n := tr.NumSinks()
+		for i, b := range tableIBins {
+			if n >= b.lo && n <= b.hi {
+				counts[i]++
+				break
+			}
+		}
+	}
+	return counts
+}
+
+// Bins exposes the Table I bin boundaries for reporting.
+func Bins() [][2]int {
+	out := make([][2]int, len(tableIBins))
+	for i, b := range tableIBins {
+		out[i] = [2]int{b.lo, b.hi}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package netgen
+
+import (
+	"testing"
+
+	"buffopt/internal/noise"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 1, NumNets: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 1, NumNets: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nets) != 40 || len(b.Nets) != 40 {
+		t.Fatalf("sizes %d, %d", len(a.Nets), len(b.Nets))
+	}
+	for i := range a.Nets {
+		if a.Nets[i].Len() != b.Nets[i].Len() ||
+			a.Nets[i].TotalCap() != b.Nets[i].TotalCap() ||
+			a.Nets[i].Node(0).Name != b.Nets[i].Node(0).Name {
+			t.Fatalf("net %d differs between equal-seed runs", i)
+		}
+	}
+	c, err := Generate(Config{Seed: 2, NumNets: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Nets {
+		if a.Nets[i].TotalCap() != c.Nets[i].TotalCap() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical suites")
+	}
+}
+
+func TestGeneratedNetsAreValid(t *testing.T) {
+	s, err := Generate(Config{Seed: 7, NumNets: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Library.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Library.Buffers); got != 11 {
+		t.Errorf("library size = %d, want 11 (5 inverting + 6 non-inverting)", got)
+	}
+	inv := 0
+	for _, b := range s.Library.Buffers {
+		if b.Inverting {
+			inv++
+		}
+	}
+	if inv != 5 {
+		t.Errorf("inverting buffers = %d, want 5", inv)
+	}
+	for i, tr := range s.Nets {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("net %d invalid: %v", i, err)
+		}
+		if !tr.IsBinary() {
+			t.Errorf("net %d not binary", i)
+		}
+		if tr.NumSinks() < 1 || tr.NumSinks() > 30 {
+			t.Errorf("net %d has %d sinks", i, tr.NumSinks())
+		}
+		if tr.TotalWireLength() <= 0 {
+			t.Errorf("net %d has zero wirelength", i)
+		}
+	}
+}
+
+func TestSelectionKeepsLargestCapacitance(t *testing.T) {
+	s, err := Generate(Config{Seed: 3, NumNets: 30, PoolFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s.Nets); i++ {
+		if s.Nets[i].TotalCap() > s.Nets[i-1].TotalCap()+1e-21 {
+			t.Errorf("suite not sorted by total capacitance at %d", i)
+		}
+	}
+}
+
+func TestSinkHistogramShape(t *testing.T) {
+	s, err := Generate(Config{Seed: 11, NumNets: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.SinkHistogram()
+	if len(h) != len(Bins()) {
+		t.Fatalf("histogram size %d", len(h))
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 300 {
+		t.Errorf("histogram total %d, want 300", total)
+	}
+	// Few-pin nets dominate; the tail is small but present across a
+	// 300-net suite.
+	if h[0] < h[len(h)-1] {
+		t.Errorf("two-pin bin (%d) smaller than the tail bin (%d)", h[0], h[len(h)-1])
+	}
+}
+
+func TestSuiteHasNoiseViolations(t *testing.T) {
+	// The selection rule must bias toward noise-prone nets: a solid
+	// majority of the suite should violate the Devgan constraint
+	// unbuffered (the paper found 423 of 500).
+	s, err := Generate(Config{Seed: 1, NumNets: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol := 0
+	for _, tr := range s.Nets {
+		if !noise.CleanUnbuffered(tr, s.Tech.Noise) {
+			viol++
+		}
+	}
+	if viol < 60 {
+		t.Errorf("only %d/100 nets have unbuffered noise violations; the suite is too tame", viol)
+	}
+	if viol == 100 {
+		t.Errorf("every net violates; the suite has no clean nets at all")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, NumNets: 0}); err == nil {
+		t.Errorf("zero NumNets accepted")
+	}
+	if _, err := Generate(Config{Seed: 1, NumNets: 10, PoolFactor: -1}); err == nil {
+		t.Errorf("negative PoolFactor accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package noise_test
+
+import (
+	"fmt"
+
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// ExampleAnalyze reproduces the paper's worked computation (Fig. 3 shape):
+// currents accumulate bottom-up (eq. 7), each wire adds R·(I + I_w/2) of
+// noise (eq. 8), and the driver adds R_so·I(root) (eq. 9).
+func ExampleAnalyze() {
+	p := noise.Params{CouplingRatio: 1, Slope: 1} // I_w = C_w
+	tr := rctree.New("fig3", 2, 0)
+	v1, _ := tr.AddInternal(tr.Root(), rctree.Wire{R: 2, C: 3, Length: 3}, true)
+	s1, _ := tr.AddSink(v1, rctree.Wire{R: 1, C: 2, Length: 2}, "s1", 1, 0, 25)
+	s2, _ := tr.AddSink(v1, rctree.Wire{R: 4, C: 1, Length: 1}, "s2", 2, 0, 22)
+
+	r := noise.Analyze(tr, nil, p)
+	fmt.Printf("I(so) = %.0f\n", r.Downstream[tr.Root()])
+	fmt.Printf("Noise(s1) = %.0f, Noise(s2) = %.0f\n", r.Noise[s1], r.Noise[s2])
+	fmt.Printf("violations: %d\n", len(r.Violations))
+	// Output:
+	// I(so) = 6
+	// Noise(s1) = 22, Noise(s2) = 23
+	// violations: 1
+}
+
+// ExampleSlacks shows the backward recurrence (eq. 12) used by the
+// insertion algorithms: the net is clean iff R_so·I(root) ≤ NS(root).
+func ExampleSlacks() {
+	p := noise.Params{CouplingRatio: 1, Slope: 1}
+	tr := rctree.New("fig3", 2, 0)
+	v1, _ := tr.AddInternal(tr.Root(), rctree.Wire{R: 2, C: 3, Length: 3}, true)
+	tr.AddSink(v1, rctree.Wire{R: 1, C: 2, Length: 2}, "s1", 1, 0, 25)
+	tr.AddSink(v1, rctree.Wire{R: 4, C: 1, Length: 1}, "s2", 2, 0, 22)
+
+	ns := noise.Slacks(tr, p)
+	down := noise.DownstreamCurrents(tr, p)
+	fmt.Printf("NS(so) = %.0f, R_so·I = %.0f, clean = %v\n",
+		ns[tr.Root()], tr.DriverResistance*down[tr.Root()], noise.CleanUnbuffered(tr, p))
+	// Output: NS(so) = 11, R_so·I = 12, clean = false
+}

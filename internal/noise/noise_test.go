@@ -1,0 +1,223 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/rctree"
+)
+
+// unitParams makes I_w numerically equal to C_w (λ = 1, μ = 1), so the
+// hand calculations below stay simple.
+var unitParams = Params{CouplingRatio: 1, Slope: 1}
+
+// buildY builds the worked-example tree in the spirit of Fig. 3:
+//
+//	so --(R=2, C=3 → I=3)--> v1 --(R=1, C=2 → I=2)--> s1 (NM 25)
+//	                          \---(R=4, C=1 → I=1)--> s2 (NM 22)
+//
+// driver resistance 2.
+//
+// Downstream currents (eq. 7): I(s1)=I(s2)=0, I(v1)=3, I(so)=6.
+// Edge noise (eq. 8): N(so,v1)=2·(3+1.5)=9, N(v1,s1)=1·(0+1)=1,
+// N(v1,s2)=4·(0+0.5)=2.
+// Sink noise (eq. 9): N(s1)=2·6+9+1=22, N(s2)=2·6+9+2=23.
+func buildY(t *testing.T) (*rctree.Tree, rctree.NodeID, rctree.NodeID, rctree.NodeID) {
+	t.Helper()
+	tr := rctree.New("net0", 2, 1)
+	v1, err := tr.AddInternal(tr.Root(), rctree.Wire{R: 2, C: 3, Length: 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := tr.AddSink(v1, rctree.Wire{R: 1, C: 2, Length: 2}, "s1", 1, 100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := tr.AddSink(v1, rctree.Wire{R: 4, C: 1, Length: 1}, "s2", 2, 100, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, v1, s1, s2
+}
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestWorkedExampleUnbuffered(t *testing.T) {
+	tr, v1, s1, s2 := buildY(t)
+	r := Analyze(tr, nil, unitParams)
+
+	if got := r.WireCurrent[v1]; !approx(got, 3) {
+		t.Errorf("I_w(so→v1) = %g, want 3", got)
+	}
+	if got := r.Downstream[v1]; !approx(got, 3) {
+		t.Errorf("I(v1) = %g, want 3", got)
+	}
+	if got := r.Downstream[tr.Root()]; !approx(got, 6) {
+		t.Errorf("I(so) = %g, want 6", got)
+	}
+	if got := r.Noise[s1]; !approx(got, 22) {
+		t.Errorf("Noise(s1) = %g, want 22", got)
+	}
+	if got := r.Noise[s2]; !approx(got, 23) {
+		t.Errorf("Noise(s2) = %g, want 23", got)
+	}
+	// s1's margin is 25 (clean); s2's margin is 22 (violated by 1).
+	if len(r.Violations) != 1 || r.Violations[0].Node != s2 {
+		t.Fatalf("Violations = %+v, want exactly s2", r.Violations)
+	}
+	if r.Clean() {
+		t.Errorf("Clean() = true with a violation present")
+	}
+	if !approx(r.MaxNoise, 23) {
+		t.Errorf("MaxNoise = %g, want 23", r.MaxNoise)
+	}
+}
+
+func TestWorkedExampleSlacks(t *testing.T) {
+	tr, v1, _, _ := buildY(t)
+	ns := Slacks(tr, unitParams)
+	// NS(s1)=25, NS(s2)=22, NS(v1)=min(25−1, 22−2)=20, NS(so)=20−9=11.
+	if got := ns[v1]; !approx(got, 20) {
+		t.Errorf("NS(v1) = %g, want 20", got)
+	}
+	if got := ns[tr.Root()]; !approx(got, 11) {
+		t.Errorf("NS(so) = %g, want 11", got)
+	}
+	// R_so·I(so) = 12 > 11, consistent with the violation found above.
+	if CleanUnbuffered(tr, unitParams) {
+		t.Errorf("CleanUnbuffered = true, want false")
+	}
+	down := DownstreamCurrents(tr, unitParams)
+	if got := down[tr.Root()]; !approx(got, 6) {
+		t.Errorf("I(so) = %g, want 6", got)
+	}
+}
+
+func TestWorkedExampleBuffered(t *testing.T) {
+	tr, v1, s1, s2 := buildY(t)
+	b := buffers.Buffer{Name: "b", Cin: 0.5, R: 1, T: 2, NoiseMargin: 10}
+	r := Analyze(tr, Assignment{v1: b}, unitParams)
+	// Upstream of the buffer only the (so,v1) wire injects: I = 3.
+	// Noise at the buffer input: 2·3 + 2·(3/2) = 9 ≤ 10 → clean.
+	// Buffer output: 1·3 = 3. Noise(s1) = 3 + 1 = 4; Noise(s2) = 3 + 2 = 5.
+	if got := r.Noise[v1]; !approx(got, 9) {
+		t.Errorf("Noise(buffer input) = %g, want 9", got)
+	}
+	if got := r.Noise[s1]; !approx(got, 4) {
+		t.Errorf("Noise(s1) = %g, want 4", got)
+	}
+	if got := r.Noise[s2]; !approx(got, 5) {
+		t.Errorf("Noise(s2) = %g, want 5", got)
+	}
+	if !r.Clean() {
+		t.Errorf("buffered tree not clean: %+v", r.Violations)
+	}
+}
+
+func TestBufferInputViolation(t *testing.T) {
+	tr, v1, _, _ := buildY(t)
+	weak := buffers.Buffer{Name: "weak", Cin: 0.5, R: 1, T: 2, NoiseMargin: 8}
+	r := Analyze(tr, Assignment{v1: weak}, unitParams)
+	// Noise at the buffer input is 9 > 8 → the buffer itself is violated.
+	if r.Clean() {
+		t.Fatalf("expected a buffer-input violation")
+	}
+	if r.Violations[0].Node != v1 || !approx(r.Violations[0].Noise, 9) || !approx(r.Violations[0].Margin, 8) {
+		t.Errorf("violation = %+v", r.Violations[0])
+	}
+}
+
+func TestExplicitAggressorsOverrideEstimate(t *testing.T) {
+	tr := rctree.New("n", 1, 0)
+	// Wire with explicit aggressors: I_w = (0.5·3 + 0.25·2)·C = 2·C.
+	w := rctree.Wire{R: 1, C: 4, Length: 1, Aggressors: []rctree.Coupling{
+		{Ratio: 0.5, Slope: 3},
+		{Ratio: 0.25, Slope: 2},
+	}}
+	if _, err := tr.AddSink(tr.Root(), w, "s", 0, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := unitParams.WireCurrent(w); !approx(got, 8) {
+		t.Errorf("WireCurrent = %g, want 8", got)
+	}
+	// Explicit empty list: zero current regardless of params.
+	w0 := rctree.Wire{R: 1, C: 4, Aggressors: []rctree.Coupling{}}
+	if got := unitParams.WireCurrent(w0); got != 0 {
+		t.Errorf("WireCurrent(empty explicit) = %g, want 0", got)
+	}
+	// nil list: estimation mode.
+	wEst := rctree.Wire{R: 1, C: 4}
+	p := Params{CouplingRatio: 0.5, Slope: 3}
+	if got := p.WireCurrent(wEst); !approx(got, 6) {
+		t.Errorf("WireCurrent(estimation) = %g, want 6", got)
+	}
+}
+
+func TestSectionVParams(t *testing.T) {
+	p := SectionV()
+	if !approx(p.CouplingRatio, 0.7) {
+		t.Errorf("λ = %g, want 0.7", p.CouplingRatio)
+	}
+	if !approx(p.Slope, 7.2e9) {
+		t.Errorf("μ = %g, want 7.2e9", p.Slope)
+	}
+	if !approx(p.PerCap(), 0.7*7.2e9) {
+		t.Errorf("PerCap = %g", p.PerCap())
+	}
+}
+
+// TestReferenceSharedResistance cross-checks Analyze against an
+// independent O(n²) implementation of the Devgan metric: noise at sink s
+// equals Σ_w R_shared(w, s)·I_w, where R_shared is the resistance of the
+// common path from the driving stage, counting half of a wire's own
+// resistance for its own current.
+func TestReferenceSharedResistance(t *testing.T) {
+	tr, _, s1, s2 := buildY(t)
+	r := Analyze(tr, nil, unitParams)
+	for _, s := range []rctree.NodeID{s1, s2} {
+		want := referenceNoise(tr, unitParams, s)
+		if got := r.Noise[s]; !approx(got, want) {
+			t.Errorf("Noise(%d) = %g, reference %g", s, got, want)
+		}
+	}
+}
+
+// referenceNoise computes the Devgan bound at sink s of the unbuffered
+// tree directly from the shared-path-resistance definition.
+func referenceNoise(t *rctree.Tree, p Params, s rctree.NodeID) float64 {
+	onPath := map[rctree.NodeID]bool{}
+	for _, v := range t.PathToRoot(s) {
+		onPath[v] = true
+	}
+	total := 0.0
+	for _, w := range t.Preorder() {
+		if w == t.Root() {
+			continue
+		}
+		iw := p.WireCurrent(t.Node(w).Wire)
+		if iw == 0 {
+			continue
+		}
+		// Shared resistance: driver resistance plus the resistance of
+		// every wire that lies on both paths (root→w and root→s); the
+		// wire w itself counts half when it lies on the sink path, and
+		// nothing when only its upstream nodes are shared.
+		shared := t.DriverResistance
+		for _, u := range t.PathToRoot(w) {
+			if u == t.Root() || u == w {
+				continue
+			}
+			if onPath[u] {
+				shared += t.Node(u).Wire.R
+			}
+		}
+		if onPath[w] {
+			shared += t.Node(w).Wire.R / 2
+		}
+		total += shared * iw
+	}
+	return total
+}

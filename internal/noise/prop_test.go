@@ -1,0 +1,156 @@
+package noise
+
+// Property tests in-package so they can reuse referenceNoise from
+// noise_test.go against generator-built trees.
+
+import (
+	"math/rand"
+	"testing"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/rctree"
+	"buffopt/internal/testutil"
+)
+
+// TestAnalyzeMatchesSharedResistanceRandom: the bottom-up metric equals
+// the O(n²) shared-resistance definition on random unbuffered trees, for
+// both estimation mode and explicit aggressor lists.
+func TestAnalyzeMatchesSharedResistanceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{MaxInternal: 9, MaxSinks: 6})
+		p := Params{CouplingRatio: 0.3 + 0.7*rng.Float64(), Slope: 0.5 + 2*rng.Float64()}
+		// Give a third of the wires explicit aggressor lists.
+		for _, v := range tr.Preorder() {
+			if v != tr.Root() && rng.Intn(3) == 0 {
+				tr.Node(v).Wire.Aggressors = []rctree.Coupling{
+					{Ratio: rng.Float64(), Slope: rng.Float64() * 2},
+				}
+			}
+		}
+		r := Analyze(tr, nil, p)
+		for _, s := range tr.Sinks() {
+			want := referenceNoise(tr, p, s)
+			if !approx(r.Noise[s], want) {
+				t.Fatalf("trial %d sink %d: Analyze %g, reference %g", trial, s, r.Noise[s], want)
+			}
+		}
+	}
+}
+
+// TestSlacksConsistentWithAnalyze: for random trees, the slack recurrence
+// (eq. 12) and the forward analysis (eq. 9) agree on cleanliness:
+// R_so·I(root) ≤ NS(root) ⟺ no violations.
+func TestSlacksConsistentWithAnalyze(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	agree := 0
+	for trial := 0; trial < 400; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{
+			MaxInternal: 7, MaxSinks: 5, MarginLo: 1, MarginHi: 30,
+		})
+		p := Params{CouplingRatio: 1, Slope: 1}
+		fwd := Analyze(tr, nil, p).Clean()
+		bwd := CleanUnbuffered(tr, p)
+		if fwd != bwd {
+			t.Fatalf("trial %d: forward clean=%v, slack clean=%v", trial, fwd, bwd)
+		}
+		if fwd {
+			agree++
+		}
+	}
+	if agree == 0 || agree == 400 {
+		t.Logf("warning: degenerate mix of clean/dirty trees (%d/400 clean)", agree)
+	}
+}
+
+// TestBufferIsolatesDownstreamCurrent: inserting a buffer can only reduce
+// (never increase) the noise at every node outside its subtree, because it
+// removes that subtree's current from the upstream net.
+func TestBufferIsolatesDownstreamCurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	b := buffers.Buffer{Name: "b", Cin: 0.1, R: 1, NoiseMargin: 100}
+	for trial := 0; trial < 300; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{MaxInternal: 8, MaxSinks: 5, BufferSites: true})
+		p := Params{CouplingRatio: 1, Slope: 1}
+		var site rctree.NodeID = rctree.None
+		for _, v := range tr.Preorder() {
+			if v != tr.Root() && tr.Node(v).Kind == rctree.Internal {
+				site = v
+				break
+			}
+		}
+		if site == rctree.None {
+			continue
+		}
+		base := Analyze(tr, nil, p)
+		buffered := Analyze(tr, Assignment{site: b}, p)
+		inSubtree := map[rctree.NodeID]bool{}
+		for _, v := range tr.Subtree(site) {
+			inSubtree[v] = true
+		}
+		for _, s := range tr.Sinks() {
+			if inSubtree[s] {
+				continue
+			}
+			if buffered.Noise[s] > base.Noise[s]+1e-12 {
+				t.Fatalf("trial %d: buffering raised outside noise at %d: %g → %g",
+					trial, s, base.Noise[s], buffered.Noise[s])
+			}
+		}
+		// The buffer input itself sees no more noise than the unbuffered
+		// node did (its subtree current no longer flows upstream).
+		if buffered.Noise[site] > base.Noise[site]+1e-12 {
+			t.Fatalf("trial %d: buffer input noise rose: %g → %g",
+				trial, base.Noise[site], buffered.Noise[site])
+		}
+	}
+}
+
+// TestCurrentAdditivity: the downstream current at the root equals the
+// sum of all wire currents (eq. 7 telescopes).
+func TestCurrentAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 200; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{})
+		p := Params{CouplingRatio: 0.7, Slope: 3}
+		down := DownstreamCurrents(tr, p)
+		sum := 0.0
+		for _, v := range tr.Preorder() {
+			if v != tr.Root() {
+				sum += p.WireCurrent(tr.Node(v).Wire)
+			}
+		}
+		if !approx(down[tr.Root()], sum) {
+			t.Fatalf("trial %d: I(root) %g, Σ wires %g", trial, down[tr.Root()], sum)
+		}
+	}
+}
+
+// TestSplitInvariance: splitting a wire at any fraction leaves every
+// sink's noise unchanged (the metric treats the wire as distributed, so
+// lumping it in two halves is exact for downstream observers).
+func TestSplitInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 200; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{MaxInternal: 6, MaxSinks: 4})
+		p := Params{CouplingRatio: 1, Slope: 1}
+		base := Analyze(tr, nil, p)
+		baseNoise := map[string][]float64{}
+		for _, s := range tr.Sinks() {
+			baseNoise["k"] = append(baseNoise["k"], base.Noise[s])
+		}
+		split := tr.Clone()
+		sinks := split.Sinks()
+		v := sinks[rng.Intn(len(sinks))]
+		if _, err := split.SplitWire(v, 0.1+0.8*rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+		after := Analyze(split, nil, p)
+		for i, s := range split.Sinks() {
+			if !approx(after.Noise[s], baseNoise["k"][i]) {
+				t.Fatalf("trial %d: split changed noise at sink %d: %g → %g",
+					trial, s, baseNoise["k"][i], after.Noise[s])
+			}
+		}
+	}
+}

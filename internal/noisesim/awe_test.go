@@ -1,0 +1,120 @@
+package noisesim
+
+import (
+	"math"
+	"testing"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/netgen"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// TestAWEMatchesTransientOnLine: the moment-matching verifier and the
+// transient verifier agree within a few percent on a single line.
+func TestAWEMatchesTransientOnLine(t *testing.T) {
+	tr := buildLine(t, 320, 800e-15, 4e-3, 0.8, 150)
+	opts := Options{Params: techParams}
+	sim, err := Simulate(tr, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awe, err := SimulateAWE(tr, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := tr.Sinks()[0]
+	if sim.Peak[sink] <= 0 || awe.Peak[sink] <= 0 {
+		t.Fatalf("missing peaks: sim %g, awe %g", sim.Peak[sink], awe.Peak[sink])
+	}
+	if rel := math.Abs(sim.Peak[sink]-awe.Peak[sink]) / sim.Peak[sink]; rel > 0.05 {
+		t.Errorf("AWE peak %g vs transient %g (%.1f%% apart)", awe.Peak[sink], sim.Peak[sink], 100*rel)
+	}
+}
+
+// TestAWEMatchesTransientOnGeneratedNets: across realistic nets —
+// including buffered trees and multiple aggressor slopes — the two
+// verifiers agree within 10% and reach the same clean/violated verdicts
+// in the overwhelming majority of cases.
+func TestAWEMatchesTransientOnGeneratedNets(t *testing.T) {
+	s, err := netgen.Generate(netgen.Config{Seed: 77, NumNets: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Vdd: s.Tech.Vdd, Params: s.Tech.Noise}
+	disagreements := 0
+	for i, tr := range s.Nets {
+		sim, err := Simulate(tr, nil, opts)
+		if err != nil {
+			t.Fatalf("net %d: %v", i, err)
+		}
+		awe, err := SimulateAWE(tr, nil, opts)
+		if err != nil {
+			t.Fatalf("net %d: AWE: %v", i, err)
+		}
+		for v, sp := range sim.Peak {
+			ap := awe.Peak[v]
+			if sp < 0.01 {
+				continue // tiny peaks: relative error meaningless
+			}
+			if rel := math.Abs(sp-ap) / sp; rel > 0.10 {
+				t.Errorf("net %d node %d: AWE %g vs transient %g (%.1f%%)", i, v, ap, sp, 100*rel)
+			}
+		}
+		if sim.Clean() != awe.Clean() {
+			disagreements++
+		}
+	}
+	if disagreements > 1 {
+		t.Errorf("verifiers disagree on %d/15 verdicts", disagreements)
+	}
+}
+
+// TestAWEOnBufferedTree: buffered subnets reduce correctly too.
+func TestAWEOnBufferedTree(t *testing.T) {
+	tr := rctree.New("y", 180, 0)
+	v1, _ := tr.AddInternal(tr.Root(), rctree.Wire{R: 160, C: 400e-15, Length: 2e-3}, true)
+	_, _ = tr.AddSink(v1, rctree.Wire{R: 240, C: 600e-15, Length: 3e-3}, "s1", 25e-15, 0, 0.8)
+	_, _ = tr.AddSink(v1, rctree.Wire{R: 80, C: 200e-15, Length: 1e-3}, "s2", 15e-15, 0, 0.8)
+	b := buffers.Buffer{Name: "B", Cin: 20e-15, R: 120, T: 40e-12, NoiseMargin: 0.8}
+	assign := Assignment{v1: b}
+	opts := Options{Params: techParams}
+
+	sim, err := Simulate(tr, assign, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awe, err := SimulateAWE(tr, assign, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, sp := range sim.Peak {
+		if sp < 0.01 {
+			continue
+		}
+		if rel := math.Abs(sp-awe.Peak[v]) / sp; rel > 0.08 {
+			t.Errorf("node %d: AWE %g vs transient %g", v, awe.Peak[v], sp)
+		}
+	}
+	// The Devgan bound still dominates the AWE estimate on this circuit.
+	metric := noise.Analyze(tr, assign, techParams)
+	for v, ap := range awe.Peak {
+		if ap > metric.Noise[v]*1.02 {
+			t.Errorf("node %d: AWE %g above metric bound %g", v, ap, metric.Noise[v])
+		}
+	}
+}
+
+// TestAWEUncoupledTrivial: explicit empty aggressor lists short-circuit
+// to a clean result without building models.
+func TestAWEUncoupledTrivial(t *testing.T) {
+	tr := buildLine(t, 320, 800e-15, 4e-3, 0.8, 150)
+	tr.Node(tr.Sinks()[0]).Wire.Aggressors = []rctree.Coupling{}
+	res, err := SimulateAWE(tr, nil, Options{Params: techParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() || res.MaxNoise != 0 {
+		t.Errorf("uncoupled net not trivially clean: %+v", res)
+	}
+}

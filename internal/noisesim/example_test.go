@@ -1,0 +1,30 @@
+package noisesim_test
+
+import (
+	"fmt"
+
+	"buffopt/internal/noise"
+	"buffopt/internal/noisesim"
+	"buffopt/internal/rctree"
+)
+
+// ExampleSimulate verifies a line the way Section V verifies BuffOpt's
+// results with 3dnoise: the detailed simulation's peak must sit below the
+// Devgan metric's bound.
+func ExampleSimulate() {
+	params := noise.SectionV()
+	tr := rctree.New("line", 200, 0)
+	sink, _ := tr.AddSink(tr.Root(),
+		rctree.Wire{R: 320, C: 800e-15, Length: 4e-3}, "s", 25e-15, 0, 0.8)
+
+	sim, err := noisesim.Simulate(tr, nil, noisesim.Options{Params: params})
+	if err != nil {
+		panic(err)
+	}
+	bound := noise.Analyze(tr, nil, params).Noise[sink]
+	fmt.Printf("simulated ≤ bound: %v\n", sim.Peak[sink] <= bound)
+	fmt.Printf("clean: %v\n", sim.Clean())
+	// Output:
+	// simulated ≤ bound: true
+	// clean: false
+}

@@ -1,0 +1,166 @@
+package noisesim
+
+import (
+	"testing"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// techParams are realistic Section V-style constants: λ = 0.7,
+// μ = 7.2e9 V/s.
+var techParams = noise.SectionV()
+
+// buildLine builds a two-pin net with realistic magnitudes: total wire
+// resistance rw Ω, capacitance cw F, sink margin nm V, driver rso Ω.
+func buildLine(t *testing.T, rw, cw, length, nm, rso float64) *rctree.Tree {
+	t.Helper()
+	tr := rctree.New("line", rso, 0)
+	if _, err := tr.AddSink(tr.Root(), rctree.Wire{R: rw, C: cw, Length: length}, "s", 20e-15, 0, nm); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFig1BufferReducesNoise(t *testing.T) {
+	// A 4-mm line at 80 Ω/mm and 200 fF/mm: enough coupling to be noisy.
+	tr := buildLine(t, 320, 800e-15, 4e-3, 0.8, 150)
+	opts := Options{Params: techParams}
+
+	bare, err := Simulate(tr, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := tr.Sinks()[0]
+	if bare.Peak[sink] <= 0 {
+		t.Fatalf("no noise observed on the bare line")
+	}
+
+	// Insert a buffer at the midpoint (Fig. 1b).
+	buffered := tr.Clone()
+	mid, err := buffered.SplitWire(buffered.Sinks()[0], 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buffers.Buffer{Name: "B", Cin: 20e-15, R: 150, T: 50e-12, NoiseMargin: 0.8}
+	withBuf, err := Simulate(buffered, Assignment{mid: b}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink2 := buffered.Sinks()[0]
+	if withBuf.Peak[sink2] >= bare.Peak[sink]*0.9 {
+		t.Errorf("buffer did not materially reduce sink noise: %g → %g V",
+			bare.Peak[sink], withBuf.Peak[sink2])
+	}
+	if withBuf.Peak[mid] >= bare.Peak[sink] {
+		t.Errorf("buffer input noise %g not below bare sink noise %g",
+			withBuf.Peak[mid], bare.Peak[sink])
+	}
+}
+
+func TestDevganMetricIsUpperBound(t *testing.T) {
+	// On lines of several lengths, the metric must bound the simulation.
+	for _, mm := range []float64{1, 2, 4, 8} {
+		l := mm * 1e-3
+		tr := buildLine(t, 80*mm, 200e-15*mm, l, 0.8, 200)
+		sim, err := Simulate(tr, nil, Options{Params: techParams})
+		if err != nil {
+			t.Fatalf("%g mm: %v", mm, err)
+		}
+		metric := noise.Analyze(tr, nil, techParams)
+		sink := tr.Sinks()[0]
+		if sim.Peak[sink] > metric.Noise[sink]*(1+1e-6) {
+			t.Errorf("%g mm: simulated %g V exceeds metric bound %g V",
+				mm, sim.Peak[sink], metric.Noise[sink])
+		}
+		if sim.Peak[sink] <= 0 {
+			t.Errorf("%g mm: no simulated noise", mm)
+		}
+	}
+}
+
+func TestUpperBoundOnBufferedTree(t *testing.T) {
+	tr := rctree.New("y", 180, 0)
+	v1, _ := tr.AddInternal(tr.Root(), rctree.Wire{R: 160, C: 400e-15, Length: 2e-3}, true)
+	s1, _ := tr.AddSink(v1, rctree.Wire{R: 240, C: 600e-15, Length: 3e-3}, "s1", 25e-15, 0, 0.8)
+	_, _ = tr.AddSink(v1, rctree.Wire{R: 80, C: 200e-15, Length: 1e-3}, "s2", 15e-15, 0, 0.8)
+	b := buffers.Buffer{Name: "B", Cin: 20e-15, R: 120, T: 40e-12, NoiseMargin: 0.8}
+	assign := Assignment{v1: b}
+
+	sim, err := Simulate(tr, assign, Options{Params: techParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metric := noise.Analyze(tr, assign, techParams)
+	for _, v := range []rctree.NodeID{v1, s1} {
+		if sim.Peak[v] > metric.Noise[v]*(1+1e-6) {
+			t.Errorf("node %d: simulated %g V exceeds metric %g V", v, sim.Peak[v], metric.Noise[v])
+		}
+	}
+	// Metric-clean must imply simulation-clean (the conservative
+	// direction of Table II).
+	if metric.Clean() && !sim.Clean() {
+		t.Errorf("metric clean but simulation found violations: %+v", sim.Violations)
+	}
+}
+
+func TestExplicitAggressors(t *testing.T) {
+	tr := buildLine(t, 320, 800e-15, 4e-3, 0.8, 150)
+	sink := tr.Sinks()[0]
+	// Two aggressors with different slopes over the whole wire.
+	tr.Node(sink).Wire.Aggressors = []rctree.Coupling{
+		{Ratio: 0.4, Slope: 7.2e9},
+		{Ratio: 0.3, Slope: 3.6e9},
+	}
+	sim, err := Simulate(tr, nil, Options{Params: techParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metric := noise.Analyze(tr, nil, techParams)
+	if sim.Peak[sink] > metric.Noise[sink]*(1+1e-6) {
+		t.Errorf("simulated %g V exceeds metric %g V", sim.Peak[sink], metric.Noise[sink])
+	}
+	// An explicitly uncoupled wire sees (essentially) no noise.
+	quiet := buildLine(t, 320, 800e-15, 4e-3, 0.8, 150)
+	quiet.Node(quiet.Sinks()[0]).Wire.Aggressors = []rctree.Coupling{}
+	qres, err := Simulate(quiet, nil, Options{Params: techParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qres.Peak[quiet.Sinks()[0]] > 1e-9 {
+		t.Errorf("uncoupled wire shows %g V of noise", qres.Peak[quiet.Sinks()[0]])
+	}
+	if !qres.Clean() {
+		t.Errorf("uncoupled wire not clean")
+	}
+}
+
+func TestViolationDetection(t *testing.T) {
+	// A very long, very coupled line with a tiny margin must violate in
+	// simulation too.
+	tr := buildLine(t, 1600, 4e-12, 20e-3, 0.05, 500)
+	sim, err := Simulate(tr, nil, Options{Params: techParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Clean() {
+		t.Fatalf("expected a simulated violation, peaks: %v", sim.Peak)
+	}
+	v := sim.Violations[0]
+	if v.Node != tr.Sinks()[0] || v.Peak <= v.Margin {
+		t.Errorf("violation = %+v", v)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	tr := buildLine(t, 320, 800e-15, 4e-3, 0.8, 150)
+	if _, err := Simulate(tr, nil, Options{}); err == nil {
+		t.Errorf("zero slope accepted")
+	}
+	bad := buildLine(t, 320, 800e-15, 4e-3, 0.8, 150)
+	bad.Node(bad.Sinks()[0]).Wire.R = -1
+	if _, err := Simulate(bad, nil, Options{Params: techParams}); err == nil {
+		t.Errorf("invalid tree accepted")
+	}
+}

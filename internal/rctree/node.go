@@ -1,0 +1,118 @@
+// Package rctree models distributed RC routing trees: the fixed Steiner
+// topologies on which all buffer-insertion algorithms in this repository
+// operate.
+//
+// A tree T = (V, E) has a unique source (the root, driven by a gate), a set
+// of sink leaves (gate inputs with capacitance, required arrival time, and
+// noise margin), and internal nodes (Steiner points and candidate buffer
+// sites). Every non-root node has exactly one parent wire, an RC segment
+// through which the signal propagates from parent to child.
+//
+// The package is deliberately free of electrical analysis: Elmore delay
+// lives in package elmore, the Devgan coupled-noise metric in package noise,
+// and the insertion algorithms in package core. rctree only provides the
+// topology, topology edits (wire splitting for buffer placement, conversion
+// to binary form), traversal, and validation.
+package rctree
+
+import "fmt"
+
+// NodeID identifies a node within a single Tree. IDs are dense indices
+// assigned in creation order; they remain stable across wire splits and
+// binarization (new nodes receive fresh, larger IDs).
+type NodeID int32
+
+// None is the sentinel "no node" value, used for absent parents/children.
+const None NodeID = -1
+
+// Kind classifies a tree node.
+type Kind uint8
+
+const (
+	// Source is the unique root of the tree, driven by the net's driver.
+	Source Kind = iota
+	// Sink is a leaf: the input pin of a downstream gate.
+	Sink
+	// Internal is a Steiner point, wire-segmenting point, or any other
+	// candidate buffer location.
+	Internal
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Source:
+		return "source"
+	case Sink:
+		return "sink"
+	case Internal:
+		return "internal"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Coupling describes one aggressor net coupled to a wire, for explicit
+// (post-routing) noise analysis. Ratio is the fraction of the wire's
+// capacitance that couples to this aggressor; Slope is the aggressor's
+// signal slope (power-supply voltage over input rise time, V/s), following
+// eq. (6) of the paper.
+type Coupling struct {
+	Ratio float64 // coupling-to-wire capacitance ratio, in [0, 1]
+	Slope float64 // aggressor slope μ = Vdd / t_rise, V/s
+}
+
+// Wire is the RC segment connecting a node to its parent. R and C are the
+// lumped resistance (Ω) and capacitance (F) of the segment; Length is its
+// routed length (m). Electrical models treat the segment as a π-model: half
+// the capacitance (and half the injected coupling current) at each end.
+//
+// If Aggressors is non-nil, the wire's coupling current is the sum over the
+// listed aggressors (explicit mode, Fig. 2 of the paper). If it is nil, the
+// noise package's estimation mode applies a uniform single-aggressor
+// assumption (global λ and μ).
+type Wire struct {
+	R          float64    // lumped resistance, Ω
+	C          float64    // lumped capacitance, F
+	Length     float64    // routed length, m
+	Aggressors []Coupling // explicit aggressor couplings; nil → estimation mode
+}
+
+// split returns the lower (toward the child) and upper (toward the parent)
+// pieces of the wire when cut at fraction f from the child end, f in [0, 1].
+// RC and length scale linearly; explicit aggressor couplings are inherited
+// by both pieces (each piece still couples at the same per-length ratio).
+func (w Wire) split(f float64) (lower, upper Wire) {
+	lower = Wire{R: w.R * f, C: w.C * f, Length: w.Length * f, Aggressors: w.Aggressors}
+	upper = Wire{R: w.R * (1 - f), C: w.C * (1 - f), Length: w.Length * (1 - f), Aggressors: w.Aggressors}
+	return lower, upper
+}
+
+// Node is one vertex of a routing tree. Access nodes through Tree methods;
+// the struct is exported so analyses can read fields directly, but topology
+// fields (Parent, Children) must only be modified through Tree edit methods.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	Name string // optional human-readable label
+
+	X, Y float64 // placement, used by package steiner and for reports (m)
+
+	// Sink-only electrical properties (zero for other kinds).
+	Cap         float64 // input capacitance of the sink gate, F
+	RAT         float64 // required arrival time, s
+	NoiseMargin float64 // tolerable peak noise at the sink input, V
+
+	// BufferOK marks nodes where a buffer may physically be inserted.
+	// Dummy binarization nodes and nodes inside blockages are not feasible
+	// (footnote 2 of the paper). Sinks and the source are never feasible.
+	BufferOK bool
+
+	Wire Wire // parent wire; meaningless for the source
+
+	Parent   NodeID
+	Children []NodeID
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }

@@ -1,0 +1,131 @@
+package rctree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"buffopt/internal/rctree"
+	"buffopt/internal/testutil"
+)
+
+// TestRandomTreeInvariants drives the structural invariants on hundreds of
+// random trees: traversal orders are permutations with the right parent /
+// child ordering, Subtree agrees with parent pointers, and random wire
+// splits preserve validity and totals.
+func TestRandomTreeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{MaxInternal: 8, MaxSinks: 5, BufferSites: true})
+
+		pre := tr.Preorder()
+		post := tr.Postorder()
+		if len(pre) != tr.Len() || len(post) != tr.Len() {
+			t.Fatalf("trial %d: traversal lengths %d, %d; want %d", trial, len(pre), len(post), tr.Len())
+		}
+		prePos := make(map[rctree.NodeID]int, len(pre))
+		for i, v := range pre {
+			prePos[v] = i
+		}
+		postPos := make(map[rctree.NodeID]int, len(post))
+		for i, v := range post {
+			postPos[v] = i
+		}
+		if len(prePos) != tr.Len() || len(postPos) != tr.Len() {
+			t.Fatalf("trial %d: traversals are not permutations", trial)
+		}
+		for _, v := range pre {
+			p := tr.Node(v).Parent
+			if p == rctree.None {
+				continue
+			}
+			if prePos[p] >= prePos[v] {
+				t.Fatalf("trial %d: preorder parent %d after child %d", trial, p, v)
+			}
+			if postPos[p] <= postPos[v] {
+				t.Fatalf("trial %d: postorder parent %d before child %d", trial, p, v)
+			}
+		}
+
+		// Subtree of the root is everything; subtree sizes sum correctly.
+		if got := len(tr.Subtree(tr.Root())); got != tr.Len() {
+			t.Fatalf("trial %d: root subtree has %d nodes", trial, got)
+		}
+
+		// Random split preserves totals and validity.
+		sinks := tr.Sinks()
+		v := sinks[rng.Intn(len(sinks))]
+		wl, wc := tr.TotalWireLength(), tr.TotalWireCap()
+		if _, err := tr.SplitWire(v, rng.Float64()); err != nil {
+			t.Fatalf("trial %d: split: %v", trial, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid after split: %v", trial, err)
+		}
+		if got := tr.TotalWireLength(); !near(got, wl) {
+			t.Fatalf("trial %d: length %g → %g", trial, wl, got)
+		}
+		if got := tr.TotalWireCap(); !near(got, wc) {
+			t.Fatalf("trial %d: cap %g → %g", trial, wc, got)
+		}
+	}
+}
+
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= 1e-9*(1+m)
+}
+
+// TestBinarizeRandom checks Binarize on random high-degree stars.
+func TestBinarizeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		tr := rctree.New("star", 1, 0)
+		deg := 3 + rng.Intn(6)
+		for i := 0; i < deg; i++ {
+			if _, err := tr.AddSink(tr.Root(), rctree.Wire{R: 1, C: 1, Length: 1}, "s", 1, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sinks, cap := tr.NumSinks(), tr.TotalCap()
+		tr.Binarize()
+		if !tr.IsBinary() {
+			t.Fatalf("trial %d: not binary", trial)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if tr.NumSinks() != sinks || !near(tr.TotalCap(), cap) {
+			t.Fatalf("trial %d: Binarize changed electrical content", trial)
+		}
+	}
+}
+
+// TestCloneIsolationRandom: edits to clones never leak back.
+func TestCloneIsolationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		tr := testutil.RandomTree(rng, testutil.TreeOptions{})
+		before := tr.Len()
+		cl := tr.Clone()
+		if _, err := cl.SplitWire(cl.Sinks()[0], 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.InsertBelow(cl.Root()); err != nil {
+			t.Fatal(err)
+		}
+		cl.Node(cl.Root()).Name = "mutated"
+		if tr.Len() != before || tr.Node(tr.Root()).Name == "mutated" {
+			t.Fatalf("trial %d: clone edit leaked", trial)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: original invalid: %v", trial, err)
+		}
+	}
+}

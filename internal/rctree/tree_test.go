@@ -1,0 +1,314 @@
+package rctree
+
+import (
+	"math"
+	"testing"
+)
+
+// buildY returns the small Y-shaped test tree used across this file:
+// source → v1, v1 → {s1, s2}.
+func buildY(t *testing.T) (*Tree, NodeID, NodeID, NodeID) {
+	t.Helper()
+	tr := New("net0", 2, 1)
+	v1, err := tr.AddInternal(tr.Root(), Wire{R: 2, C: 3, Length: 3}, true)
+	if err != nil {
+		t.Fatalf("AddInternal: %v", err)
+	}
+	s1, err := tr.AddSink(v1, Wire{R: 1, C: 2, Length: 2}, "s1", 1, 100, 25)
+	if err != nil {
+		t.Fatalf("AddSink s1: %v", err)
+	}
+	s2, err := tr.AddSink(v1, Wire{R: 4, C: 1, Length: 1}, "s2", 2, 100, 22)
+	if err != nil {
+		t.Fatalf("AddSink s2: %v", err)
+	}
+	return tr, v1, s1, s2
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	tr, v1, s1, s2 := buildY(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	if got := tr.NumSinks(); got != 2 {
+		t.Errorf("NumSinks = %d, want 2", got)
+	}
+	if got := tr.Sinks(); len(got) != 2 || got[0] != s1 || got[1] != s2 {
+		t.Errorf("Sinks = %v, want [%d %d]", got, s1, s2)
+	}
+	if tr.Left(v1) != s1 || tr.Right(v1) != s2 {
+		t.Errorf("children of v1 = (%d, %d), want (%d, %d)", tr.Left(v1), tr.Right(v1), s1, s2)
+	}
+	if tr.Left(s1) != None || tr.Right(s1) != None {
+		t.Errorf("sink s1 has children")
+	}
+	if !tr.IsBinary() {
+		t.Errorf("IsBinary = false")
+	}
+	if got := tr.TotalWireCap(); got != 6 {
+		t.Errorf("TotalWireCap = %g, want 6", got)
+	}
+	if got := tr.TotalCap(); got != 9 {
+		t.Errorf("TotalCap = %g, want 9", got)
+	}
+	if got := tr.TotalWireLength(); got != 6 {
+		t.Errorf("TotalWireLength = %g, want 6", got)
+	}
+	if got := tr.Depth(); got != 2 {
+		t.Errorf("Depth = %d, want 2", got)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	tr, _, s1, _ := buildY(t)
+	if _, err := tr.AddSink(s1, Wire{}, "bad", 1, 0, 1); err == nil {
+		t.Errorf("attaching a child to a sink succeeded")
+	}
+	if _, err := tr.AddSink(tr.Root(), Wire{}, "bad", -1, 0, 1); err == nil {
+		t.Errorf("negative sink capacitance accepted")
+	}
+	if _, err := tr.AddInternal(999, Wire{}, true); err == nil {
+		t.Errorf("invalid parent accepted")
+	}
+	if _, err := tr.AddInternal(tr.Root(), Wire{R: -1}, true); err == nil {
+		t.Errorf("negative wire resistance accepted")
+	}
+}
+
+func TestTraversals(t *testing.T) {
+	tr, v1, s1, s2 := buildY(t)
+	pre := tr.Preorder()
+	want := []NodeID{tr.Root(), v1, s1, s2}
+	for i, v := range want {
+		if pre[i] != v {
+			t.Fatalf("Preorder = %v, want %v", pre, want)
+		}
+	}
+	post := tr.Postorder()
+	wantPost := []NodeID{s1, s2, v1, tr.Root()}
+	for i, v := range wantPost {
+		if post[i] != v {
+			t.Fatalf("Postorder = %v, want %v", post, wantPost)
+		}
+	}
+	sub := tr.Subtree(v1)
+	if len(sub) != 3 || sub[0] != v1 {
+		t.Errorf("Subtree(v1) = %v", sub)
+	}
+	ds := tr.DownstreamSinks(v1)
+	if len(ds) != 2 || ds[0] != s1 || ds[1] != s2 {
+		t.Errorf("DownstreamSinks(v1) = %v", ds)
+	}
+	path := tr.PathToRoot(s2)
+	if len(path) != 3 || path[0] != s2 || path[1] != v1 || path[2] != tr.Root() {
+		t.Errorf("PathToRoot(s2) = %v", path)
+	}
+}
+
+func TestSplitWire(t *testing.T) {
+	tr, v1, s1, _ := buildY(t)
+	n, err := tr.SplitWire(s1, 0.25)
+	if err != nil {
+		t.Fatalf("SplitWire: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after split: %v", err)
+	}
+	lower, upper := tr.Node(s1).Wire, tr.Node(n).Wire
+	if lower.R != 0.25 || lower.C != 0.5 || lower.Length != 0.5 {
+		t.Errorf("lower piece = %+v", lower)
+	}
+	if upper.R != 0.75 || upper.C != 1.5 || upper.Length != 1.5 {
+		t.Errorf("upper piece = %+v", upper)
+	}
+	if tr.Node(s1).Parent != n || tr.Node(n).Parent != v1 {
+		t.Errorf("split topology wrong: parent(s1)=%d parent(n)=%d", tr.Node(s1).Parent, tr.Node(n).Parent)
+	}
+	if !tr.Node(n).BufferOK {
+		t.Errorf("split node is not a buffer site")
+	}
+	// Total electricals preserved.
+	if got := tr.TotalWireCap(); got != 6 {
+		t.Errorf("TotalWireCap after split = %g, want 6", got)
+	}
+	if got := tr.TotalWireLength(); got != 6 {
+		t.Errorf("TotalWireLength after split = %g, want 6", got)
+	}
+}
+
+func TestSplitWireBoundaries(t *testing.T) {
+	tr, v1, s1, _ := buildY(t)
+	// f = 0: the new node takes the whole wire, s1 hangs on a zero wire.
+	n0, err := tr.SplitWire(s1, 0)
+	if err != nil {
+		t.Fatalf("SplitWire(0): %v", err)
+	}
+	if w := tr.Node(s1).Wire; w.R != 0 || w.C != 0 || w.Length != 0 {
+		t.Errorf("lower piece after f=0 split = %+v, want zero", w)
+	}
+	if w := tr.Node(n0).Wire; w.R != 1 || w.C != 2 {
+		t.Errorf("upper piece after f=0 split = %+v", w)
+	}
+	// f = 1 on the other branch: the new node sits at the parent.
+	s2 := tr.Sinks()[1]
+	n1, err := tr.SplitWire(s2, 1)
+	if err != nil {
+		t.Fatalf("SplitWire(1): %v", err)
+	}
+	if w := tr.Node(n1).Wire; w.R != 0 || w.C != 0 || w.Length != 0 {
+		t.Errorf("upper piece after f=1 split = %+v, want zero", w)
+	}
+	if w := tr.Node(s2).Wire; w.R != 4 || w.C != 1 {
+		t.Errorf("lower piece after f=1 split = %+v", w)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	_ = v1
+	if _, err := tr.SplitWire(tr.Root(), 0.5); err == nil {
+		t.Errorf("splitting the root's parent wire succeeded")
+	}
+	if _, err := tr.SplitWire(s1, math.NaN()); err == nil {
+		t.Errorf("NaN fraction accepted")
+	}
+	if _, err := tr.SplitWire(s1, 1.5); err == nil {
+		t.Errorf("fraction > 1 accepted")
+	}
+}
+
+func TestInsertBelow(t *testing.T) {
+	tr, v1, s1, s2 := buildY(t)
+	n, err := tr.InsertBelow(tr.Root())
+	if err != nil {
+		t.Fatalf("InsertBelow: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := tr.Node(v1).Parent; got != n {
+		t.Errorf("parent(v1) = %d, want %d", got, n)
+	}
+	if w := tr.Node(n).Wire; w.R != 0 || w.C != 0 || w.Length != 0 {
+		t.Errorf("InsertBelow wire = %+v, want zero", w)
+	}
+	if ch := tr.Node(tr.Root()).Children; len(ch) != 1 || ch[0] != n {
+		t.Errorf("root children = %v", ch)
+	}
+	if _, err := tr.InsertBelow(s1); err == nil {
+		t.Errorf("InsertBelow a sink succeeded")
+	}
+	_ = s2
+}
+
+func TestBinarize(t *testing.T) {
+	tr := New("net", 1, 0)
+	for i := 0; i < 4; i++ {
+		if _, err := tr.AddSink(tr.Root(), Wire{R: 1, C: 1, Length: 1}, "s", 1, 0, 1); err != nil {
+			t.Fatalf("AddSink %d: %v", i, err)
+		}
+	}
+	if tr.IsBinary() {
+		t.Fatalf("degree-4 root considered binary")
+	}
+	tr.Binarize()
+	if !tr.IsBinary() {
+		t.Fatalf("Binarize left a node with > 2 children")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := tr.NumSinks(); got != 4 {
+		t.Errorf("NumSinks after Binarize = %d, want 4", got)
+	}
+	// Dummy nodes must be electrically invisible and infeasible.
+	for _, v := range tr.Preorder() {
+		n := tr.Node(v)
+		if n.Kind == Internal {
+			if n.BufferOK {
+				t.Errorf("dummy node %d is a buffer site", v)
+			}
+			if w := n.Wire; w.R != 0 || w.C != 0 || w.Length != 0 {
+				t.Errorf("dummy node %d has wire %+v", v, w)
+			}
+		}
+	}
+	if got := tr.TotalWireCap(); got != 4 {
+		t.Errorf("TotalWireCap after Binarize = %g, want 4", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr, _, s1, _ := buildY(t)
+	c := tr.Clone()
+	if _, err := c.SplitWire(s1, 0.5); err != nil {
+		t.Fatalf("SplitWire on clone: %v", err)
+	}
+	if tr.Len() == c.Len() {
+		t.Errorf("clone edit affected original size")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("original corrupted by clone edit: %v", err)
+	}
+	// Children slices must not be shared.
+	c2 := tr.Clone()
+	c2.Node(tr.Root()).Children[0] = 99
+	if tr.Node(tr.Root()).Children[0] == 99 {
+		t.Errorf("clone shares children slices with original")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name  string
+		wreck func(*Tree)
+	}{
+		{"non-leaf sink", func(tr *Tree) {
+			s := tr.Sinks()[0]
+			tr.Node(s).Children = []NodeID{tr.Sinks()[1]}
+		}},
+		{"NaN cap", func(tr *Tree) { tr.Node(tr.Sinks()[0]).Cap = math.NaN() }},
+		{"negative margin", func(tr *Tree) { tr.Node(tr.Sinks()[0]).NoiseMargin = -1 }},
+		{"negative wire R", func(tr *Tree) { tr.Node(tr.Sinks()[0]).Wire.R = -1 }},
+		{"bad parent", func(tr *Tree) { tr.Node(tr.Sinks()[0]).Parent = 999 }},
+		{"orphan cycle", func(tr *Tree) {
+			s := tr.Sinks()[0]
+			tr.Node(s).Parent = s
+		}},
+		{"negative driver R", func(tr *Tree) { tr.DriverResistance = -2 }},
+		{"bad coupling ratio", func(tr *Tree) {
+			tr.Node(tr.Sinks()[0]).Wire.Aggressors = []Coupling{{Ratio: 1.5, Slope: 1}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, _, _, _ := buildY(t)
+			tc.wreck(tr)
+			if err := tr.Validate(); err == nil {
+				t.Errorf("Validate accepted corrupted tree (%s)", tc.name)
+			}
+		})
+	}
+}
+
+func TestWireSplitScalesAggressors(t *testing.T) {
+	w := Wire{R: 2, C: 4, Length: 8, Aggressors: []Coupling{{Ratio: 0.5, Slope: 3}}}
+	lower, upper := w.split(0.25)
+	if lower.C != 1 || upper.C != 3 {
+		t.Errorf("split caps = %g, %g", lower.C, upper.C)
+	}
+	if len(lower.Aggressors) != 1 || len(upper.Aggressors) != 1 {
+		t.Errorf("aggressor lists not inherited")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Source.String() != "source" || Sink.String() != "sink" || Internal.String() != "internal" {
+		t.Errorf("Kind.String broken: %v %v %v", Source, Sink, Internal)
+	}
+	if Kind(42).String() == "" {
+		t.Errorf("unknown kind prints empty")
+	}
+}

@@ -1,0 +1,39 @@
+package steiner_test
+
+import (
+	"fmt"
+
+	"buffopt/internal/steiner"
+)
+
+// ExampleIteratedOneSteiner solves the classic cross: four terminals
+// around a missing center whose RSMT needs one Steiner point.
+func ExampleIteratedOneSteiner() {
+	terms := []steiner.Point{{X: 1, Y: 0}, {X: 0, Y: 1}, {X: 2, Y: 1}, {X: 1, Y: 2}}
+	fmt.Printf("MST: %.0f\n", steiner.MSTLength(terms))
+	pts := steiner.IteratedOneSteiner(terms)
+	fmt.Printf("RSMT: %.0f via Steiner point (%.0f, %.0f)\n",
+		steiner.MSTLength(pts), pts[4].X, pts[4].Y)
+	// Output:
+	// MST: 6
+	// RSMT: 4 via Steiner point (1, 1)
+}
+
+// ExampleRoute turns pin placements into an analyzable RC tree.
+func ExampleRoute() {
+	net := steiner.Net{
+		Name:    "demo",
+		Driver:  steiner.Point{},
+		DriverR: 200,
+		Sinks: []steiner.Sink{
+			{Name: "a", At: steiner.Point{X: 2e-3, Y: 1e-3}, Cap: 20e-15, NoiseMargin: 0.8},
+			{Name: "b", At: steiner.Point{X: 1e-3, Y: 2e-3}, Cap: 20e-15, NoiseMargin: 0.8},
+		},
+	}
+	tr, err := steiner.Route(net, steiner.Tech{RPerLen: 80e3, CPerLen: 200e-12}, steiner.OneSteiner)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d sinks, %.1f mm routed\n", tr.NumSinks(), tr.TotalWireLength()*1e3)
+	// Output: 2 sinks, 4.0 mm routed
+}

@@ -1,0 +1,80 @@
+package steiner
+
+import (
+	"fmt"
+	"math"
+
+	"buffopt/internal/rctree"
+)
+
+// primDijkstraParents computes the Prim–Dijkstra blend tree over pts,
+// rooted at pts[0]: node u joins the tree through the neighbor v
+// minimizing c·pathlen(v) + dist(v, u), where pathlen is the tree path
+// length from the root. c = 0 is exactly Prim's MST (minimum wirelength);
+// c = 1 is Dijkstra's shortest-path tree (minimum source-sink radius);
+// intermediate c trades wirelength for radius — the classic
+// Alpert–Hu–Huang–Kahng construction for timing-driven routing trees.
+func primDijkstraParents(pts []Point, c float64) []int {
+	n := len(pts)
+	parents := make([]int, n)
+	if n == 0 {
+		return parents
+	}
+	parents[0] = -1
+	inTree := make([]bool, n)
+	pathLen := make([]float64, n)
+	key := make([]float64, n)
+	from := make([]int, n)
+	for i := range key {
+		key[i] = math.Inf(1)
+	}
+	key[0] = 0
+	for iter := 0; iter < n; iter++ {
+		best, bk := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && key[i] < bk {
+				best, bk = i, key[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		inTree[best] = true
+		if best != 0 {
+			parents[best] = from[best]
+			pathLen[best] = pathLen[from[best]] + Dist(pts[from[best]], pts[best])
+		}
+		for i := 0; i < n; i++ {
+			if inTree[i] {
+				continue
+			}
+			if k := c*pathLen[best] + Dist(pts[best], pts[i]); k < key[i] {
+				key[i] = k
+				from[i] = best
+			}
+		}
+	}
+	return parents
+}
+
+// RoutePrimDijkstra builds a routing tree with the Prim–Dijkstra blend:
+// c = 0 minimizes wirelength (identical topology to RectilinearMST),
+// c = 1 minimizes every source-sink path (a shortest-path star under
+// rectilinear distance), and intermediate values interpolate — useful
+// when a distant sink is timing-critical and the MST's detours cost too
+// much delay. Edges are embedded with L-shapes as in Route.
+func RoutePrimDijkstra(net Net, tech Tech, c float64) (*rctree.Tree, error) {
+	if c < 0 || c > 1 || math.IsNaN(c) {
+		return nil, fmt.Errorf("steiner: blend parameter %g outside [0, 1]", c)
+	}
+	if len(net.Sinks) == 0 {
+		return nil, fmt.Errorf("steiner: net %q has no sinks", net.Name)
+	}
+	terms := make([]Point, 0, len(net.Sinks)+1)
+	terms = append(terms, net.Driver)
+	for _, s := range net.Sinks {
+		terms = append(terms, s.At)
+	}
+	parents := primDijkstraParents(terms, c)
+	return buildTree(net, tech, terms, parents)
+}

@@ -1,0 +1,170 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"buffopt/internal/elmore"
+	"buffopt/internal/rctree"
+)
+
+// randomNet builds a random multi-sink net for the PD tests.
+func randomNet(rng *rand.Rand, sinks int) Net {
+	net := Net{Name: "pd", Driver: Point{}, DriverR: 200}
+	for i := 0; i < sinks; i++ {
+		net.Sinks = append(net.Sinks, Sink{
+			Name: "s",
+			At:   Point{X: rng.Float64() * 4e-3, Y: rng.Float64() * 4e-3},
+			Cap:  20e-15, NoiseMargin: 0.8, RAT: 1e-9,
+		})
+	}
+	return net
+}
+
+var pdTech = Tech{RPerLen: 80e3, CPerLen: 200e-12}
+
+// radius returns the longest driver-to-sink routed path length.
+func radius(tr *rctree.Tree) float64 {
+	dist := make([]float64, tr.Len())
+	max := 0.0
+	for _, v := range tr.Preorder() {
+		if v != tr.Root() {
+			dist[v] = dist[tr.Node(v).Parent] + tr.Node(v).Wire.Length
+		}
+		if tr.Node(v).Kind == rctree.Sink && dist[v] > max {
+			max = dist[v]
+		}
+	}
+	return max
+}
+
+func TestPrimDijkstraEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		net := randomNet(rng, 2+rng.Intn(8))
+		mst, err := Route(net, pdTech, RectilinearMST)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd0, err := RoutePrimDijkstra(net, pdTech, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// c = 0 is Prim: identical wirelength.
+		if math.Abs(pd0.TotalWireLength()-mst.TotalWireLength()) > 1e-12 {
+			t.Fatalf("trial %d: PD(0) length %g, MST %g", trial,
+				pd0.TotalWireLength(), mst.TotalWireLength())
+		}
+		// c = 1 is the shortest-path tree: every sink at its direct
+		// rectilinear distance.
+		pd1, err := RoutePrimDijkstra(net, pdTech, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var far float64
+		for _, s := range net.Sinks {
+			if d := Dist(net.Driver, s.At); d > far {
+				far = d
+			}
+		}
+		if math.Abs(radius(pd1)-far) > 1e-12 {
+			t.Fatalf("trial %d: PD(1) radius %g, direct max %g", trial, radius(pd1), far)
+		}
+	}
+}
+
+func TestPrimDijkstraTradeoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 40; trial++ {
+		net := randomNet(rng, 3+rng.Intn(7))
+		l0, err := RoutePrimDijkstra(net, pdTech, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1, err := RoutePrimDijkstra(net, pdTech, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The endpoints bracket every blend: wirelength minimal at c=0,
+		// radius minimal at c=1.
+		for _, c := range []float64{0.25, 0.5, 0.75} {
+			tr, err := RoutePrimDijkstra(net, pdTech, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trial %d c=%g: %v", trial, c, err)
+			}
+			if tr.TotalWireLength() < l0.TotalWireLength()-1e-12 {
+				t.Errorf("trial %d: PD(%g) beat the MST wirelength", trial, c)
+			}
+			if radius(tr) < radius(l1)-1e-12 {
+				t.Errorf("trial %d: PD(%g) beat the shortest-path radius", trial, c)
+			}
+		}
+	}
+}
+
+func TestPrimDijkstraDelaySweep(t *testing.T) {
+	// The PD trade-off on Elmore delay is genuinely two-sided: the SPT
+	// minimizes path resistance but carries more capacitance, so with a
+	// resistive driver neither extreme dominates. Sweep c on random nets
+	// and check that the sweep is well-formed and that the best blend is
+	// never worse than both extremes (it is one of them in the worst
+	// case).
+	rng := rand.New(rand.NewSource(73))
+	intermediateWins := 0
+	for trial := 0; trial < 60; trial++ {
+		net := randomNet(rng, 4+rng.Intn(6))
+		best := math.Inf(1)
+		bestC := -1.0
+		var d0, d1 float64
+		for _, c := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			tr, err := RoutePrimDijkstra(net, pdTech, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := elmore.Analyze(tr, nil).MaxDelay
+			if d <= 0 {
+				t.Fatalf("trial %d c=%g: non-positive delay %g", trial, c, d)
+			}
+			switch c {
+			case 0:
+				d0 = d
+			case 1:
+				d1 = d
+			}
+			if d < best {
+				best, bestC = d, c
+			}
+		}
+		if best > math.Min(d0, d1)+1e-18 {
+			t.Fatalf("trial %d: sweep minimum %g worse than endpoints %g/%g", trial, best, d0, d1)
+		}
+		if bestC != 0 && bestC != 1 {
+			intermediateWins++
+		}
+	}
+	// The blend must actually matter on a reasonable fraction of nets —
+	// that is the Prim–Dijkstra result.
+	if intermediateWins == 0 {
+		t.Errorf("no net preferred an intermediate blend; the trade-off is degenerate")
+	}
+}
+
+func TestPrimDijkstraErrors(t *testing.T) {
+	net := randomNet(rand.New(rand.NewSource(1)), 3)
+	if _, err := RoutePrimDijkstra(net, pdTech, -0.1); err == nil {
+		t.Errorf("c < 0 accepted")
+	}
+	if _, err := RoutePrimDijkstra(net, pdTech, 1.1); err == nil {
+		t.Errorf("c > 1 accepted")
+	}
+	if _, err := RoutePrimDijkstra(net, pdTech, math.NaN()); err == nil {
+		t.Errorf("NaN accepted")
+	}
+	if _, err := RoutePrimDijkstra(Net{Name: "empty"}, pdTech, 0.5); err == nil {
+		t.Errorf("sink-less net accepted")
+	}
+}

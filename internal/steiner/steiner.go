@@ -1,0 +1,178 @@
+// Package steiner constructs rectilinear routing-tree estimates for nets
+// given only pin placements. The paper assumes "the input routing tree
+// topology is fixed or a Steiner estimation has been computed" (Section
+// II); since Go has no EDA/Steiner libraries, this package provides that
+// substrate from scratch:
+//
+//   - a rectilinear minimum spanning tree (Prim, O(n²)), and
+//   - the iterated 1-Steiner heuristic of Kahng and Robins, which
+//     repeatedly adds the Hanan-grid point that most reduces the spanning
+//     cost — a standard RSMT approximation,
+//
+// plus L-shaped edge embedding and conversion into an rctree.Tree with
+// per-unit-length RC parasitics.
+package steiner
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is a pin or Steiner-point location, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the rectilinear (Manhattan) distance between two points.
+func Dist(a, b Point) float64 {
+	return math.Abs(a.X-b.X) + math.Abs(a.Y-b.Y)
+}
+
+// mstParents computes a minimum spanning tree over pts under rectilinear
+// distance with Prim's algorithm, rooted at pts[0]. parents[0] = -1.
+func mstParents(pts []Point) []int {
+	n := len(pts)
+	parents := make([]int, n)
+	if n == 0 {
+		return parents
+	}
+	const unseen = -2
+	for i := range parents {
+		parents[i] = unseen
+	}
+	parents[0] = -1
+	dist := make([]float64, n)
+	from := make([]int, n)
+	inTree := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	for iter := 0; iter < n; iter++ {
+		best, bd := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && dist[i] < bd {
+				best, bd = i, dist[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		inTree[best] = true
+		if best != 0 {
+			parents[best] = from[best]
+		}
+		for i := 0; i < n; i++ {
+			if inTree[i] {
+				continue
+			}
+			if d := Dist(pts[best], pts[i]); d < dist[i] {
+				dist[i] = d
+				from[i] = best
+			}
+		}
+	}
+	return parents
+}
+
+// treeLength sums the rectilinear edge lengths of a parent-array tree.
+func treeLength(pts []Point, parents []int) float64 {
+	total := 0.0
+	for i, p := range parents {
+		if p >= 0 {
+			total += Dist(pts[i], pts[p])
+		}
+	}
+	return total
+}
+
+// MSTLength returns the rectilinear MST cost of the point set.
+func MSTLength(pts []Point) float64 {
+	return treeLength(pts, mstParents(pts))
+}
+
+// hananGrid returns the Hanan grid of the terminals: every (x, y) with x
+// and y drawn from terminal coordinates. Hanan's theorem guarantees an
+// optimal RSMT using only these points.
+func hananGrid(terms []Point) []Point {
+	xsSet := map[float64]bool{}
+	ysSet := map[float64]bool{}
+	for _, p := range terms {
+		xsSet[p.X] = true
+		ysSet[p.Y] = true
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	ys := make([]float64, 0, len(ysSet))
+	for y := range ysSet {
+		ys = append(ys, y)
+	}
+	// Sorted order keeps candidate tie-breaking — and therefore the whole
+	// routing result — deterministic.
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	out := make([]Point, 0, len(xs)*len(ys))
+	for _, x := range xs {
+		for _, y := range ys {
+			out = append(out, Point{x, y})
+		}
+	}
+	return out
+}
+
+// IteratedOneSteiner runs the iterated 1-Steiner heuristic: starting from
+// the terminals, repeatedly add the Hanan-grid candidate that maximally
+// reduces the MST cost, until no candidate helps. It returns the terminal
+// set extended with the chosen Steiner points (terminals first, in their
+// original order).
+func IteratedOneSteiner(terms []Point) []Point {
+	pts := append([]Point(nil), terms...)
+	if len(terms) < 3 {
+		return pts
+	}
+	cands := hananGrid(terms)
+	// A Steiner point is useful at most n−2 times.
+	for iter := 0; iter < len(terms)-2; iter++ {
+		base := MSTLength(pts)
+		bestGain := 1e-12 * base
+		bestIdx := -1
+		for ci, c := range cands {
+			trial := append(pts, c)
+			if gain := base - MSTLength(trial); gain > bestGain {
+				bestGain = gain
+				bestIdx = ci
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		pts = append(pts, cands[bestIdx])
+	}
+	// Drop Steiner points that ended up with degree ≤ 2 in the final MST
+	// (they no longer shorten anything; a degree-2 point is a bend, which
+	// edge embedding recreates anyway).
+	for {
+		parents := mstParents(pts)
+		deg := make([]int, len(pts))
+		for i, p := range parents {
+			if p >= 0 {
+				deg[i]++
+				deg[p]++
+			}
+		}
+		removed := false
+		for i := len(pts) - 1; i >= len(terms); i-- {
+			if deg[i] <= 2 {
+				pts = append(pts[:i], pts[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return pts
+}

@@ -1,0 +1,214 @@
+package steiner
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"buffopt/internal/elmore"
+	"buffopt/internal/rctree"
+)
+
+func TestDist(t *testing.T) {
+	if got := Dist(Point{1, 2}, Point{4, -2}); got != 7 {
+		t.Errorf("Dist = %g, want 7", got)
+	}
+	if got := Dist(Point{1, 1}, Point{1, 1}); got != 0 {
+		t.Errorf("Dist same point = %g", got)
+	}
+}
+
+func TestMSTSimple(t *testing.T) {
+	// Three collinear points: MST length = 4.
+	pts := []Point{{0, 0}, {2, 0}, {4, 0}}
+	if got := MSTLength(pts); got != 4 {
+		t.Errorf("MSTLength = %g, want 4", got)
+	}
+	parents := mstParents(pts)
+	if parents[0] != -1 {
+		t.Errorf("root parent = %d", parents[0])
+	}
+	// All nodes reachable.
+	for i := 1; i < len(parents); i++ {
+		if parents[i] < 0 {
+			t.Errorf("node %d unreached", i)
+		}
+	}
+}
+
+func TestOneSteinerCross(t *testing.T) {
+	// The classic cross: 4 terminals around (1,1). MST = 6, RSMT = 4 via
+	// the center Steiner point.
+	terms := []Point{{1, 0}, {0, 1}, {2, 1}, {1, 2}}
+	if got := MSTLength(terms); got != 6 {
+		t.Fatalf("MST = %g, want 6", got)
+	}
+	pts := IteratedOneSteiner(terms)
+	if got := MSTLength(pts); got != 4 {
+		t.Errorf("1-Steiner length = %g, want 4", got)
+	}
+	if len(pts) != 5 {
+		t.Errorf("point count = %d, want 5 (one Steiner point)", len(pts))
+	}
+	if len(pts) == 5 && (pts[4] != Point{1, 1}) {
+		t.Errorf("Steiner point at %+v, want (1,1)", pts[4])
+	}
+}
+
+func TestOneSteinerNeverWorseThanMST(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		var terms []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			terms = append(terms, Point{float64(raw[i] % 64), float64(raw[i+1] % 64)})
+		}
+		mst := MSTLength(terms)
+		st := MSTLength(IteratedOneSteiner(terms))
+		// RSMT heuristic never exceeds the MST, and the Hwang bound says
+		// the MST is at most 1.5× the RSMT, so st ≥ mst/1.5 − ε.
+		return st <= mst+1e-9 && st >= mst/1.5-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteBuildsValidTree(t *testing.T) {
+	tech := Tech{RPerLen: 80e3, CPerLen: 200e-12} // 80 Ω/mm, 200 fF/mm
+	net := Net{
+		Name:    "n1",
+		Driver:  Point{0, 0},
+		DriverR: 150,
+		DriverT: 50e-12,
+		Sinks: []Sink{
+			{Name: "a", At: Point{1e-3, 0.5e-3}, Cap: 20e-15, RAT: 1e-9, NoiseMargin: 0.8},
+			{Name: "b", At: Point{0.5e-3, 1e-3}, Cap: 15e-15, RAT: 1e-9, NoiseMargin: 0.8},
+			{Name: "c", At: Point{-0.4e-3, 0.8e-3}, Cap: 25e-15, RAT: 1e-9, NoiseMargin: 0.8},
+		},
+	}
+	for _, alg := range []Algorithm{RectilinearMST, OneSteiner} {
+		tr, err := Route(net, tech, alg)
+		if err != nil {
+			t.Fatalf("alg %v: %v", alg, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("alg %v: invalid tree: %v", alg, err)
+		}
+		if !tr.IsBinary() {
+			t.Errorf("alg %v: tree not binary", alg)
+		}
+		if got := tr.NumSinks(); got != 3 {
+			t.Errorf("alg %v: %d sinks, want 3", alg, got)
+		}
+		// Wirelength is at least the farthest sink's distance and at most
+		// the sum of all direct driver-sink distances.
+		minWL := 0.0
+		sumWL := 0.0
+		for _, s := range net.Sinks {
+			d := Dist(net.Driver, s.At)
+			sumWL += d
+			if d > minWL {
+				minWL = d
+			}
+		}
+		wl := tr.TotalWireLength()
+		if wl < minWL-1e-12 || wl > sumWL+1e-12 {
+			t.Errorf("alg %v: wirelength %g outside [%g, %g]", alg, wl, minWL, sumWL)
+		}
+		// Electrical totals consistent with geometry.
+		if got, want := tr.TotalWireCap(), wl*tech.CPerLen; math.Abs(got-want) > 1e-18 {
+			t.Errorf("alg %v: wire cap %g, want %g", alg, got, want)
+		}
+		// The tree must be analyzable.
+		an := elmore.Analyze(tr, nil)
+		for _, s := range tr.Sinks() {
+			if an.Arrival[s] <= 0 {
+				t.Errorf("alg %v: sink %d has arrival %g", alg, s, an.Arrival[s])
+			}
+		}
+	}
+}
+
+func TestRouteOneSteinerNoLongerThanMST(t *testing.T) {
+	net := Net{
+		Name: "cross", Driver: Point{1e-3, 0}, DriverR: 100,
+		Sinks: []Sink{
+			{Name: "a", At: Point{0, 1e-3}, Cap: 1e-15, NoiseMargin: 1},
+			{Name: "b", At: Point{2e-3, 1e-3}, Cap: 1e-15, NoiseMargin: 1},
+			{Name: "c", At: Point{1e-3, 2e-3}, Cap: 1e-15, NoiseMargin: 1},
+		},
+	}
+	tech := Tech{RPerLen: 80e3, CPerLen: 200e-12}
+	mstTree, err := Route(net, tech, RectilinearMST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stTree, err := Route(net, tech, OneSteiner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stTree.TotalWireLength() > mstTree.TotalWireLength()+1e-12 {
+		t.Errorf("1-Steiner wirelength %g exceeds MST %g",
+			stTree.TotalWireLength(), mstTree.TotalWireLength())
+	}
+	// The cross RSMT is 4 mm.
+	if got := stTree.TotalWireLength(); math.Abs(got-4e-3) > 1e-9 {
+		t.Errorf("cross RSMT length = %g, want 4e-3", got)
+	}
+}
+
+func TestRouteTwoPin(t *testing.T) {
+	net := Net{
+		Name: "p2p", Driver: Point{0, 0}, DriverR: 100,
+		Sinks: []Sink{{Name: "s", At: Point{3e-3, 4e-3}, Cap: 10e-15, NoiseMargin: 0.8}},
+	}
+	tr, err := Route(net, Tech{RPerLen: 80e3, CPerLen: 200e-12}, OneSteiner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.TotalWireLength(); math.Abs(got-7e-3) > 1e-12 {
+		t.Errorf("two-pin length = %g, want 7e-3", got)
+	}
+	if got := tr.NumSinks(); got != 1 {
+		t.Errorf("sinks = %d", got)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	if _, err := Route(Net{Name: "x"}, Tech{}, RectilinearMST); err == nil {
+		t.Errorf("sink-less net accepted")
+	}
+	bad := Net{Name: "x", Sinks: []Sink{{Name: "s", Cap: 1e-15, NoiseMargin: 1}}}
+	if _, err := Route(bad, Tech{RPerLen: -1}, RectilinearMST); err == nil {
+		t.Errorf("negative tech accepted")
+	}
+}
+
+func TestRouteCoincidentPins(t *testing.T) {
+	// Sinks on top of each other and on top of the driver must not break
+	// tree construction.
+	net := Net{
+		Name: "coin", Driver: Point{0, 0}, DriverR: 100,
+		Sinks: []Sink{
+			{Name: "a", At: Point{0, 0}, Cap: 1e-15, NoiseMargin: 1},
+			{Name: "b", At: Point{1e-3, 0}, Cap: 1e-15, NoiseMargin: 1},
+			{Name: "c", At: Point{1e-3, 0}, Cap: 1e-15, NoiseMargin: 1},
+		},
+	}
+	tr, err := Route(net, Tech{RPerLen: 80e3, CPerLen: 200e-12}, RectilinearMST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.TotalWireLength(); math.Abs(got-1e-3) > 1e-12 {
+		t.Errorf("wirelength = %g, want 1e-3", got)
+	}
+	_ = rctree.None
+}

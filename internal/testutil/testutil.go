@@ -1,0 +1,131 @@
+// Package testutil provides deterministic random instance generators
+// shared by the property-based tests of several packages. It is not used
+// by production code.
+package testutil
+
+import (
+	"math/rand"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/rctree"
+)
+
+// TreeOptions bounds RandomTree.
+type TreeOptions struct {
+	MaxInternal int     // maximum internal (non-sink) nodes below the root
+	MaxSinks    int     // maximum sinks (at least 1 is always created)
+	WireScale   float64 // wire R/C/length magnitudes; default 1
+	MarginLo    float64 // sink noise margin range
+	MarginHi    float64
+	RATLo       float64 // sink required-arrival-time range
+	RATHi       float64
+	BufferSites bool // mark internal nodes as legal buffer sites
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MaxInternal == 0 {
+		o.MaxInternal = 6
+	}
+	if o.MaxSinks == 0 {
+		o.MaxSinks = 4
+	}
+	if o.WireScale == 0 {
+		o.WireScale = 1
+	}
+	if o.MarginHi == 0 {
+		o.MarginLo, o.MarginHi = 2, 10
+	}
+	if o.RATHi == 0 {
+		o.RATLo, o.RATHi = 0, 100
+	}
+	return o
+}
+
+// RandomTree builds a random valid binary routing tree: a random internal
+// skeleton with sinks attached so that no internal node is left a leaf.
+// All electrical values are positive and moderate; the tree always passes
+// Validate.
+func RandomTree(rng *rand.Rand, opts TreeOptions) *rctree.Tree {
+	o := opts.withDefaults()
+	t := rctree.New("rand", 0.5+3*rng.Float64(), rng.Float64())
+
+	wire := func() rctree.Wire {
+		l := (0.1 + rng.Float64()) * o.WireScale
+		return rctree.Wire{
+			R:      l * (0.5 + rng.Float64()),
+			C:      l * (0.5 + rng.Float64()),
+			Length: l,
+		}
+	}
+	sink := func(parent rctree.NodeID) {
+		nm := o.MarginLo + (o.MarginHi-o.MarginLo)*rng.Float64()
+		rat := o.RATLo + (o.RATHi-o.RATLo)*rng.Float64()
+		if _, err := t.AddSink(parent, wire(), "s", rng.Float64(), rat, nm); err != nil {
+			panic(err)
+		}
+	}
+
+	// Grow a random skeleton of internal nodes (each with < 2 children so
+	// far), then give every childless internal node a sink, and sprinkle
+	// extra sinks on nodes with room.
+	open := []rctree.NodeID{t.Root()}
+	internal := rng.Intn(o.MaxInternal + 1)
+	for i := 0; i < internal && len(open) > 0; i++ {
+		p := open[rng.Intn(len(open))]
+		id, err := t.AddInternal(p, wire(), o.BufferSites)
+		if err != nil {
+			panic(err)
+		}
+		open = append(open, id)
+		// Remove parents that reached two children.
+		open = filterOpen(t, open)
+	}
+	for _, v := range t.Preorder() {
+		n := t.Node(v)
+		if n.Kind == rctree.Internal && n.IsLeaf() {
+			sink(v)
+		}
+	}
+	extra := rng.Intn(o.MaxSinks)
+	for i := 0; i < extra; i++ {
+		open = filterOpen(t, open)
+		if len(open) == 0 {
+			break
+		}
+		sink(open[rng.Intn(len(open))])
+	}
+	if t.NumSinks() == 0 {
+		sink(t.Root())
+	}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func filterOpen(t *rctree.Tree, open []rctree.NodeID) []rctree.NodeID {
+	out := open[:0]
+	for _, v := range open {
+		if len(t.Node(v).Children) < 2 && t.Node(v).Kind != rctree.Sink {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RandomLibrary builds a small random buffer library (1–3 types, all
+// non-inverting, positive parameters).
+func RandomLibrary(rng *rand.Rand, margin float64) *buffers.Library {
+	n := 1 + rng.Intn(3)
+	l := &buffers.Library{}
+	for i := 0; i < n; i++ {
+		l.Buffers = append(l.Buffers, buffers.Buffer{
+			Name:        string(rune('A' + i)),
+			Cin:         0.01 + 0.2*rng.Float64(),
+			R:           0.5 + 2*rng.Float64(),
+			T:           rng.Float64(),
+			NoiseMargin: margin,
+		})
+	}
+	return l
+}
