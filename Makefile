@@ -1,0 +1,18 @@
+# Convenience targets; scripts/check.sh is the tier-1 gate (ROADMAP.md).
+
+.PHONY: build test check bench fuzz
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	sh scripts/check.sh
+
+bench:
+	go test -bench=. -benchmem -run=^$$ .
+
+fuzz:
+	go test -fuzz=FuzzRead -fuzztime=30s ./internal/netfmt

@@ -3,25 +3,35 @@
 //
 // Usage:
 //
-//	buffopt -net path/to/net.txt [-alg buffopt|minbuf|delayopt|delayoptk|alg1|alg2]
+//	buffopt -net path/to/net.txt [-alg solve|buffopt|minbuf|delayopt|delayoptk|alg1|alg2]
 //	        [-k N] [-seglen meters] [-lambda 0.7] [-rise 0.25e-9] [-vdd 1.8]
 //	        [-safe] [-verify] [-report] [-write out.txt]
+//	        [-timeout 30s] [-max-cands N]
 //
 // The default algorithm is minbuf, the BuffOpt tool configuration of
 // Section V (fewest buffers meeting both noise and timing). -verify
 // additionally runs the detailed coupled-RC simulation (the 3dnoise
 // stand-in) on the result.
+//
+// -timeout bounds the wall-clock time and -max-cands the DP candidate
+// lists; Ctrl-C cancels cleanly. Under "-alg solve", hitting a bound
+// degrades to a cheaper method instead of failing (the tier used is
+// printed); every other algorithm reports the budget error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"time"
 
 	"buffopt/internal/buffers"
 	"buffopt/internal/core"
 	"buffopt/internal/elmore"
+	"buffopt/internal/guard"
 	"buffopt/internal/netfmt"
 	"buffopt/internal/noise"
 	"buffopt/internal/noisesim"
@@ -30,35 +40,63 @@ import (
 	"buffopt/internal/segment"
 )
 
+// config carries the parsed command line.
+type config struct {
+	netPath, alg      string
+	k                 int
+	segLen            float64
+	lambda, rise, vdd float64
+	margin            float64
+	safe, verify, rep bool
+	outPath, spefPath string
+	timeout           time.Duration
+	maxCands          int
+}
+
 func main() {
-	var (
-		netPath  = flag.String("net", "", "net file in netfmt format (required)")
-		alg      = flag.String("alg", "minbuf", "algorithm: buffopt, minbuf, delayopt, delayoptk, alg1, alg2")
-		k        = flag.Int("k", 4, "buffer bound for delayoptk")
-		segLen   = flag.Float64("seglen", 0.5e-3, "wire segmenting length in meters (0 disables)")
-		lambda   = flag.Float64("lambda", 0.7, "coupling-to-total-capacitance ratio λ")
-		rise     = flag.Float64("rise", 0.25e-9, "aggressor rise time, s")
-		vdd      = flag.Float64("vdd", 1.8, "supply voltage, V")
-		margin   = flag.Float64("bufnm", 0.8, "buffer library noise margin, V")
-		safe     = flag.Bool("safe", false, "use exact multi-buffer pruning")
-		verify   = flag.Bool("verify", false, "verify the result with the detailed RC simulator")
-		rep      = flag.Bool("report", false, "print a full per-sink timing/noise report")
-		outPath  = flag.String("write", "", "write the buffered tree to this file (buffers noted as comments)")
-		spefPath = flag.String("spef", "", "also write the buffered tree's parasitics as a SPEF fragment")
-	)
+	var cfg config
+	flag.StringVar(&cfg.netPath, "net", "", "net file in netfmt format (required)")
+	flag.StringVar(&cfg.alg, "alg", "minbuf", "algorithm: solve, buffopt, minbuf, delayopt, delayoptk, alg1, alg2")
+	flag.IntVar(&cfg.k, "k", 4, "buffer bound for delayoptk")
+	flag.Float64Var(&cfg.segLen, "seglen", 0.5e-3, "wire segmenting length in meters (0 disables)")
+	flag.Float64Var(&cfg.lambda, "lambda", 0.7, "coupling-to-total-capacitance ratio λ")
+	flag.Float64Var(&cfg.rise, "rise", 0.25e-9, "aggressor rise time, s")
+	flag.Float64Var(&cfg.vdd, "vdd", 1.8, "supply voltage, V")
+	flag.Float64Var(&cfg.margin, "bufnm", 0.8, "buffer library noise margin, V")
+	flag.BoolVar(&cfg.safe, "safe", false, "use exact multi-buffer pruning")
+	flag.BoolVar(&cfg.verify, "verify", false, "verify the result with the detailed RC simulator")
+	flag.BoolVar(&cfg.rep, "report", false, "print a full per-sink timing/noise report")
+	flag.StringVar(&cfg.outPath, "write", "", "write the buffered tree to this file (buffers noted as comments)")
+	flag.StringVar(&cfg.spefPath, "spef", "", "also write the buffered tree's parasitics as a SPEF fragment")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget for the solve (0 disables)")
+	flag.IntVar(&cfg.maxCands, "max-cands", 0, "cap on DP candidate-list size (0 disables)")
 	flag.Parse()
-	if *netPath == "" {
+	if cfg.netPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*netPath, *alg, *k, *segLen, *lambda, *rise, *vdd, *margin, *safe, *verify, *rep, *outPath, *spefPath); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "buffopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(netPath, alg string, k int, segLen, lambda, rise, vdd, margin float64, safe, verify, rep bool, outPath, spefPath string) error {
-	f, err := os.Open(netPath)
+// budget assembles the run's resource budget from the context and flags.
+func (cfg config) budget(ctx context.Context) *guard.Budget {
+	b := guard.New(ctx)
+	b.MaxCandidates = cfg.maxCands
+	return b
+}
+
+func run(ctx context.Context, cfg config) error {
+	f, err := os.Open(cfg.netPath)
 	if err != nil {
 		return err
 	}
@@ -67,9 +105,16 @@ func run(netPath, alg string, k int, segLen, lambda, rise, vdd, margin float64, 
 	if err != nil {
 		return err
 	}
-	params := noise.Params{CouplingRatio: lambda, Slope: vdd / rise}
-	lib := buffers.DefaultLibrary(margin)
-	opts := core.Options{SafePruning: safe}
+	// netfmt validates structurally; re-validate explicitly so a future
+	// reader bug still cannot push a malformed tree into the solvers.
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("net %s failed validation: %w", cfg.netPath, err)
+	}
+	alg, k, segLen, vdd, rep := cfg.alg, cfg.k, cfg.segLen, cfg.vdd, cfg.rep
+	outPath, spefPath := cfg.outPath, cfg.spefPath
+	params := noise.Params{CouplingRatio: cfg.lambda, Slope: cfg.vdd / cfg.rise}
+	lib := buffers.DefaultLibrary(cfg.margin)
+	opts := core.Options{SafePruning: cfg.safe, Budget: cfg.budget(ctx)}
 
 	work := tr.Clone()
 	if segLen > 0 {
@@ -92,6 +137,18 @@ func run(netPath, alg string, k int, segLen, lambda, rise, vdd, margin float64, 
 	var slack float64
 	haveSlack := false
 	switch alg {
+	case "solve":
+		r, err := core.Solve(ctx, work, lib, params, opts)
+		if err != nil {
+			return err
+		}
+		if r.Degraded {
+			fmt.Printf("degraded to tier %s after %d stronger tier(s) hit the budget\n",
+				r.Tier, len(r.TierErrors))
+		} else {
+			fmt.Printf("solved at tier %s\n", r.Tier)
+		}
+		sol, slack, haveSlack = r.Solution, r.Slack, true
 	case "buffopt":
 		r, err := core.BuffOpt(work, lib, params, opts)
 		if err != nil {
@@ -117,14 +174,14 @@ func run(netPath, alg string, k int, segLen, lambda, rise, vdd, margin float64, 
 		}
 		sol, slack, haveSlack = r.Solution, r.Slack, true
 	case "alg1":
-		sol, err = core.Algorithm1(tr, lib, params)
+		sol, err = core.Algorithm1Budget(tr, lib, params, opts.Budget)
 		if err != nil {
 			return err
 		}
 	case "alg2":
 		bin := tr.Clone()
 		bin.Binarize()
-		sol, err = core.Algorithm2(bin, lib, params)
+		sol, err = core.Algorithm2Budget(bin, lib, params, opts.Budget)
 		if err != nil {
 			return err
 		}
@@ -160,8 +217,8 @@ func run(netPath, alg string, k int, segLen, lambda, rise, vdd, margin float64, 
 		}
 	}
 
-	if verify {
-		sim, err := noisesim.Simulate(sol.Tree, sol.Buffers, noisesim.Options{Vdd: vdd, Params: params})
+	if cfg.verify {
+		sim, err := noisesim.Simulate(sol.Tree, sol.Buffers, noisesim.Options{Vdd: vdd, Params: params, Budget: opts.Budget})
 		if err != nil {
 			return fmt.Errorf("verification: %w", err)
 		}

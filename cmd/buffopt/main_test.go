@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"buffopt/internal/guard"
 	"buffopt/internal/netfmt"
 	"buffopt/internal/netgen"
 	"buffopt/internal/noise"
@@ -35,7 +38,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 		if alg == "alg1" {
 			continue // the generated net is multi-sink; alg1 covered below
 		}
-		err := run(path, alg, 4, 0.5e-3, 0.7, 0.25e-9, 1.8, 0.8, false, false, false, "", "")
+		err := run(context.Background(), config{netPath: path, alg: alg, k: 4, segLen: 0.5e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8})
 		if err != nil {
 			t.Errorf("alg %s: %v", alg, err)
 		}
@@ -67,7 +70,7 @@ func TestRunAlg1OnTwoPin(t *testing.T) {
 	if path == "" {
 		t.Skip("no two-pin net in the sample")
 	}
-	if err := run(path, "alg1", 0, 0.5e-3, 0.7, 0.25e-9, 1.8, 0.8, false, true, true, "", ""); err != nil {
+	if err := run(context.Background(), config{netPath: path, alg: "alg1", segLen: 0.5e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8, verify: true, rep: true}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -75,7 +78,7 @@ func TestRunAlg1OnTwoPin(t *testing.T) {
 func TestRunWritesOutput(t *testing.T) {
 	path := writeTestNet(t)
 	out := filepath.Join(t.TempDir(), "buffered.net")
-	if err := run(path, "minbuf", 0, 0.5e-3, 0.7, 0.25e-9, 1.8, 0.8, false, false, false, out, filepath.Join(t.TempDir(), "o.spef")); err != nil {
+	if err := run(context.Background(), config{netPath: path, alg: "minbuf", segLen: 0.5e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8, outPath: out, spefPath: filepath.Join(t.TempDir(), "o.spef")}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -96,11 +99,43 @@ func TestRunWritesOutput(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.net", "minbuf", 0, 0, 0.7, 0.25e-9, 1.8, 0.8, false, false, false, "", ""); err == nil {
+	if err := run(context.Background(), config{netPath: "/nonexistent.net", alg: "minbuf", lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8}); err == nil {
 		t.Errorf("missing file accepted")
 	}
 	path := writeTestNet(t)
-	if err := run(path, "frobnicate", 0, 0, 0.7, 0.25e-9, 1.8, 0.8, false, false, false, "", ""); err == nil {
+	if err := run(context.Background(), config{netPath: path, alg: "frobnicate", lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8}); err == nil {
 		t.Errorf("unknown algorithm accepted")
+	}
+}
+
+func TestRunSolveAlg(t *testing.T) {
+	path := writeTestNet(t)
+	if err := run(context.Background(), config{netPath: path, alg: "solve", segLen: 0.5e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	path := writeTestNet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, config{netPath: path, alg: "minbuf", segLen: 0.5e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8})
+	if err == nil {
+		t.Fatal("canceled context accepted")
+	}
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestRunCandidateCap(t *testing.T) {
+	path := writeTestNet(t)
+	err := run(context.Background(), config{netPath: path, alg: "minbuf", segLen: 0.1e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8, maxCands: 1})
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded with a 1-candidate cap", err)
+	}
+	// The solve algorithm degrades instead of failing under the same cap.
+	if err := run(context.Background(), config{netPath: path, alg: "solve", segLen: 0.1e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8, maxCands: 1}); err != nil {
+		t.Fatalf("solve did not degrade: %v", err)
 	}
 }

@@ -7,12 +7,23 @@
 //
 //	designopt -in nets/ [-out buffered/] [-seglen 0.5e-3] [-lambda 0.7]
 //	          [-rise 0.25e-9] [-vdd 1.8] [-bufnm 0.8] [-workers N] [-sizing]
+//	          [-timeout 5s] [-max-cands N]
+//
+// Each net is solved through core.Solve's degradation ladder: -timeout
+// bounds each individual net (not the whole design), -max-cands caps the
+// DP candidate lists, and a net that exhausts its budget degrades to a
+// cheaper tier instead of failing the batch. Workers are panic-isolated:
+// a crash on one net is reported as that net's failure, not a process
+// abort. Ctrl-C cancels the remaining nets cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -21,6 +32,7 @@ import (
 
 	"buffopt/internal/buffers"
 	"buffopt/internal/core"
+	"buffopt/internal/guard"
 	"buffopt/internal/netfmt"
 	"buffopt/internal/noise"
 	"buffopt/internal/rctree"
@@ -28,80 +40,112 @@ import (
 	"buffopt/internal/segment"
 )
 
+// config carries the parsed command line.
+type config struct {
+	in, out           string
+	segLen            float64
+	lambda, rise, vdd float64
+	margin            float64
+	workers           int
+	sizing, verbose   bool
+	timeout           time.Duration // per net; 0 disables
+	maxCands          int
+}
+
 func main() {
-	var (
-		in      = flag.String("in", "", "input directory of .net files (required)")
-		out     = flag.String("out", "", "output directory for buffered nets (optional)")
-		segLen  = flag.Float64("seglen", 0.5e-3, "wire segmenting length, m")
-		lambda  = flag.Float64("lambda", 0.7, "coupling ratio λ")
-		rise    = flag.Float64("rise", 0.25e-9, "aggressor rise time, s")
-		vdd     = flag.Float64("vdd", 1.8, "supply voltage, V")
-		margin  = flag.Float64("bufnm", 0.8, "buffer noise margin, V")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
-		sizing  = flag.Bool("sizing", false, "enable simultaneous wire sizing (widths 1, 2, 4)")
-		verbose = flag.Bool("v", false, "print one summary line per net")
-	)
+	var cfg config
+	flag.StringVar(&cfg.in, "in", "", "input directory of .net files (required)")
+	flag.StringVar(&cfg.out, "out", "", "output directory for buffered nets (optional)")
+	flag.Float64Var(&cfg.segLen, "seglen", 0.5e-3, "wire segmenting length, m")
+	flag.Float64Var(&cfg.lambda, "lambda", 0.7, "coupling ratio λ")
+	flag.Float64Var(&cfg.rise, "rise", 0.25e-9, "aggressor rise time, s")
+	flag.Float64Var(&cfg.vdd, "vdd", 1.8, "supply voltage, V")
+	flag.Float64Var(&cfg.margin, "bufnm", 0.8, "buffer noise margin, V")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "parallel workers")
+	flag.BoolVar(&cfg.sizing, "sizing", false, "enable simultaneous wire sizing (widths 1, 2, 4)")
+	flag.BoolVar(&cfg.verbose, "v", false, "print one summary line per net")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget per net (0 disables)")
+	flag.IntVar(&cfg.maxCands, "max-cands", 0, "cap on DP candidate-list size per net (0 disables)")
 	flag.Parse()
-	if *in == "" {
+	if cfg.in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *segLen, *lambda, *rise, *vdd, *margin, *workers, *sizing, *verbose); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "designopt:", err)
 		os.Exit(1)
 	}
 }
 
 type result struct {
-	name    string
-	buffers int
-	fixed   bool
-	wasBad  bool
-	err     error
-	summary string
+	name     string
+	buffers  int
+	fixed    bool
+	wasBad   bool
+	tier     core.Tier
+	degraded bool
+	err      error
+	summary  string
 }
 
-func run(in, out string, segLen, lambda, rise, vdd, margin float64, workers int, sizing, verbose bool) error {
-	paths, err := filepath.Glob(filepath.Join(in, "*.net"))
+func run(ctx context.Context, cfg config) error {
+	paths, err := filepath.Glob(filepath.Join(cfg.in, "*.net"))
 	if err != nil {
 		return err
 	}
 	if len(paths) == 0 {
-		return fmt.Errorf("no .net files in %s", in)
+		return fmt.Errorf("no .net files in %s", cfg.in)
 	}
 	sort.Strings(paths)
-	if out != "" {
-		if err := os.MkdirAll(out, 0o755); err != nil {
+	if cfg.out != "" {
+		if err := os.MkdirAll(cfg.out, 0o755); err != nil {
 			return err
 		}
 	}
 
-	params := noise.Params{CouplingRatio: lambda, Slope: vdd / rise}
-	lib := buffers.DefaultLibrary(margin)
+	params := noise.Params{CouplingRatio: cfg.lambda, Slope: cfg.vdd / cfg.rise}
+	lib := buffers.DefaultLibrary(cfg.margin)
 	opts := core.Options{}
-	if sizing {
+	if cfg.sizing {
 		opts.Sizing = &core.Sizing{Widths: []float64{1, 2, 4}}
 	}
 
 	start := time.Now()
 	results := make([]result, len(paths))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(1, workers))
+	sem := make(chan struct{}, max(1, cfg.workers))
 	for i, path := range paths {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, path string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = optimizeOne(path, out, segLen, params, lib, opts)
+			name := filepath.Base(path)
+			if ctx.Err() != nil {
+				results[i] = result{name: name, err: fmt.Errorf("%w: %w", guard.ErrCanceled, ctx.Err())}
+				return
+			}
+			// Panic isolation: one crashing net becomes that net's
+			// failure line, not a batch abort.
+			var r result
+			if perr := guard.Safe("designopt "+name, func() error {
+				r = optimizeOne(ctx, path, cfg, params, lib, opts)
+				return nil
+			}); perr != nil {
+				r = result{name: name, err: perr}
+			}
+			results[i] = r
 		}(i, path)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	totalBuffers, bad, fixed, failed := 0, 0, 0, 0
+	tierCount := map[core.Tier]int{}
 	for _, r := range results {
-		if verbose && r.err == nil {
+		if cfg.verbose && r.err == nil {
 			fmt.Println(r.summary)
 		}
 		if r.err != nil {
@@ -109,6 +153,7 @@ func run(in, out string, segLen, lambda, rise, vdd, margin float64, workers int,
 			fmt.Fprintf(os.Stderr, "  %s: %v\n", r.name, r.err)
 			continue
 		}
+		tierCount[r.tier]++
 		totalBuffers += r.buffers
 		if r.wasBad {
 			bad++
@@ -119,13 +164,35 @@ func run(in, out string, segLen, lambda, rise, vdd, margin float64, workers int,
 	}
 	fmt.Printf("design: %d nets, %d with noise violations, %d fixed, %d buffers inserted, %d failures, %.2fs\n",
 		len(paths), bad, fixed, totalBuffers, failed, elapsed.Seconds())
+	printTiers(tierCount)
+	if cerr := ctx.Err(); cerr != nil && !errors.Is(cerr, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", guard.ErrCanceled, cerr)
+	}
 	if fixed < bad {
 		return fmt.Errorf("%d nets could not be fixed", bad-fixed)
 	}
 	return nil
 }
 
-func optimizeOne(path, out string, segLen float64, params noise.Params, lib *buffers.Library, opts core.Options) result {
+// printTiers summarizes which degradation tier answered each net, so a
+// budget set too tight is visible at a glance.
+func printTiers(tierCount map[core.Tier]int) {
+	if len(tierCount) == 0 {
+		return
+	}
+	tiers := make([]core.Tier, 0, len(tierCount))
+	for t := range tierCount {
+		tiers = append(tiers, t)
+	}
+	sort.Slice(tiers, func(i, j int) bool { return tiers[i] < tiers[j] })
+	fmt.Printf("tiers:")
+	for _, t := range tiers {
+		fmt.Printf(" %s=%d", t, tierCount[t])
+	}
+	fmt.Println()
+}
+
+func optimizeOne(ctx context.Context, path string, cfg config, params noise.Params, lib *buffers.Library, opts core.Options) result {
 	name := filepath.Base(path)
 	f, err := os.Open(path)
 	if err != nil {
@@ -136,26 +203,39 @@ func optimizeOne(path, out string, segLen float64, params noise.Params, lib *buf
 	if err != nil {
 		return result{name: name, err: err}
 	}
+	if err := tr.Validate(); err != nil {
+		return result{name: name, err: err}
+	}
 
 	wasBad := !noise.Analyze(tr, nil, params).Clean()
 
 	work := tr.Clone()
-	if segLen > 0 {
-		if _, err := segment.ByLength(work, segLen); err != nil {
+	if cfg.segLen > 0 {
+		if _, err := segment.ByLength(work, cfg.segLen); err != nil {
 			return result{name: name, err: err}
 		}
 		if _, err := work.InsertBelow(work.Root()); err != nil {
 			return result{name: name, err: err}
 		}
 	}
-	res, err := core.BuffOptMinBuffers(work, lib, params, opts)
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	if cfg.maxCands > 0 {
+		b := guard.New(ctx)
+		b.MaxCandidates = cfg.maxCands
+		opts.Budget = b
+	}
+	res, err := core.Solve(ctx, work, lib, params, opts)
 	if err != nil {
 		return result{name: name, err: err, wasBad: wasBad}
 	}
 	clean := noise.Analyze(res.Tree, res.Buffers, params).Clean()
 
-	if out != "" {
-		path := filepath.Join(out, name)
+	if cfg.out != "" {
+		path := filepath.Join(cfg.out, name)
 		of, err := os.Create(path)
 		if err != nil {
 			return result{name: name, err: err}
@@ -169,11 +249,13 @@ func optimizeOne(path, out string, segLen float64, params noise.Params, lib *buf
 		}
 	}
 	return result{
-		name:    name,
-		buffers: res.NumBuffers(),
-		fixed:   clean,
-		wasBad:  wasBad,
-		summary: report.Summary(res.Tree, res.Buffers, params),
+		name:     name,
+		buffers:  res.NumBuffers(),
+		fixed:    clean,
+		wasBad:   wasBad,
+		tier:     res.Tier,
+		degraded: res.Degraded,
+		summary:  report.Summary(res.Tree, res.Buffers, params),
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -33,7 +34,7 @@ func writeSuite(t *testing.T, n int) string {
 func TestDesignOptFlow(t *testing.T) {
 	in := writeSuite(t, 12)
 	out := t.TempDir()
-	if err := run(in, out, 0.5e-3, 0.7, 0.25e-9, 1.8, 0.8, 4, false, false); err != nil {
+	if err := run(context.Background(), config{in: in, out: out, segLen: 0.5e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8, workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	files, err := filepath.Glob(filepath.Join(out, "*.net"))
@@ -64,13 +65,31 @@ func TestDesignOptFlow(t *testing.T) {
 
 func TestDesignOptSizing(t *testing.T) {
 	in := writeSuite(t, 6)
-	if err := run(in, "", 0.5e-3, 0.7, 0.25e-9, 1.8, 0.8, 2, true, true); err != nil {
+	if err := run(context.Background(), config{in: in, segLen: 0.5e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8, workers: 2, sizing: true, verbose: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDesignOptErrors(t *testing.T) {
-	if err := run(t.TempDir(), "", 0.5e-3, 0.7, 0.25e-9, 1.8, 0.8, 1, false, false); err == nil {
+	if err := run(context.Background(), config{in: t.TempDir(), segLen: 0.5e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8, workers: 1}); err == nil {
 		t.Errorf("empty input directory accepted")
+	}
+}
+
+func TestDesignOptPerNetBudget(t *testing.T) {
+	in := writeSuite(t, 6)
+	// A 1-candidate cap forces every net down the ladder; the batch must
+	// still complete with zero failures.
+	if err := run(context.Background(), config{in: in, segLen: 0.5e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8, workers: 2, maxCands: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDesignOptCanceled(t *testing.T) {
+	in := writeSuite(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, config{in: in, segLen: 0.5e-3, lambda: 0.7, rise: 0.25e-9, vdd: 1.8, margin: 0.8, workers: 2}); err == nil {
+		t.Fatal("canceled run reported success")
 	}
 }

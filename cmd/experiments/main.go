@@ -16,33 +16,55 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"buffopt/internal/experiments"
+	"buffopt/internal/guard"
 )
 
 func main() {
 	var (
-		nets   = flag.Int("nets", 500, "suite size")
-		seed   = flag.Int64("seed", 1, "suite seed")
-		segLen = flag.Float64("seglen", 0.5e-3, "wire segmenting length, m")
-		table  = flag.Int("table", 0, "run only this table (1-4)")
-		fig    = flag.Int("fig", 0, "run only this figure (1, 2, 3, 6, 7, 17)")
-		abl    = flag.Bool("ablations", false, "run the wire-sizing and Problem 3 ablations")
-		safe   = flag.Bool("safe", false, "exact multi-buffer pruning")
+		nets    = flag.Int("nets", 500, "suite size")
+		seed    = flag.Int64("seed", 1, "suite seed")
+		segLen  = flag.Float64("seglen", 0.5e-3, "wire segmenting length, m")
+		table   = flag.Int("table", 0, "run only this table (1-4)")
+		fig     = flag.Int("fig", 0, "run only this figure (1, 2, 3, 6, 7, 17)")
+		abl     = flag.Bool("ablations", false, "run the wire-sizing and Problem 3 ablations")
+		safe    = flag.Bool("safe", false, "exact multi-buffer pruning")
+		timeout = flag.Duration("timeout", 0*time.Second, "wall-clock budget for the whole run (0 disables)")
 	)
 	flag.Parse()
-	if err := run(*nets, *seed, *segLen, *table, *fig, *abl, *safe); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *nets, *seed, *segLen, *table, *fig, *abl, *safe); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nets int, seed int64, segLen float64, table, fig int, abl, safe bool) error {
+// check is the between-stages cancellation point: tables and sweeps each
+// take seconds to minutes, so Ctrl-C or -timeout takes effect at the next
+// stage boundary.
+func check(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", guard.ErrCanceled, err)
+	}
+	return nil
+}
+
+func run(ctx context.Context, nets int, seed int64, segLen float64, table, fig int, abl, safe bool) error {
 	if fig != 0 && !abl {
-		return runFig(fig)
+		return runFig(ctx, fig)
 	}
 
 	if table != 0 || fig == 0 {
@@ -54,29 +76,50 @@ func run(nets int, seed int64, segLen float64, table, fig int, abl, safe bool) e
 		}
 		all := table == 0 && !abl
 		if all || table == 1 {
+			if err := check(ctx); err != nil {
+				return err
+			}
 			fmt.Println(s.RunTableI().Format())
 		}
 		if all || table == 2 {
+			if err := check(ctx); err != nil {
+				return err
+			}
 			fmt.Println(s.RunTableII().Format())
 		}
 		if all || table == 3 {
+			if err := check(ctx); err != nil {
+				return err
+			}
 			fmt.Println(s.RunTableIII().Format())
 		}
 		if all || table == 4 {
+			if err := check(ctx); err != nil {
+				return err
+			}
 			fmt.Println(s.RunTableIV().Format())
 		}
 		if abl {
+			if err := check(ctx); err != nil {
+				return err
+			}
 			fmt.Println(s.RunSizingAblation().Format())
 			tr, err := experiments.RunProblem3Tradeoff()
 			if err != nil {
 				return err
 			}
 			fmt.Println(tr.Format())
+			if err := check(ctx); err != nil {
+				return err
+			}
 			ra, err := experiments.RunRoutingAblation(30)
 			if err != nil {
 				return err
 			}
 			fmt.Println(ra.Format())
+			if err := check(ctx); err != nil {
+				return err
+			}
 			fmt.Println(s.RunGreedyAblation().Format())
 			fmt.Println(s.RunExplicitModeAblation().Format())
 			curve, err := experiments.RunBufferCountCurve()
@@ -87,16 +130,19 @@ func run(nets int, seed int64, segLen float64, table, fig int, abl, safe bool) e
 			return nil
 		}
 		if all {
-			return runFig(0)
+			return runFig(ctx, 0)
 		}
 		return nil
 	}
 	return nil
 }
 
-func runFig(which int) error {
+func runFig(ctx context.Context, which int) error {
 	all := which == 0
 	if all || which == 1 {
+		if err := check(ctx); err != nil {
+			return err
+		}
 		f, err := experiments.RunFig1()
 		if err != nil {
 			return err
@@ -104,6 +150,9 @@ func runFig(which int) error {
 		fmt.Println(f.Format())
 	}
 	if all || which == 2 {
+		if err := check(ctx); err != nil {
+			return err
+		}
 		f, err := experiments.RunFig2()
 		if err != nil {
 			return err
@@ -117,6 +166,9 @@ func runFig(which int) error {
 		fmt.Println(experiments.RunTheorem1Sweep().Format())
 	}
 	if all || which == 7 {
+		if err := check(ctx); err != nil {
+			return err
+		}
 		f, err := experiments.RunFig7()
 		if err != nil {
 			return err

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestRunSmallSuite drives the CLI entry points on a tiny suite: every
 // table, every figure, and the ablations must produce output without
@@ -8,16 +11,16 @@ import "testing"
 // internal/experiments; this covers the flag plumbing.)
 func TestRunSmallSuite(t *testing.T) {
 	for table := 1; table <= 4; table++ {
-		if err := run(15, 1, 0.5e-3, table, 0, false, false); err != nil {
+		if err := run(context.Background(), 15, 1, 0.5e-3, table, 0, false, false); err != nil {
 			t.Errorf("table %d: %v", table, err)
 		}
 	}
 	for _, fig := range []int{1, 2, 3, 6, 7, 17} {
-		if err := run(15, 1, 0.5e-3, 0, fig, false, false); err != nil {
+		if err := run(context.Background(), 15, 1, 0.5e-3, 0, fig, false, false); err != nil {
 			t.Errorf("fig %d: %v", fig, err)
 		}
 	}
-	if err := run(10, 1, 0.5e-3, 0, 0, true, false); err != nil {
+	if err := run(context.Background(), 10, 1, 0.5e-3, 0, 0, true, false); err != nil {
 		t.Errorf("ablations: %v", err)
 	}
 }

@@ -14,12 +14,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
+	"buffopt/internal/guard"
 	"buffopt/internal/netfmt"
 	"buffopt/internal/rctree"
 	"buffopt/internal/steiner"
@@ -27,38 +32,47 @@ import (
 
 func main() {
 	var (
-		pins   = flag.String("pins", "", "pin placement file (required)")
-		out    = flag.String("out", "", "output net file (required)")
-		alg    = flag.String("alg", "steiner", "topology: mst, steiner (iterated 1-Steiner), pd (Prim–Dijkstra)")
-		c      = flag.Float64("c", 0.5, "Prim–Dijkstra blend parameter (pd only)")
-		rPerMM = flag.Float64("rpermm", 80, "wire resistance, Ω/mm")
-		cPerMM = flag.Float64("cpermm", 200, "wire capacitance, fF/mm")
-		name   = flag.String("name", "net", "net name")
+		pins    = flag.String("pins", "", "pin placement file (required)")
+		out     = flag.String("out", "", "output net file (required)")
+		alg     = flag.String("alg", "steiner", "topology: mst, steiner (iterated 1-Steiner), pd (Prim–Dijkstra)")
+		c       = flag.Float64("c", 0.5, "Prim–Dijkstra blend parameter (pd only)")
+		rPerMM  = flag.Float64("rpermm", 80, "wire resistance, Ω/mm")
+		cPerMM  = flag.Float64("cpermm", 200, "wire capacitance, fF/mm")
+		name    = flag.String("name", "net", "net name")
+		timeout = flag.Duration("timeout", 0*time.Second, "wall-clock budget for routing (0 disables)")
 	)
 	flag.Parse()
 	if *pins == "" || *out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*pins, *out, *alg, *c, *rPerMM, *cPerMM, *name); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *pins, *out, *alg, *c, *rPerMM, *cPerMM, *name); err != nil {
 		fmt.Fprintln(os.Stderr, "route:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pinsPath, outPath, alg string, c, rPerMM, cPerMM float64, name string) error {
+func run(ctx context.Context, pinsPath, outPath, alg string, c, rPerMM, cPerMM float64, name string) error {
 	net, err := readPins(pinsPath, name)
 	if err != nil {
 		return err
 	}
 	tech := steiner.Tech{RPerLen: rPerMM * 1e3, CPerLen: cPerMM * 1e-15 / 1e-3}
+	b := guard.New(ctx)
 
 	var tr *rctree.Tree
 	switch alg {
 	case "mst":
-		tr, err = steiner.Route(net, tech, steiner.RectilinearMST)
+		tr, err = steiner.RouteBudget(net, tech, steiner.RectilinearMST, b)
 	case "steiner":
-		tr, err = steiner.Route(net, tech, steiner.OneSteiner)
+		tr, err = steiner.RouteBudget(net, tech, steiner.OneSteiner, b)
 	case "pd":
 		tr, err = steiner.RoutePrimDijkstra(net, tech, c)
 	default:
@@ -149,6 +163,9 @@ func floats(fields []string, lineNo int) ([]float64, error) {
 		v, err := strconv.ParseFloat(f, 64)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: bad number %q", lineNo, f)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("line %d: non-finite value %q: %w", lineNo, f, guard.ErrInvalidInput)
 		}
 		out[i] = v
 	}

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"buffopt/internal/guard"
 	"buffopt/internal/netfmt"
 )
 
@@ -29,7 +32,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 	pins := writePins(t, pinsFile)
 	for _, alg := range []string{"mst", "steiner", "pd"} {
 		out := filepath.Join(t.TempDir(), alg+".net")
-		if err := run(pins, out, alg, 0.5, 80, 200, "demo"); err != nil {
+		if err := run(context.Background(), pins, out, alg, 0.5, 80, 200, "demo"); err != nil {
 			t.Fatalf("alg %s: %v", alg, err)
 		}
 		f, err := os.Open(out)
@@ -69,7 +72,32 @@ func TestReadPinsErrors(t *testing.T) {
 	if _, err := readPins("/nonexistent", "x"); err == nil {
 		t.Errorf("missing file accepted")
 	}
-	if err := run(writePins(t, pinsFile), filepath.Join(t.TempDir(), "o.net"), "bogus", 0.5, 80, 200, "x"); err == nil {
+	if err := run(context.Background(), writePins(t, pinsFile), filepath.Join(t.TempDir(), "o.net"), "bogus", 0.5, 80, 200, "x"); err == nil {
 		t.Errorf("unknown algorithm accepted")
+	}
+}
+
+func TestReadPinsRejectsNonFinite(t *testing.T) {
+	cases := map[string]string{
+		"inf driver R": "driver 0 0 +Inf 10\nsink a 1 1 10 1 0.8\n",
+		"nan sink cap": "driver 0 0 100 10\nsink a 1 1 NaN 1 0.8\n",
+		"-inf rat":     "driver 0 0 100 10\nsink a 1 1 10 -Inf 0.8\n",
+	}
+	for name, content := range cases {
+		t.Run(strings.ReplaceAll(name, " ", "_"), func(t *testing.T) {
+			_, err := readPins(writePins(t, content), "x")
+			if !errors.Is(err, guard.ErrInvalidInput) {
+				t.Errorf("%s: got %v, want ErrInvalidInput", name, err)
+			}
+		})
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, writePins(t, pinsFile), filepath.Join(t.TempDir(), "o.net"), "steiner", 0.5, 80, 200, "x")
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Errorf("canceled run: got %v, want ErrCanceled", err)
 	}
 }

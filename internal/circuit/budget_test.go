@@ -1,0 +1,54 @@
+package circuit
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"buffopt/internal/guard"
+)
+
+// rcNetlist builds a 1V step into an RC lowpass, the minimal transient.
+func rcNetlist(t *testing.T) *Netlist {
+	t.Helper()
+	n := New()
+	a := n.Node("a")
+	b := n.Node("b")
+	if err := n.AddV(a, Ground, Ramp{V0: 0, V1: 1, Start: 0, Rise: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR(a, b, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddC(b, Ground, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestTransientSimStepCap(t *testing.T) {
+	n := rcNetlist(t)
+	b := guard.New(context.Background())
+	b.MaxSimSteps = 10
+	_, err := Transient(n, TranOptions{Step: 1e-11, Duration: 1e-8, Budget: b})
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded for 1000 steps over a 10-step cap", err)
+	}
+	// Under the cap the same netlist simulates fine.
+	b2 := guard.New(context.Background())
+	b2.MaxSimSteps = 2000
+	if _, err := Transient(n, TranOptions{Step: 1e-11, Duration: 1e-8, Budget: b2}); err != nil {
+		t.Fatalf("in-cap run failed: %v", err)
+	}
+}
+
+func TestTransientCanceled(t *testing.T) {
+	n := rcNetlist(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The pacer polls every 256 steps; give it enough steps to fire.
+	_, err := Transient(n, TranOptions{Step: 1e-12, Duration: 1e-8, Budget: guard.New(ctx)})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}

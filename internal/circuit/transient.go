@@ -3,6 +3,8 @@ package circuit
 import (
 	"fmt"
 	"math"
+
+	"buffopt/internal/guard"
 )
 
 // Method selects the time-integration scheme.
@@ -24,6 +26,10 @@ type TranOptions struct {
 	// Probes lists nodes whose full waveforms are recorded. Peak values
 	// are tracked for every node regardless.
 	Probes []int
+	// Budget bounds the run: its MaxSimSteps cap is checked against the
+	// total step count before simulating, and its context is polled
+	// periodically inside the step loop. Nil means unlimited.
+	Budget *guard.Budget
 }
 
 // TranResult is the outcome of a transient simulation.
@@ -150,6 +156,9 @@ func Transient(n *Netlist, opts TranOptions) (*TranResult, error) {
 	}
 
 	steps := int(math.Ceil(opts.Duration / h))
+	if err := opts.Budget.CheckSimSteps(steps); err != nil {
+		return nil, err
+	}
 	res := &TranResult{
 		Times:    make([]float64, 0, steps+1),
 		Waves:    map[int][]float64{},
@@ -191,7 +200,11 @@ func Transient(n *Netlist, opts TranOptions) (*TranResult, error) {
 		iind[li] = gshort * vd(l.a, l.b)
 	}
 
+	pacer := opts.Budget.Pacer(256)
 	for s := 1; s <= steps; s++ {
+		if err := pacer.Tick(); err != nil {
+			return nil, err
+		}
 		t := float64(s) * h
 		for i := range rhs {
 			rhs[i] = 0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"buffopt/internal/buffers"
+	"buffopt/internal/guard"
 	"buffopt/internal/noise"
 	"buffopt/internal/rctree"
 )
@@ -31,13 +32,27 @@ import (
 // The returned Solution owns a private augmented copy of t; the input tree
 // is never modified.
 func Algorithm1(t *rctree.Tree, lib *buffers.Library, p noise.Params) (*Solution, error) {
+	return Algorithm1Budget(t, lib, p, nil)
+}
+
+// Algorithm1Budget is Algorithm1 under a resource budget: the walk checks
+// the budget at every wire and every buffer placement, returning an error
+// wrapping guard.ErrCanceled or guard.ErrBudgetExceeded when it trips. A
+// nil budget imposes no limits.
+func Algorithm1Budget(t *rctree.Tree, lib *buffers.Library, p noise.Params, b *guard.Budget) (*Solution, error) {
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return nil, invalid(err)
 	}
 	if n := t.NumSinks(); n != 1 {
-		return nil, fmt.Errorf("core: Algorithm1 requires a single-sink tree, got %d sinks", n)
+		return nil, invalid(fmt.Errorf("core: Algorithm1 requires a single-sink tree, got %d sinks", n))
 	}
 	if err := lib.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.CheckTreeNodes(t.Len()); err != nil {
 		return nil, err
 	}
 	buf, err := lib.MinResistance()
@@ -54,6 +69,9 @@ func Algorithm1(t *rctree.Tree, lib *buffers.Library, p noise.Params) (*Solution
 	ns := work.Node(sink).NoiseMargin // NS(cur), eq. 12
 
 	for cur != work.Root() {
+		if err := b.Check(); err != nil {
+			return nil, err
+		}
 		w := work.Node(cur).Wire
 		iw := p.WireCurrent(w)
 

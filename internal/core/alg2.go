@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"buffopt/internal/buffers"
+	"buffopt/internal/guard"
 	"buffopt/internal/noise"
 	"buffopt/internal/rctree"
 )
@@ -52,13 +54,28 @@ type nCand struct {
 // As with Algorithm1, a multi-buffer library reduces to its smallest-
 // resistance buffer. The tree must be binary (call Tree.Binarize first).
 func Algorithm2(t *rctree.Tree, lib *buffers.Library, p noise.Params) (*Solution, error) {
+	return Algorithm2Budget(t, lib, p, nil)
+}
+
+// Algorithm2Budget is Algorithm2 under a resource budget: the bottom-up
+// walk checks the budget at every node, inside every wire propagation,
+// and caps the candidate lists, returning an error wrapping
+// guard.ErrCanceled or guard.ErrBudgetExceeded when it trips. A nil
+// budget imposes no limits.
+func Algorithm2Budget(t *rctree.Tree, lib *buffers.Library, p noise.Params, b *guard.Budget) (*Solution, error) {
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return nil, invalid(err)
 	}
 	if !t.IsBinary() {
-		return nil, fmt.Errorf("core: Algorithm2 requires a binary tree; call Binarize first")
+		return nil, invalid(fmt.Errorf("core: Algorithm2 requires a binary tree; call Binarize first"))
 	}
 	if err := lib.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.CheckTreeNodes(t.Len()); err != nil {
 		return nil, err
 	}
 	buf, err := lib.MinResistance()
@@ -68,6 +85,9 @@ func Algorithm2(t *rctree.Tree, lib *buffers.Library, p noise.Params) (*Solution
 
 	cands := make([][]nCand, t.Len())
 	for _, v := range t.Postorder() {
+		if err := b.Check(); err != nil {
+			return nil, err
+		}
 		node := t.Node(v)
 		var list []nCand
 		switch {
@@ -75,18 +95,18 @@ func Algorithm2(t *rctree.Tree, lib *buffers.Library, p noise.Params) (*Solution
 			list = []nCand{{down: 0, ns: node.NoiseMargin}}
 		case len(node.Children) == 1:
 			c := node.Children[0]
-			up, err := propagateAll(cands[c], c, t.Node(c).Wire, buf, p)
+			up, err := propagateAll(cands[c], c, t.Node(c).Wire, buf, p, b)
 			if err != nil {
 				return nil, err
 			}
 			list = up
 		case len(node.Children) == 2:
 			cl, cr := node.Children[0], node.Children[1]
-			left, err := propagateAll(cands[cl], cl, t.Node(cl).Wire, buf, p)
+			left, err := propagateAll(cands[cl], cl, t.Node(cl).Wire, buf, p, b)
 			if err != nil {
 				return nil, err
 			}
-			right, err := propagateAll(cands[cr], cr, t.Node(cr).Wire, buf, p)
+			right, err := propagateAll(cands[cr], cr, t.Node(cr).Wire, buf, p, b)
 			if err != nil {
 				return nil, err
 			}
@@ -97,6 +117,9 @@ func Algorithm2(t *rctree.Tree, lib *buffers.Library, p noise.Params) (*Solution
 		list = pruneNoise(list)
 		if len(list) == 0 {
 			return nil, fmt.Errorf("core: no viable candidates at node %d: %w", v, ErrNoiseUnfixable)
+		}
+		if err := b.CheckCandidates(len(list)); err != nil {
+			return nil, err
 		}
 		cands[v] = list
 	}
@@ -142,12 +165,15 @@ func Algorithm2(t *rctree.Tree, lib *buffers.Library, p noise.Params) (*Solution
 // propagateAll pushes every candidate through a wire, inserting maximal-
 // distance buffers as needed. Candidates that cannot survive the wire are
 // dropped; if none survive, the error explains why.
-func propagateAll(list []nCand, child rctree.NodeID, w rctree.Wire, buf buffers.Buffer, p noise.Params) ([]nCand, error) {
+func propagateAll(list []nCand, child rctree.NodeID, w rctree.Wire, buf buffers.Buffer, p noise.Params, b *guard.Budget) ([]nCand, error) {
 	out := make([]nCand, 0, len(list))
 	var lastErr error
 	for _, c := range list {
-		up, err := propagateWire(c, child, w, buf, p)
+		up, err := propagateWire(c, child, w, buf, p, b)
 		if err != nil {
+			if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrBudgetExceeded) {
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
@@ -162,11 +188,18 @@ func propagateAll(list []nCand, child rctree.NodeID, w rctree.Wire, buf buffers.
 // propagateWire advances one candidate from the bottom to the top of a
 // wire, inserting buffers at Theorem 1 maximal distances (Steps 2–4 of
 // Algorithm 1, reused per candidate here).
-func propagateWire(c nCand, child rctree.NodeID, w rctree.Wire, buf buffers.Buffer, p noise.Params) (nCand, error) {
+func propagateWire(c nCand, child rctree.NodeID, w rctree.Wire, buf buffers.Buffer, p noise.Params, b *guard.Budget) (nCand, error) {
 	iwTotal := p.WireCurrent(w)
 	length := w.Length
 	pos := 0.0
+	pacer := b.Pacer(64)
 	for {
+		// A long wire places one buffer per iteration; the count is only
+		// bounded by length over the Theorem 1 spacing, so the loop is
+		// budget-gated.
+		if err := pacer.Tick(); err != nil {
+			return c, err
+		}
 		remFrac := 1.0
 		if length > 0 {
 			remFrac = (length - pos) / length

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"buffopt/internal/buffers"
+	"buffopt/internal/guard"
 	"buffopt/internal/noise"
 	"buffopt/internal/rctree"
 )
@@ -21,6 +22,12 @@ type Options struct {
 	// the paper builds on): every wire additionally chooses a width from
 	// Sizing.Widths. Nil disables sizing (all wires at minimum width).
 	Sizing *Sizing
+	// Budget bounds the run: wall-clock deadline (via context), candidate
+	// list size, and tree size. Nil means unlimited. On violation the
+	// solver returns an error wrapping guard.ErrCanceled or
+	// guard.ErrBudgetExceeded; the input tree is never modified either
+	// way.
+	Budget *guard.Budget
 }
 
 // Sizing configures simultaneous wire sizing. Widening a wire divides its
@@ -36,14 +43,44 @@ type Sizing struct {
 	Fringe float64
 }
 
+// Validate checks the wire-sizing configuration. Errors wrap
+// guard.ErrInvalidInput. A nil Sizing (sizing disabled) is valid.
+func (s *Sizing) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if len(s.Widths) == 0 {
+		return fmt.Errorf("core: Sizing.Widths is empty; include at least width 1: %w", guard.ErrInvalidInput)
+	}
+	for i, w := range s.Widths {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+			return fmt.Errorf("core: Sizing.Widths[%d] = %g must be positive and finite: %w",
+				i, w, guard.ErrInvalidInput)
+		}
+	}
+	if math.IsNaN(s.Fringe) || s.Fringe < 0 || s.Fringe > 1 {
+		return fmt.Errorf("core: Sizing.Fringe = %g must lie in [0, 1]: %w", s.Fringe, guard.ErrInvalidInput)
+	}
+	return nil
+}
+
 // vgo builds the engine options shared by every public entry point.
 func (o Options) vgo() vgOptions {
-	v := vgOptions{safePruning: o.SafePruning}
+	v := vgOptions{safePruning: o.SafePruning, budget: o.Budget}
 	if o.Sizing != nil {
 		v.widths = o.Sizing.Widths
 		v.fringe = o.Sizing.Fringe
 	}
 	return v
+}
+
+// invalid tags a validation failure with the taxonomy's invalid-input
+// class, preserving the original message for errors.Is dispatch.
+func invalid(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", guard.ErrInvalidInput, err)
 }
 
 // Result bundles a Solution with the dynamic program's own view of it, so

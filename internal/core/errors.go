@@ -1,0 +1,25 @@
+package core
+
+import (
+	"fmt"
+
+	"buffopt/internal/guard"
+)
+
+// The error taxonomy. Every failure the solvers report wraps one of the
+// guard sentinels, so callers dispatch uniformly with errors.Is:
+//
+//	guard.ErrCanceled       — the context was canceled or timed out
+//	guard.ErrBudgetExceeded — a candidate/node/step cap was hit
+//	guard.ErrInvalidInput   — tree, library, or parameter validation failed
+//	guard.ErrInfeasible     — no solution exists (ErrNoiseUnfixable)
+//
+// core.Solve additionally uses the taxonomy to decide between degrading
+// (budget and deadline failures) and aborting (cancellation, invalid
+// input, infeasibility).
+
+// ErrNoiseUnfixable reports that no buffer placement can satisfy the noise
+// constraints (for example, a sink's noise margin is smaller than the
+// noise its own maximally-buffered wire would induce). It wraps
+// guard.ErrInfeasible, the taxonomy's infeasibility class.
+var ErrNoiseUnfixable = fmt.Errorf("core: noise constraints cannot be satisfied by buffer insertion: %w", guard.ErrInfeasible)

@@ -6,6 +6,7 @@ import (
 
 	"buffopt/internal/buffers"
 	"buffopt/internal/elmore"
+	"buffopt/internal/guard"
 	"buffopt/internal/noise"
 	"buffopt/internal/rctree"
 )
@@ -35,33 +36,47 @@ func feasibleNodes(t *rctree.Tree) []rctree.NodeID {
 
 // enumerate walks every assignment of (no buffer | one of lib's buffers)
 // to the feasible nodes, invoking visit with a reused map. visit must not
-// retain the map.
-func enumerate(t *rctree.Tree, lib *buffers.Library, visit func(map[rctree.NodeID]buffers.Buffer)) error {
+// retain the map. The budget's context is consulted every few hundred
+// assignments, so even an in-cap search can be canceled.
+func enumerate(t *rctree.Tree, lib *buffers.Library, b *guard.Budget, visit func(map[rctree.NodeID]buffers.Buffer)) error {
 	sites := feasibleNodes(t)
 	choices := len(lib.Buffers) + 1
 	total := 1.0
 	for range sites {
 		total *= float64(choices)
 		if total > MaxExhaustiveAssignments {
-			return fmt.Errorf("core: exhaustive search over %d sites × %d choices too large", len(sites), choices)
+			return fmt.Errorf("core: exhaustive search over %d sites × %d choices too large: %w",
+				len(sites), choices, guard.ErrBudgetExceeded)
 		}
 	}
+	if err := b.Check(); err != nil {
+		return err
+	}
 	assign := make(map[rctree.NodeID]buffers.Buffer, len(sites))
+	pacer := b.Pacer(512)
+	var stop error
 	var rec func(i int)
 	rec = func(i int) {
+		if stop != nil {
+			return
+		}
 		if i == len(sites) {
+			if err := pacer.Tick(); err != nil {
+				stop = err
+				return
+			}
 			visit(assign)
 			return
 		}
 		rec(i + 1) // no buffer at sites[i]
-		for _, b := range lib.Buffers {
-			assign[sites[i]] = b
+		for _, bb := range lib.Buffers {
+			assign[sites[i]] = bb
 			rec(i + 1)
 		}
 		delete(assign, sites[i])
 	}
 	rec(0)
-	return nil
+	return stop
 }
 
 // ExhaustiveMinBuffersNoise returns the minimum number of buffers over all
@@ -69,8 +84,15 @@ func enumerate(t *rctree.Tree, lib *buffers.Library, visit func(map[rctree.NodeI
 // clean (the discrete version of Problem 1), together with one witness
 // assignment. ok is false when no assignment is clean.
 func ExhaustiveMinBuffersNoise(t *rctree.Tree, lib *buffers.Library, p noise.Params) (best int, witness map[rctree.NodeID]buffers.Buffer, ok bool, err error) {
+	return ExhaustiveMinBuffersNoiseBudget(t, lib, p, nil)
+}
+
+// ExhaustiveMinBuffersNoiseBudget is ExhaustiveMinBuffersNoise under a
+// resource budget; a nil budget imposes no limits beyond
+// MaxExhaustiveAssignments.
+func ExhaustiveMinBuffersNoiseBudget(t *rctree.Tree, lib *buffers.Library, p noise.Params, b *guard.Budget) (best int, witness map[rctree.NodeID]buffers.Buffer, ok bool, err error) {
 	best = math.MaxInt
-	err = enumerate(t, lib, func(assign map[rctree.NodeID]buffers.Buffer) {
+	err = enumerate(t, lib, b, func(assign map[rctree.NodeID]buffers.Buffer) {
 		if len(assign) >= best {
 			return
 		}
@@ -93,8 +115,15 @@ func ExhaustiveMinBuffersNoise(t *rctree.Tree, lib *buffers.Library, p noise.Par
 // 2), with a witness. Polarity is respected: assignments whose inversion
 // parity differs across or at sinks are skipped.
 func ExhaustiveMaxSlackNoise(t *rctree.Tree, lib *buffers.Library, p noise.Params, enforceNoise bool) (bestSlack float64, witness map[rctree.NodeID]buffers.Buffer, ok bool, err error) {
+	return ExhaustiveMaxSlackNoiseBudget(t, lib, p, enforceNoise, nil)
+}
+
+// ExhaustiveMaxSlackNoiseBudget is ExhaustiveMaxSlackNoise under a
+// resource budget; a nil budget imposes no limits beyond
+// MaxExhaustiveAssignments.
+func ExhaustiveMaxSlackNoiseBudget(t *rctree.Tree, lib *buffers.Library, p noise.Params, enforceNoise bool, b *guard.Budget) (bestSlack float64, witness map[rctree.NodeID]buffers.Buffer, ok bool, err error) {
 	bestSlack = math.Inf(-1)
-	err = enumerate(t, lib, func(assign map[rctree.NodeID]buffers.Buffer) {
+	err = enumerate(t, lib, b, func(assign map[rctree.NodeID]buffers.Buffer) {
 		if !polarityOK(t, assign) {
 			return
 		}

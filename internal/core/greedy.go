@@ -6,6 +6,7 @@ import (
 
 	"buffopt/internal/buffers"
 	"buffopt/internal/elmore"
+	"buffopt/internal/guard"
 	"buffopt/internal/noise"
 	"buffopt/internal/rctree"
 )
@@ -20,6 +21,10 @@ type GreedyOptions struct {
 	Params noise.Params
 	// MaxBuffers bounds the number of insertions; 0 means no bound.
 	MaxBuffers int
+	// Budget bounds the run (deadline, tree size). Nil means unlimited.
+	// Each candidate evaluation is a full O(n) analysis, so the budget is
+	// checked once per evaluated (site, buffer) pair.
+	Budget *guard.Budget
 }
 
 // GreedyIterative is the iterative single-buffer baseline the paper's
@@ -36,13 +41,18 @@ type GreedyOptions struct {
 // |B| × n) — polynomial but far heavier per solution than the DP.
 func GreedyIterative(t *rctree.Tree, lib *buffers.Library, opts GreedyOptions) (*Result, error) {
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return nil, invalid(err)
 	}
 	if err := lib.Validate(); err != nil {
-		return nil, err
+		return nil, invalid(err)
 	}
-	if opts.Noise && opts.Params.Slope <= 0 {
-		return nil, fmt.Errorf("core: greedy noise mode requires noise parameters")
+	if opts.Noise {
+		if err := opts.Params.Validate(); err != nil {
+			return nil, fmt.Errorf("core: greedy noise mode requires noise parameters: %w", err)
+		}
+	}
+	if err := opts.Budget.CheckTreeNodes(t.Len()); err != nil {
+		return nil, err
 	}
 	// The heuristic places one buffer at a time and cannot plan inverter
 	// pairs, so it uses the non-inverting sub-library (as the iterative
@@ -106,6 +116,9 @@ func GreedyIterative(t *rctree.Tree, lib *buffers.Library, opts GreedyOptions) (
 		for _, v := range sites {
 			if _, used := assign[v]; used {
 				continue
+			}
+			if err := opts.Budget.Check(); err != nil {
+				return nil, err
 			}
 			for _, b := range lib.Buffers {
 				assign[v] = b

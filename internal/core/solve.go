@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/elmore"
+	"buffopt/internal/guard"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// Tier identifies which rung of the degradation ladder produced a Solve
+// result. Lower values are stronger guarantees.
+type Tier int
+
+const (
+	// TierExact is the paper's BuffOpt: minimum buffer weight subject to
+	// noise and timing, exact (Theorem 5 / Section IV-C caveats apply per
+	// Options.SafePruning).
+	TierExact Tier = iota
+	// TierCappedDP is the count-capped dynamic program: BuffOpt(k) with a
+	// small fixed buffer bound, safe pruning off, and a tightened
+	// candidate-list cap. Still noise-aware, no longer weight-minimal.
+	TierCappedDP
+	// TierGreedy is the iterative one-buffer-at-a-time heuristic in noise
+	// mode. Polynomial per round; no optimality guarantee.
+	TierGreedy
+	// TierNoiseRepair runs Algorithm 2 alone: minimum buffers for noise
+	// only, ignoring timing. The result is noise-clean if the net is
+	// fixable at all, but slack is whatever falls out.
+	TierNoiseRepair
+	// TierUnbuffered is the last resort: no buffers inserted, just the
+	// timing analysis of the bare tree. Always available in O(n).
+	TierUnbuffered
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierExact:
+		return "exact"
+	case TierCappedDP:
+		return "capped-dp"
+	case TierGreedy:
+		return "greedy"
+	case TierNoiseRepair:
+		return "noise-repair"
+	case TierUnbuffered:
+		return "unbuffered"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// SolveResult is a Result annotated with how it was obtained.
+type SolveResult struct {
+	*Result
+	// Tier is the rung of the ladder that produced Result.
+	Tier Tier
+	// Degraded reports that at least one stronger tier was attempted and
+	// failed (equivalently, Tier != TierExact).
+	Degraded bool
+	// TierErrors records, in ladder order, why each stronger tier failed.
+	// Empty when Tier == TierExact.
+	TierErrors []error
+}
+
+// Degradation ladder deadline shares: each tier may spend at most this
+// fraction of the time remaining when it starts, so a stalled exact solve
+// cannot starve the fallbacks. The last tier (unbuffered analysis) gets
+// whatever is left; it is O(n) and effectively instant.
+var tierShares = map[Tier]float64{
+	TierExact:       0.55,
+	TierCappedDP:    0.45,
+	TierGreedy:      0.50,
+	TierNoiseRepair: 0.50,
+}
+
+// Knobs for the degraded tiers. The capped DP keeps the noise constraints
+// but bounds both the buffer count and the candidate lists so its runtime
+// is predictable; greedy is bounded by its insertion cap.
+const (
+	cappedDPBuffers    = 8
+	cappedDPCandidates = 4096
+	greedyMaxBuffers   = 16
+)
+
+// Solve is the robust front door to the solver stack: it tries the exact
+// optimizer under the given budget and, when the budget trips (deadline or
+// resource cap), degrades tier by tier — count-capped DP, then the greedy
+// heuristic, then Algorithm 2 noise repair, then a bare analysis — so a
+// caller with a deadline always gets an answer instead of a hang.
+//
+// ctx carries cancellation and the overall deadline. opts.Budget, if set,
+// contributes resource caps (candidate list size, tree size); its own
+// context is ignored in favor of ctx. Each tier runs under a share of the
+// remaining deadline and inside a panic-isolation wrapper, so a crash in
+// one tier degrades instead of taking the process down.
+//
+// Errors: invalid input aborts immediately (errors.Is guard.ErrInvalidInput);
+// cancellation of ctx itself aborts (errors.Is guard.ErrCanceled); a
+// noise-infeasible net — proven by an exact tier, not guessed by a
+// heuristic — aborts with ErrNoiseUnfixable. Budget trips never abort:
+// they push the solve down the ladder and are reported in TierErrors.
+func Solve(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options) (*SolveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Validate once, up front: degrading cannot repair bad input, and the
+	// ladder should not burn deadline discovering the same error five
+	// times.
+	if err := t.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Sizing.Validate(); err != nil {
+		return nil, err
+	}
+
+	type tierFn func(b *guard.Budget) (*Result, error)
+
+	exactOpts := opts
+	cappedOpts := opts
+	cappedOpts.SafePruning = false // the 4D dominance scan is the cost center
+	cappedOpts.Sizing = nil
+
+	tiers := []struct {
+		tier     Tier
+		maxCands int // extra candidate cap on top of opts.Budget's
+		run      tierFn
+	}{
+		{TierExact, 0, func(b *guard.Budget) (*Result, error) {
+			o := exactOpts
+			o.Budget = b
+			return BuffOptMinBuffers(t, lib, p, o)
+		}},
+		{TierCappedDP, cappedDPCandidates, func(b *guard.Budget) (*Result, error) {
+			o := cappedOpts
+			o.Budget = b
+			return BuffOptK(t, lib, p, cappedDPBuffers, o)
+		}},
+		{TierGreedy, 0, func(b *guard.Budget) (*Result, error) {
+			return GreedyIterative(t, lib, GreedyOptions{
+				Noise:      true,
+				Params:     p,
+				MaxBuffers: greedyMaxBuffers,
+				Budget:     b,
+			})
+		}},
+		{TierNoiseRepair, 0, func(b *guard.Budget) (*Result, error) {
+			work := t.Clone()
+			work.Binarize()
+			sol, err := Algorithm2Budget(work, lib, p, b)
+			if err != nil {
+				return nil, err
+			}
+			an := elmore.Analyze(sol.Tree, sol.Buffers)
+			return &Result{Solution: sol, Slack: an.WorstSlack, Cost: costOf(sol.Buffers)}, nil
+		}},
+		{TierUnbuffered, 0, func(b *guard.Budget) (*Result, error) {
+			// Deliberately ignores the budget: once every stronger tier has
+			// spent the deadline, the caller still deserves the O(n) bare
+			// analysis rather than nothing. Genuine cancellation (ctx
+			// canceled, not merely past its deadline) never reaches here —
+			// the ladder aborts on it above.
+			an := elmore.Analyze(t, nil)
+			return &Result{
+				Solution: &Solution{Tree: t.Clone(), Buffers: map[rctree.NodeID]buffers.Buffer{}},
+				Slack:    an.WorstSlack,
+				Cost:     0,
+			}, nil
+		}},
+	}
+
+	var tierErrs []error
+	for _, step := range tiers {
+		b, cancel := tierBudget(ctx, opts.Budget, tierShares[step.tier], step.maxCands)
+		var res *Result
+		err := guard.Safe("core.Solve/"+step.tier.String(), func() error {
+			var e error
+			res, e = step.run(b)
+			return e
+		})
+		cancel()
+		if err == nil && res != nil {
+			return &SolveResult{
+				Result:     res,
+				Tier:       step.tier,
+				Degraded:   step.tier != TierExact,
+				TierErrors: tierErrs,
+			}, nil
+		}
+		tierErrs = append(tierErrs, fmt.Errorf("%s: %w", step.tier, err))
+		// Non-degradable failures: bad input, the caller's own context
+		// going away, or an exact tier proving the net unfixable.
+		if errors.Is(err, guard.ErrInvalidInput) {
+			return nil, err
+		}
+		if cerr := ctx.Err(); cerr != nil && !errors.Is(cerr, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("%w: %w", guard.ErrCanceled, cerr)
+		}
+		if step.tier == TierExact && errors.Is(err, ErrNoiseUnfixable) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("core: every degradation tier failed: %w", errors.Join(tierErrs...))
+}
+
+// tierBudget builds one tier's budget: the caps from the caller's budget
+// (optionally tightened by maxCands), under a context that expires after
+// share of the time remaining on ctx. Share 0 means "no sub-deadline".
+func tierBudget(ctx context.Context, caps *guard.Budget, share float64, maxCands int) (*guard.Budget, context.CancelFunc) {
+	cancel := func() {}
+	if dl, ok := ctx.Deadline(); ok && share > 0 {
+		if remain := time.Until(dl); remain > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(float64(remain)*share))
+		}
+	}
+	b := guard.New(ctx)
+	if caps != nil {
+		b.MaxCandidates = caps.MaxCandidates
+		b.MaxTreeNodes = caps.MaxTreeNodes
+		b.MaxSimSteps = caps.MaxSimSteps
+	}
+	if maxCands > 0 && (b.MaxCandidates == 0 || b.MaxCandidates > maxCands) {
+		b.MaxCandidates = maxCands
+	}
+	return b, cancel
+}

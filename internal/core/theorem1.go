@@ -17,15 +17,9 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 )
-
-// ErrNoiseUnfixable reports that no buffer placement can satisfy the noise
-// constraints (for example, a sink's noise margin is smaller than the
-// noise its own maximally-buffered wire would induce).
-var ErrNoiseUnfixable = errors.New("core: noise constraints cannot be satisfied by buffer insertion")
 
 // placementBackoff shrinks Theorem 1 maximal placements by a relative
 // epsilon so that the exact noise analyzers, which re-derive the bound in a

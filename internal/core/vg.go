@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"buffopt/internal/buffers"
+	"buffopt/internal/guard"
 	"buffopt/internal/noise"
 	"buffopt/internal/rctree"
 )
@@ -73,6 +74,9 @@ type vgOptions struct {
 	// does not scale with width (fringe + sidewall); the rest is area
 	// capacitance multiplied by the width. Zero means 0.5.
 	fringe float64
+	// budget bounds the run; nil means unlimited. Checked at every node
+	// of the bottom-up walk and inside the merge and prune loops.
+	budget *guard.Budget
 }
 
 // wireVariant returns the electrical parameters of a wire at width wd.
@@ -94,19 +98,42 @@ func (o vgOptions) wireVariant(w rctree.Wire, wd float64) (r, c float64) {
 // by ascending buffer count.
 func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, error) {
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return nil, invalid(err)
 	}
 	if !t.IsBinary() {
-		return nil, fmt.Errorf("core: the dynamic program requires a binary tree; call Binarize first")
+		return nil, invalid(fmt.Errorf("core: the dynamic program requires a binary tree; call Binarize first"))
 	}
 	if err := lib.Validate(); err != nil {
+		return nil, invalid(err)
+	}
+	if opts.noise {
+		if err := opts.params.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for i, w := range opts.widths {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+			return nil, invalid(fmt.Errorf("core: wire width %d = %g must be positive and finite", i, w))
+		}
+	}
+	if math.IsNaN(opts.fringe) || opts.fringe < 0 || opts.fringe > 1 {
+		return nil, invalid(fmt.Errorf("core: sizing fringe fraction %g must lie in [0, 1]", opts.fringe))
+	}
+	if err := opts.budget.CheckTreeNodes(t.Len()); err != nil {
 		return nil, err
 	}
 
 	lists := make([][]vgCand, t.Len())
 	for _, v := range t.Postorder() {
+		// The budget gate for the whole dynamic program: one context
+		// check per node, plus candidate-count checks below wherever a
+		// list can grow.
+		if err := opts.budget.Check(); err != nil {
+			return nil, err
+		}
 		node := t.Node(v)
 		var list []vgCand
+		var err error
 		switch {
 		case node.Kind == rctree.Sink:
 			list = []vgCand{{
@@ -119,7 +146,10 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 		case len(node.Children) == 1:
 			list = append([]vgCand(nil), lists[node.Children[0]]...)
 		case len(node.Children) == 2:
-			list = mergeVG(lists[node.Children[0]], lists[node.Children[1]], opts)
+			list, err = mergeVG(lists[node.Children[0]], lists[node.Children[1]], opts)
+			if err != nil {
+				return nil, err
+			}
 		default:
 			return nil, fmt.Errorf("core: internal node %d has no children", v)
 		}
@@ -129,7 +159,13 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 			list = append(list, insertBuffers(v, list, lib, opts)...)
 		}
 
-		list = pruneVG(list, opts)
+		list, err = pruneVG(list, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := opts.budget.CheckCandidates(len(list)); err != nil {
+			return nil, err
+		}
 
 		// Step 6: charge the parent wire, once per available width. The
 		// coupling current I_w is a sidewall quantity and does not change
@@ -159,7 +195,13 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 			}
 			list = sized
 			if len(widths) > 1 {
-				list = pruneVG(list, opts)
+				list, err = pruneVG(list, opts)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := opts.budget.CheckCandidates(len(list)); err != nil {
+				return nil, err
 			}
 		}
 		lists[v] = list
@@ -177,7 +219,10 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 		c.q -= t.DriverDelay + t.DriverResistance*c.load
 		out = append(out, c)
 	}
-	out = pruneVG(out, opts)
+	out, err := pruneVG(out, opts)
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].cost != out[j].cost {
 			return out[i].cost < out[j].cost
@@ -254,11 +299,21 @@ func insertBuffers(v rctree.NodeID, list []vgCand, lib *buffers.Library, opts vg
 // currents add, slacks take the minimum (Steps 3–4 of Fig. 11). Only
 // parity-compatible pairs merge. The pruned per-branch frontiers are small,
 // so the full cross product is used; pruning immediately follows in the
-// caller.
-func mergeVG(left, right []vgCand, opts vgOptions) []vgCand {
+// caller. The cross product is where multi-buffer candidate growth
+// compounds, so the budget is consulted as the output grows.
+func mergeVG(left, right []vgCand, opts vgOptions) ([]vgCand, error) {
 	out := make([]vgCand, 0, len(left)+len(right))
+	tick := 0
 	for _, a := range left {
 		for _, b := range right {
+			// Budget gate at stride boundaries: candidate cap and context
+			// together, so the common case costs two integer ops.
+			if tick++; tick >= 4096 {
+				tick = 0
+				if err := opts.budget.CheckCandidates(len(out)); err != nil {
+					return nil, err
+				}
+			}
 			if a.pol != b.pol {
 				continue
 			}
@@ -295,7 +350,10 @@ func mergeVG(left, right []vgCand, opts vgOptions) []vgCand {
 			})
 		}
 	}
-	return out
+	if err := opts.budget.CheckCandidates(len(out)); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // pruneVG removes inferior candidates (Step 7 of Fig. 11): within each
@@ -303,10 +361,11 @@ func mergeVG(left, right []vgCand, opts vgOptions) []vgCand {
 // C1 ≥ C2 and q1 ≤ q2 — the paper's rule — and additionally, in safe
 // pruning mode, I1 ≥ I2 and NS1 ≤ NS2, which restores exactness for
 // multi-buffer libraries at the cost of longer lists (see the discussion
-// in Section IV-C).
-func pruneVG(list []vgCand, opts vgOptions) []vgCand {
+// in Section IV-C). Safe pruning is quadratic in the group size, so the
+// dominance scan honors the budget's context.
+func pruneVG(list []vgCand, opts vgOptions) ([]vgCand, error) {
 	if len(list) <= 1 {
-		return list
+		return list, nil
 	}
 	type group struct {
 		pol  uint8
@@ -332,6 +391,7 @@ func pruneVG(list []vgCand, opts vgOptions) []vgCand {
 	})
 
 	var out []vgCand
+	pacer := opts.budget.Pacer(1024)
 	for _, g := range groups {
 		cands := byGroup[g]
 		sort.Slice(cands, func(i, j int) bool {
@@ -352,6 +412,9 @@ func pruneVG(list []vgCand, opts vgOptions) []vgCand {
 		}
 		var kept []vgCand
 		for _, c := range cands {
+			if err := pacer.Tick(); err != nil {
+				return nil, err
+			}
 			dominated := false
 			for _, k := range kept {
 				if k.load <= c.load && k.q >= c.q && k.down <= c.down && k.ns >= c.ns {
@@ -365,5 +428,5 @@ func pruneVG(list []vgCand, opts vgOptions) []vgCand {
 		}
 		out = append(out, kept...)
 	}
-	return out
+	return out, nil
 }

@@ -57,7 +57,7 @@ func TestMinWeightMatchesExhaustive(t *testing.T) {
 		// Oracle: minimum total weight over all clean assignments that
 		// also meet timing.
 		bestWeight := math.MaxInt
-		err := enumerate(tr, lib, func(assign map[rctree.NodeID]buffers.Buffer) {
+		err := enumerate(tr, lib, nil, func(assign map[rctree.NodeID]buffers.Buffer) {
 			w := 0
 			for _, b := range assign {
 				w += b.Cost()

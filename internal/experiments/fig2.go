@@ -38,20 +38,23 @@ type Fig2 struct {
 func RunFig2() (Fig2, error) {
 	tech := noise.SectionV()
 	const mm = 8.0
-	build := func() (*rctree.Tree, rctree.NodeID) {
+	build := func() (*rctree.Tree, rctree.NodeID, error) {
 		tr := rctree.New("fig2", 250, 0)
 		sink, err := tr.AddSink(tr.Root(),
 			rctree.Wire{R: 80 * mm, C: 200e-15 * mm, Length: mm * 1e-3}, "s", 25e-15, 0, 0.8)
 		if err != nil {
-			panic(err)
+			return nil, 0, fmt.Errorf("fig2 victim line: %w", err)
 		}
-		return tr, sink
+		return tr, sink, nil
 	}
 	lib := buffers.DefaultLibrary(0.8)
 	out := Fig2{LineMM: mm}
 
 	// Explicit mode: three aggressors, each over part of the line.
-	explicit, sink := build()
+	explicit, sink, err := build()
+	if err != nil {
+		return out, err
+	}
 	spans := []segment.Span{
 		{From: 0.5e-3, To: 3.5e-3, Ratio: 0.3, Slope: tech.Slope / 2},
 		{From: 2.5e-3, To: 5.5e-3, Ratio: 0.2, Slope: tech.Slope / 4},
@@ -78,7 +81,10 @@ func RunFig2() (Fig2, error) {
 	out.SimClean = sim.Clean()
 
 	// Estimation mode on the same bare geometry.
-	estTree, _ := build()
+	estTree, _, err := build()
+	if err != nil {
+		return out, err
+	}
 	ssol, err := core.Algorithm1(estTree, lib, tech)
 	if err != nil {
 		return out, err

@@ -1,0 +1,202 @@
+// Package guard is the runtime-guard layer of the solver stack: resource
+// budgets (wall-clock deadlines via context.Context, candidate-list and
+// tree-size caps, simulator step caps), the typed error taxonomy every
+// solver reports failures through, and panic isolation.
+//
+// The paper's own Section IV-C notes that candidate pruning is exact only
+// for a single buffer type; with multi-buffer libraries (and especially
+// with SafePruning or wire sizing) candidate lists can grow without bound
+// on pathological nets. A service cannot ship on solvers that can neither
+// be interrupted nor fail predictably, so every long-running loop in the
+// repository checks a *Budget at its boundaries and returns one of the
+// sentinel errors below instead of hanging, exploding, or panicking.
+//
+// All methods are nil-safe: a nil *Budget imposes no limits and costs one
+// pointer test per check, so unguarded call paths stay unchanged.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// The error taxonomy. Every failure a guarded solver can produce wraps
+// exactly one of these sentinels, so callers dispatch with errors.Is:
+//
+//	ErrCanceled       — the caller's context was canceled or its deadline
+//	                    expired; the work was abandoned mid-flight.
+//	ErrBudgetExceeded — a resource cap (candidates, tree nodes, simulator
+//	                    steps) was hit; retrying with a larger budget or a
+//	                    cheaper algorithm may succeed.
+//	ErrInvalidInput   — the input (tree, library, parameters) failed
+//	                    validation; retrying cannot succeed.
+//	ErrInfeasible     — the input is valid but the problem has no solution
+//	                    under its constraints (core.ErrNoiseUnfixable
+//	                    wraps this).
+var (
+	ErrCanceled       = errors.New("guard: operation canceled")
+	ErrBudgetExceeded = errors.New("guard: resource budget exceeded")
+	ErrInvalidInput   = errors.New("guard: invalid input")
+	ErrInfeasible     = errors.New("guard: problem infeasible under the given constraints")
+)
+
+// Budget bounds one solver invocation. The zero value (and a nil pointer)
+// imposes no limits. Budgets are immutable after creation and safe for
+// concurrent use.
+type Budget struct {
+	ctx context.Context
+
+	// MaxCandidates caps the length of any intermediate candidate list in
+	// the dynamic programs (the cost center Section IV-C identifies).
+	// 0 means unlimited.
+	MaxCandidates int
+	// MaxTreeNodes caps the size of the routing tree a solver accepts.
+	// 0 means unlimited.
+	MaxTreeNodes int
+	// MaxSimSteps caps the iteration count of the transient/AWE
+	// simulators (time steps, grid scans, matrix dimension work).
+	// 0 means unlimited.
+	MaxSimSteps int
+}
+
+// New returns a Budget that enforces ctx's cancellation and deadline.
+// Resource caps are set on the returned value directly.
+func New(ctx context.Context) *Budget {
+	return &Budget{ctx: ctx}
+}
+
+// WithTimeout returns a Budget whose deadline is d from now, and the
+// cancel function releasing its timer.
+func WithTimeout(parent context.Context, d time.Duration) (*Budget, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(parent, d)
+	return New(ctx), cancel
+}
+
+// Context returns the budget's context (context.Background for a nil or
+// context-free budget).
+func (b *Budget) Context() context.Context {
+	if b == nil || b.ctx == nil {
+		return context.Background()
+	}
+	return b.ctx
+}
+
+// Check reports ErrCanceled (wrapping the context's own error, so
+// errors.Is distinguishes context.Canceled from context.DeadlineExceeded)
+// when the budget's context is done. Solvers call it at loop boundaries.
+func (b *Budget) Check() error {
+	if b == nil || b.ctx == nil {
+		return nil
+	}
+	if err := b.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+// CheckCandidates enforces MaxCandidates and the context in one call.
+func (b *Budget) CheckCandidates(n int) error {
+	if b == nil {
+		return nil
+	}
+	if b.MaxCandidates > 0 && n > b.MaxCandidates {
+		return fmt.Errorf("%w: candidate list grew to %d (cap %d)", ErrBudgetExceeded, n, b.MaxCandidates)
+	}
+	return b.Check()
+}
+
+// CheckTreeNodes enforces MaxTreeNodes and the context in one call.
+func (b *Budget) CheckTreeNodes(n int) error {
+	if b == nil {
+		return nil
+	}
+	if b.MaxTreeNodes > 0 && n > b.MaxTreeNodes {
+		return fmt.Errorf("%w: tree has %d nodes (cap %d)", ErrBudgetExceeded, n, b.MaxTreeNodes)
+	}
+	return b.Check()
+}
+
+// CheckSimSteps enforces MaxSimSteps and the context in one call.
+func (b *Budget) CheckSimSteps(n int) error {
+	if b == nil {
+		return nil
+	}
+	if b.MaxSimSteps > 0 && n > b.MaxSimSteps {
+		return fmt.Errorf("%w: simulation needs %d steps (cap %d)", ErrBudgetExceeded, n, b.MaxSimSteps)
+	}
+	return b.Check()
+}
+
+// Pacer amortizes context checks across the iterations of a hot loop:
+// Tick returns non-nil only on every stride-th call (and then only when
+// the budget is exhausted), so the common case is two integer ops.
+type Pacer struct {
+	b      *Budget
+	stride int
+	n      int
+}
+
+// Pacer returns a pacer that consults the budget every stride iterations.
+// A nil budget yields a pacer whose Tick is always nil.
+func (b *Budget) Pacer(stride int) Pacer {
+	if stride <= 0 {
+		stride = 1
+	}
+	return Pacer{b: b, stride: stride}
+}
+
+// Tick counts one loop iteration and checks the budget's context every
+// stride iterations.
+func (p *Pacer) Tick() error {
+	if p.b == nil {
+		return nil
+	}
+	p.n++
+	if p.n < p.stride {
+		return nil
+	}
+	p.n = 0
+	return p.b.Check()
+}
+
+// PanicError is a recovered panic converted into an error by Safe. It
+// wraps ErrInvalidInput when the panic value is a runtime error (index
+// out of range, nil dereference — symptoms of malformed input reaching a
+// solver), because retrying the same input cannot succeed.
+type PanicError struct {
+	// Op names the operation that panicked.
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("guard: panic in %s: %v", e.Op, e.Value)
+}
+
+// Unwrap lets errors.Is classify recovered panics: a panic whose value is
+// itself an error (e.g. a runtime.Error) exposes that error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Safe runs fn and converts a panic into a *PanicError instead of
+// unwinding the caller. It is the isolation boundary the degradation
+// tiers and the batch workers run behind: one net's panic must not take
+// down the service.
+func Safe(op string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Op: op, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

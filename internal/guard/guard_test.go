@@ -1,0 +1,143 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if err := b.Check(); err != nil {
+		t.Errorf("nil Check: %v", err)
+	}
+	if err := b.CheckCandidates(1 << 30); err != nil {
+		t.Errorf("nil CheckCandidates: %v", err)
+	}
+	if err := b.CheckTreeNodes(1 << 30); err != nil {
+		t.Errorf("nil CheckTreeNodes: %v", err)
+	}
+	if err := b.CheckSimSteps(1 << 30); err != nil {
+		t.Errorf("nil CheckSimSteps: %v", err)
+	}
+	p := b.Pacer(64)
+	for i := 0; i < 1000; i++ {
+		if err := p.Tick(); err != nil {
+			t.Fatalf("nil pacer tick %d: %v", i, err)
+		}
+	}
+	if b.Context() == nil {
+		t.Error("nil Context() returned nil")
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx)
+	if err := b.Check(); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	cancel()
+	err := b.Check()
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("Check after cancel = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Check after cancel = %v, want to wrap context.Canceled", err)
+	}
+}
+
+func TestDeadlineDistinguishable(t *testing.T) {
+	b, cancel := WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	err := b.Check()
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("expired deadline = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline = %v, want to wrap context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("expired deadline wrongly matches context.Canceled")
+	}
+}
+
+func TestResourceCaps(t *testing.T) {
+	b := New(context.Background())
+	b.MaxCandidates = 10
+	b.MaxTreeNodes = 20
+	b.MaxSimSteps = 30
+	if err := b.CheckCandidates(10); err != nil {
+		t.Errorf("at cap: %v", err)
+	}
+	if err := b.CheckCandidates(11); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("over cap = %v, want ErrBudgetExceeded", err)
+	}
+	if err := b.CheckTreeNodes(21); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("over node cap = %v, want ErrBudgetExceeded", err)
+	}
+	if err := b.CheckSimSteps(31); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("over step cap = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestPacerChecksEveryStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx)
+	p := b.Pacer(10)
+	cancel()
+	errs := 0
+	for i := 0; i < 100; i++ {
+		if err := p.Tick(); err != nil {
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("tick error = %v, want ErrCanceled", err)
+			}
+			errs++
+		}
+	}
+	if errs != 10 {
+		t.Errorf("pacer fired %d times over 100 ticks at stride 10, want 10", errs)
+	}
+}
+
+func TestSafeRecoversPanics(t *testing.T) {
+	err := Safe("explode", func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Safe returned %v, want *PanicError", err)
+	}
+	if pe.Op != "explode" || pe.Value != "boom" {
+		t.Errorf("PanicError = %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+
+	// Error panics unwrap to the underlying error.
+	sentinel := errors.New("inner")
+	err = Safe("wrapped", func() error { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error panic did not unwrap: %v", err)
+	}
+
+	// Runtime errors (nil map write, index out of range) are recovered too.
+	err = Safe("oob", func() error {
+		var s []int
+		_ = s[3]
+		return nil
+	})
+	if !errors.As(err, &pe) {
+		t.Fatalf("runtime panic not recovered: %v", err)
+	}
+
+	// Normal returns pass through.
+	if err := Safe("fine", func() error { return nil }); err != nil {
+		t.Errorf("Safe on clean fn: %v", err)
+	}
+	want := errors.New("plain")
+	if err := Safe("err", func() error { return want }); !errors.Is(err, want) {
+		t.Errorf("Safe lost the returned error: %v", err)
+	}
+}

@@ -31,6 +31,34 @@ func FuzzRead(f *testing.F) {
 		"node 5 sink\n",
 		"net\n",
 		strings.Repeat("net x\n", 100),
+		// Non-finite values in every numeric position: all must be
+		// rejected at parse time, not discovered downstream.
+		"net x\ndriver r=1 t=inf\nnode 0 source x=0 y=0\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=NaN y=0\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n" +
+			"node 1 sink parent=0 wire=inf,1,1 x=0 y=0 cap=1 rat=0 nm=1 name=s\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n" +
+			"node 1 sink parent=0 wire=1,nan,1 x=0 y=0 cap=1 rat=0 nm=1 name=s\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n" +
+			"node 1 sink parent=0 wire=1,1,1 x=0 y=0 cap=-Inf rat=0 nm=1 name=s\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n" +
+			"node 1 sink parent=0 wire=1,1,1 x=0 y=0 cap=1 rat=nan nm=1 name=s aggr=inf:1\nend\n",
+		// Huge node IDs and counts: the dense-ID rule and MaxNodes limit
+		// must both hold.
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n" +
+			"node 99999999999999999999 sink parent=0 wire=1,1,1 x=0 y=0 cap=1 rat=0 nm=1 name=s\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n" +
+			"node 1048576 sink parent=0 wire=1,1,1 x=0 y=0 cap=1 rat=0 nm=1 name=s\nend\n",
+		// Truncated records: mid-line, mid-field, missing end.
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n" +
+			"node 1 sink parent=0 wire=1,1\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nnode 1 sink parent=0\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nnode 1\nend\n",
+		"net x\ndriver r=1\nnode 0 source x=0 y=0\nend\n",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n" +
+			"node 1 sink parent=0 wire=1,1,1 x=0 y=0 cap=1 rat=0 nm=1 name=s",
+		"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\n" +
+			"node 1 sink parent=0 wire=1,1,1 x=0 y=0 cap=1 rat=0 nm=1 name=s aggr=0.5\nend\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

@@ -21,11 +21,34 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
+	"buffopt/internal/guard"
 	"buffopt/internal/rctree"
 )
+
+// Limits bounds what the reader will accept, so a malicious or corrupt
+// stream cannot balloon memory before rctree validation ever runs. The
+// zero value means the defaults below.
+type Limits struct {
+	// MaxNodes caps the node count of a single net. Default 1<<20.
+	MaxNodes int
+	// MaxAggressors caps the aggressor list length of a single wire.
+	// Default 4096.
+	MaxAggressors int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxNodes == 0 {
+		l.MaxNodes = 1 << 20
+	}
+	if l.MaxAggressors == 0 {
+		l.MaxAggressors = 4096
+	}
+	return l
+}
 
 // Write serializes the tree. Nodes are emitted in preorder and renumbered
 // to preorder positions, so every parent precedes its children regardless
@@ -98,8 +121,18 @@ func aggrField(w rctree.Wire) string {
 	return " aggr=" + strings.Join(parts, ";")
 }
 
-// Read parses one tree from the stream.
+// Read parses one tree from the stream under the default Limits.
 func Read(r io.Reader) (*rctree.Tree, error) {
+	return ReadLimited(r, Limits{})
+}
+
+// ReadLimited parses one tree from the stream. Numeric fields must be
+// finite — NaN or ±Inf anywhere is rejected (wrapping
+// guard.ErrInvalidInput) — and streams exceeding lim are rejected
+// (wrapping guard.ErrBudgetExceeded) before the oversized structure is
+// built.
+func ReadLimited(r io.Reader, lim Limits) (*rctree.Tree, error) {
+	lim = lim.withDefaults()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
 
@@ -143,6 +176,10 @@ func Read(r io.Reader) (*rctree.Tree, error) {
 			if err != nil || rctree.NodeID(id) != next {
 				return nil, fmt.Errorf("netfmt: line %d: node IDs must be dense and ordered, got %q", lineNo, fields[1])
 			}
+			if id >= lim.MaxNodes {
+				return nil, fmt.Errorf("netfmt: line %d: net exceeds the %d-node limit: %w",
+					lineNo, lim.MaxNodes, guard.ErrBudgetExceeded)
+			}
 			kind := fields[2]
 			kv, err := keyvals(fields[3:], lineNo)
 			if err != nil {
@@ -168,7 +205,7 @@ func Read(r io.Reader) (*rctree.Tree, error) {
 			if err != nil {
 				return nil, err
 			}
-			wire, err := kv.wire(lineNo)
+			wire, err := kv.wire(lineNo, lim.MaxAggressors)
 			if err != nil {
 				return nil, err
 			}
@@ -243,19 +280,33 @@ func keyvals(fields []string, lineNo int) (kvmap, error) {
 	return kv, nil
 }
 
+// parseFinite parses a float and rejects NaN and ±Inf: no field of the
+// format has a meaningful non-finite value, and letting one through turns
+// into analyzer poison far from the parse site.
+func parseFinite(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("non-finite value %q: %w", s, guard.ErrInvalidInput)
+	}
+	return f, nil
+}
+
 func (kv kvmap) float(key string, lineNo int) (float64, error) {
 	v, ok := kv[key]
 	if !ok {
 		return 0, fmt.Errorf("netfmt: line %d: missing field %q", lineNo, key)
 	}
-	f, err := strconv.ParseFloat(v, 64)
+	f, err := parseFinite(v)
 	if err != nil {
-		return 0, fmt.Errorf("netfmt: line %d: field %s=%q: %v", lineNo, key, v, err)
+		return 0, fmt.Errorf("netfmt: line %d: field %s=%q: %w", lineNo, key, v, err)
 	}
 	return f, nil
 }
 
-func (kv kvmap) wire(lineNo int) (rctree.Wire, error) {
+func (kv kvmap) wire(lineNo, maxAggr int) (rctree.Wire, error) {
 	v, ok := kv["wire"]
 	if !ok {
 		return rctree.Wire{}, fmt.Errorf("netfmt: line %d: missing wire", lineNo)
@@ -266,30 +317,35 @@ func (kv kvmap) wire(lineNo int) (rctree.Wire, error) {
 	}
 	var w rctree.Wire
 	var err error
-	if w.R, err = strconv.ParseFloat(parts[0], 64); err != nil {
-		return w, fmt.Errorf("netfmt: line %d: wire R %q", lineNo, parts[0])
+	if w.R, err = parseFinite(parts[0]); err != nil {
+		return w, fmt.Errorf("netfmt: line %d: wire R %q: %w", lineNo, parts[0], err)
 	}
-	if w.C, err = strconv.ParseFloat(parts[1], 64); err != nil {
-		return w, fmt.Errorf("netfmt: line %d: wire C %q", lineNo, parts[1])
+	if w.C, err = parseFinite(parts[1]); err != nil {
+		return w, fmt.Errorf("netfmt: line %d: wire C %q: %w", lineNo, parts[1], err)
 	}
-	if w.Length, err = strconv.ParseFloat(parts[2], 64); err != nil {
-		return w, fmt.Errorf("netfmt: line %d: wire L %q", lineNo, parts[2])
+	if w.Length, err = parseFinite(parts[2]); err != nil {
+		return w, fmt.Errorf("netfmt: line %d: wire L %q: %w", lineNo, parts[2], err)
 	}
 	if a, ok := kv["aggr"]; ok {
 		w.Aggressors = []rctree.Coupling{}
 		if a != "none" {
-			for _, pair := range strings.Split(a, ";") {
+			pairs := strings.Split(a, ";")
+			if len(pairs) > maxAggr {
+				return w, fmt.Errorf("netfmt: line %d: %d aggressors exceed the %d-per-wire limit: %w",
+					lineNo, len(pairs), maxAggr, guard.ErrBudgetExceeded)
+			}
+			for _, pair := range pairs {
 				rs, ss, ok := strings.Cut(pair, ":")
 				if !ok {
 					return w, fmt.Errorf("netfmt: line %d: aggressor %q", lineNo, pair)
 				}
-				ratio, err := strconv.ParseFloat(rs, 64)
+				ratio, err := parseFinite(rs)
 				if err != nil {
-					return w, fmt.Errorf("netfmt: line %d: aggressor ratio %q", lineNo, rs)
+					return w, fmt.Errorf("netfmt: line %d: aggressor ratio %q: %w", lineNo, rs, err)
 				}
-				slope, err := strconv.ParseFloat(ss, 64)
+				slope, err := parseFinite(ss)
 				if err != nil {
-					return w, fmt.Errorf("netfmt: line %d: aggressor slope %q", lineNo, ss)
+					return w, fmt.Errorf("netfmt: line %d: aggressor slope %q: %w", lineNo, ss, err)
 				}
 				w.Aggressors = append(w.Aggressors, rctree.Coupling{Ratio: ratio, Slope: slope})
 			}

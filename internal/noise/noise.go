@@ -28,9 +28,11 @@
 package noise
 
 import (
+	"fmt"
 	"math"
 
 	"buffopt/internal/buffers"
+	"buffopt/internal/guard"
 	"buffopt/internal/rctree"
 )
 
@@ -42,6 +44,20 @@ type Params struct {
 	// Slope μ = Vdd / t_rise of the assumed aggressor, V/s
 	// (1.8 V / 0.25 ns = 7.2e9 V/s in Section V).
 	Slope float64
+}
+
+// Validate reports whether the parameters are usable for noise-aware
+// optimization. Errors wrap guard.ErrInvalidInput.
+func (p Params) Validate() error {
+	if math.IsNaN(p.CouplingRatio) || p.CouplingRatio < 0 || p.CouplingRatio > 1 {
+		return fmt.Errorf("noise: coupling ratio λ = %g must lie in [0, 1]: %w",
+			p.CouplingRatio, guard.ErrInvalidInput)
+	}
+	if math.IsNaN(p.Slope) || math.IsInf(p.Slope, 0) || p.Slope <= 0 {
+		return fmt.Errorf("noise: aggressor slope μ = %g V/s must be positive and finite: %w",
+			p.Slope, guard.ErrInvalidInput)
+	}
+	return nil
 }
 
 // SectionV returns the experimental parameters of the paper: λ = 0.7,

@@ -24,6 +24,7 @@ import (
 
 	"buffopt/internal/buffers"
 	"buffopt/internal/circuit"
+	"buffopt/internal/guard"
 	"buffopt/internal/noise"
 	"buffopt/internal/rctree"
 )
@@ -47,6 +48,11 @@ type Options struct {
 	// MaxSteps caps the total step count; the step is coarsened when the
 	// settle window would exceed it. Default 20000.
 	MaxSteps int
+	// Budget bounds the run: the transient verifier forwards it to the
+	// circuit simulator (deadline polling plus the MaxSimSteps cap), and
+	// the AWE verifier polls it across its per-gate grid scans. Nil means
+	// unlimited.
+	Budget *guard.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -260,7 +266,7 @@ func Simulate(t *rctree.Tree, assign Assignment, opts Options) (*Result, error) 
 		step = duration / float64(o.MaxSteps)
 	}
 
-	res, err := circuit.Transient(b.nl, circuit.TranOptions{Step: step, Duration: duration})
+	res, err := circuit.Transient(b.nl, circuit.TranOptions{Step: step, Duration: duration, Budget: o.Budget})
 	if err != nil {
 		return nil, err
 	}
@@ -292,6 +298,10 @@ func SimulateAWE(t *rctree.Tree, assign Assignment, opts Options) (*Result, erro
 	}
 	models := make([]railModel, 0, len(b.rails))
 	for _, r := range b.rails {
+		// Each rail costs a full matrix factorization; poll between rails.
+		if err := o.Budget.Check(); err != nil {
+			return nil, err
+		}
 		mom, err := b.nl.Moments(r.source, 4)
 		if err != nil {
 			return nil, fmt.Errorf("noisesim: AWE moments: %w", err)
@@ -308,7 +318,12 @@ func SimulateAWE(t *rctree.Tree, assign Assignment, opts Options) (*Result, erro
 	const gridSteps = 2000
 	peaks := make([]float64, b.nl.NumNodes())
 	fallbacks := 0
+	pacer := o.Budget.Pacer(4)
 	for _, v := range t.Preorder() {
+		// Each gate input costs a full grid scan; poll every few gates.
+		if err := pacer.Tick(); err != nil {
+			return nil, err
+		}
 		node := t.Node(v)
 		_, buffered := assign[v]
 		if node.Kind != rctree.Sink && !buffered {

@@ -3,6 +3,7 @@ package steiner
 import (
 	"fmt"
 
+	"buffopt/internal/guard"
 	"buffopt/internal/rctree"
 )
 
@@ -51,11 +52,21 @@ const (
 // bent edge), and RC parasitics from tech. Corner and Steiner nodes are
 // legal buffer sites. The resulting tree is binarized.
 func Route(net Net, tech Tech, alg Algorithm) (*rctree.Tree, error) {
+	return RouteBudget(net, tech, alg, nil)
+}
+
+// RouteBudget is Route under a resource budget: the tree-node cap is
+// checked against the terminal count up front, and the 1-Steiner search is
+// polled for cancellation. A nil budget imposes no limits.
+func RouteBudget(net Net, tech Tech, alg Algorithm, b *guard.Budget) (*rctree.Tree, error) {
 	if len(net.Sinks) == 0 {
-		return nil, fmt.Errorf("steiner: net %q has no sinks", net.Name)
+		return nil, fmt.Errorf("steiner: net %q has no sinks: %w", net.Name, guard.ErrInvalidInput)
 	}
 	if tech.RPerLen < 0 || tech.CPerLen < 0 {
-		return nil, fmt.Errorf("steiner: negative technology parasitics %+v", tech)
+		return nil, fmt.Errorf("steiner: negative technology parasitics %+v: %w", tech, guard.ErrInvalidInput)
+	}
+	if err := b.CheckTreeNodes(len(net.Sinks) + 1); err != nil {
+		return nil, err
 	}
 
 	// Terminal 0 is the driver; terminals 1..len(Sinks) are sinks.
@@ -66,7 +77,10 @@ func Route(net Net, tech Tech, alg Algorithm) (*rctree.Tree, error) {
 	}
 	pts := terms
 	if alg == OneSteiner {
-		pts = IteratedOneSteiner(terms)
+		var err error
+		if pts, err = IteratedOneSteinerBudget(terms, b); err != nil {
+			return nil, err
+		}
 	}
 	return buildTree(net, tech, pts, mstParents(pts))
 }

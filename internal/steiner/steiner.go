@@ -16,6 +16,8 @@ package steiner
 import (
 	"math"
 	"sort"
+
+	"buffopt/internal/guard"
 )
 
 // Point is a pin or Steiner-point location, in meters.
@@ -128,17 +130,31 @@ func hananGrid(terms []Point) []Point {
 // set extended with the chosen Steiner points (terminals first, in their
 // original order).
 func IteratedOneSteiner(terms []Point) []Point {
+	pts, _ := IteratedOneSteinerBudget(terms, nil)
+	return pts
+}
+
+// IteratedOneSteinerBudget is IteratedOneSteiner under a resource budget.
+// Every Hanan candidate evaluation costs an O(n²) MST build, so the budget
+// is polled once per candidate; on cancellation the points accumulated so
+// far are returned alongside the error — still a valid (if longer) topology,
+// so callers can degrade to it.
+func IteratedOneSteinerBudget(terms []Point, b *guard.Budget) ([]Point, error) {
 	pts := append([]Point(nil), terms...)
 	if len(terms) < 3 {
-		return pts
+		return pts, nil
 	}
 	cands := hananGrid(terms)
+	pacer := b.Pacer(8)
 	// A Steiner point is useful at most n−2 times.
 	for iter := 0; iter < len(terms)-2; iter++ {
 		base := MSTLength(pts)
 		bestGain := 1e-12 * base
 		bestIdx := -1
 		for ci, c := range cands {
+			if err := pacer.Tick(); err != nil {
+				return pts, err
+			}
 			trial := append(pts, c)
 			if gain := base - MSTLength(trial); gain > bestGain {
 				bestGain = gain
@@ -174,5 +190,5 @@ func IteratedOneSteiner(terms []Point) []Point {
 			break
 		}
 	}
-	return pts
+	return pts, nil
 }

@@ -1,0 +1,17 @@
+#!/bin/sh
+# The tier-1 verification gate (see ROADMAP.md): vet, build, and the full
+# test suite under the race detector. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
