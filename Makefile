@@ -11,8 +11,11 @@ test:
 check:
 	sh scripts/check.sh
 
+# Benchmark/regression harness: runs the suite, captures an obs metrics
+# snapshot from a real solve, and writes BENCH_<date>.json (+ benchstat
+# text). Not part of the tier-1 gate. BENCH=/BENCHTIME= override defaults.
 bench:
-	go test -bench=. -benchmem -run=^$$ .
+	sh scripts/bench.sh
 
 fuzz:
 	go test -fuzz=FuzzRead -fuzztime=30s ./internal/netfmt

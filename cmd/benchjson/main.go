@@ -1,0 +1,183 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// regression record, optionally merged with an obs metrics snapshot so one
+// file carries both machine performance (ns/op, allocs/op) and solver
+// work counters (candidates generated, prune ratio).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' . | benchjson -out BENCH_2026-08-05.json
+//	benchjson -in bench.txt -metrics metrics.json -out BENCH_2026-08-05.json
+//
+// The input text stays benchstat-compatible (benchjson only reads it);
+// scripts/bench.sh tees it alongside the JSON for direct benchstat diffs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BPerOp     float64 `json:"b_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Record is the file written to BENCH_<date>.json.
+type Record struct {
+	Date       string             `json:"date"`
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Package    string             `json:"pkg,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Counters   map[string]int64   `json:"counters,omitempty"`
+	Gauges     map[string]int64   `json:"gauges,omitempty"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	var (
+		in      = flag.String("in", "", "bench text input (default stdin)")
+		metrics = flag.String("metrics", "", "obs metrics snapshot JSON to merge (optional)")
+		out     = flag.String("out", "", "output JSON path (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*in, *metrics, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, metricsPath, outPath string) error {
+	var r io.Reader = os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rec, err := parse(r)
+	if err != nil {
+		return err
+	}
+	rec.Date = time.Now().Format("2006-01-02")
+
+	if metricsPath != "" {
+		data, err := os.ReadFile(metricsPath)
+		if err != nil {
+			return err
+		}
+		var snap struct {
+			Counters map[string]int64 `json:"counters"`
+			Gauges   map[string]int64 `json:"gauges"`
+		}
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("metrics snapshot %s: %w", metricsPath, err)
+		}
+		rec.Counters = snap.Counters
+		rec.Gauges = snap.Gauges
+		rec.Derived = derive(snap.Counters)
+	}
+
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	enc, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(outPath, enc, 0o644)
+}
+
+// parse reads `go test -bench` text: header lines (goos/goarch/cpu/pkg)
+// and result lines of the form
+//
+//	BenchmarkName-8    100    11059143 ns/op    4727492 B/op    78610 allocs/op
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rec.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rec.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rec.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				rec.Benchmarks = append(rec.Benchmarks, b)
+			}
+		}
+	}
+	return rec, sc.Err()
+}
+
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BPerOp = v
+		case "allocs/op":
+			b.AllocsOp = v
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// derive computes the ratios the regression harness tracks: how hard the
+// DP pruned, how often AWE fell back to the Devgan bound.
+func derive(counters map[string]int64) map[string]float64 {
+	d := map[string]float64{}
+	if gen := counters["vg.candidates.generated"]; gen > 0 {
+		d["vg_prune_ratio"] = float64(counters["vg.candidates.pruned"]) / float64(gen)
+	}
+	if runs := counters["sim.awe.rails"]; runs > 0 {
+		d["awe_fallback_ratio"] = float64(counters["sim.awe.rejected"]) / float64(runs)
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: buffopt
+cpu: AMD EPYC 7B13
+BenchmarkBuffOpt-8   	     100	  11059143 ns/op	 4727492 B/op	   78610 allocs/op
+BenchmarkElmoreAnalyze-8  	  500000	      2301 ns/op
+BenchmarkTableII-8       	       1	1892273550 ns/op	919023888 B/op	11696899 allocs/op
+PASS
+ok  	buffopt	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rec, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Goos != "linux" || rec.Goarch != "amd64" || rec.Package != "buffopt" {
+		t.Errorf("header = %q/%q/%q", rec.Goos, rec.Goarch, rec.Package)
+	}
+	if rec.CPU != "AMD EPYC 7B13" {
+		t.Errorf("cpu = %q", rec.CPU)
+	}
+	if len(rec.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rec.Benchmarks))
+	}
+	b := rec.Benchmarks[0]
+	if b.Name != "BenchmarkBuffOpt-8" || b.Iterations != 100 ||
+		b.NsPerOp != 11059143 || b.BPerOp != 4727492 || b.AllocsOp != 78610 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	// ns/op-only line (no -benchmem columns) still parses.
+	if rec.Benchmarks[1].NsPerOp != 2301 || rec.Benchmarks[1].BPerOp != 0 {
+		t.Errorf("second benchmark = %+v", rec.Benchmarks[1])
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo-8",
+		"BenchmarkFoo-8 abc 123 ns/op",
+		"BenchmarkFoo-8 100 xx ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted", line)
+		}
+	}
+}
+
+func TestDerive(t *testing.T) {
+	d := derive(map[string]int64{
+		"vg.candidates.generated": 1000,
+		"vg.candidates.pruned":    850,
+		"sim.awe.rails":           20,
+		"sim.awe.rejected":        3,
+	})
+	if math.Abs(d["vg_prune_ratio"]-0.85) > 1e-12 {
+		t.Errorf("vg_prune_ratio = %v", d["vg_prune_ratio"])
+	}
+	if math.Abs(d["awe_fallback_ratio"]-0.15) > 1e-12 {
+		t.Errorf("awe_fallback_ratio = %v", d["awe_fallback_ratio"])
+	}
+	if derive(map[string]int64{}) != nil {
+		t.Error("empty counters should derive nil")
+	}
+}

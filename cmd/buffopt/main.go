@@ -7,16 +7,21 @@
 //	        [-k N] [-seglen meters] [-lambda 0.7] [-rise 0.25e-9] [-vdd 1.8]
 //	        [-safe] [-verify] [-report] [-write out.txt]
 //	        [-timeout 30s] [-max-cands N]
+//	        [-metrics out.json] [-v] [-pprof addr] [-cpuprofile f] [-memprofile f]
 //
-// The default algorithm is minbuf, the BuffOpt tool configuration of
-// Section V (fewest buffers meeting both noise and timing). -verify
-// additionally runs the detailed coupled-RC simulation (the 3dnoise
-// stand-in) on the result.
+// The default algorithm is solve: the degradation ladder whose exact tier
+// is minbuf, the BuffOpt tool configuration of Section V (fewest buffers
+// meeting both noise and timing). -verify additionally runs the detailed
+// coupled-RC simulation (the 3dnoise stand-in) on the result.
 //
 // -timeout bounds the wall-clock time and -max-cands the DP candidate
 // lists; Ctrl-C cancels cleanly. Under "-alg solve", hitting a bound
 // degrades to a cheaper method instead of failing (the tier used is
 // printed); every other algorithm reports the budget error.
+//
+// -metrics writes the telemetry snapshot (candidate counts, prune ratios,
+// per-tier durations) as JSON on exit; -v traces solver spans to stderr;
+// -pprof serves net/http/pprof and expvar for live inspection.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"buffopt/internal/netfmt"
 	"buffopt/internal/noise"
 	"buffopt/internal/noisesim"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 	"buffopt/internal/report"
 	"buffopt/internal/segment"
@@ -51,12 +57,18 @@ type config struct {
 	outPath, spefPath string
 	timeout           time.Duration
 	maxCands          int
+
+	verbose    bool
+	metrics    string
+	pprofAddr  string
+	cpuprofile string
+	memprofile string
 }
 
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.netPath, "net", "", "net file in netfmt format (required)")
-	flag.StringVar(&cfg.alg, "alg", "minbuf", "algorithm: solve, buffopt, minbuf, delayopt, delayoptk, alg1, alg2")
+	flag.StringVar(&cfg.alg, "alg", "solve", "algorithm: solve, buffopt, minbuf, delayopt, delayoptk, alg1, alg2")
 	flag.IntVar(&cfg.k, "k", 4, "buffer bound for delayoptk")
 	flag.Float64Var(&cfg.segLen, "seglen", 0.5e-3, "wire segmenting length in meters (0 disables)")
 	flag.Float64Var(&cfg.lambda, "lambda", 0.7, "coupling-to-total-capacitance ratio λ")
@@ -70,10 +82,26 @@ func main() {
 	flag.StringVar(&cfg.spefPath, "spef", "", "also write the buffered tree's parasitics as a SPEF fragment")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget for the solve (0 disables)")
 	flag.IntVar(&cfg.maxCands, "max-cands", 0, "cap on DP candidate-list size (0 disables)")
+	flag.BoolVar(&cfg.verbose, "v", false, "trace solver spans to stderr")
+	flag.StringVar(&cfg.metrics, "metrics", "", "write a JSON metrics snapshot to this file on exit")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if cfg.netPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	stopObs, err := obs.Start(obs.StartOptions{
+		Verbose:        cfg.verbose,
+		MetricsPath:    cfg.metrics,
+		PprofAddr:      cfg.pprofAddr,
+		CPUProfilePath: cfg.cpuprofile,
+		MemProfilePath: cfg.memprofile,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "buffopt:", err)
+		os.Exit(1)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -82,8 +110,12 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	if err := run(ctx, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "buffopt:", err)
+	runErr := run(ctx, cfg)
+	if err := stopObs(); err != nil {
+		fmt.Fprintln(os.Stderr, "buffopt: telemetry:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "buffopt:", runErr)
 		os.Exit(1)
 	}
 }
@@ -145,6 +177,9 @@ func run(ctx context.Context, cfg config) error {
 		if r.Degraded {
 			fmt.Printf("degraded to tier %s after %d stronger tier(s) hit the budget\n",
 				r.Tier, len(r.TierErrors))
+			for _, te := range r.TierErrors {
+				fmt.Printf("  %v\n", te)
+			}
 		} else {
 			fmt.Printf("solved at tier %s\n", r.Tier)
 		}

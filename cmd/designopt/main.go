@@ -35,6 +35,7 @@ import (
 	"buffopt/internal/guard"
 	"buffopt/internal/netfmt"
 	"buffopt/internal/noise"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 	"buffopt/internal/report"
 	"buffopt/internal/segment"
@@ -50,6 +51,11 @@ type config struct {
 	sizing, verbose   bool
 	timeout           time.Duration // per net; 0 disables
 	maxCands          int
+
+	metrics    string // write an obs snapshot here on exit
+	pprofAddr  string // serve net/http/pprof on this address
+	cpuprofile string
+	memprofile string
 }
 
 func main() {
@@ -66,15 +72,34 @@ func main() {
 	flag.BoolVar(&cfg.verbose, "v", false, "print one summary line per net")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget per net (0 disables)")
 	flag.IntVar(&cfg.maxCands, "max-cands", 0, "cap on DP candidate-list size per net (0 disables)")
+	flag.StringVar(&cfg.metrics, "metrics", "", "write a JSON metrics snapshot to this file on exit")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if cfg.in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopObs, err := obs.Start(obs.StartOptions{
+		Verbose:        cfg.verbose,
+		MetricsPath:    cfg.metrics,
+		PprofAddr:      cfg.pprofAddr,
+		CPUProfilePath: cfg.cpuprofile,
+		MemProfilePath: cfg.memprofile,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "designopt:", err)
+		os.Exit(1)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "designopt:", err)
+	runErr := run(ctx, cfg)
+	if err := stopObs(); err != nil {
+		fmt.Fprintln(os.Stderr, "designopt: telemetry:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "designopt:", runErr)
 		os.Exit(1)
 	}
 }
@@ -86,6 +111,7 @@ type result struct {
 	wasBad   bool
 	tier     core.Tier
 	degraded bool
+	tierErrs []*core.TierError
 	err      error
 	summary  string
 }
@@ -144,9 +170,13 @@ func run(ctx context.Context, cfg config) error {
 
 	totalBuffers, bad, fixed, failed := 0, 0, 0, 0
 	tierCount := map[core.Tier]int{}
+	causes := map[string]int{}
 	for _, r := range results {
 		if cfg.verbose && r.err == nil {
 			fmt.Println(r.summary)
+			for _, te := range r.tierErrs {
+				fmt.Printf("  %s: %v\n", r.name, te)
+			}
 		}
 		if r.err != nil {
 			failed++
@@ -154,6 +184,9 @@ func run(ctx context.Context, cfg config) error {
 			continue
 		}
 		tierCount[r.tier]++
+		for _, te := range r.tierErrs {
+			causes[guard.Class(te.Err)]++
+		}
 		totalBuffers += r.buffers
 		if r.wasBad {
 			bad++
@@ -164,7 +197,7 @@ func run(ctx context.Context, cfg config) error {
 	}
 	fmt.Printf("design: %d nets, %d with noise violations, %d fixed, %d buffers inserted, %d failures, %.2fs\n",
 		len(paths), bad, fixed, totalBuffers, failed, elapsed.Seconds())
-	printTiers(tierCount)
+	printTiers(tierCount, causes)
 	if cerr := ctx.Err(); cerr != nil && !errors.Is(cerr, context.DeadlineExceeded) {
 		return fmt.Errorf("%w: %w", guard.ErrCanceled, cerr)
 	}
@@ -174,9 +207,11 @@ func run(ctx context.Context, cfg config) error {
 	return nil
 }
 
-// printTiers summarizes which degradation tier answered each net, so a
-// budget set too tight is visible at a glance.
-func printTiers(tierCount map[core.Tier]int) {
+// printTiers summarizes which degradation tier answered each net and why
+// the stronger tiers gave up (guard error classes), so a budget set too
+// tight — and whether it was the clock or a resource cap — is visible at a
+// glance.
+func printTiers(tierCount map[core.Tier]int, causes map[string]int) {
 	if len(tierCount) == 0 {
 		return
 	}
@@ -188,6 +223,19 @@ func printTiers(tierCount map[core.Tier]int) {
 	fmt.Printf("tiers:")
 	for _, t := range tiers {
 		fmt.Printf(" %s=%d", t, tierCount[t])
+	}
+	fmt.Println()
+	if len(causes) == 0 {
+		return
+	}
+	classes := make([]string, 0, len(causes))
+	for c := range causes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Printf("degradation causes:")
+	for _, c := range classes {
+		fmt.Printf(" %s=%d", c, causes[c])
 	}
 	fmt.Println()
 }
@@ -255,6 +303,7 @@ func optimizeOne(ctx context.Context, path string, cfg config, params noise.Para
 		wasBad:   wasBad,
 		tier:     res.Tier,
 		degraded: res.Degraded,
+		tierErrs: res.TierErrors,
 		summary:  report.Summary(res.Tree, res.Buffers, params),
 	}
 }

@@ -25,20 +25,37 @@ import (
 
 	"buffopt/internal/experiments"
 	"buffopt/internal/guard"
+	"buffopt/internal/obs"
 )
 
 func main() {
 	var (
-		nets    = flag.Int("nets", 500, "suite size")
-		seed    = flag.Int64("seed", 1, "suite seed")
-		segLen  = flag.Float64("seglen", 0.5e-3, "wire segmenting length, m")
-		table   = flag.Int("table", 0, "run only this table (1-4)")
-		fig     = flag.Int("fig", 0, "run only this figure (1, 2, 3, 6, 7, 17)")
-		abl     = flag.Bool("ablations", false, "run the wire-sizing and Problem 3 ablations")
-		safe    = flag.Bool("safe", false, "exact multi-buffer pruning")
-		timeout = flag.Duration("timeout", 0*time.Second, "wall-clock budget for the whole run (0 disables)")
+		nets       = flag.Int("nets", 500, "suite size")
+		seed       = flag.Int64("seed", 1, "suite seed")
+		segLen     = flag.Float64("seglen", 0.5e-3, "wire segmenting length, m")
+		table      = flag.Int("table", 0, "run only this table (1-4)")
+		fig        = flag.Int("fig", 0, "run only this figure (1, 2, 3, 6, 7, 17)")
+		abl        = flag.Bool("ablations", false, "run the wire-sizing and Problem 3 ablations")
+		safe       = flag.Bool("safe", false, "exact multi-buffer pruning")
+		timeout    = flag.Duration("timeout", 0*time.Second, "wall-clock budget for the whole run (0 disables)")
+		verbose    = flag.Bool("v", false, "trace stage spans to stderr")
+		metrics    = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopObs, err := obs.Start(obs.StartOptions{
+		Verbose:        *verbose,
+		MetricsPath:    *metrics,
+		PprofAddr:      *pprofAddr,
+		CPUProfilePath: *cpuprofile,
+		MemProfilePath: *memprofile,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
@@ -46,8 +63,12 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *nets, *seed, *segLen, *table, *fig, *abl, *safe); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	runErr := run(ctx, *nets, *seed, *segLen, *table, *fig, *abl, *safe)
+	if err := stopObs(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: telemetry:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }
@@ -59,6 +80,21 @@ func check(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("%w: %w", guard.ErrCanceled, err)
 	}
+	return nil
+}
+
+// stage runs one table/figure under a span, so every stage's wall time
+// lands in the metrics snapshot (experiments.<stage>.duration_ns) with the
+// same value the -v trace prints — one measurement, not two bookkeepings.
+func stage(ctx context.Context, name string, fn func() error) error {
+	if err := check(ctx); err != nil {
+		return err
+	}
+	_, sp := obs.Span(ctx, "experiments."+name)
+	if err := fn(); err != nil {
+		return sp.Fail(err)
+	}
+	sp.End()
 	return nil
 }
 
@@ -76,58 +112,69 @@ func run(ctx context.Context, nets int, seed int64, segLen float64, table, fig i
 		}
 		all := table == 0 && !abl
 		if all || table == 1 {
-			if err := check(ctx); err != nil {
+			if err := stage(ctx, "table1", func() error {
+				fmt.Println(s.RunTableI().Format())
+				return nil
+			}); err != nil {
 				return err
 			}
-			fmt.Println(s.RunTableI().Format())
 		}
 		if all || table == 2 {
-			if err := check(ctx); err != nil {
+			if err := stage(ctx, "table2", func() error {
+				fmt.Println(s.RunTableII().Format())
+				return nil
+			}); err != nil {
 				return err
 			}
-			fmt.Println(s.RunTableII().Format())
 		}
 		if all || table == 3 {
-			if err := check(ctx); err != nil {
+			if err := stage(ctx, "table3", func() error {
+				fmt.Println(s.RunTableIII().Format())
+				return nil
+			}); err != nil {
 				return err
 			}
-			fmt.Println(s.RunTableIII().Format())
 		}
 		if all || table == 4 {
-			if err := check(ctx); err != nil {
+			if err := stage(ctx, "table4", func() error {
+				fmt.Println(s.RunTableIV().Format())
+				return nil
+			}); err != nil {
 				return err
 			}
-			fmt.Println(s.RunTableIV().Format())
 		}
 		if abl {
-			if err := check(ctx); err != nil {
+			if err := stage(ctx, "ablation.sizing", func() error {
+				fmt.Println(s.RunSizingAblation().Format())
+				tr, err := experiments.RunProblem3Tradeoff()
+				if err != nil {
+					return err
+				}
+				fmt.Println(tr.Format())
+				return nil
+			}); err != nil {
 				return err
 			}
-			fmt.Println(s.RunSizingAblation().Format())
-			tr, err := experiments.RunProblem3Tradeoff()
-			if err != nil {
+			if err := stage(ctx, "ablation.routing", func() error {
+				ra, err := experiments.RunRoutingAblation(30)
+				if err != nil {
+					return err
+				}
+				fmt.Println(ra.Format())
+				return nil
+			}); err != nil {
 				return err
 			}
-			fmt.Println(tr.Format())
-			if err := check(ctx); err != nil {
-				return err
-			}
-			ra, err := experiments.RunRoutingAblation(30)
-			if err != nil {
-				return err
-			}
-			fmt.Println(ra.Format())
-			if err := check(ctx); err != nil {
-				return err
-			}
-			fmt.Println(s.RunGreedyAblation().Format())
-			fmt.Println(s.RunExplicitModeAblation().Format())
-			curve, err := experiments.RunBufferCountCurve()
-			if err != nil {
-				return err
-			}
-			fmt.Println(curve.Format())
-			return nil
+			return stage(ctx, "ablation.greedy", func() error {
+				fmt.Println(s.RunGreedyAblation().Format())
+				fmt.Println(s.RunExplicitModeAblation().Format())
+				curve, err := experiments.RunBufferCountCurve()
+				if err != nil {
+					return err
+				}
+				fmt.Println(curve.Format())
+				return nil
+			})
 		}
 		if all {
 			return runFig(ctx, 0)
@@ -140,43 +187,64 @@ func run(ctx context.Context, nets int, seed int64, segLen float64, table, fig i
 func runFig(ctx context.Context, which int) error {
 	all := which == 0
 	if all || which == 1 {
-		if err := check(ctx); err != nil {
+		if err := stage(ctx, "fig1", func() error {
+			f, err := experiments.RunFig1()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Format())
+			return nil
+		}); err != nil {
 			return err
 		}
-		f, err := experiments.RunFig1()
-		if err != nil {
-			return err
-		}
-		fmt.Println(f.Format())
 	}
 	if all || which == 2 {
-		if err := check(ctx); err != nil {
+		if err := stage(ctx, "fig2", func() error {
+			f, err := experiments.RunFig2()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Format())
+			return nil
+		}); err != nil {
 			return err
 		}
-		f, err := experiments.RunFig2()
-		if err != nil {
-			return err
-		}
-		fmt.Println(f.Format())
 	}
 	if all || which == 3 {
-		fmt.Println(experiments.RunFig3().Format())
+		if err := stage(ctx, "fig3", func() error {
+			fmt.Println(experiments.RunFig3().Format())
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if all || which == 6 {
-		fmt.Println(experiments.RunTheorem1Sweep().Format())
+		if err := stage(ctx, "fig6", func() error {
+			fmt.Println(experiments.RunTheorem1Sweep().Format())
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if all || which == 7 {
-		if err := check(ctx); err != nil {
+		if err := stage(ctx, "fig7", func() error {
+			f, err := experiments.RunFig7()
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Format())
+			return nil
+		}); err != nil {
 			return err
 		}
-		f, err := experiments.RunFig7()
-		if err != nil {
-			return err
-		}
-		fmt.Println(f.Format())
 	}
 	if all || which == 17 {
-		fmt.Println(experiments.RunSeparationSweep().Format())
+		if err := stage(ctx, "fig17", func() error {
+			fmt.Println(experiments.RunSeparationSweep().Format())
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	return nil
 }

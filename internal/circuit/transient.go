@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"buffopt/internal/guard"
+	"buffopt/internal/obs"
 )
 
 // Method selects the time-integration scheme.
@@ -159,6 +160,9 @@ func Transient(n *Netlist, opts TranOptions) (*TranResult, error) {
 	if err := opts.Budget.CheckSimSteps(steps); err != nil {
 		return nil, err
 	}
+	defer obs.Timer("circuit.transient")()
+	obs.Add("circuit.transient.steps", int64(steps))
+	obs.ObserveSize("circuit.transient.matrix_dim", int64(m))
 	res := &TranResult{
 		Times:    make([]float64, 0, steps+1),
 		Waves:    map[int][]float64{},

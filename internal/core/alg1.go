@@ -6,6 +6,7 @@ import (
 	"buffopt/internal/buffers"
 	"buffopt/internal/guard"
 	"buffopt/internal/noise"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 )
 
@@ -60,6 +61,15 @@ func Algorithm1Budget(t *rctree.Tree, lib *buffers.Library, p noise.Params, b *g
 		return nil, err
 	}
 
+	// Telemetry accumulates locally and flushes once on every exit path:
+	// one buffer per Theorem 1 placement, one l_max evaluation per
+	// MaxSafeLength call.
+	var lmaxEvals, inserted int64
+	defer func() {
+		obs.Add("alg1.lmax.evals", lmaxEvals)
+		obs.Add("alg1.buffers.inserted", inserted)
+	}()
+
 	work := t.Clone()
 	assign := make(map[rctree.NodeID]buffers.Buffer)
 	sink := work.Sinks()[0]
@@ -89,6 +99,7 @@ func Algorithm1Budget(t *rctree.Tree, lib *buffers.Library, p noise.Params, b *g
 		}
 		r := w.R / w.Length
 		iu := iw / w.Length
+		lmaxEvals++
 		l, err := MaxSafeLength(buf.R, r, iu, down, ns)
 		if err != nil {
 			return nil, err
@@ -114,6 +125,7 @@ func Algorithm1Budget(t *rctree.Tree, lib *buffers.Library, p noise.Params, b *g
 			return nil, err
 		}
 		assign[at] = buf
+		inserted++
 		// Restart above the buffer: it is a restoring stage, so no current
 		// propagates past it, and its own input must now be protected.
 		cur = at
@@ -131,6 +143,7 @@ func Algorithm1Budget(t *rctree.Tree, lib *buffers.Library, p noise.Params, b *g
 			return nil, err
 		}
 		assign[at] = buf
+		inserted++
 	}
 
 	return &Solution{Tree: work, Buffers: assign}, nil

@@ -9,8 +9,25 @@ import (
 	"buffopt/internal/buffers"
 	"buffopt/internal/guard"
 	"buffopt/internal/noise"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 )
+
+// alg2Stats accumulates one Algorithm2Budget run's counters locally (see
+// vgStats for the pattern): candidate placements and l_max evaluations are
+// search-space measures; buffers inserted is the chosen solution's size.
+type alg2Stats struct {
+	lmax       int64 // MaxSafeLength evaluations
+	placements int64 // tentative buffer placements explored across candidates
+	merged     int64 // candidates emitted by branch merges
+}
+
+func (s *alg2Stats) flush(inserted int) {
+	obs.Add("alg2.lmax.evals", s.lmax)
+	obs.Add("alg2.placements.explored", s.placements)
+	obs.Add("alg2.candidates.merged", s.merged)
+	obs.Add("alg2.buffers.inserted", int64(inserted))
+}
 
 // nCand is an Algorithm 2 candidate at some node v: the downstream
 // coupling current I(v), the noise slack NS(v), the number of buffers the
@@ -83,6 +100,10 @@ func Algorithm2Budget(t *rctree.Tree, lib *buffers.Library, p noise.Params, b *g
 		return nil, err
 	}
 
+	st := &alg2Stats{}
+	inserted := 0
+	defer func() { st.flush(inserted) }()
+
 	cands := make([][]nCand, t.Len())
 	for _, v := range t.Postorder() {
 		if err := b.Check(); err != nil {
@@ -95,22 +116,22 @@ func Algorithm2Budget(t *rctree.Tree, lib *buffers.Library, p noise.Params, b *g
 			list = []nCand{{down: 0, ns: node.NoiseMargin}}
 		case len(node.Children) == 1:
 			c := node.Children[0]
-			up, err := propagateAll(cands[c], c, t.Node(c).Wire, buf, p, b)
+			up, err := propagateAll(cands[c], c, t.Node(c).Wire, buf, p, b, st)
 			if err != nil {
 				return nil, err
 			}
 			list = up
 		case len(node.Children) == 2:
 			cl, cr := node.Children[0], node.Children[1]
-			left, err := propagateAll(cands[cl], cl, t.Node(cl).Wire, buf, p, b)
+			left, err := propagateAll(cands[cl], cl, t.Node(cl).Wire, buf, p, b, st)
 			if err != nil {
 				return nil, err
 			}
-			right, err := propagateAll(cands[cr], cr, t.Node(cr).Wire, buf, p, b)
+			right, err := propagateAll(cands[cr], cr, t.Node(cr).Wire, buf, p, b, st)
 			if err != nil {
 				return nil, err
 			}
-			list = mergeBranches(left, right, cl, cr, buf)
+			list = mergeBranches(left, right, cl, cr, buf, st)
 		default:
 			return nil, fmt.Errorf("core: internal node %d has no children", v)
 		}
@@ -159,17 +180,18 @@ func Algorithm2Budget(t *rctree.Tree, lib *buffers.Library, p noise.Params, b *g
 		}
 		assign[at] = buf
 	}
+	inserted = len(assign)
 	return &Solution{Tree: work, Buffers: assign}, nil
 }
 
 // propagateAll pushes every candidate through a wire, inserting maximal-
 // distance buffers as needed. Candidates that cannot survive the wire are
 // dropped; if none survive, the error explains why.
-func propagateAll(list []nCand, child rctree.NodeID, w rctree.Wire, buf buffers.Buffer, p noise.Params, b *guard.Budget) ([]nCand, error) {
+func propagateAll(list []nCand, child rctree.NodeID, w rctree.Wire, buf buffers.Buffer, p noise.Params, b *guard.Budget, st *alg2Stats) ([]nCand, error) {
 	out := make([]nCand, 0, len(list))
 	var lastErr error
 	for _, c := range list {
-		up, err := propagateWire(c, child, w, buf, p, b)
+		up, err := propagateWire(c, child, w, buf, p, b, st)
 		if err != nil {
 			if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrBudgetExceeded) {
 				return nil, err
@@ -188,7 +210,7 @@ func propagateAll(list []nCand, child rctree.NodeID, w rctree.Wire, buf buffers.
 // propagateWire advances one candidate from the bottom to the top of a
 // wire, inserting buffers at Theorem 1 maximal distances (Steps 2–4 of
 // Algorithm 1, reused per candidate here).
-func propagateWire(c nCand, child rctree.NodeID, w rctree.Wire, buf buffers.Buffer, p noise.Params, b *guard.Budget) (nCand, error) {
+func propagateWire(c nCand, child rctree.NodeID, w rctree.Wire, buf buffers.Buffer, p noise.Params, b *guard.Budget, st *alg2Stats) (nCand, error) {
 	iwTotal := p.WireCurrent(w)
 	length := w.Length
 	pos := 0.0
@@ -216,6 +238,7 @@ func propagateWire(c nCand, child rctree.NodeID, w rctree.Wire, buf buffers.Buff
 		}
 		r := w.R / length
 		iu := iwTotal / length
+		st.lmax++
 		l, err := MaxSafeLength(buf.R, r, iu, c.down, c.ns)
 		if err != nil {
 			return c, err
@@ -235,6 +258,7 @@ func propagateWire(c nCand, child rctree.NodeID, w rctree.Wire, buf buffers.Buff
 		pos += l
 		c.sol = &placement{child: child, dist: pos, buf: buf, prev: [2]*placement{c.sol, nil}}
 		c.nbuf++
+		st.placements++
 		c.down = 0
 		c.ns = buf.NoiseMargin
 	}
@@ -251,7 +275,7 @@ func propagateWire(c nCand, child rctree.NodeID, w rctree.Wire, buf buffers.Buff
 // buffer placed directly above it would be noise-clean; candidates that
 // cannot satisfy it are useless upstream under the footnote-8 assumption
 // that the driver is no stronger than the strongest buffer.
-func mergeBranches(left, right []nCand, leftChild, rightChild rctree.NodeID, buf buffers.Buffer) []nCand {
+func mergeBranches(left, right []nCand, leftChild, rightChild rctree.NodeID, buf buffers.Buffer, st *alg2Stats) []nCand {
 	left = pruneNoise(left)
 	right = pruneNoise(right)
 
@@ -304,6 +328,7 @@ func mergeBranches(left, right []nCand, leftChild, rightChild rctree.NodeID, buf
 		nbuf: minLeft.nbuf + minRight.nbuf + 2,
 		sol:  mergeSolutions(leftBuf, rightBuf),
 	})
+	st.merged += int64(len(out))
 	return out
 }
 

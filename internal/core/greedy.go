@@ -8,6 +8,7 @@ import (
 	"buffopt/internal/elmore"
 	"buffopt/internal/guard"
 	"buffopt/internal/noise"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 )
 
@@ -65,6 +66,16 @@ func GreedyIterative(t *rctree.Tree, lib *buffers.Library, opts GreedyOptions) (
 	work := t.Clone()
 	assign := make(map[rctree.NodeID]buffers.Buffer)
 
+	// Rounds and full-analysis evaluations, flushed once per run: each
+	// evaluation is an O(n) analyzer pass, so evals/rounds is the per-round
+	// search breadth the ablation tables reason about.
+	var rounds, evals int64
+	defer func() {
+		obs.Add("greedy.rounds", rounds)
+		obs.Add("greedy.evals", evals)
+		obs.Add("greedy.buffers.inserted", int64(len(assign)))
+	}()
+
 	type state struct {
 		violations int
 		excess     float64 // total noise above margins, V
@@ -110,6 +121,7 @@ func GreedyIterative(t *rctree.Tree, lib *buffers.Library, opts GreedyOptions) (
 		if opts.MaxBuffers > 0 && len(assign) >= opts.MaxBuffers {
 			break
 		}
+		rounds++
 		bestState := cur
 		var bestSite rctree.NodeID = rctree.None
 		var bestBuf buffers.Buffer
@@ -122,6 +134,7 @@ func GreedyIterative(t *rctree.Tree, lib *buffers.Library, opts GreedyOptions) (
 			}
 			for _, b := range lib.Buffers {
 				assign[v] = b
+				evals++
 				if s := eval(); better(s, bestState) {
 					bestState, bestSite, bestBuf = s, v, b
 				}

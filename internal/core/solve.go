@@ -10,6 +10,7 @@ import (
 	"buffopt/internal/elmore"
 	"buffopt/internal/guard"
 	"buffopt/internal/noise"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 )
 
@@ -54,6 +55,60 @@ func (t Tier) String() string {
 	return fmt.Sprintf("tier(%d)", int(t))
 }
 
+// MarshalJSON encodes the tier as its String() name, so JSON reports and
+// metric snapshots use the same vocabulary as the logs.
+func (t Tier) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a tier name produced by MarshalJSON.
+func (t *Tier) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("core: tier must be a JSON string, got %s", data)
+	}
+	parsed, err := ParseTier(string(data[1 : len(data)-1]))
+	if err != nil {
+		return err
+	}
+	*t = parsed
+	return nil
+}
+
+// ParseTier is the inverse of Tier.String for the named tiers.
+func ParseTier(s string) (Tier, error) {
+	for t := TierExact; t <= TierUnbuffered; t++ {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown tier %q", s)
+}
+
+// TierError records why one rung of the degradation ladder failed, with
+// enough context to act on: how long the tier ran before giving up and the
+// budget high-water marks at that moment (how long the candidate lists
+// grew, how large the tree was). "exact: candidate list grew to 5211 (cap
+// 4096) after 1.2s, peak 5211 candidates" tells the operator whether to
+// raise -max-cands or the timeout; the bare error did not.
+type TierError struct {
+	// Tier is the rung that failed.
+	Tier Tier `json:"tier"`
+	// Elapsed is how long the tier ran before failing.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Usage holds the budget's high-water marks when the tier failed.
+	Usage guard.Usage `json:"usage"`
+	// Err is the underlying failure, classified by the guard taxonomy.
+	Err error `json:"-"`
+}
+
+func (e *TierError) Error() string {
+	return fmt.Sprintf("%s: %v (after %v; %s)", e.Tier, e.Err, e.Elapsed.Round(time.Microsecond), e.Usage)
+}
+
+// Unwrap exposes the underlying error so errors.Is/As dispatch on the
+// guard taxonomy works through TierError.
+func (e *TierError) Unwrap() error { return e.Err }
+
 // SolveResult is a Result annotated with how it was obtained.
 type SolveResult struct {
 	*Result
@@ -62,9 +117,10 @@ type SolveResult struct {
 	// Degraded reports that at least one stronger tier was attempted and
 	// failed (equivalently, Tier != TierExact).
 	Degraded bool
-	// TierErrors records, in ladder order, why each stronger tier failed.
-	// Empty when Tier == TierExact.
-	TierErrors []error
+	// TierErrors records, in ladder order, why each stronger tier failed —
+	// including elapsed time and budget usage. Empty when Tier ==
+	// TierExact.
+	TierErrors []*TierError
 }
 
 // Degradation ladder deadline shares: each tier may spend at most this
@@ -179,17 +235,27 @@ func Solve(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p noise.Pa
 		}},
 	}
 
-	var tierErrs []error
+	solveCtx, solveSpan := obs.Span(ctx, "solve")
+	defer solveSpan.End()
+
+	var tierErrs []*TierError
 	for _, step := range tiers {
 		b, cancel := tierBudget(ctx, opts.Budget, tierShares[step.tier], step.maxCands)
+		_, span := obs.Span(solveCtx, "solve.tier."+step.tier.String())
+		start := time.Now()
 		var res *Result
 		err := guard.Safe("core.Solve/"+step.tier.String(), func() error {
 			var e error
 			res, e = step.run(b)
 			return e
 		})
+		span.Fail(err) // record the tier's duration (and trace the error); the wrap is discarded — TierError carries more
 		cancel()
 		if err == nil && res != nil {
+			if step.tier != TierExact {
+				obs.Inc("solve.degraded")
+			}
+			obs.Inc("solve.answered." + step.tier.String())
 			return &SolveResult{
 				Result:     res,
 				Tier:       step.tier,
@@ -197,7 +263,16 @@ func Solve(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p noise.Pa
 				TierErrors: tierErrs,
 			}, nil
 		}
-		tierErrs = append(tierErrs, fmt.Errorf("%s: %w", step.tier, err))
+		tierErrs = append(tierErrs, &TierError{
+			Tier:    step.tier,
+			Elapsed: time.Since(start),
+			Usage:   b.Usage(),
+			Err:     err,
+		})
+		// Degradation causes keyed by the guard error taxonomy, so tight
+		// budgets ("budget"), deadlines ("canceled"), and crashes ("panic")
+		// are distinguishable in the snapshot.
+		obs.Inc("solve.degrade." + guard.Class(err))
 		// Non-degradable failures: bad input, the caller's own context
 		// going away, or an exact tier proving the net unfixable.
 		if errors.Is(err, guard.ErrInvalidInput) {
@@ -210,7 +285,11 @@ func Solve(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p noise.Pa
 			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("core: every degradation tier failed: %w", errors.Join(tierErrs...))
+	joined := make([]error, len(tierErrs))
+	for i, te := range tierErrs {
+		joined[i] = te
+	}
+	return nil, fmt.Errorf("core: every degradation tier failed: %w", errors.Join(joined...))
 }
 
 // tierBudget builds one tier's budget: the caps from the caller's budget

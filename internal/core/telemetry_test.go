@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"buffopt/internal/guard"
+	"buffopt/internal/obs"
+	"buffopt/internal/segment"
+)
+
+// withFreshRegistry swaps in an empty obs registry for the duration of one
+// test so counter assertions see only the work the test itself did.
+func withFreshRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	old := obs.Default()
+	r := obs.NewRegistry()
+	obs.SetDefault(r)
+	t.Cleanup(func() { obs.SetDefault(old) })
+	return r
+}
+
+// TestTierJSONRoundTrip checks String(), MarshalJSON, and UnmarshalJSON
+// agree for every named tier, so logs, snapshots, and JSON reports share
+// one vocabulary.
+func TestTierJSONRoundTrip(t *testing.T) {
+	for tier := TierExact; tier <= TierUnbuffered; tier++ {
+		data, err := json.Marshal(tier)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", tier, err)
+		}
+		if want := `"` + tier.String() + `"`; string(data) != want {
+			t.Errorf("Marshal(%v) = %s, want %s", tier, data, want)
+		}
+		var back Tier
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("Unmarshal(%s): %v", data, err)
+		}
+		if back != tier {
+			t.Errorf("round trip: %v -> %s -> %v", tier, data, back)
+		}
+		parsed, err := ParseTier(tier.String())
+		if err != nil || parsed != tier {
+			t.Errorf("ParseTier(%q) = %v, %v", tier.String(), parsed, err)
+		}
+	}
+	if _, err := ParseTier("warp-speed"); err == nil {
+		t.Error("ParseTier accepted an unknown name")
+	}
+	var tier Tier
+	if err := json.Unmarshal([]byte(`42`), &tier); err == nil {
+		t.Error("UnmarshalJSON accepted a non-string")
+	}
+	if err := json.Unmarshal([]byte(`"warp-speed"`), &tier); err == nil {
+		t.Error("UnmarshalJSON accepted an unknown name")
+	}
+}
+
+// TestGuardSentinelsThroughWrappedChains is the errors.Is table test:
+// every guard sentinel must stay classifiable after being wrapped by
+// obs.SpanHandle.Fail and again by TierError — the two wrappers every
+// solver failure passes through on its way to a caller.
+func TestGuardSentinelsThroughWrappedChains(t *testing.T) {
+	withFreshRegistry(t)
+	sentinels := []struct {
+		name string
+		err  error
+	}{
+		{"canceled", guard.ErrCanceled},
+		{"budget", guard.ErrBudgetExceeded},
+		{"invalid", guard.ErrInvalidInput},
+		{"infeasible", guard.ErrInfeasible},
+	}
+	for _, s := range sentinels {
+		t.Run(s.name, func(t *testing.T) {
+			// A realistic chain: the solver wraps the sentinel with context,
+			// the span wraps that with its name, TierError wraps the lot.
+			_, sp := obs.Span(context.Background(), "test.chain")
+			if sp == nil {
+				t.Fatal("Span returned a nil handle with a live registry")
+			}
+			chained := sp.Fail(fmt.Errorf("solver detail: %w", s.err))
+			te := &TierError{Tier: TierExact, Err: chained}
+			if !errors.Is(te, s.err) {
+				t.Errorf("errors.Is lost %v through Span+TierError: %v", s.err, te)
+			}
+			if got := guard.Class(te); got != s.name {
+				t.Errorf("guard.Class = %q, want %q", got, s.name)
+			}
+		})
+	}
+	// A panic survives the same chain and still classifies as one.
+	pErr := guard.Safe("test", func() error { panic("boom") })
+	_, sp := obs.Span(context.Background(), "test.panic")
+	te := &TierError{Tier: TierGreedy, Err: sp.Fail(pErr)}
+	if guard.Class(te) != "panic" {
+		t.Errorf("panic class lost through chain: %v", te)
+	}
+	// A nil span handle (telemetry disabled) must pass errors through
+	// unchanged rather than wrapping or swallowing them.
+	var nilSp *obs.SpanHandle
+	if err := nilSp.Fail(guard.ErrBudgetExceeded); !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Errorf("nil handle altered the error: %v", err)
+	}
+}
+
+// TestSolveEmitsTierSpans forces a degradation (2-candidate cap) and
+// asserts the per-tier spans and degradation-cause counters land in the
+// registry: one span per attempted tier, a budget-classed degrade count,
+// and the answering tier's counter.
+func TestSolveEmitsTierSpans(t *testing.T) {
+	r := withFreshRegistry(t)
+
+	tr := buildNoisyY(t)
+	if _, err := segment.ByCount(tr, 40); err != nil {
+		t.Fatal(err)
+	}
+	b := guard.New(context.Background())
+	b.MaxCandidates = 2
+	res, err := Solve(context.Background(), tr, lib2(), unitParams, Options{Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatalf("expected degradation under a 2-candidate cap, got tier %v", res.Tier)
+	}
+
+	snap := r.Snapshot()
+	// Every attempted tier left a span: the failed ones plus the answerer.
+	attempted := make([]string, 0, len(res.TierErrors)+1)
+	for _, te := range res.TierErrors {
+		attempted = append(attempted, te.Tier.String())
+	}
+	attempted = append(attempted, res.Tier.String())
+	for _, name := range attempted {
+		key := "solve.tier." + name
+		if snap.Counters[key+".count"] == 0 {
+			t.Errorf("no span count for attempted tier %s: %v", name, snap.Counters)
+		}
+		if _, ok := snap.Histograms["span."+key]; !ok {
+			t.Errorf("no span histogram for attempted tier %s", name)
+		}
+	}
+	// The failures were budget trips, counted under the guard taxonomy.
+	if snap.Counters["solve.degrade.budget"] == 0 {
+		t.Errorf("no budget-classed degradation recorded: %v", snap.Counters)
+	}
+	if snap.Counters["solve.degraded"] == 0 {
+		t.Error("solve.degraded not incremented")
+	}
+	if snap.Counters["solve.answered."+res.Tier.String()] != 1 {
+		t.Errorf("answering tier %v not counted once: %v", res.Tier, snap.Counters)
+	}
+	// The enclosing solve span closed too.
+	if snap.Counters["solve.count"] != 1 {
+		t.Errorf("solve span count = %d, want 1", snap.Counters["solve.count"])
+	}
+	// TierErrors carry elapsed time and budget usage (satellite: enriched
+	// tier errors).
+	for _, te := range res.TierErrors {
+		if te.Elapsed <= 0 {
+			t.Errorf("tier %v: no elapsed time recorded", te.Tier)
+		}
+		if te.Usage == (guard.Usage{}) {
+			t.Errorf("tier %v: no budget usage recorded", te.Tier)
+		}
+	}
+}

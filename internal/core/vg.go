@@ -8,8 +8,38 @@ import (
 	"buffopt/internal/buffers"
 	"buffopt/internal/guard"
 	"buffopt/internal/noise"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 )
+
+// vgStats accumulates one runVG invocation's telemetry locally — plain
+// int64 fields bumped inside the hot loops — and flushes to the obs
+// registry once at the end, so instrumentation costs the DP a handful of
+// atomic adds per run rather than per candidate. The Shi/Li O(bn²)
+// candidate-growth claim (PAPERS.md) is checked against exactly these
+// numbers: generated vs. pruned is the prune ratio, highwater is the
+// per-node list-length bound.
+type vgStats struct {
+	generated int64 // candidates created (sinks, merges, buffer insertions, width variants)
+	pruned    int64 // candidates discarded by dominance pruning
+	merged    int64 // candidates emitted by branch merges
+	nodes     int64 // tree nodes visited
+	highwater int64 // longest candidate list observed at any node
+}
+
+func (s *vgStats) list(n int) {
+	if int64(n) > s.highwater {
+		s.highwater = int64(n)
+	}
+}
+
+func (s *vgStats) flush() {
+	obs.Add("vg.candidates.generated", s.generated)
+	obs.Add("vg.candidates.pruned", s.pruned)
+	obs.Add("vg.candidates.merged", s.merged)
+	obs.Add("vg.nodes.visited", s.nodes)
+	obs.SetMax("vg.list.highwater", s.highwater)
+}
 
 // vgCand is an Algorithm 3 candidate: the five-tuple (C, q, I, NS, M) of
 // Section IV-A, plus the buffer count for the Lillis extension and the
@@ -77,6 +107,10 @@ type vgOptions struct {
 	// budget bounds the run; nil means unlimited. Checked at every node
 	// of the bottom-up walk and inside the merge and prune loops.
 	budget *guard.Budget
+	// stats, when non-nil, accumulates candidate counts for the run.
+	// runVG installs its own; the field exists so the helpers below see it
+	// without signature churn.
+	stats *vgStats
 }
 
 // wireVariant returns the electrical parameters of a wire at width wd.
@@ -123,8 +157,14 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 		return nil, err
 	}
 
+	var st vgStats
+	opts.stats = &st
+	defer st.flush()
+	defer obs.Timer("vg.run")()
+
 	lists := make([][]vgCand, t.Len())
 	for _, v := range t.Postorder() {
+		st.nodes++
 		// The budget gate for the whole dynamic program: one context
 		// check per node, plus candidate-count checks below wherever a
 		// list can grow.
@@ -136,6 +176,7 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 		var err error
 		switch {
 		case node.Kind == rctree.Sink:
+			st.generated++
 			list = []vgCand{{
 				load: node.Cap,
 				q:    node.RAT,
@@ -193,6 +234,7 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 					sized = append(sized, nc)
 				}
 			}
+			st.generated += int64(len(sized) - len(list))
 			list = sized
 			if len(widths) > 1 {
 				list, err = pruneVG(list, opts)
@@ -204,6 +246,7 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 				return nil, err
 			}
 		}
+		st.list(len(list))
 		lists[v] = list
 	}
 
@@ -282,6 +325,9 @@ func insertBuffers(v rctree.NodeID, list []vgCand, lib *buffers.Library, opts vg
 	for _, c := range best {
 		out = append(out, c)
 	}
+	if opts.stats != nil {
+		opts.stats.generated += int64(len(out))
+	}
 	// Deterministic order (map iteration is randomized).
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].cost != out[j].cost {
@@ -352,6 +398,10 @@ func mergeVG(left, right []vgCand, opts vgOptions) ([]vgCand, error) {
 	}
 	if err := opts.budget.CheckCandidates(len(out)); err != nil {
 		return nil, err
+	}
+	if opts.stats != nil {
+		opts.stats.merged += int64(len(out))
+		opts.stats.generated += int64(len(out))
 	}
 	return out, nil
 }
@@ -427,6 +477,9 @@ func pruneVG(list []vgCand, opts vgOptions) ([]vgCand, error) {
 			}
 		}
 		out = append(out, kept...)
+	}
+	if opts.stats != nil {
+		opts.stats.pruned += int64(len(list) - len(out))
 	}
 	return out, nil
 }

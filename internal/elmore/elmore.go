@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"buffopt/internal/buffers"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 )
 
@@ -52,6 +53,7 @@ type Result struct {
 // Analyze runs a full timing analysis of tree t with the given buffer
 // assignment (nil for the unbuffered tree).
 func Analyze(t *rctree.Tree, assign Assignment) *Result {
+	defer obs.Timer("elmore.analyze")()
 	n := t.Len()
 	r := &Result{
 		Cap:        make([]float64, n),

@@ -9,6 +9,7 @@ import (
 	"buffopt/internal/core"
 	"buffopt/internal/elmore"
 	"buffopt/internal/noise"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 	"buffopt/internal/segment"
 )
@@ -162,6 +163,8 @@ func (s *Suite) RunGreedyAblation() GreedyAblation {
 	if n > 0 {
 		out.SlackGapAvg /= float64(n)
 	}
+	obs.Set("experiments.greedy.cpu_ns", int64(out.GreedyCPU))
+	obs.Set("experiments.dp.cpu_ns", int64(out.DPCPU))
 	return out
 }
 

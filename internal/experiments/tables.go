@@ -10,6 +10,7 @@ import (
 	"buffopt/internal/elmore"
 	"buffopt/internal/noise"
 	"buffopt/internal/noisesim"
+	"buffopt/internal/obs"
 )
 
 // --------------------------------------------------------------- Table II
@@ -172,6 +173,7 @@ func (s *Suite) RunTableIII() TableIII {
 			rows[i].clean = noise.Analyze(r.Tree, r.Buffers, s.Tech.Noise).Clean()
 		})
 		drow := TableIIIRow{Name: fmt.Sprintf("DelayOpt(%d)", k), NetsByBuffers: map[int]int{}, CPU: time.Since(start)}
+		obs.Set(fmt.Sprintf("experiments.delayopt.%d.cpu_ns", k), int64(drow.CPU))
 		for _, r := range rows {
 			if !r.ok {
 				drow.ViolationsRemaining++

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,8 +45,9 @@ var (
 )
 
 // Budget bounds one solver invocation. The zero value (and a nil pointer)
-// imposes no limits. Budgets are immutable after creation and safe for
-// concurrent use.
+// imposes no limits. The caps are immutable after creation and safe for
+// concurrent use; the Check* methods additionally record high-water usage
+// marks (see Usage) so a tripped budget can report how far the work got.
 type Budget struct {
 	ctx context.Context
 
@@ -60,6 +62,68 @@ type Budget struct {
 	// simulators (time steps, grid scans, matrix dimension work).
 	// 0 means unlimited.
 	MaxSimSteps int
+
+	// High-water marks of the values the Check* methods saw, for
+	// post-mortem reporting (core.TierError). Updated atomically.
+	peakCandidates atomic.Int64
+	peakTreeNodes  atomic.Int64
+	peakSimSteps   atomic.Int64
+}
+
+// Usage is a snapshot of the largest resource demands a budget observed:
+// how long candidate lists grew, how big the tree was, how many simulator
+// steps were requested. It is diagnostic output — "the candidate cap of
+// 4096 tripped at 5211 candidates" — not an allocation ledger.
+type Usage struct {
+	Candidates int `json:"candidates"`
+	TreeNodes  int `json:"tree_nodes"`
+	SimSteps   int `json:"sim_steps"`
+}
+
+// Usage returns the high-water marks observed so far (zero for nil).
+func (b *Budget) Usage() Usage {
+	if b == nil {
+		return Usage{}
+	}
+	return Usage{
+		Candidates: int(b.peakCandidates.Load()),
+		TreeNodes:  int(b.peakTreeNodes.Load()),
+		SimSteps:   int(b.peakSimSteps.Load()),
+	}
+}
+
+// String renders usage compactly for error messages, eliding zero fields.
+func (u Usage) String() string {
+	s := ""
+	if u.Candidates > 0 {
+		s += fmt.Sprintf("%d candidates", u.Candidates)
+	}
+	if u.TreeNodes > 0 {
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d nodes", u.TreeNodes)
+	}
+	if u.SimSteps > 0 {
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d sim steps", u.SimSteps)
+	}
+	if s == "" {
+		return "no usage recorded"
+	}
+	return s
+}
+
+// storeMax atomically raises p to v if v is larger.
+func storeMax(p *atomic.Int64, v int64) {
+	for {
+		cur := p.Load()
+		if v <= cur || p.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // New returns a Budget that enforces ctx's cancellation and deadline.
@@ -102,6 +166,7 @@ func (b *Budget) CheckCandidates(n int) error {
 	if b == nil {
 		return nil
 	}
+	storeMax(&b.peakCandidates, int64(n))
 	if b.MaxCandidates > 0 && n > b.MaxCandidates {
 		return fmt.Errorf("%w: candidate list grew to %d (cap %d)", ErrBudgetExceeded, n, b.MaxCandidates)
 	}
@@ -113,6 +178,7 @@ func (b *Budget) CheckTreeNodes(n int) error {
 	if b == nil {
 		return nil
 	}
+	storeMax(&b.peakTreeNodes, int64(n))
 	if b.MaxTreeNodes > 0 && n > b.MaxTreeNodes {
 		return fmt.Errorf("%w: tree has %d nodes (cap %d)", ErrBudgetExceeded, n, b.MaxTreeNodes)
 	}
@@ -124,6 +190,7 @@ func (b *Budget) CheckSimSteps(n int) error {
 	if b == nil {
 		return nil
 	}
+	storeMax(&b.peakSimSteps, int64(n))
 	if b.MaxSimSteps > 0 && n > b.MaxSimSteps {
 		return fmt.Errorf("%w: simulation needs %d steps (cap %d)", ErrBudgetExceeded, n, b.MaxSimSteps)
 	}
@@ -186,6 +253,32 @@ func (e *PanicError) Unwrap() error {
 		return err
 	}
 	return nil
+}
+
+// Class maps an error onto the taxonomy's class name — a stable,
+// low-cardinality label suitable as a metrics key ("solve.degrade.budget")
+// or a report column. Classes, checked in order: "panic" (a recovered
+// *PanicError anywhere in the chain), then the sentinels "invalid",
+// "budget", "canceled", "infeasible", then "error" for anything
+// unclassified; nil maps to "ok".
+func Class(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var pe *PanicError
+	switch {
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.Is(err, ErrInvalidInput):
+		return "invalid"
+	case errors.Is(err, ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrInfeasible):
+		return "infeasible"
+	}
+	return "error"
 }
 
 // Safe runs fn and converts a panic into a *PanicError instead of

@@ -102,6 +102,67 @@ func TestPacerChecksEveryStride(t *testing.T) {
 	}
 }
 
+func TestUsageHighWaterMarks(t *testing.T) {
+	b := New(context.Background())
+	b.MaxCandidates = 100
+	for _, n := range []int{5, 40, 12} {
+		if err := b.CheckCandidates(n); err != nil {
+			t.Fatalf("CheckCandidates(%d): %v", n, err)
+		}
+	}
+	_ = b.CheckTreeNodes(77)
+	_ = b.CheckSimSteps(123)
+	// Over-cap checks still record the demand that tripped them.
+	if err := b.CheckCandidates(150); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over cap = %v", err)
+	}
+	u := b.Usage()
+	if u.Candidates != 150 || u.TreeNodes != 77 || u.SimSteps != 123 {
+		t.Errorf("Usage = %+v, want {150 77 123}", u)
+	}
+	if s := u.String(); s == "" || s == "no usage recorded" {
+		t.Errorf("Usage.String() = %q", s)
+	}
+	var nilB *Budget
+	if u := nilB.Usage(); u != (Usage{}) {
+		t.Errorf("nil budget usage = %+v", u)
+	}
+	if s := (Usage{}).String(); s != "no usage recorded" {
+		t.Errorf("zero usage string = %q", s)
+	}
+}
+
+func TestClass(t *testing.T) {
+	panicErr := Safe("op", func() error { panic("boom") })
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "ok"},
+		{ErrCanceled, "canceled"},
+		{ErrBudgetExceeded, "budget"},
+		{ErrInvalidInput, "invalid"},
+		{ErrInfeasible, "infeasible"},
+		{errors.New("mystery"), "error"},
+		{panicErr, "panic"},
+		// Wrapped chains classify the same as their sentinel.
+		{errorsWrap(ErrBudgetExceeded), "budget"},
+		{errorsWrap(errorsWrap(ErrCanceled)), "canceled"},
+	}
+	for _, c := range cases {
+		if got := Class(c.err); got != c.want {
+			t.Errorf("Class(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func errorsWrap(err error) error { return &wrapped{err} }
+
+type wrapped struct{ err error }
+
+func (w *wrapped) Error() string { return "wrap: " + w.err.Error() }
+func (w *wrapped) Unwrap() error { return w.err }
+
 func TestSafeRecoversPanics(t *testing.T) {
 	err := Safe("explode", func() error { panic("boom") })
 	var pe *PanicError

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"buffopt/internal/buffers"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 )
 
@@ -37,6 +38,7 @@ type Moments struct {
 // used everywhere in this repository), so m1 equals the negative Elmore
 // delay exactly.
 func Compute(t *rctree.Tree, maxOrder int) (*Moments, error) {
+	defer obs.Timer("moments.compute")()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

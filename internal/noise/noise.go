@@ -33,6 +33,7 @@ import (
 
 	"buffopt/internal/buffers"
 	"buffopt/internal/guard"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 )
 
@@ -117,6 +118,7 @@ func (r *Result) Clean() bool { return len(r.Violations) == 0 }
 // Analyze runs a full noise analysis of tree t with the given buffer
 // assignment (nil for the unbuffered tree) under estimation parameters p.
 func Analyze(t *rctree.Tree, assign Assignment, p Params) *Result {
+	defer obs.Timer("noise.analyze")()
 	n := t.Len()
 	r := &Result{
 		WireCurrent: make([]float64, n),

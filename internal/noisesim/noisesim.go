@@ -26,6 +26,7 @@ import (
 	"buffopt/internal/circuit"
 	"buffopt/internal/guard"
 	"buffopt/internal/noise"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 )
 
@@ -250,6 +251,7 @@ func timeScales(t *rctree.Tree, b *built) (maxRise, tau float64) {
 // Simulate builds and runs the coupled noise circuit for tree t under the
 // given buffer assignment, using full transient simulation.
 func Simulate(t *rctree.Tree, assign Assignment, opts Options) (*Result, error) {
+	defer obs.Timer("sim.transient")()
 	o := opts.withDefaults()
 	b, err := buildCircuit(t, assign, o)
 	if err != nil {
@@ -281,6 +283,7 @@ func Simulate(t *rctree.Tree, assign Assignment, opts Options) (*Result, error) 
 // combined waveform's peak is scanned on a time grid. Orders of magnitude
 // faster than Simulate on large nets, at a few percent of accuracy.
 func SimulateAWE(t *rctree.Tree, assign Assignment, opts Options) (*Result, error) {
+	defer obs.Timer("sim.awe")()
 	o := opts.withDefaults()
 	b, err := buildCircuit(t, assign, o)
 	if err != nil {
@@ -365,6 +368,10 @@ func SimulateAWE(t *rctree.Tree, assign Assignment, opts Options) (*Result, erro
 	}
 	res := gatherPeaks(t, assign, peaks, b.in)
 	res.Fallbacks = fallbacks
+	// Rejected reductions: gate inputs whose two-pole model was unstable
+	// and fell back to the conservative Devgan bound.
+	obs.Add("sim.awe.rejected", int64(fallbacks))
+	obs.Add("sim.awe.rails", int64(len(b.rails)))
 	return res, nil
 }
 

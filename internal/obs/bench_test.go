@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The enabled/disabled pairs below quantify the cost of leaving telemetry
+// compiled into the hot paths: the disabled variants are the no-op
+// registry baseline the acceptance criteria compare against.
+
+func BenchmarkCounterAddEnabled(b *testing.B) {
+	old := Default()
+	SetDefault(NewRegistry())
+	defer SetDefault(old)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add("bench.counter", 1)
+	}
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	old := Default()
+	SetDefault(nil)
+	defer SetDefault(old)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add("bench.counter", 1)
+	}
+}
+
+func BenchmarkCounterHandleAdd(b *testing.B) {
+	// The amortized pattern hot loops use: resolve the handle once, add
+	// locally-accumulated totals.
+	r := NewRegistry()
+	c := r.Counter("bench.counter")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DurationBuckets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) % 1_000_000)
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	old := Default()
+	SetDefault(NewRegistry())
+	defer SetDefault(old)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := Span(ctx, "bench.span")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	old := Default()
+	SetDefault(nil)
+	defer SetDefault(old)
+	Verbose(nil, false)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := Span(ctx, "bench.span")
+		sp.End()
+	}
+}

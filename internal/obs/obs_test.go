@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// fresh swaps in a clean default registry for one test and restores the
+// previous one afterward.
+func fresh(t *testing.T) *Registry {
+	t.Helper()
+	old := Default()
+	r := NewRegistry()
+	SetDefault(r)
+	t.Cleanup(func() { SetDefault(old) })
+	return r
+}
+
+// TestCounterConcurrent hammers one counter from many goroutines; under
+// -race this also proves the update path is data-race free.
+func TestCounterConcurrent(t *testing.T) {
+	r := fresh(t)
+	const workers, each = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				Add("test.counter", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("test.counter").Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+}
+
+// TestGaugeSetMaxConcurrent proves the CAS high-water mark keeps the true
+// maximum under contention.
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	r := fresh(t)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i <= 1000; i++ {
+				SetMax("test.hwm", int64(w*1000+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Gauge("test.hwm").Value(); got != workers*1000+1000 {
+		t.Fatalf("high-water mark = %d, want %d", got, workers*1000+1000)
+	}
+}
+
+// TestHistogramBuckets checks the boundary convention: bounds are
+// inclusive upper limits, values above the last bound land in "inf".
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{0, 10, 11, 100, 101, 1000, 1001, 5000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2} // {0,10}, {11,100}, {101,1000}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket le=%d count = %d, want %d", h.bounds[i], got, w)
+		}
+	}
+	if got := h.over.Load(); got != 2 {
+		t.Errorf("overflow count = %d, want 2", got)
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0+10+11+100+101+1000+1001+5000 {
+		t.Errorf("sum = %d", h.Sum())
+	}
+}
+
+// TestSnapshotDeterministic: two marshals of the same state are
+// byte-identical, and keys appear sorted (encoding/json sorts map keys).
+func TestSnapshotDeterministic(t *testing.T) {
+	r := fresh(t)
+	// Register in non-sorted order.
+	Add("zz.last", 3)
+	Add("aa.first", 1)
+	Add("mm.middle", 2)
+	Set("gauge.b", 20)
+	Set("gauge.a", 10)
+	ObserveDuration("hist.x", 5_000)
+	ObserveSize("hist.a", 3)
+
+	a, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ:\n%s\n%s", a, b)
+	}
+	if aa, zz := bytes.Index(a, []byte("aa.first")), bytes.Index(a, []byte("zz.last")); aa < 0 || zz < 0 || aa > zz {
+		t.Fatalf("counter keys not sorted in %s", a)
+	}
+}
+
+// TestDisabledRegistryNoops: with the default registry nil, every helper
+// silently drops data and nothing panics.
+func TestDisabledRegistryNoops(t *testing.T) {
+	old := Default()
+	SetDefault(nil)
+	defer SetDefault(old)
+
+	Add("x", 1)
+	Inc("x")
+	Set("y", 2)
+	SetMax("y", 3)
+	ObserveDuration("z", 4)
+	ObserveSize("z", 5)
+	if Enabled() {
+		t.Fatal("Enabled() with nil registry")
+	}
+	var r *Registry
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil registry counter = %d", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+// TestWriteSnapshotFile round-trips the -metrics dump.
+func TestWriteSnapshotFile(t *testing.T) {
+	fresh(t)
+	Add("file.counter", 7)
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("snapshot file unparsable: %v\n%s", err, data)
+	}
+	if s.Counters["file.counter"] != 7 {
+		t.Fatalf("counter in file = %d, want 7", s.Counters["file.counter"])
+	}
+}
+
+// TestStartStopProfiles exercises the CLI profiling bundle end to end.
+func TestStartStopProfiles(t *testing.T) {
+	fresh(t)
+	dir := t.TempDir()
+	stop, err := Start(StartOptions{
+		MetricsPath:    filepath.Join(dir, "m.json"),
+		CPUProfilePath: filepath.Join(dir, "cpu.prof"),
+		MemProfilePath: filepath.Join(dir, "mem.prof"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Add("profiled.work", 1)
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"m.json", "cpu.prof", "mem.prof"} {
+		st, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if st.Size() == 0 && f != "cpu.prof" { // an idle CPU profile may be tiny but not empty
+			t.Errorf("%s is empty", f)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// Span instruments one named phase of work. On End (or Fail) it records
+//
+//	<name>.duration_ns  counter: total nanoseconds across all runs
+//	<name>.count        counter: number of runs
+//	span.<name>         histogram: per-run duration distribution
+//
+// into the default registry, and — when tracing is enabled (SetTraceLogger
+// / Verbose, the CLIs' -v flag) — emits a Debug slog event carrying the
+// span's full dotted path, so nested spans ("solve.tier.exact" containing
+// "vg.run") are readable as a hierarchy.
+//
+// The context returned by Span carries the span's path; child spans
+// started from it nest under it. When both the registry and tracing are
+// disabled, Span returns a nil handle whose End/Fail are no-ops, so
+// instrumented call sites cost two atomic loads.
+func Span(ctx context.Context, name string) (context.Context, *SpanHandle) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if Default() == nil && tracer.Load() == nil {
+		return ctx, nil
+	}
+	path := name
+	if parent, ok := ctx.Value(spanKey{}).(string); ok && parent != "" {
+		path = parent + "/" + name
+	}
+	s := &SpanHandle{name: name, path: path, start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, path), s
+}
+
+type spanKey struct{}
+
+// SpanHandle is one in-flight span. All methods are nil-safe.
+type SpanHandle struct {
+	name  string
+	path  string
+	start time.Time
+}
+
+// End records the span's duration. Safe to call on a nil handle.
+func (s *SpanHandle) End() { s.finish(nil) }
+
+// Fail records the span's duration and, when err is non-nil, returns err
+// wrapped with the span name ("vg.run: <err>") while preserving the
+// errors.Is/As chain. Typical use:
+//
+//	ctx, sp := obs.Span(ctx, "solve.tier.exact")
+//	res, err := run(ctx)
+//	return res, sp.Fail(err)
+func (s *SpanHandle) Fail(err error) error {
+	s.finish(err)
+	if err == nil || s == nil {
+		return err
+	}
+	return fmt.Errorf("%s: %w", s.name, err)
+}
+
+func (s *SpanHandle) finish(err error) {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if r := Default(); r != nil {
+		r.Counter(s.name + ".duration_ns").Add(d.Nanoseconds())
+		r.Counter(s.name + ".count").Add(1)
+		r.Histogram("span."+s.name, DurationBuckets).Observe(d.Nanoseconds())
+	}
+	if l := tracer.Load(); l != nil {
+		if err != nil {
+			l.Debug("span", "span", s.path, "dur", d, "err", err)
+		} else {
+			l.Debug("span", "span", s.path, "dur", d)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- tracing
+
+var tracer atomic.Pointer[slog.Logger]
+
+// SetTraceLogger installs the logger span events are emitted through; nil
+// disables tracing (the default).
+func SetTraceLogger(l *slog.Logger) { tracer.Store(l) }
+
+// TraceLogger returns the installed trace logger, or nil.
+func TraceLogger() *slog.Logger { return tracer.Load() }
+
+// Verbose switches span tracing on (to w, typically os.Stderr, at Debug
+// level in slog's text format) or off. It is what the CLIs' -v flag calls.
+func Verbose(w io.Writer, on bool) {
+	if !on {
+		SetTraceLogger(nil)
+		return
+	}
+	SetTraceLogger(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelDebug})))
+}
+
+// Timer is the span shorthand for call sites without a context: it starts
+// timing name and returns the function that records it.
+//
+//	defer obs.Timer("elmore.analyze")()
+func Timer(name string) func() {
+	if Default() == nil && tracer.Load() == nil {
+		return func() {}
+	}
+	s := &SpanHandle{name: name, path: name, start: time.Now()}
+	return s.End
+}

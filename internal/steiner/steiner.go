@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"buffopt/internal/guard"
+	"buffopt/internal/obs"
 )
 
 // Point is a pin or Steiner-point location, in meters.
@@ -146,8 +147,14 @@ func IteratedOneSteinerBudget(terms []Point, b *guard.Budget) ([]Point, error) {
 	}
 	cands := hananGrid(terms)
 	pacer := b.Pacer(8)
+	var iters, removals int64
+	defer func() {
+		obs.Add("steiner.onesteiner.iterations", iters)
+		obs.Add("steiner.points.removed", removals)
+	}()
 	// A Steiner point is useful at most n−2 times.
 	for iter := 0; iter < len(terms)-2; iter++ {
+		iters++
 		base := MSTLength(pts)
 		bestGain := 1e-12 * base
 		bestIdx := -1
@@ -183,6 +190,7 @@ func IteratedOneSteinerBudget(terms []Point, b *guard.Budget) ([]Point, error) {
 			if deg[i] <= 2 {
 				pts = append(pts[:i], pts[i+1:]...)
 				removed = true
+				removals++
 				break
 			}
 		}

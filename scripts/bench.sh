@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench.sh — the benchmark/regression harness behind `make bench`.
+#
+# Runs the root benchmark suite, collects an obs metrics snapshot from a
+# real buffopt solve of testdata/sample.net, and writes both into a dated
+# BENCH_<date>.json via cmd/benchjson. The raw `go test -bench` text is
+# kept next to it (BENCH_<date>.txt) in benchstat-compatible form, so two
+# recordings diff with plain benchstat.
+#
+# Environment overrides:
+#   BENCH      benchmark regex (default: .)
+#   BENCHTIME  -benchtime value (default: 1x — one timed iteration per
+#              benchmark; raise to e.g. 2s for publication-grade numbers)
+#
+# Refuses to overwrite a same-day recording: move or delete the existing
+# BENCH_<date>.json to re-record.
+set -eu
+cd "$(dirname "$0")/.."
+
+date="$(date +%Y-%m-%d)"
+out="BENCH_${date}.json"
+txt="BENCH_${date}.txt"
+if [ -e "$out" ]; then
+    echo "bench: $out already exists; move it aside to re-record today" >&2
+    exit 1
+fi
+
+bench="${BENCH:-.}"
+benchtime="${BENCHTIME:-1x}"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== go test -bench=$bench -benchtime=$benchtime"
+go test -bench="$bench" -benchmem -benchtime="$benchtime" -run='^$' . | tee "$tmpdir/bench.txt"
+
+echo "== obs counters: buffopt -alg solve on testdata/sample.net"
+go run ./cmd/buffopt -net testdata/sample.net -alg solve -metrics "$tmpdir/metrics.json" >/dev/null
+
+go run ./cmd/benchjson -in "$tmpdir/bench.txt" -metrics "$tmpdir/metrics.json" -out "$out"
+cp "$tmpdir/bench.txt" "$txt"
+echo "bench: wrote $out (and benchstat text $txt)"
