@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the tier-1 gate (ROADMAP.md).
 
-.PHONY: build test check bench fuzz
+.PHONY: build test check bench fuzz soak
 
 build:
 	go build ./...
@@ -19,3 +19,11 @@ bench:
 
 fuzz:
 	go test -fuzz=FuzzRead -fuzztime=30s ./internal/netfmt
+
+# Fault-injection soak: repeatedly hammers the bufferd server stack —
+# admission control, drain lifecycle, seeded chaos injector — under the
+# race detector, asserting exact shed/degrade accounting each pass. The
+# tier-1 gate (scripts/check.sh) runs a single short pass of the same
+# test; this target is the long version for hunting rare interleavings.
+soak:
+	go test -race -count=5 -run 'TestSoakUnderChaos|TestGracefulDrain|TestForcedDrain' -v ./internal/server

@@ -1,0 +1,134 @@
+// Command bufferd serves the buffer-insertion solver as a long-running
+// HTTP/JSON daemon: POST a net to /solve and get back the buffered
+// solution, the degradation tier that produced it, and why any stronger
+// tier failed.
+//
+// Usage:
+//
+//	bufferd [-addr :8080] [-workers N] [-queue N]
+//	        [-timeout 30s] [-max-timeout 2m] [-max-cands N]
+//	        [-max-bytes 8388608] [-max-nodes N]
+//	        [-drain-timeout 15s] [-retry-after 1s]
+//	        [-faults slow=0.1,cancel=0.05] [-fault-seed 1] [-fault-delay 25ms]
+//	        [-metrics out.json] [-v] [-pprof addr]
+//
+// Endpoints:
+//
+//	POST /solve    application/json envelope {"net": "...netfmt...", ...}
+//	               or raw netfmt text (?timeout_ms=, ?max_cands=)
+//	GET  /healthz  liveness: 200 while the process serves
+//	GET  /readyz   readiness: 503 while draining or overloaded
+//	GET  /metrics  telemetry snapshot as JSON
+//	GET  /debug/vars  the same counters via expvar
+//
+// At most -workers solves run concurrently and at most -queue more wait;
+// beyond that, requests are shed with 429 and a Retry-After header.
+// SIGTERM (or Ctrl-C) drains: readiness flips, in-flight requests finish
+// (bounded by -drain-timeout), and the process exits 0.
+//
+// The -faults family enables the deterministic fault injector (see
+// internal/faultinject) for soak and chaos testing; leave it unset in
+// production.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"buffopt/internal/faultinject"
+	"buffopt/internal/guard"
+	"buffopt/internal/obs"
+	"buffopt/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is main, factored for tests: parse flags, start telemetry, serve
+// until the signal context cancels, map the outcome to an exit code.
+func run(args []string, stderr *os.File) int {
+	fs := flag.NewFlagSet("bufferd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	var cfg server.Config
+	fs.StringVar(&cfg.Addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.Workers, "workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.QueueDepth, "queue", 64, "max requests waiting for a worker before shedding")
+	fs.DurationVar(&cfg.DefaultTimeout, "timeout", 30*time.Second, "per-request deadline when the client sets none")
+	fs.DurationVar(&cfg.MaxTimeout, "max-timeout", 2*time.Minute, "hard cap on any per-request deadline")
+	fs.IntVar(&cfg.MaxCands, "max-cands", 0, "cap on DP candidate-list size (0 disables)")
+	fs.Int64Var(&cfg.MaxBytes, "max-bytes", 8<<20, "cap on request body size, bytes")
+	fs.IntVar(&cfg.Limits.MaxNodes, "max-nodes", 0, "cap on nodes per net (0 = netfmt default)")
+	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+	fs.DurationVar(&cfg.RetryAfter, "retry-after", time.Second, "Retry-After hint on shed responses")
+
+	faults := fs.String("faults", "", "fault-injection rates, e.g. slow=0.1,cancel=0.05,panic=0.01,malformed=0.05 (chaos testing only)")
+	faultSeed := fs.Int64("fault-seed", 1, "fault injector PRNG seed")
+	faultDelay := fs.Duration("fault-delay", 25*time.Millisecond, "duration of an injected slow solve")
+
+	verbose := fs.Bool("v", false, "trace solver spans to stderr")
+	metrics := fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	if err := fs.Parse(args); err != nil {
+		return guard.ExitUsage
+	}
+
+	if *faults != "" {
+		rates, err := faultinject.ParseRates(*faults)
+		if err != nil {
+			fmt.Fprintln(stderr, "bufferd:", err)
+			return guard.ExitUsage
+		}
+		inj, err := faultinject.New(faultinject.Config{
+			Seed:      *faultSeed,
+			Rates:     rates,
+			SlowDelay: *faultDelay,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "bufferd:", err)
+			return guard.ExitUsage
+		}
+		cfg.Injector = inj
+		fmt.Fprintf(stderr, "bufferd: FAULT INJECTION ACTIVE: %s (seed %d)\n", *faults, *faultSeed)
+	}
+	if cfg.Limits.MaxNodes < 0 || cfg.MaxBytes < 0 {
+		fmt.Fprintln(stderr, "bufferd: limits must be non-negative")
+		return guard.ExitUsage
+	}
+
+	stopObs, err := obs.Start(obs.StartOptions{
+		Verbose:     *verbose,
+		MetricsPath: *metrics,
+		PprofAddr:   *pprofAddr,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "bufferd:", err)
+		return guard.ExitFailure
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := server.New(cfg)
+	go func() {
+		<-s.Ready()
+		fmt.Fprintf(stderr, "bufferd: serving on %s (workers %d, queue %d)\n",
+			s.Addr(), cfg.Workers, cfg.QueueDepth)
+	}()
+	runErr := s.Run(ctx)
+	if err := stopObs(); err != nil {
+		fmt.Fprintln(stderr, "bufferd: telemetry:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(stderr, "bufferd:", runErr)
+		return guard.ExitCode(runErr)
+	}
+	fmt.Fprintln(stderr, "bufferd: drained cleanly")
+	return guard.ExitOK
+}

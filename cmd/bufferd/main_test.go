@@ -1,0 +1,122 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"buffopt/internal/guard"
+)
+
+// TestUsageErrors: flag misuse exits 2 without starting a listener.
+func TestUsageErrors(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	cases := [][]string{
+		{"-bogus-flag"},
+		{"-faults", "notafault=1"},
+		{"-faults", "slow=2"},
+		{"-max-bytes", "-1"},
+	}
+	for _, args := range cases {
+		if code := run(args, null); code != guard.ExitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, guard.ExitUsage)
+		}
+	}
+}
+
+// TestListenFailureExitsNonzero: an unbindable address is a startup
+// failure, not a hang.
+func TestListenFailureExitsNonzero(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if code := run([]string{"-addr", "256.256.256.256:0"}, null); code == 0 {
+		t.Fatal("run with an unbindable address returned 0")
+	}
+}
+
+// TestServeAndSigtermDrain boots the real daemon on an ephemeral port,
+// solves one net over HTTP, sends the process SIGTERM, and checks the
+// daemon drains and run returns exit code 0.
+func TestServeAndSigtermDrain(t *testing.T) {
+	logf, err := os.CreateTemp(t.TempDir(), "bufferd-stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logf.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, logf)
+	}()
+
+	// The daemon logs its bound address; poll the log for it.
+	addrRe := regexp.MustCompile(`serving on (\S+)`)
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			b, _ := os.ReadFile(logf.Name())
+			t.Fatalf("daemon never logged its address; log:\n%s", b)
+		}
+		b, _ := os.ReadFile(logf.Name())
+		if m := addrRe.FindSubmatch(b); m != nil {
+			addr = string(m[1])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	hr, err := http.Get(base + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", hr, err)
+	}
+	hr.Body.Close()
+
+	net, err := os.ReadFile("../../testdata/sample.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/solve", "text/plain", strings.NewReader(string(net)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"tier"`) {
+		t.Fatalf("response missing tier: %s", body)
+	}
+
+	// SIGTERM the whole process: run's NotifyContext catches it and the
+	// daemon drains.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != guard.ExitOK {
+			b, _ := os.ReadFile(logf.Name())
+			t.Fatalf("exit code %d, want 0; log:\n%s", code, b)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+	b, _ := os.ReadFile(logf.Name())
+	if !strings.Contains(string(b), "drained cleanly") {
+		t.Fatalf("log missing clean-drain line:\n%s", b)
+	}
+}

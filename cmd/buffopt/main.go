@@ -116,7 +116,7 @@ func main() {
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "buffopt:", runErr)
-		os.Exit(1)
+		os.Exit(guard.ExitCode(runErr))
 	}
 }
 

@@ -100,7 +100,7 @@ func main() {
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "designopt:", runErr)
-		os.Exit(1)
+		os.Exit(guard.ExitCode(runErr))
 	}
 }
 

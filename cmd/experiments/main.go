@@ -69,7 +69,7 @@ func main() {
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", runErr)
-		os.Exit(1)
+		os.Exit(guard.ExitCode(runErr))
 	}
 }
 

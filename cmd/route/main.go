@@ -55,7 +55,7 @@ func main() {
 	}
 	if err := run(ctx, *pins, *out, *alg, *c, *rPerMM, *cPerMM, *name); err != nil {
 		fmt.Fprintln(os.Stderr, "route:", err)
-		os.Exit(1)
+		os.Exit(guard.ExitCode(err))
 	}
 }
 

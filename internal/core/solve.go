@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"buffopt/internal/buffers"
 	"buffopt/internal/elmore"
+	"buffopt/internal/faultinject"
 	"buffopt/internal/guard"
 	"buffopt/internal/noise"
 	"buffopt/internal/obs"
@@ -238,6 +240,20 @@ func Solve(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p noise.Pa
 	solveCtx, solveSpan := obs.Span(ctx, "solve")
 	defer solveSpan.End()
 
+	// Injected slow solve (chaos): burn the configured delay before the
+	// ladder starts, respecting the caller's deadline — the stuck-worker
+	// scenario that admission control and per-request deadlines absorb.
+	if faultinject.Take(ctx, faultinject.FaultSlow) {
+		if d := faultinject.PlanFrom(ctx).Delay(); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+			}
+		}
+	}
+
 	var tierErrs []*TierError
 	for _, step := range tiers {
 		b, cancel := tierBudget(ctx, opts.Budget, tierShares[step.tier], step.maxCands)
@@ -251,7 +267,22 @@ func Solve(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p noise.Pa
 		})
 		span.Fail(err) // record the tier's duration (and trace the error); the wrap is discarded — TierError carries more
 		cancel()
-		if err == nil && res != nil {
+		// Injected result corruption (chaos): the Section IV-C scenario of
+		// a malformed candidate list surviving the DP, surfaced as a
+		// poisoned slack so the post-condition gate below must catch it.
+		if err == nil && res != nil && faultinject.Take(ctx, faultinject.FaultMalformed) {
+			res.Slack = math.NaN()
+		}
+		// Post-condition gate: no tier may hand the caller a structurally
+		// broken or numerically poisoned result — NaN slack would flow
+		// silently into reports and routing decisions. A violation is a
+		// bug in the tier (class "internal"), and the ladder treats it
+		// like any other tier failure: the next tier recomputes from
+		// scratch.
+		if err == nil {
+			err = validateResult(res)
+		}
+		if err == nil {
 			if step.tier != TierExact {
 				obs.Inc("solve.degraded")
 			}
@@ -290,6 +321,21 @@ func Solve(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p noise.Pa
 		joined[i] = te
 	}
 	return nil, fmt.Errorf("core: every degradation tier failed: %w", errors.Join(joined...))
+}
+
+// validateResult enforces the tiers' shared post-conditions: a complete
+// solution (tree and buffer assignment present) with finite slack and
+// non-negative cost. Violations wrap guard.ErrInternal.
+func validateResult(r *Result) error {
+	switch {
+	case r == nil || r.Solution == nil || r.Solution.Tree == nil || r.Solution.Buffers == nil:
+		return fmt.Errorf("core: tier returned an incomplete result: %w", guard.ErrInternal)
+	case math.IsNaN(r.Slack) || math.IsInf(r.Slack, 0):
+		return fmt.Errorf("core: tier returned non-finite slack %g: %w", r.Slack, guard.ErrInternal)
+	case r.Cost < 0:
+		return fmt.Errorf("core: tier returned negative cost %d: %w", r.Cost, guard.ErrInternal)
+	}
+	return nil
 }
 
 // tierBudget builds one tier's budget: the caps from the caller's budget

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"buffopt/internal/obs"
+	"buffopt/internal/testutil"
+)
+
+// TestConcurrentSolveSharedState hammers Solve from many goroutines that
+// share one buffer library and one obs registry (the service workload:
+// nets differ, configuration does not), and checks the bookkeeping adds
+// up: every attempt lands in the "solve.count" span counter and every
+// success in exactly one "solve.answered.<tier>" counter. Run under
+// -race (scripts/check.sh does), this is also the data-race gate for the
+// core/guard/obs stack.
+func TestConcurrentSolveSharedState(t *testing.T) {
+	old := obs.Default()
+	obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(old)
+
+	lib := lib2() // shared, read-only across workers
+	const workers = 8
+	perWorker := 4
+	if testing.Short() {
+		perWorker = 2
+	}
+
+	var ok, failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				tr := testutil.RandomTree(rng, testutil.TreeOptions{
+					MaxInternal: 8,
+					MaxSinks:    6,
+					BufferSites: true,
+				})
+				res, err := Solve(context.Background(), tr, lib, unitParams, Options{})
+				if err != nil {
+					// Some random nets are legitimately noise-unfixable;
+					// what matters here is that failures are classified,
+					// not silent.
+					failed.Add(1)
+					continue
+				}
+				if res.Result == nil || res.Tree == nil {
+					t.Error("success with no solution")
+				}
+				ok.Add(1)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+
+	total := int64(workers * perWorker)
+	if ok.Load()+failed.Load() != total {
+		t.Fatalf("accounting hole: %d ok + %d failed != %d attempts", ok.Load(), failed.Load(), total)
+	}
+	snap := obs.Default().Snapshot()
+	if got := snap.Counters["solve.count"]; got != total {
+		t.Fatalf("solve.count = %d, want %d", got, total)
+	}
+	var answered int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "solve.answered.") {
+			answered += v
+		}
+	}
+	if answered != ok.Load() {
+		t.Fatalf("sum(solve.answered.*) = %d, want %d successes", answered, ok.Load())
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no solve succeeded; the workload is degenerate")
+	}
+}

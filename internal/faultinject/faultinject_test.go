@@ -1,0 +1,184 @@
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"buffopt/internal/obs"
+)
+
+func TestAssignIsDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:      42,
+		Rates:     map[Fault]float64{FaultSlow: 0.2, FaultCancel: 0.2, FaultPanic: 0.1, FaultMalformed: 0.2},
+		SlowDelay: time.Millisecond,
+	}
+	draw := func() []Fault {
+		inj, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := make([]Fault, 200)
+		for i := range seq {
+			if p := inj.Assign(); p != nil {
+				seq[i] = p.fault
+			}
+		}
+		return seq
+	}
+	a, b := draw(), draw()
+	sawFault := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between equal-seed injectors: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != FaultNone {
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Fatal("200 draws at 70% total rate produced no faults")
+	}
+}
+
+func TestPlanTakeOnce(t *testing.T) {
+	inj, err := New(Config{Seed: 1, Rates: map[Fault]float64{FaultCancel: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inj.Assign()
+	if p == nil {
+		t.Fatal("rate-1 fault not assigned")
+	}
+	if p.Take(FaultSlow) {
+		t.Fatal("Take fired the wrong fault")
+	}
+	// Concurrent hook points may race to consume the same plan; exactly
+	// one must win.
+	var wg sync.WaitGroup
+	fired := make(chan bool, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fired <- p.Take(FaultCancel)
+		}()
+	}
+	wg.Wait()
+	close(fired)
+	n := 0
+	for f := range fired {
+		if f {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("Take fired %d times, want exactly 1", n)
+	}
+	if got := inj.Consumed(FaultCancel); got != 1 {
+		t.Fatalf("Consumed(cancel) = %d, want 1", got)
+	}
+	if got := inj.Assigned(FaultCancel); got != 1 {
+		t.Fatalf("Assigned(cancel) = %d, want 1", got)
+	}
+}
+
+func TestConsumedCountsMatchObsCounters(t *testing.T) {
+	old := obs.Default()
+	obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(old)
+
+	inj, err := New(Config{Seed: 7, Rates: map[Fault]float64{FaultPanic: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ctx := WithPlan(context.Background(), inj.Assign())
+		Take(ctx, FaultPanic)
+	}
+	snap := obs.Default().Snapshot()
+	if got, want := snap.Counters["fault.injected.panic"], inj.Consumed(FaultPanic); got != want {
+		t.Fatalf("obs counter %d != injector consumed %d", got, want)
+	}
+	if inj.Consumed(FaultPanic) != inj.Assigned(FaultPanic) {
+		t.Fatalf("consumed %d != assigned %d despite every plan being taken",
+			inj.Consumed(FaultPanic), inj.Assigned(FaultPanic))
+	}
+	if inj.Consumed(FaultPanic) == 0 {
+		t.Fatal("rate-0.5 fault never fired in 100 draws")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var inj *Injector
+	if p := inj.Assign(); p != nil {
+		t.Fatal("nil injector assigned a plan")
+	}
+	if Take(context.Background(), FaultSlow) {
+		t.Fatal("plan-free context fired a fault")
+	}
+	if Take(nil, FaultSlow) { //nolint:staticcheck // nil ctx is the point
+		t.Fatal("nil context fired a fault")
+	}
+	var p *Plan
+	if p.Take(FaultSlow) || p.Delay() != 0 {
+		t.Fatal("nil plan is not inert")
+	}
+	if inj.Counts() == "" || inj.Assigned(FaultSlow) != 0 || inj.Consumed(FaultSlow) != 0 {
+		t.Fatal("nil injector accounting not inert")
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	rates, err := ParseRates("slow=0.1, cancel=0.05,panic=0.02,malformed=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Fault]float64{FaultSlow: 0.1, FaultCancel: 0.05, FaultPanic: 0.02, FaultMalformed: 0.3}
+	if len(rates) != len(want) {
+		t.Fatalf("got %d rates, want %d", len(rates), len(want))
+	}
+	for f, p := range want {
+		if rates[f] != p {
+			t.Fatalf("rate[%s] = %g, want %g", f, rates[f], p)
+		}
+	}
+	if _, err := ParseRates("bogus=0.1"); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+	if _, err := ParseRates("slow"); err == nil {
+		t.Fatal("missing probability accepted")
+	}
+	if _, err := ParseRates("slow=x"); err == nil {
+		t.Fatal("non-numeric probability accepted")
+	}
+	if empty, err := ParseRates("  "); err != nil || len(empty) != 0 {
+		t.Fatalf("empty spec: %v, %v", empty, err)
+	}
+}
+
+func TestNewRejectsBadRates(t *testing.T) {
+	if _, err := New(Config{Rates: map[Fault]float64{FaultSlow: -0.1}}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := New(Config{Rates: map[Fault]float64{FaultSlow: 0.8, FaultPanic: 0.5}}); err == nil {
+		t.Fatal("rates summing past 1 accepted")
+	}
+	if _, err := New(Config{Rates: map[Fault]float64{FaultNone: 0.5}}); err == nil {
+		t.Fatal("rate for FaultNone accepted")
+	}
+}
+
+func TestParseFaultRoundTrip(t *testing.T) {
+	for f := FaultSlow; f < numFaults; f++ {
+		got, err := ParseFault(f.String())
+		if err != nil || got != f {
+			t.Fatalf("ParseFault(%q) = %v, %v", f.String(), got, err)
+		}
+	}
+	if _, err := ParseFault("none"); err == nil {
+		t.Fatal(`ParseFault("none") should be rejected: it is not injectable`)
+	}
+}

@@ -19,9 +19,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"runtime/debug"
 	"sync/atomic"
 	"time"
+
+	"buffopt/internal/faultinject"
 )
 
 // The error taxonomy. Every failure a guarded solver can produce wraps
@@ -37,11 +40,15 @@ import (
 //	ErrInfeasible     — the input is valid but the problem has no solution
 //	                    under its constraints (core.ErrNoiseUnfixable
 //	                    wraps this).
+//	ErrInternal       — a solver produced output that failed its own
+//	                    post-conditions (non-finite slack, missing
+//	                    solution); the input may be fine, the code is not.
 var (
 	ErrCanceled       = errors.New("guard: operation canceled")
 	ErrBudgetExceeded = errors.New("guard: resource budget exceeded")
 	ErrInvalidInput   = errors.New("guard: invalid input")
 	ErrInfeasible     = errors.New("guard: problem infeasible under the given constraints")
+	ErrInternal       = errors.New("guard: internal error: result failed post-conditions")
 )
 
 // Budget bounds one solver invocation. The zero value (and a nil pointer)
@@ -68,6 +75,12 @@ type Budget struct {
 	peakCandidates atomic.Int64
 	peakTreeNodes  atomic.Int64
 	peakSimSteps   atomic.Int64
+
+	// plan is the request's fault-injection plan, cached from the context
+	// at construction so Check pays a context-value lookup once per
+	// budget, not once per loop boundary. Nil (the production case) costs
+	// one pointer test.
+	plan *faultinject.Plan
 }
 
 // Usage is a snapshot of the largest resource demands a budget observed:
@@ -129,7 +142,7 @@ func storeMax(p *atomic.Int64, v int64) {
 // New returns a Budget that enforces ctx's cancellation and deadline.
 // Resource caps are set on the returned value directly.
 func New(ctx context.Context) *Budget {
-	return &Budget{ctx: ctx}
+	return &Budget{ctx: ctx, plan: faultinject.PlanFrom(ctx)}
 }
 
 // WithTimeout returns a Budget whose deadline is d from now, and the
@@ -151,9 +164,18 @@ func (b *Budget) Context() context.Context {
 // Check reports ErrCanceled (wrapping the context's own error, so
 // errors.Is distinguishes context.Canceled from context.DeadlineExceeded)
 // when the budget's context is done. Solvers call it at loop boundaries.
+//
+// Check is also the spurious-cancellation injection point: a request whose
+// fault plan carries faultinject.FaultCancel sees exactly one Check fail
+// with ErrCanceled (wrapping faultinject.ErrInjected) while the real
+// context stays live — the mid-flight abort the degradation ladder must
+// absorb without the caller ever having asked for it.
 func (b *Budget) Check() error {
 	if b == nil || b.ctx == nil {
 		return nil
+	}
+	if b.plan.Take(faultinject.FaultCancel) {
+		return fmt.Errorf("%w: %w", ErrCanceled, faultinject.ErrInjected)
 	}
 	if err := b.ctx.Err(); err != nil {
 		return fmt.Errorf("%w: %w", ErrCanceled, err)
@@ -258,8 +280,8 @@ func (e *PanicError) Unwrap() error {
 // Class maps an error onto the taxonomy's class name — a stable,
 // low-cardinality label suitable as a metrics key ("solve.degrade.budget")
 // or a report column. Classes, checked in order: "panic" (a recovered
-// *PanicError anywhere in the chain), then the sentinels "invalid",
-// "budget", "canceled", "infeasible", then "error" for anything
+// *PanicError anywhere in the chain), then the sentinels "internal",
+// "invalid", "budget", "canceled", "infeasible", then "error" for anything
 // unclassified; nil maps to "ok".
 func Class(err error) string {
 	if err == nil {
@@ -269,6 +291,8 @@ func Class(err error) string {
 	switch {
 	case errors.As(err, &pe):
 		return "panic"
+	case errors.Is(err, ErrInternal):
+		return "internal"
 	case errors.Is(err, ErrInvalidInput):
 		return "invalid"
 	case errors.Is(err, ErrBudgetExceeded):
@@ -279,6 +303,67 @@ func Class(err error) string {
 		return "infeasible"
 	}
 	return "error"
+}
+
+// Process exit codes, one per taxonomy class, so shell pipelines and CI
+// can dispatch on why a tool failed without parsing stderr. 0 and 1 keep
+// their universal meanings and 2 stays reserved for flag misuse (what
+// flag.ExitOnError and the CLIs' own usage paths exit with).
+const (
+	ExitOK         = 0 // success
+	ExitFailure    = 1 // unclassified error
+	ExitUsage      = 2 // command-line misuse (reserved; flag package convention)
+	ExitInvalid    = 3 // invalid input: retrying the same input cannot succeed
+	ExitTimeout    = 4 // canceled or deadline expired: retry with more time
+	ExitBudget     = 5 // resource cap hit: retry with a larger budget
+	ExitInfeasible = 6 // valid input, no solution exists
+	ExitPanic      = 7 // recovered panic: a bug, please report
+	ExitInternal   = 8 // result failed post-conditions: a bug, please report
+)
+
+// ExitCode maps an error onto the exit-code table above via Class. Every
+// cmd's main exits with ExitCode(runErr), so the mapping is uniform across
+// the tool set.
+func ExitCode(err error) int {
+	switch Class(err) {
+	case "ok":
+		return ExitOK
+	case "invalid":
+		return ExitInvalid
+	case "canceled":
+		return ExitTimeout
+	case "budget":
+		return ExitBudget
+	case "infeasible":
+		return ExitInfeasible
+	case "panic":
+		return ExitPanic
+	case "internal":
+		return ExitInternal
+	}
+	return ExitFailure
+}
+
+// HTTPStatus maps an error onto the HTTP status the solver service
+// reports for it: 400 for input the client must fix, 504 for a deadline
+// that expired mid-solve, 503 for a resource budget the server refused to
+// exceed (retryable against a less loaded server or a larger budget), 422
+// for a well-formed net that provably has no solution, and 500 for bugs
+// (panics, post-condition failures, unclassified errors). nil maps to 200.
+func HTTPStatus(err error) int {
+	switch Class(err) {
+	case "ok":
+		return http.StatusOK
+	case "invalid":
+		return http.StatusBadRequest
+	case "canceled":
+		return http.StatusGatewayTimeout
+	case "budget":
+		return http.StatusServiceUnavailable
+	case "infeasible":
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
 }
 
 // Safe runs fn and converts a panic into a *PanicError instead of

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"buffopt/internal/faultinject"
 )
 
 func TestNilBudgetIsUnlimited(t *testing.T) {
@@ -143,6 +145,7 @@ func TestClass(t *testing.T) {
 		{ErrBudgetExceeded, "budget"},
 		{ErrInvalidInput, "invalid"},
 		{ErrInfeasible, "infeasible"},
+		{ErrInternal, "internal"},
 		{errors.New("mystery"), "error"},
 		{panicErr, "panic"},
 		// Wrapped chains classify the same as their sentinel.
@@ -153,6 +156,76 @@ func TestClass(t *testing.T) {
 		if got := Class(c.err); got != c.want {
 			t.Errorf("Class(%v) = %q, want %q", c.err, got, c.want)
 		}
+	}
+}
+
+// TestExitCodeAndHTTPStatusMapping is the single place the taxonomy →
+// exit-code and taxonomy → HTTP-status tables are verified; the cmds and
+// the server consume the mapping, they do not re-test it.
+func TestExitCodeAndHTTPStatusMapping(t *testing.T) {
+	panicErr := Safe("op", func() error { panic("boom") })
+	cases := []struct {
+		err    error
+		code   int
+		status int
+	}{
+		{nil, ExitOK, 200},
+		{errorsWrap(ErrInvalidInput), ExitInvalid, 400},
+		{errorsWrap(ErrCanceled), ExitTimeout, 504},
+		{errorsWrap(ErrBudgetExceeded), ExitBudget, 503},
+		{errorsWrap(ErrInfeasible), ExitInfeasible, 422},
+		{errorsWrap(ErrInternal), ExitInternal, 500},
+		{panicErr, ExitPanic, 500},
+		{errors.New("mystery"), ExitFailure, 500},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.code {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.code)
+		}
+		if got := HTTPStatus(c.err); got != c.status {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.err, got, c.status)
+		}
+	}
+	// Every class gets a distinct exit code: the shell can dispatch.
+	seen := map[int]error{}
+	for _, c := range cases {
+		if c.err == nil {
+			continue
+		}
+		if prev, dup := seen[ExitCode(c.err)]; dup && Class(prev) != Class(c.err) {
+			t.Errorf("exit code %d shared by classes %q and %q",
+				ExitCode(c.err), Class(prev), Class(c.err))
+		}
+		seen[ExitCode(c.err)] = c.err
+	}
+}
+
+// TestSpuriousCancelInjection checks the faultinject hook in Check: a
+// budget built from a context carrying a cancel plan fails exactly one
+// Check with ErrCanceled while the real context stays live.
+func TestSpuriousCancelInjection(t *testing.T) {
+	inj, err := faultinject.New(faultinject.Config{
+		Seed:  1,
+		Rates: map[faultinject.Fault]float64{faultinject.FaultCancel: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := faultinject.WithPlan(context.Background(), inj.Assign())
+	b := New(ctx)
+	first := b.Check()
+	if !errors.Is(first, ErrCanceled) || !errors.Is(first, faultinject.ErrInjected) {
+		t.Fatalf("first Check = %v, want injected ErrCanceled", first)
+	}
+	if err := b.Check(); err != nil {
+		t.Fatalf("second Check = %v, want nil (take-once)", err)
+	}
+	// A second budget over the same context sees the plan already spent.
+	if err := New(ctx).Check(); err != nil {
+		t.Fatalf("fresh budget over a spent plan: %v, want nil", err)
+	}
+	if got := inj.Consumed(faultinject.FaultCancel); got != 1 {
+		t.Fatalf("consumed = %d, want 1", got)
 	}
 }
 

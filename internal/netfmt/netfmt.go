@@ -256,13 +256,13 @@ func ReadLimited(r io.Reader, lim Limits) (*rctree.Tree, error) {
 			}
 			return t, nil
 		default:
-			return nil, fmt.Errorf("netfmt: line %d: unknown directive %q", lineNo, fields[0])
+			return nil, fmt.Errorf("netfmt: line %d: unknown directive %q: %w", lineNo, fields[0], guard.ErrInvalidInput)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return nil, fmt.Errorf("netfmt: missing 'end'")
+	return nil, fmt.Errorf("netfmt: missing 'end': %w", guard.ErrInvalidInput)
 }
 
 // kvmap holds the key=value fields of one line.

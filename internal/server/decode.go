@@ -1,0 +1,223 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"buffopt/internal/guard"
+	"buffopt/internal/netfmt"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// solveRequest is one decoded, validated request, ready for the worker.
+type solveRequest struct {
+	tree     *rctree.Tree
+	timeout  time.Duration
+	maxCands int
+	params   noise.Params
+	bufNM    float64
+	segLen   float64
+}
+
+// jsonEnvelope is the application/json request shape. Pointer fields
+// distinguish "absent" (use the server default) from an explicit zero.
+//
+//	{"net": "net x\ndriver ...\nend\n", "timeout_ms": 1000,
+//	 "max_cands": 4096, "lambda": 0.7, "rise": 2.5e-10,
+//	 "vdd": 1.8, "bufnm": 0.8, "seglen": 5e-4}
+type jsonEnvelope struct {
+	// Net is the netfmt text of the net to solve (required).
+	Net string `json:"net"`
+	// TimeoutMS is the request deadline in milliseconds (clamped to the
+	// server's MaxTimeout; 0 or absent means the server default).
+	TimeoutMS int64 `json:"timeout_ms"`
+	// MaxCands caps the DP candidate lists (may tighten, never loosen,
+	// the server's own cap; 0 or absent means the server default).
+	MaxCands int `json:"max_cands"`
+	// Lambda is the coupling-to-total-capacitance ratio λ.
+	Lambda *float64 `json:"lambda"`
+	// Rise is the aggressor rise time in seconds.
+	Rise *float64 `json:"rise"`
+	// Vdd is the supply voltage in volts.
+	Vdd *float64 `json:"vdd"`
+	// BufNM is the buffer library noise margin in volts.
+	BufNM *float64 `json:"bufnm"`
+	// SegLen is the wire segmenting length in meters; 0 disables
+	// segmenting, absent means the server default (0.5 mm).
+	SegLen *float64 `json:"seglen"`
+}
+
+// Solver physics defaults, matching cmd/buffopt's flags.
+const (
+	defaultLambda = 0.7
+	defaultRise   = 0.25e-9
+	defaultVdd    = 1.8
+	defaultBufNM  = 0.8
+	defaultSegLen = 0.5e-3
+)
+
+// invalidf builds a client-error (class "invalid") decode failure.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("server: "+format+": %w", append(args, guard.ErrInvalidInput)...)
+}
+
+// decodeRequest parses one request body: an application/json envelope, or
+// raw netfmt text (any other content type) with knobs in the query string
+// (?timeout_ms=, ?max_cands=). The body is read under cfg.MaxBytes and
+// the net under cfg.Limits, so an oversized payload is rejected before an
+// oversized structure is built. All errors wrap a guard sentinel:
+// ErrInvalidInput for malformed payloads (400), ErrBudgetExceeded for
+// oversized ones (413).
+func (s *Server) decodeRequest(r *http.Request) (*solveRequest, error) {
+	req := &solveRequest{
+		timeout:  s.cfg.DefaultTimeout,
+		maxCands: s.cfg.MaxCands,
+		params:   noise.Params{CouplingRatio: defaultLambda, Slope: defaultVdd / defaultRise},
+		bufNM:    defaultBufNM,
+		segLen:   defaultSegLen,
+	}
+
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBytes)
+	var netText io.Reader
+	if isJSON(r.Header.Get("Content-Type")) {
+		var env jsonEnvelope
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&env); err != nil {
+			if oversized(err) {
+				return nil, fmt.Errorf("server: request body exceeds %d bytes: %w", s.cfg.MaxBytes, guard.ErrBudgetExceeded)
+			}
+			return nil, invalidf("malformed JSON request: %v", err)
+		}
+		if env.Net == "" {
+			return nil, invalidf(`JSON request missing "net"`)
+		}
+		if err := applyEnvelope(req, &env); err != nil {
+			return nil, err
+		}
+		netText = strings.NewReader(env.Net)
+	} else {
+		if err := applyQuery(req, r); err != nil {
+			return nil, err
+		}
+		netText = body
+	}
+
+	tr, err := netfmt.ReadLimited(netText, s.cfg.Limits)
+	if err != nil {
+		if oversized(err) {
+			return nil, fmt.Errorf("server: net exceeds the configured size limits: %w: %w", err, guard.ErrBudgetExceeded)
+		}
+		if errors.Is(err, guard.ErrBudgetExceeded) {
+			return nil, err // netfmt node/aggressor limit: already the right class
+		}
+		return nil, invalidf("unreadable net: %v", err)
+	}
+	// netfmt validates structurally; re-validate so a reader bug cannot
+	// push a malformed tree into a worker (same belt-and-braces as the
+	// CLIs).
+	if err := tr.Validate(); err != nil {
+		return nil, invalidf("net failed validation: %v", err)
+	}
+	req.tree = tr
+	return req, s.clampAndCheck(req)
+}
+
+// applyEnvelope copies the JSON envelope's knobs into the request.
+func applyEnvelope(req *solveRequest, env *jsonEnvelope) error {
+	if env.TimeoutMS < 0 {
+		return invalidf("timeout_ms = %d is negative", env.TimeoutMS)
+	}
+	if env.TimeoutMS > 0 {
+		req.timeout = time.Duration(env.TimeoutMS) * time.Millisecond
+	}
+	if env.MaxCands < 0 {
+		return invalidf("max_cands = %d is negative", env.MaxCands)
+	}
+	if env.MaxCands > 0 {
+		req.maxCands = env.MaxCands
+	}
+	lambda, rise, vdd := defaultLambda, defaultRise, defaultVdd
+	if env.Lambda != nil {
+		lambda = *env.Lambda
+	}
+	if env.Rise != nil {
+		rise = *env.Rise
+	}
+	if env.Vdd != nil {
+		vdd = *env.Vdd
+	}
+	if rise <= 0 || math.IsNaN(rise) || math.IsInf(rise, 0) {
+		return invalidf("rise = %g must be positive and finite", rise)
+	}
+	if math.IsNaN(lambda) || math.IsNaN(vdd) || math.IsInf(lambda, 0) || math.IsInf(vdd, 0) {
+		return invalidf("lambda/vdd must be finite")
+	}
+	req.params = noise.Params{CouplingRatio: lambda, Slope: vdd / rise}
+	if env.BufNM != nil {
+		req.bufNM = *env.BufNM
+	}
+	if env.SegLen != nil {
+		req.segLen = *env.SegLen
+	}
+	if math.IsNaN(req.segLen) || math.IsInf(req.segLen, 0) || req.segLen < 0 {
+		return invalidf("seglen = %g must be non-negative and finite", req.segLen)
+	}
+	return nil
+}
+
+// applyQuery copies the raw-netfmt path's query knobs into the request.
+func applyQuery(req *solveRequest, r *http.Request) error {
+	q := r.URL.Query()
+	if v := q.Get("timeout_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			return invalidf("query timeout_ms=%q", v)
+		}
+		if ms > 0 {
+			req.timeout = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if v := q.Get("max_cands"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return invalidf("query max_cands=%q", v)
+		}
+		if n > 0 {
+			req.maxCands = n
+		}
+	}
+	return nil
+}
+
+// clampAndCheck applies the server-side bounds a client may not exceed.
+func (s *Server) clampAndCheck(req *solveRequest) error {
+	if req.timeout > s.cfg.MaxTimeout {
+		req.timeout = s.cfg.MaxTimeout
+	}
+	if s.cfg.MaxCands > 0 && (req.maxCands == 0 || req.maxCands > s.cfg.MaxCands) {
+		req.maxCands = s.cfg.MaxCands
+	}
+	return nil
+}
+
+// isJSON reports whether the content type names a JSON payload.
+func isJSON(ct string) bool {
+	ct = strings.TrimSpace(strings.SplitN(ct, ";", 2)[0])
+	return strings.EqualFold(ct, "application/json")
+}
+
+// oversized reports whether err means "the body/net was too large":
+// http.MaxBytesReader tripping.
+func oversized(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}

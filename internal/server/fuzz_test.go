@@ -1,0 +1,67 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"buffopt/internal/guard"
+	"buffopt/internal/netfmt"
+)
+
+// FuzzDecodeRequest throws hostile HTTP payloads at the server decode
+// path: malformed JSON envelopes, truncated netfmt, binary garbage, and
+// mismatched content types. The invariants: decodeRequest never panics,
+// every error carries a guard class the handler can map to a status
+// (invalid → 400 or budget → 413, never the unclassified "error"), and
+// every success yields a validated tree and a positive timeout.
+func FuzzDecodeRequest(f *testing.F) {
+	// Well-formed payloads, both content types.
+	f.Add("text/plain", sampleNet)
+	f.Add("application/json", `{"net":"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nend\n","timeout_ms":1000}`)
+	// Truncated netfmt: header only, mid-node, missing end.
+	f.Add("text/plain", "net sample\n")
+	f.Add("text/plain", "net sample\ndriver r=300 t=5e-11\nnode 0 sou")
+	f.Add("text/plain", strings.TrimSuffix(sampleNet, "end\n"))
+	// Malformed JSON: truncated, wrong types, unknown fields, no net.
+	f.Add("application/json", `{"net": `)
+	f.Add("application/json", `{"net": 42}`)
+	f.Add("application/json", `{"net":"x","bogus":true}`)
+	f.Add("application/json", `{}`)
+	f.Add("application/json", `{"net":"net x\nend\n","timeout_ms":-5}`)
+	// Hostile numbers and structure.
+	f.Add("text/plain", "net x\ndriver r=1e309 t=nan\nnode 0 source x=0 y=0\nend\n")
+	f.Add("text/plain", "net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nnode 1 sink parent=9 wire=1,1,1 x=0 y=0 cap=1 rat=1 nm=1 name=s\nend\n")
+	// Binary garbage and emptiness.
+	f.Add("text/plain", "")
+	f.Add("application/json", "")
+	f.Add("text/plain", "\x00\xff\xfe net \x00\nend")
+
+	f.Fuzz(func(t *testing.T, contentType, body string) {
+		s := New(Config{
+			MaxBytes: 1 << 16,
+			Limits:   netfmt.Limits{MaxNodes: 512, MaxAggressors: 16},
+		})
+		r := httptest.NewRequest(http.MethodPost, "/solve", strings.NewReader(body))
+		r.Header.Set("Content-Type", contentType)
+		req, err := s.decodeRequest(r)
+		if err != nil {
+			switch guard.Class(err) {
+			case "invalid", "budget":
+			default:
+				t.Fatalf("decode error unclassified (%q): %v", guard.Class(err), err)
+			}
+			return
+		}
+		if req.tree == nil {
+			t.Fatal("decode success with nil tree")
+		}
+		if err := req.tree.Validate(); err != nil {
+			t.Fatalf("decode success with invalid tree: %v", err)
+		}
+		if req.timeout <= 0 || req.timeout > s.cfg.MaxTimeout {
+			t.Fatalf("decode success with out-of-range timeout %v", req.timeout)
+		}
+	})
+}

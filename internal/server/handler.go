@@ -1,0 +1,274 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/core"
+	"buffopt/internal/elmore"
+	"buffopt/internal/faultinject"
+	"buffopt/internal/guard"
+	"buffopt/internal/noise"
+	"buffopt/internal/obs"
+	"buffopt/internal/rctree"
+	"buffopt/internal/segment"
+)
+
+// SolveResponse is the 200 body of POST /solve.
+type SolveResponse struct {
+	// Net echoes the net's name.
+	Net string `json:"net"`
+	// Tier names the degradation-ladder rung that produced the answer.
+	Tier string `json:"tier"`
+	// Degraded reports that at least one stronger tier failed first.
+	Degraded bool `json:"degraded"`
+	// TierErrors records, in ladder order, why each stronger tier failed.
+	TierErrors []TierFailure `json:"tier_errors,omitempty"`
+	// Buffers lists the inserted buffers.
+	Buffers []BufferPlacement `json:"buffers"`
+	// NumBuffers is len(Buffers), for clients that skip the list.
+	NumBuffers int `json:"num_buffers"`
+	// SlackPS is the optimizer's worst timing slack, picoseconds.
+	SlackPS float64 `json:"slack_ps"`
+	// MaxDelayPS is the analyzed worst source-to-sink delay, picoseconds.
+	MaxDelayPS float64 `json:"max_delay_ps"`
+	// NoiseViolations counts sinks still violating their noise margin.
+	NoiseViolations int `json:"noise_violations"`
+	// MaxNoiseV is the analyzed worst-case coupled noise, volts.
+	MaxNoiseV float64 `json:"max_noise_v"`
+	// ElapsedMS is the server-side wall time of the solve, milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// TierFailure is one failed ladder rung in a response.
+type TierFailure struct {
+	// Tier is the rung that failed.
+	Tier string `json:"tier"`
+	// Class is the guard taxonomy class of the failure ("budget",
+	// "canceled", "panic", "internal", ...).
+	Class string `json:"class"`
+	// ElapsedMS is how long the rung ran before failing.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Detail is the human-readable failure, including budget usage.
+	Detail string `json:"detail"`
+}
+
+// BufferPlacement is one inserted buffer in a response.
+type BufferPlacement struct {
+	// Node is the tree node the buffer sits at.
+	Node int `json:"node"`
+	// Name is the library buffer type.
+	Name string `json:"name"`
+	// XMM, YMM are the node's placement, millimeters.
+	XMM float64 `json:"x_mm"`
+	YMM float64 `json:"y_mm"`
+}
+
+// ErrorResponse is the body of every non-200 /solve response.
+type ErrorResponse struct {
+	// Error is the failure, human-readable.
+	Error string `json:"error"`
+	// Class is the guard taxonomy class ("invalid", "canceled", ...),
+	// or "shed" for admission-control rejections.
+	Class string `json:"class"`
+	// Status echoes the HTTP status code.
+	Status int `json:"status"`
+	// RetryAfterS, when non-zero, is the shed-retry hint in seconds
+	// (the Retry-After header carries the same value).
+	RetryAfterS int64 `json:"retry_after_s,omitempty"`
+}
+
+// handleSolve is POST /solve: admission, decode, bounded solve, report.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "invalid", "POST a net to /solve", 0)
+		return
+	}
+	obs.Inc("server.requests")
+
+	// Admission first, decode second: shed requests cost a connection
+	// and a few stack frames, never a parsed net.
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.shed(w, err)
+		return
+	}
+	defer release()
+
+	req, err := s.decodeRequest(r)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, guard.ErrBudgetExceeded) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		obs.Inc("server.decode.rejected")
+		writeError(w, status, guard.Class(err), err.Error(), 0)
+		return
+	}
+
+	// The request context: the client hanging up cancels the solve; the
+	// per-request deadline bounds it either way. The chaos plan (if an
+	// injector is configured) rides the context to the guard/core hooks.
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
+	defer cancel()
+	ctx = faultinject.WithPlan(ctx, s.cfg.Injector.Assign())
+
+	start := time.Now()
+	var res *core.SolveResult
+	solveErr := guard.Safe("server.solve", func() error {
+		if faultinject.Take(ctx, faultinject.FaultPanic) {
+			panic(faultinject.ErrInjected)
+		}
+		var e error
+		res, e = s.solveOne(ctx, req)
+		return e
+	})
+	elapsed := time.Since(start)
+	obs.ObserveDuration("server.request.duration", elapsed.Nanoseconds())
+	obs.Inc("server.request.outcome." + guard.Class(solveErr))
+
+	if solveErr != nil {
+		writeError(w, guard.HTTPStatus(solveErr), guard.Class(solveErr), solveErr.Error(), 0)
+		return
+	}
+	obs.Inc("server.request.tier." + res.Tier.String())
+	for _, te := range res.TierErrors {
+		obs.Inc("server.request.tiererr." + guard.Class(te.Err))
+	}
+	writeJSON(w, http.StatusOK, buildResponse(req, res, elapsed))
+}
+
+// solveOne runs one admitted, decoded request through the solver stack.
+func (s *Server) solveOne(ctx context.Context, req *solveRequest) (*core.SolveResult, error) {
+	work := req.tree.Clone()
+	if req.segLen > 0 {
+		if _, err := segment.ByLength(work, req.segLen); err != nil {
+			return nil, err
+		}
+		if _, err := work.InsertBelow(work.Root()); err != nil {
+			return nil, err
+		}
+	}
+	b := guard.New(ctx)
+	b.MaxCandidates = req.maxCands
+	b.MaxTreeNodes = s.cfg.Limits.MaxNodes
+	lib := buffers.DefaultLibrary(req.bufNM)
+	return core.Solve(ctx, work, lib, req.params, core.Options{Budget: b})
+}
+
+// buildResponse shapes a SolveResult for the wire.
+func buildResponse(req *solveRequest, res *core.SolveResult, elapsed time.Duration) SolveResponse {
+	after := noise.Analyze(res.Tree, res.Buffers, req.params)
+	timing := elmore.Analyze(res.Tree, res.Buffers)
+
+	resp := SolveResponse{
+		Net:             req.tree.Node(req.tree.Root()).Name,
+		Tier:            res.Tier.String(),
+		Degraded:        res.Degraded,
+		Buffers:         []BufferPlacement{},
+		NumBuffers:      res.NumBuffers(),
+		SlackPS:         res.Slack * 1e12,
+		MaxDelayPS:      timing.MaxDelay * 1e12,
+		NoiseViolations: len(after.Violations),
+		MaxNoiseV:       after.MaxNoise,
+		ElapsedMS:       float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	for _, te := range res.TierErrors {
+		resp.TierErrors = append(resp.TierErrors, TierFailure{
+			Tier:      te.Tier.String(),
+			Class:     guard.Class(te.Err),
+			ElapsedMS: float64(te.Elapsed.Nanoseconds()) / 1e6,
+			Detail:    te.Error(),
+		})
+	}
+	ids := make([]rctree.NodeID, 0, len(res.Buffers))
+	for v := range res.Buffers {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, v := range ids {
+		n := res.Tree.Node(v)
+		resp.Buffers = append(resp.Buffers, BufferPlacement{
+			Node: int(v),
+			Name: res.Buffers[v].Name,
+			XMM:  n.X * 1e3,
+			YMM:  n.Y * 1e3,
+		})
+	}
+	return resp
+}
+
+// shed writes the admission-control rejection for err: 429 for a full
+// queue, 503 for drain, 503 for a client that vanished while queued (it
+// will rarely see the answer anyway). Every shed response carries
+// Retry-After.
+func (s *Server) shed(w http.ResponseWriter, err error) {
+	status := http.StatusServiceUnavailable
+	if errors.Is(err, errOverloaded) {
+		status = http.StatusTooManyRequests
+	}
+	retry := int64(s.cfg.RetryAfter / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+	writeError(w, status, "shed", err.Error(), retry)
+}
+
+// handleHealthz is liveness: 200 for as long as the process serves HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is readiness: 200 while accepting work, 503 (with
+// Retry-After) while draining or while the wait queue is full, so load
+// balancers steer away before requests bounce off 429s.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type readyz struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason,omitempty"`
+	}
+	switch {
+	case s.draining.Load():
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(s.cfg.RetryAfter/time.Second)+1, 10))
+		writeJSON(w, http.StatusServiceUnavailable, readyz{Ready: false, Reason: "draining"})
+	case s.saturated():
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(s.cfg.RetryAfter/time.Second)+1, 10))
+		writeJSON(w, http.StatusServiceUnavailable, readyz{Ready: false, Reason: "overloaded"})
+	default:
+		writeJSON(w, http.StatusOK, readyz{Ready: true})
+	}
+}
+
+// handleMetrics dumps the obs registry snapshot as JSON — the same
+// payload the CLIs' -metrics flag writes, served live.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	obs.Default().WriteJSON(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, class, msg string, retryAfterS int64) {
+	writeJSON(w, status, ErrorResponse{
+		Error:       msg,
+		Class:       class,
+		Status:      status,
+		RetryAfterS: retryAfterS,
+	})
+}

@@ -1,0 +1,286 @@
+// Package server is the solver stack's long-running front end: an
+// HTTP/JSON daemon (cmd/bufferd) that accepts nets, runs core.Solve on a
+// bounded worker pool, and is built to survive hostile load.
+//
+// The paper's dynamic program has sharply input-dependent cost — the
+// Section IV-C candidate-list blowups, the O(bn²) worst cases — so a
+// service cannot simply spawn a goroutine per request and hope. The
+// defenses, layered from the socket inward:
+//
+//   - Admission control: at most Workers solves run concurrently; at most
+//     QueueDepth more may wait. Requests beyond that are shed immediately
+//     with 429 and a Retry-After header, bounding both CPU and the memory
+//     held by queued requests.
+//   - Per-request deadlines: every request runs under a context deadline
+//     (its own timeout_ms, clamped to MaxTimeout) that propagates into
+//     guard.Budget, so one pathological net degrades or times out without
+//     holding a worker hostage.
+//   - Panic isolation: workers run inside guard.Safe; a panicking solve
+//     becomes that request's 500, never a process death.
+//   - Graceful drain: on SIGTERM (context cancellation) the server stops
+//     admitting, flips /readyz to 503, completes in-flight requests up to
+//     DrainTimeout, and exits cleanly.
+//   - Degradation reporting: responses carry the core.Solve ladder tier
+//     and per-tier failure classes, and the same classes feed obs
+//     counters exported on /metrics and expvar — shed, degraded, and
+//     failed work is all accounted for.
+//
+// The faultinject layer threads through all of it: when an Injector is
+// configured, each admitted request may draw one fault (slow solve,
+// spurious cancel, worker panic, malformed result), which is how the soak
+// test proves the defenses actually hold.
+package server
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"buffopt/internal/faultinject"
+	"buffopt/internal/guard"
+	"buffopt/internal/netfmt"
+	"buffopt/internal/obs"
+)
+
+// Config tunes the daemon. The zero value serves on :8080 with sensible
+// bounds; see withDefaults for the exact numbers.
+type Config struct {
+	// Addr is the listen address (host:port). Default ":8080"; use
+	// "127.0.0.1:0" in tests to get an ephemeral port via Addr().
+	Addr string
+	// Workers caps concurrently running solves. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth caps requests waiting for a worker; arrivals beyond
+	// Workers+QueueDepth are shed with 429. Default 64.
+	QueueDepth int
+	// DefaultTimeout applies to requests that set no timeout_ms. Default
+	// 30 s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps the per-request timeout, so a client cannot pin a
+	// worker indefinitely. Default 2 min.
+	MaxTimeout time.Duration
+	// MaxCands is the default candidate-list cap handed to guard.Budget
+	// (requests may lower but not raise it). 0 means unlimited.
+	MaxCands int
+	// MaxBytes caps the request body. Default 8 MiB.
+	MaxBytes int64
+	// Limits bounds the netfmt decode (node and aggressor counts). The
+	// zero value uses netfmt's defaults.
+	Limits netfmt.Limits
+	// DrainTimeout bounds the SIGTERM drain; in-flight requests still
+	// running when it expires are abandoned with the connection. Default
+	// 15 s.
+	DrainTimeout time.Duration
+	// RetryAfter is the hint sent with 429/503 responses. Default 1 s.
+	RetryAfter time.Duration
+	// Injector, when non-nil, assigns chaos faults to admitted requests
+	// (the soak harness; see internal/faultinject). Nil in production.
+	Injector *faultinject.Injector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 8 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is one daemon instance. Create with New, run with Run.
+type Server struct {
+	cfg Config
+
+	slots    chan struct{} // worker semaphore, capacity cfg.Workers
+	queued   atomic.Int64  // requests waiting for a slot
+	inflight atomic.Int64  // requests holding a slot
+
+	draining  atomic.Bool
+	drainCh   chan struct{} // closed when drain begins
+	drainOnce sync.Once
+
+	ready chan struct{} // closed once the listener is up
+	addr  atomic.Value  // string: the bound address
+
+	handler http.Handler
+}
+
+// Errors the admission path reports; the handler maps them to 429/503.
+var (
+	errOverloaded = errors.New("server: queue full")
+	errDraining   = errors.New("server: draining")
+)
+
+// New builds a Server from cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.Workers),
+		drainCh: make(chan struct{}),
+		ready:   make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	obs.PublishExpvar()
+	s.handler = mux
+	return s
+}
+
+// Handler returns the daemon's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Addr returns the bound listen address once Run has the listener up
+// (useful with Addr "host:0"), or "" before that.
+func (s *Server) Addr() string {
+	a, _ := s.addr.Load().(string)
+	return a
+}
+
+// Ready is closed once the listener is accepting connections.
+func (s *Server) Ready() <-chan struct{} { return s.ready }
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Run listens on cfg.Addr and serves until ctx is canceled (the SIGTERM
+// path), then drains: admission stops, /readyz flips to 503, queued
+// requests are shed, and in-flight requests get up to DrainTimeout to
+// finish. Returns nil on a clean drain; a non-nil error means the
+// listener failed or the drain deadline forced connections closed.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.addr.Store(ln.Addr().String())
+	close(s.ready)
+
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died on its own; nothing left to drain.
+		return fmt.Errorf("server: serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	s.beginDrain()
+	obs.Inc("server.drain.begun")
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		// Drain deadline hit: force-close what remains so the process
+		// can still exit rather than hang on a stuck connection.
+		srv.Close()
+		<-serveErr
+		obs.Inc("server.drain.forced")
+		return fmt.Errorf("server: drain timed out after %v: %w", s.cfg.DrainTimeout, err)
+	}
+	<-serveErr // http.ErrServerClosed
+	obs.Inc("server.drain.completed")
+	return nil
+}
+
+// beginDrain flips the server to draining exactly once: new arrivals and
+// queued waiters are shed from here on, /readyz reports 503.
+func (s *Server) beginDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// admit implements admission control: grab a free worker slot if one is
+// available right now; otherwise join the bounded queue and wait for a
+// slot, the client giving up, or drain. The returned release function
+// must be called exactly once when the work is done.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	acquired := func() func() {
+		n := s.inflight.Add(1)
+		obs.Set("server.inflight", n)
+		obs.SetMax("server.inflight.peak", n)
+		return func() {
+			obs.Set("server.inflight", s.inflight.Add(-1))
+			<-s.slots
+		}
+	}
+	// Fast path: a worker is free, skip the queue entirely.
+	select {
+	case s.slots <- struct{}{}:
+		return acquired(), nil
+	default:
+	}
+	// Queue path: bounded by QueueDepth; beyond it, shed now. The
+	// counter is the queue's memory bound — no request body has been
+	// read yet at admission time, so a queued request costs a goroutine
+	// and a connection, not a parsed net.
+	q := s.queued.Add(1)
+	if q > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		obs.Inc("server.shed.queue_full")
+		return nil, errOverloaded
+	}
+	// Peak recorded only for admitted waiters: the counter briefly
+	// overshoots QueueDepth while an overflow arrival is being turned
+	// away, but nothing beyond the depth ever actually waits.
+	obs.SetMax("server.queue.peak", q)
+	defer func() {
+		obs.Set("server.queue.depth", s.queued.Add(-1))
+	}()
+	select {
+	case s.slots <- struct{}{}:
+		return acquired(), nil
+	case <-ctx.Done():
+		obs.Inc("server.shed.client_gone")
+		return nil, fmt.Errorf("%w: %w", guard.ErrCanceled, ctx.Err())
+	case <-s.drainCh:
+		obs.Inc("server.shed.draining")
+		return nil, errDraining
+	}
+}
+
+// saturated reports whether the wait queue is full — the overload signal
+// /readyz exposes so load balancers steer traffic away before requests
+// start bouncing off 429s.
+func (s *Server) saturated() bool {
+	return s.queued.Load() >= int64(s.cfg.QueueDepth)
+}

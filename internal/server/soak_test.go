@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"buffopt/internal/faultinject"
+	"buffopt/internal/obs"
+)
+
+// TestSoakUnderChaos is the fault-injection soak: many clients hammer the
+// daemon while a seeded injector deals slow solves, spurious cancels,
+// worker panics, and malformed tier results. It proves the resilience
+// claims by accounting, not vibes:
+//
+//   - the process never dies: every request gets an HTTP answer, and
+//     /healthz still says 200 afterwards;
+//   - every shed request is a 429 or 503 carrying Retry-After, and the
+//     client-observed 429 count equals the server's shed counter;
+//   - every injected fault is visible in telemetry: panics as
+//     outcome.panic, cancels and corruptions as per-class tier-error
+//     counters, each equal to the injector's consumed totals;
+//   - queue memory stays bounded: the queue-depth peak never exceeds
+//     QueueDepth, in-flight never exceeds Workers.
+//
+// The injector is seeded, so the fault mix is reproducible; which request
+// draws which fault varies with goroutine scheduling, but every assertion
+// is on totals, which the take-once plan semantics make exact. Run under
+// -race by scripts/check.sh (short mode) and `make soak` (full).
+func TestSoakUnderChaos(t *testing.T) {
+	clients, perClient := 16, 14
+	if testing.Short() {
+		clients, perClient = 8, 5
+	}
+	const workers, queueDepth = 4, 4
+
+	inj, err := faultinject.New(faultinject.Config{
+		Seed: 42,
+		Rates: map[faultinject.Fault]float64{
+			faultinject.FaultSlow:      0.20,
+			faultinject.FaultCancel:    0.15,
+			faultinject.FaultPanic:     0.10,
+			faultinject.FaultMalformed: 0.15,
+		},
+		SlowDelay: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		// Generous per-request deadline: every "canceled" tier error below
+		// must come from the injector, not a genuine timeout.
+		DefaultTimeout: 30 * time.Second,
+		Injector:       inj,
+	})
+	baseline := runtime.NumGoroutine()
+
+	// Client-side tally. Every response is fully read and classified.
+	var (
+		mu      sync.Mutex
+		status  = map[int]int{}
+		reasons = map[string]int{}
+		total   = clients * perClient
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(ts.URL+"/solve", "text/plain", strings.NewReader(sampleNet))
+				if err != nil {
+					t.Errorf("transport error (daemon died?): %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+
+				class := ""
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var sr SolveResponse
+					if err := json.Unmarshal(body, &sr); err != nil {
+						t.Errorf("200 with undecodable body: %v", err)
+					}
+					class = "ok"
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Errorf("%d response missing Retry-After", resp.StatusCode)
+					}
+					var er ErrorResponse
+					json.Unmarshal(body, &er)
+					class = er.Class
+				case http.StatusInternalServerError:
+					var er ErrorResponse
+					json.Unmarshal(body, &er)
+					class = er.Class
+					if class != "panic" {
+						t.Errorf("unexpected 500 class %q: %s", class, er.Error)
+					}
+				default:
+					t.Errorf("unexpected status %d: %s", resp.StatusCode, body)
+				}
+				mu.Lock()
+				status[resp.StatusCode]++
+				reasons[class]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The process survived the chaos.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after soak: %v %v", hr, err)
+	}
+	hr.Body.Close()
+
+	var answered int
+	for _, n := range status {
+		answered += n
+	}
+	if answered != total {
+		t.Fatalf("answered %d of %d requests; some got no HTTP response", answered, total)
+	}
+
+	snap := obs.Default().Snapshot()
+	ctr := snap.Counters
+	t.Logf("status=%v reasons=%v assigned=%v consumed=%v",
+		status, reasons, inj.Assigned(faultinject.FaultPanic), inj.Consumed(faultinject.FaultPanic))
+
+	// Every assigned fault ran: plans are dealt only to admitted, decoded
+	// requests, and each injection point is unconditionally reached.
+	for _, f := range []faultinject.Fault{
+		faultinject.FaultSlow, faultinject.FaultCancel,
+		faultinject.FaultPanic, faultinject.FaultMalformed,
+	} {
+		if a, c := inj.Assigned(f), inj.Consumed(f); a != c {
+			t.Errorf("%v: assigned %d != consumed %d", f, a, c)
+		}
+	}
+
+	// Shed accounting: the server's queue-full counter is exactly the
+	// number of 429s clients saw; the two 503 sources are zero here (no
+	// drain, no client hangups).
+	if got := ctr["server.shed.queue_full"]; got != int64(status[http.StatusTooManyRequests]) {
+		t.Errorf("shed.queue_full = %d, clients saw %d 429s", got, status[http.StatusTooManyRequests])
+	}
+	if ctr["server.shed.draining"] != 0 || ctr["server.shed.client_gone"] != 0 {
+		t.Errorf("unexpected 503 sheds: %+v", ctr)
+	}
+	if !testing.Short() && status[http.StatusTooManyRequests] == 0 {
+		t.Error("soak never overloaded the queue; the admission path went unexercised")
+	}
+
+	// Degradation accounting: injected faults equal observed telemetry.
+	if got, want := ctr["server.request.outcome.panic"], inj.Consumed(faultinject.FaultPanic); got != want {
+		t.Errorf("outcome.panic = %d, injected %d panics", got, want)
+	}
+	if got, want := ctr["server.request.tiererr.canceled"], inj.Consumed(faultinject.FaultCancel); got != want {
+		t.Errorf("tiererr.canceled = %d, injected %d cancels", got, want)
+	}
+	if got, want := ctr["server.request.tiererr.internal"], inj.Consumed(faultinject.FaultMalformed); got != want {
+		t.Errorf("tiererr.internal = %d, injected %d corruptions", got, want)
+	}
+	// The obs mirror written at take time agrees with the injector.
+	if got, want := ctr["fault.injected.panic"], inj.Consumed(faultinject.FaultPanic); got != want {
+		t.Errorf("fault.injected.panic = %d, want %d", got, want)
+	}
+
+	// Request accounting: every request was counted, and every admitted
+	// one has exactly one outcome class.
+	if ctr["server.requests"] != int64(total) {
+		t.Errorf("server.requests = %d, want %d", ctr["server.requests"], total)
+	}
+	var outcomes int64
+	for name, v := range ctr {
+		if strings.HasPrefix(name, "server.request.outcome.") {
+			outcomes += v
+		}
+	}
+	shed := ctr["server.shed.queue_full"] + ctr["server.shed.draining"] + ctr["server.shed.client_gone"]
+	if outcomes+shed != int64(total) {
+		t.Errorf("outcomes %d + shed %d != %d requests", outcomes, shed, total)
+	}
+
+	// Bounded queue and pool: the peaks never exceeded the configuration.
+	if peak := snap.Gauges["server.queue.peak"]; peak > queueDepth+1 {
+		t.Errorf("queue peak %d blew past depth %d", peak, queueDepth)
+	}
+	if peak := snap.Gauges["server.inflight.peak"]; peak > workers {
+		t.Errorf("inflight peak %d blew past %d workers", peak, workers)
+	}
+
+	// No goroutine pile-up: the pool drains back to idle.
+	http.DefaultClient.CloseIdleConnections()
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+5 {
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutines %d vs baseline %d after soak", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

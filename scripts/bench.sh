@@ -7,22 +7,49 @@
 # kept next to it (BENCH_<date>.txt) in benchstat-compatible form, so two
 # recordings diff with plain benchstat.
 #
+# Usage: scripts/bench.sh [-suffix] [-force]
+#   -suffix  on a same-day collision, write BENCH_<date>-<n>.json instead
+#            of refusing (n = first free counter)
+#   -force   overwrite the existing same-day recording in place
+#
 # Environment overrides:
 #   BENCH      benchmark regex (default: .)
 #   BENCHTIME  -benchtime value (default: 1x — one timed iteration per
 #              benchmark; raise to e.g. 2s for publication-grade numbers)
 #
-# Refuses to overwrite a same-day recording: move or delete the existing
-# BENCH_<date>.json to re-record.
+# Without a flag, refuses to overwrite a same-day recording: move it
+# aside, or re-run with -suffix or -force.
 set -eu
 cd "$(dirname "$0")/.."
+
+suffix=0
+force=0
+for arg in "$@"; do
+    case "$arg" in
+        -suffix|--suffix) suffix=1 ;;
+        -force|--force) force=1 ;;
+        *)
+            echo "bench: unknown argument $arg (want -suffix or -force)" >&2
+            exit 2
+            ;;
+    esac
+done
 
 date="$(date +%Y-%m-%d)"
 out="BENCH_${date}.json"
 txt="BENCH_${date}.txt"
-if [ -e "$out" ]; then
-    echo "bench: $out already exists; move it aside to re-record today" >&2
-    exit 1
+if [ -e "$out" ] && [ "$force" -eq 0 ]; then
+    if [ "$suffix" -eq 1 ]; then
+        n=1
+        while [ -e "BENCH_${date}-${n}.json" ]; do
+            n=$((n + 1))
+        done
+        out="BENCH_${date}-${n}.json"
+        txt="BENCH_${date}-${n}.txt"
+    else
+        echo "bench: $out already exists; move it aside, or re-run with -suffix or -force" >&2
+        exit 1
+    fi
 fi
 
 bench="${BENCH:-.}"

@@ -22,4 +22,10 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# A dedicated short soak pass: the suite above already runs the server
+# chaos tests once, but this keeps the soak visible as its own gate line
+# (and is what `make soak` runs the long version of).
+echo "== soak (short): go test -race -short -run TestSoakUnderChaos ./internal/server"
+go test -race -short -count=1 -run TestSoakUnderChaos ./internal/server
+
 echo "check: OK"
