@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the tier-1 gate (ROADMAP.md).
 
-.PHONY: build test check bench fuzz soak
+.PHONY: build test check bench difftest fuzz soak
 
 build:
 	go build ./...
@@ -16,6 +16,13 @@ check:
 # text). Not part of the tier-1 gate. BENCH=/BENCHTIME= override defaults.
 bench:
 	sh scripts/bench.sh
+
+# Differential/determinism gate on the parallel dynamic program and the
+# batch endpoint: serial-vs-parallel bit identity over the seeded corpus,
+# order/concurrency independence of /solve/batch, pool-leak accounting.
+# The tier-1 gate runs the short version; this is the full corpus.
+difftest:
+	go test -race -count=1 -run 'TestDifferential|TestDeterminism|TestBatch|TestConcurrentParallelSolves' ./internal/core ./internal/server
 
 fuzz:
 	go test -fuzz=FuzzRead -fuzztime=30s ./internal/netfmt

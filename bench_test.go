@@ -9,6 +9,7 @@
 package buffopt_test
 
 import (
+	"fmt"
 	"testing"
 
 	"buffopt/internal/buffers"
@@ -40,6 +41,7 @@ func benchSuite(b *testing.B) *experiments.Suite {
 // BenchmarkTableI regenerates the sink-distribution histogram.
 func BenchmarkTableI(b *testing.B) {
 	s := benchSuite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if t := s.RunTableI(); t.Total != benchNets {
@@ -52,6 +54,7 @@ func BenchmarkTableI(b *testing.B) {
 // the detailed simulation of every net. A fresh suite per iteration keeps
 // the cached BuffOpt results from hiding the real cost.
 func BenchmarkTableII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		s := benchSuite(b)
@@ -64,6 +67,7 @@ func BenchmarkTableII(b *testing.B) {
 
 // BenchmarkTableIII regenerates the BuffOpt vs DelayOpt(k) comparison.
 func BenchmarkTableIII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		s := benchSuite(b)
@@ -76,6 +80,7 @@ func BenchmarkTableIII(b *testing.B) {
 
 // BenchmarkTableIV regenerates the delay-penalty comparison.
 func BenchmarkTableIV(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		s := benchSuite(b)
@@ -146,6 +151,7 @@ func benchNet(b *testing.B) (*rctree.Tree, *buffers.Library, noise.Params) {
 // BenchmarkBuffOptMinBuffers is the Section V tool on one large net.
 func BenchmarkBuffOptMinBuffers(b *testing.B) {
 	tr, lib, p := benchNet(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.BuffOptMinBuffers(tr, lib, p, core.Options{}); err != nil {
@@ -157,6 +163,7 @@ func BenchmarkBuffOptMinBuffers(b *testing.B) {
 // BenchmarkBuffOpt is plain Algorithm 3 (Problem 2) on one large net.
 func BenchmarkBuffOpt(b *testing.B) {
 	tr, lib, p := benchNet(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.BuffOpt(tr, lib, p, core.Options{}); err != nil {
@@ -168,6 +175,7 @@ func BenchmarkBuffOpt(b *testing.B) {
 // BenchmarkDelayOpt is the unconstrained baseline on the same net.
 func BenchmarkDelayOpt(b *testing.B) {
 	tr, lib, _ := benchNet(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.DelayOpt(tr, lib, core.Options{}); err != nil {
@@ -179,11 +187,51 @@ func BenchmarkDelayOpt(b *testing.B) {
 // BenchmarkDelayOptK4 is DelayOpt(4), the Table III workhorse.
 func BenchmarkDelayOptK4(b *testing.B) {
 	tr, lib, _ := benchNet(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.DelayOptK(tr, lib, 4, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBuffOptWorkers sweeps the DP's worker-pool width on one large
+// net: workers-1 is the serial walk, the others force the branch-merge
+// pool (bit-identical answers; see the differential suite). On multicore
+// hosts the wide rows show the speedup; on one CPU they price the
+// scheduling overhead.
+func BenchmarkBuffOptWorkers(b *testing.B) {
+	tr, lib, p := benchNet(b)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuffOptMinBuffers(tr, lib, p, core.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableIIWorkers prices the whole Table II pipeline at each
+// worker width — the end-to-end number the batching speedup note in
+// EXPERIMENTS.md quotes.
+func BenchmarkTableIIWorkers(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := benchSuite(b)
+				s.Config.DPWorkers = w
+				b.StartTimer()
+				if t := s.RunTableII(); t.MetricAfter != 0 {
+					b.Fatalf("violations remain: %+v", t)
+				}
+			}
+		})
 	}
 }
 
@@ -195,6 +243,7 @@ func BenchmarkAlgorithm1(b *testing.B) {
 	if _, err := tr.AddSink(tr.Root(), rctree.Wire{R: 960, C: 2.4e-12, Length: 12e-3}, "s", 30e-15, 0, 0.8); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Algorithm1(tr, lib, p); err != nil {
@@ -208,6 +257,7 @@ func BenchmarkAlgorithm1(b *testing.B) {
 func BenchmarkAlgorithm2(b *testing.B) {
 	s := benchSuite(b)
 	tr := s.Nets[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Algorithm2(tr, s.Library, s.Tech.Noise); err != nil {
@@ -219,6 +269,7 @@ func BenchmarkAlgorithm2(b *testing.B) {
 // BenchmarkNoiseAnalyze measures the Devgan metric on a segmented net.
 func BenchmarkNoiseAnalyze(b *testing.B) {
 	tr, _, p := benchNet(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := noise.Analyze(tr, nil, p); r.MaxNoise <= 0 {
@@ -230,6 +281,7 @@ func BenchmarkNoiseAnalyze(b *testing.B) {
 // BenchmarkElmoreAnalyze measures the timing analyzer on the same net.
 func BenchmarkElmoreAnalyze(b *testing.B) {
 	tr, _, _ := benchNet(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if r := elmore.Analyze(tr, nil); r.MaxDelay <= 0 {
@@ -243,6 +295,7 @@ func BenchmarkNoiseSim(b *testing.B) {
 	s := benchSuite(b)
 	tr := s.Nets[len(s.Nets)/2]
 	opts := noisesim.Options{Params: s.Tech.Noise}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := noisesim.Simulate(tr, nil, opts); err != nil {
@@ -257,6 +310,7 @@ func BenchmarkNoiseSimAWE(b *testing.B) {
 	s := benchSuite(b)
 	tr := s.Nets[len(s.Nets)/2]
 	opts := noisesim.Options{Params: s.Tech.Noise}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := noisesim.SimulateAWE(tr, nil, opts); err != nil {
@@ -286,6 +340,7 @@ func BenchmarkCircuitTransient(b *testing.B) {
 		return n
 	}
 	nl := build()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := circuit.Transient(nl, circuit.TranOptions{Step: 1e-12, Duration: 2e-9}); err != nil {
@@ -314,6 +369,7 @@ func benchSteiner(b *testing.B, alg steiner.Algorithm) {
 		_ = i
 	}
 	tech := steiner.Tech{RPerLen: 80e3, CPerLen: 200e-12}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := steiner.Route(net, tech, alg); err != nil {
@@ -333,6 +389,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 		safe bool
 	}{{"paper", false}, {"safe", true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.BuffOpt(tr, lib, p, core.Options{SafePruning: mode.safe}); err != nil {
 					b.Fatal(err)
@@ -354,6 +411,7 @@ func BenchmarkAblationSizing(b *testing.B) {
 		{"with-sizing", core.Options{Sizing: &core.Sizing{Widths: []float64{1, 2, 4}}}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.BuffOptMinBuffers(tr, lib, p, mode.opts); err != nil {
 					b.Fatal(err)
@@ -367,6 +425,7 @@ func BenchmarkAblationSizing(b *testing.B) {
 // [20]) on one large net, for comparison against BenchmarkBuffOpt.
 func BenchmarkGreedyIterative(b *testing.B) {
 	tr, lib, p := benchNet(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.GreedyIterative(tr, lib, core.GreedyOptions{Noise: true, Params: p}); err != nil {
@@ -399,6 +458,7 @@ func BenchmarkProblem3Tradeoff(b *testing.B) {
 // a segmented net.
 func BenchmarkMoments(b *testing.B) {
 	tr, _, _ := benchNet(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := moments.Delay50(tr); err != nil {
@@ -434,6 +494,7 @@ func BenchmarkAblationSegmentation(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(seglen.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.BuffOptMinBuffers(seg, s.Library, s.Tech.Noise, core.Options{}); err != nil {
 					b.Fatal(err)

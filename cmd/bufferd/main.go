@@ -1,11 +1,11 @@
 // Command bufferd serves the buffer-insertion solver as a long-running
-// HTTP/JSON daemon: POST a net to /solve and get back the buffered
-// solution, the degradation tier that produced it, and why any stronger
-// tier failed.
+// HTTP/JSON daemon: POST a net to /solve (or a list of nets to
+// /solve/batch) and get back the buffered solution, the degradation tier
+// that produced it, and why any stronger tier failed.
 //
 // Usage:
 //
-//	bufferd [-addr :8080] [-workers N] [-queue N]
+//	bufferd [-addr :8080] [-workers N] [-queue N] [-max-batch N]
 //	        [-timeout 30s] [-max-timeout 2m] [-max-cands N]
 //	        [-max-bytes 8388608] [-max-nodes N]
 //	        [-drain-timeout 15s] [-retry-after 1s]
@@ -14,17 +14,21 @@
 //
 // Endpoints:
 //
-//	POST /solve    application/json envelope {"net": "...netfmt...", ...}
-//	               or raw netfmt text (?timeout_ms=, ?max_cands=)
-//	GET  /healthz  liveness: 200 while the process serves
-//	GET  /readyz   readiness: 503 while draining or overloaded
-//	GET  /metrics  telemetry snapshot as JSON
-//	GET  /debug/vars  the same counters via expvar
+//	POST /solve        application/json envelope {"net": "...netfmt...", ...}
+//	                   or raw netfmt text (?timeout_ms=, ?max_cands=)
+//	POST /solve/batch  {"nets": [{...}, ...]} — up to -max-batch nets fanned
+//	                   across the worker pool; per-net results and errors
+//	                   (partial failures stay 200)
+//	GET  /healthz      liveness: 200 while the process serves
+//	GET  /readyz       readiness: 503 while draining or overloaded
+//	GET  /metrics      telemetry snapshot as JSON
+//	GET  /debug/vars   the same counters via expvar
 //
 // At most -workers solves run concurrently and at most -queue more wait;
-// beyond that, requests are shed with 429 and a Retry-After header.
-// SIGTERM (or Ctrl-C) drains: readiness flips, in-flight requests finish
-// (bounded by -drain-timeout), and the process exits 0.
+// beyond that, requests — and individual batch items — are shed with 429
+// and a Retry-After header. SIGTERM (or Ctrl-C) drains: readiness flips,
+// in-flight requests finish (bounded by -drain-timeout), and the process
+// exits 0.
 //
 // The -faults family enables the deterministic fault injector (see
 // internal/faultinject) for soak and chaos testing; leave it unset in
@@ -60,6 +64,7 @@ func run(args []string, stderr *os.File) int {
 	fs.StringVar(&cfg.Addr, "addr", ":8080", "listen address")
 	fs.IntVar(&cfg.Workers, "workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.QueueDepth, "queue", 64, "max requests waiting for a worker before shedding")
+	fs.IntVar(&cfg.MaxBatch, "max-batch", 64, "max nets in one /solve/batch request")
 	fs.DurationVar(&cfg.DefaultTimeout, "timeout", 30*time.Second, "per-request deadline when the client sets none")
 	fs.DurationVar(&cfg.MaxTimeout, "max-timeout", 2*time.Minute, "hard cap on any per-request deadline")
 	fs.IntVar(&cfg.MaxCands, "max-cands", 0, "cap on DP candidate-list size (0 disables)")

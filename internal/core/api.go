@@ -28,6 +28,15 @@ type Options struct {
 	// guard.ErrBudgetExceeded; the input tree is never modified either
 	// way.
 	Budget *guard.Budget
+	// Workers bounds the goroutines the bottom-up dynamic program may use
+	// to solve independent subtrees concurrently at branch-merge points.
+	// 0 (the default) picks GOMAXPROCS automatically, staying serial on
+	// trees too small to amortize the scheduling; 1 forces the serial
+	// walk; N > 1 forces an N-worker pool even on small trees (the
+	// differential test suite exercises the parallel path this way).
+	// Results are bit-identical across all settings — the parallel
+	// schedule changes when nodes are computed, never what they compute.
+	Workers int
 }
 
 // Sizing configures simultaneous wire sizing. Widening a wire divides its
@@ -66,7 +75,7 @@ func (s *Sizing) Validate() error {
 
 // vgo builds the engine options shared by every public entry point.
 func (o Options) vgo() vgOptions {
-	v := vgOptions{safePruning: o.SafePruning, budget: o.Budget}
+	v := vgOptions{safePruning: o.SafePruning, budget: o.Budget, workers: o.Workers}
 	if o.Sizing != nil {
 		v.widths = o.Sizing.Widths
 		v.fringe = o.Sizing.Fringe

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"buffopt/internal/buffers"
@@ -18,7 +19,9 @@ import (
 // atomic adds per run rather than per candidate. The Shi/Li O(bn²)
 // candidate-growth claim (PAPERS.md) is checked against exactly these
 // numbers: generated vs. pruned is the prune ratio, highwater is the
-// per-node list-length bound.
+// per-node list-length bound. In parallel runs each worker owns a private
+// vgStats, absorbed into the run's at the end, so the published totals are
+// schedule-independent.
 type vgStats struct {
 	generated int64 // candidates created (sinks, merges, buffer insertions, width variants)
 	pruned    int64 // candidates discarded by dominance pruning
@@ -30,6 +33,17 @@ type vgStats struct {
 func (s *vgStats) list(n int) {
 	if int64(n) > s.highwater {
 		s.highwater = int64(n)
+	}
+}
+
+// absorb folds a worker's private stats into the run total.
+func (s *vgStats) absorb(o *vgStats) {
+	s.generated += o.generated
+	s.pruned += o.pruned
+	s.merged += o.merged
+	s.nodes += o.nodes
+	if o.highwater > s.highwater {
+		s.highwater = o.highwater
 	}
 }
 
@@ -107,10 +121,48 @@ type vgOptions struct {
 	// budget bounds the run; nil means unlimited. Checked at every node
 	// of the bottom-up walk and inside the merge and prune loops.
 	budget *guard.Budget
+	// workers bounds the goroutines the bottom-up walk may use:
+	// 0 = automatic (GOMAXPROCS, with a tree-size floor), 1 = serial,
+	// N > 1 = exactly N, parallel even on small trees (the differential
+	// suite forces the parallel path this way).
+	workers int
 	// stats, when non-nil, accumulates candidate counts for the run.
-	// runVG installs its own; the field exists so the helpers below see it
-	// without signature churn.
+	// runVG installs its own (per worker in parallel runs); the field
+	// exists so the helpers below see it without signature churn.
 	stats *vgStats
+	// arena recycles candidate-list backing arrays for the run; installed
+	// by runVG alongside stats.
+	arena *candArena
+}
+
+// minParallelNodes gates automatic parallelism: below this tree size the
+// per-node scheduling overhead outweighs the DP work, so workers == 0
+// stays serial. An explicit workers > 1 bypasses the gate.
+const minParallelNodes = 128
+
+// maxVGWorkers caps an explicit worker request; beyond the hardware's
+// parallelism extra goroutines only add scheduling churn.
+const maxVGWorkers = 64
+
+// workerCount resolves the effective parallelism for a tree of n nodes.
+func (o vgOptions) workerCount(n int) int {
+	w := o.workers
+	switch {
+	case w < 0 || w == 1:
+		return 1
+	case w == 0:
+		if n < minParallelNodes {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > maxVGWorkers {
+		w = maxVGWorkers
+	}
+	if w > n {
+		w = n
+	}
+	return w
 }
 
 // wireVariant returns the electrical parameters of a wire at width wd.
@@ -130,6 +182,12 @@ func (o vgOptions) wireVariant(w rctree.Wire, wd float64) (r, c float64) {
 // and infeasible candidates (noise violations when opts.noise is set, or
 // inverted polarity) have been discarded. The result is pruned and sorted
 // by ascending buffer count.
+//
+// The walk runs serially or on a bounded worker pool (opts.workers; see
+// runVGParallel) — the two paths execute the identical per-node
+// computation (computeNode) on the identical inputs, so their outputs are
+// bit-identical; the differential suite in differential_test.go enforces
+// exactly that.
 func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, error) {
 	if err := t.Validate(); err != nil {
 		return nil, invalid(err)
@@ -162,64 +220,168 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 	defer st.flush()
 	defer obs.Timer("vg.run")()
 
+	ar := &candArena{}
+	opts.arena = ar
+	defer ar.flush()
+
 	lists := make([][]vgCand, t.Len())
+	var err error
+	if workers := opts.workerCount(t.Len()); workers > 1 {
+		obs.Inc("vg.run.parallel")
+		obs.SetMax("vg.parallel.workers", int64(workers))
+		err = runVGParallel(t, lib, opts, lists, workers)
+	} else {
+		obs.Inc("vg.run.serial")
+		err = runVGSerial(t, lib, opts, lists)
+	}
+	if err != nil {
+		releaseLists(ar, lists)
+		return nil, err
+	}
+
+	// Add the driver (Steps 2–3 of Fig. 10) and filter. The survivors are
+	// copied into a plain slice — never pool-backed — because they escape
+	// to the caller.
+	var out []vgCand
+	for _, c := range lists[t.Root()] {
+		if c.pol != 0 {
+			continue // inverted signal at the sinks
+		}
+		if opts.noise && t.DriverResistance*c.down > c.ns {
+			continue // eq. 11 violated at the source gate
+		}
+		c.q -= t.DriverDelay + t.DriverResistance*c.load
+		out = append(out, c)
+	}
+	ar.put(lists[t.Root()])
+	lists[t.Root()] = nil
+	out, err = pruneVG(out, opts)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].cost != out[j].cost {
+			return out[i].cost < out[j].cost
+		}
+		return out[i].q > out[j].q
+	})
+	return out, nil
+}
+
+// runVGSerial is the single-goroutine bottom-up walk: every node in
+// postorder, children always before parents.
+func runVGSerial(t *rctree.Tree, lib *buffers.Library, opts vgOptions, lists [][]vgCand) error {
 	for _, v := range t.Postorder() {
-		st.nodes++
-		// The budget gate for the whole dynamic program: one context
-		// check per node, plus candidate-count checks below wherever a
-		// list can grow.
-		if err := opts.budget.Check(); err != nil {
-			return nil, err
+		if err := computeNode(t, lib, opts, v, lists); err != nil {
+			return err
 		}
-		node := t.Node(v)
-		var list []vgCand
-		var err error
-		switch {
-		case node.Kind == rctree.Sink:
-			st.generated++
-			list = []vgCand{{
-				load: node.Cap,
-				q:    node.RAT,
-				down: 0,
-				ns:   node.NoiseMargin,
-				pol:  0,
-			}}
-		case len(node.Children) == 1:
-			list = append([]vgCand(nil), lists[node.Children[0]]...)
-		case len(node.Children) == 2:
-			list, err = mergeVG(lists[node.Children[0]], lists[node.Children[1]], opts)
-			if err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("core: internal node %d has no children", v)
-		}
+	}
+	return nil
+}
 
-		// Step 5: consider inserting each buffer type at v.
-		if node.BufferOK && v != t.Root() {
-			list = append(list, insertBuffers(v, list, lib, opts)...)
+// releaseLists returns every still-owned candidate list to the arena (the
+// error path: a failed run leaves finished subtrees behind).
+func releaseLists(ar *candArena, lists [][]vgCand) {
+	for i, l := range lists {
+		if l != nil {
+			ar.put(l)
+			lists[i] = nil
 		}
+	}
+}
 
-		list, err = pruneVG(list, opts)
+// computeNode performs the dynamic program's work for one tree node:
+// build the node's candidate list from its children's finished lists
+// (Steps 1–5 of Fig. 11), prune, and charge the parent wire. It is the
+// single code path shared by the serial walk and the parallel scheduler —
+// the computation depends only on the children's lists, never on
+// evaluation order, which is what makes parallel results bit-identical to
+// serial ones.
+//
+// List ownership: the node consumes (and releases to the arena) its
+// children's lists and owns its own list until its parent consumes it; on
+// error, every list the node still owns has been released.
+func computeNode(t *rctree.Tree, lib *buffers.Library, opts vgOptions, v rctree.NodeID, lists [][]vgCand) error {
+	st := opts.stats
+	ar := opts.arena
+	st.nodes++
+	// The budget gate for the whole dynamic program: one context check
+	// per node, plus candidate-count checks below wherever a list can
+	// grow.
+	if err := opts.budget.Check(); err != nil {
+		return err
+	}
+	node := t.Node(v)
+	var list []vgCand
+	switch {
+	case node.Kind == rctree.Sink:
+		st.generated++
+		list = append(ar.get(1), vgCand{
+			load: node.Cap,
+			q:    node.RAT,
+			down: 0,
+			ns:   node.NoiseMargin,
+			pol:  0,
+		})
+	case len(node.Children) == 1:
+		// Adopt the child's list wholesale: it is dead once the parent
+		// runs, so the chain node extends it in place (no copy).
+		c := node.Children[0]
+		list, lists[c] = lists[c], nil
+	case len(node.Children) == 2:
+		l, r := node.Children[0], node.Children[1]
+		merged, err := mergeVG(lists[l], lists[r], opts)
+		ar.put(lists[l])
+		ar.put(lists[r])
+		lists[l], lists[r] = nil, nil
 		if err != nil {
-			return nil, err
+			ar.put(merged)
+			return err
 		}
-		if err := opts.budget.CheckCandidates(len(list)); err != nil {
-			return nil, err
-		}
+		list = merged
+	default:
+		return fmt.Errorf("core: internal node %d has no children", v)
+	}
 
-		// Step 6: charge the parent wire, once per available width. The
-		// coupling current I_w is a sidewall quantity and does not change
-		// with width; the resistance drops and the ground capacitance
-		// grows, which is why widening is itself a noise fix.
-		if v != t.Root() {
-			w := node.Wire
-			iw := opts.params.WireCurrent(w)
-			widths := opts.widths
-			if len(widths) == 0 {
-				widths = oneWidth
+	// Step 5: consider inserting each buffer type at v.
+	if node.BufferOK && v != t.Root() {
+		list = insertBuffers(v, list, lib, opts)
+	}
+
+	list, err := pruneVG(list, opts)
+	if err != nil {
+		ar.put(list)
+		return err
+	}
+	if err := opts.budget.CheckCandidates(len(list)); err != nil {
+		ar.put(list)
+		return err
+	}
+
+	// Step 6: charge the parent wire, once per available width. The
+	// coupling current I_w is a sidewall quantity and does not change
+	// with width; the resistance drops and the ground capacitance
+	// grows, which is why widening is itself a noise fix.
+	if v != t.Root() {
+		w := node.Wire
+		iw := opts.params.WireCurrent(w)
+		widths := opts.widths
+		if len(widths) == 0 {
+			widths = oneWidth
+		}
+		if len(widths) == 1 && widths[0] == 1 {
+			// The common no-sizing case charges the wire in place: same
+			// arithmetic, in the same order, as the sized loop below with
+			// wd == 1 — just without a second list.
+			for i := range list {
+				c := &list[i]
+				c.q -= w.R * (w.C/2 + c.load)
+				c.load += w.C
+				c.ns -= w.R * (c.down + iw/2)
+				c.down += iw
 			}
-			sized := make([]vgCand, 0, len(list)*len(widths))
+		} else {
+			sized := ar.get(len(list) * len(widths))
 			for _, c := range list {
 				for _, wd := range widths {
 					r, cw := opts.wireVariant(w, wd)
@@ -235,54 +397,35 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 				}
 			}
 			st.generated += int64(len(sized) - len(list))
+			ar.put(list)
 			list = sized
-			if len(widths) > 1 {
-				list, err = pruneVG(list, opts)
-				if err != nil {
-					return nil, err
-				}
-			}
-			if err := opts.budget.CheckCandidates(len(list)); err != nil {
-				return nil, err
+			list, err = pruneVG(list, opts)
+			if err != nil {
+				ar.put(list)
+				return err
 			}
 		}
-		st.list(len(list))
-		lists[v] = list
-	}
-
-	// Add the driver (Steps 2–3 of Fig. 10) and filter.
-	var out []vgCand
-	for _, c := range lists[t.Root()] {
-		if c.pol != 0 {
-			continue // inverted signal at the sinks
+		if err := opts.budget.CheckCandidates(len(list)); err != nil {
+			ar.put(list)
+			return err
 		}
-		if opts.noise && t.DriverResistance*c.down > c.ns {
-			continue // eq. 11 violated at the source gate
-		}
-		c.q -= t.DriverDelay + t.DriverResistance*c.load
-		out = append(out, c)
 	}
-	out, err := pruneVG(out, opts)
-	if err != nil {
-		return nil, err
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].cost != out[j].cost {
-			return out[i].cost < out[j].cost
-		}
-		return out[i].q > out[j].q
-	})
-	return out, nil
+	st.list(len(list))
+	lists[v] = list
+	return nil
 }
 
 // oneWidth is the default (no sizing) width set.
 var oneWidth = []float64{1}
 
-// insertBuffers generates buffered candidates at node v: for each buffer
-// type (and, in count-indexed mode, each resulting buffer count and each
-// parity) the candidate producing the largest post-buffer slack, subject
-// to the noise constraint R_b·I(v) ≤ NS(v) when noise is enforced — the
-// boldface modification of Fig. 11, Step 5.
+// insertBuffers appends buffered candidates at node v to list: for each
+// buffer type (and, in count-indexed mode, each resulting buffer count and
+// each parity) the candidate producing the largest post-buffer slack,
+// subject to the noise constraint R_b·I(v) ≤ NS(v) when noise is enforced
+// — the boldface modification of Fig. 11, Step 5. The appended candidates
+// are emitted in a deterministic total order — (cost, load, q, buffer
+// index, parity) — never map order, so repeated runs and parallel
+// schedules see byte-identical lists.
 func insertBuffers(v rctree.NodeID, list []vgCand, lib *buffers.Library, opts vgOptions) []vgCand {
 	type key struct {
 		buf  int
@@ -321,24 +464,36 @@ func insertBuffers(v rctree.NodeID, list []vgCand, lib *buffers.Library, opts vg
 			}
 		}
 	}
-	out := make([]vgCand, 0, len(best))
-	for _, c := range best {
-		out = append(out, c)
+	if len(best) == 0 {
+		return list
+	}
+	keys := make([]key, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := best[keys[i]], best[keys[j]]
+		if a.cost != b.cost {
+			return a.cost < b.cost
+		}
+		if a.load != b.load {
+			return a.load < b.load
+		}
+		if a.q != b.q {
+			return a.q > b.q
+		}
+		if keys[i].buf != keys[j].buf {
+			return keys[i].buf < keys[j].buf
+		}
+		return keys[i].pol < keys[j].pol
+	})
+	for _, k := range keys {
+		list = append(list, best[k])
 	}
 	if opts.stats != nil {
-		opts.stats.generated += int64(len(out))
+		opts.stats.generated += int64(len(best))
 	}
-	// Deterministic order (map iteration is randomized).
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].cost != out[j].cost {
-			return out[i].cost < out[j].cost
-		}
-		if out[i].load != out[j].load {
-			return out[i].load < out[j].load
-		}
-		return out[i].q > out[j].q
-	})
-	return out
+	return list
 }
 
 // mergeVG combines the candidate lists of two sibling branches: loads and
@@ -346,9 +501,10 @@ func insertBuffers(v rctree.NodeID, list []vgCand, lib *buffers.Library, opts vg
 // parity-compatible pairs merge. The pruned per-branch frontiers are small,
 // so the full cross product is used; pruning immediately follows in the
 // caller. The cross product is where multi-buffer candidate growth
-// compounds, so the budget is consulted as the output grows.
+// compounds, so the budget is consulted as the output grows. The output
+// list comes from the arena; on error the caller releases it.
 func mergeVG(left, right []vgCand, opts vgOptions) ([]vgCand, error) {
-	out := make([]vgCand, 0, len(left)+len(right))
+	out := opts.arena.get(len(left) + len(right))
 	tick := 0
 	for _, a := range left {
 		for _, b := range right {
@@ -357,7 +513,7 @@ func mergeVG(left, right []vgCand, opts vgOptions) ([]vgCand, error) {
 			if tick++; tick >= 4096 {
 				tick = 0
 				if err := opts.budget.CheckCandidates(len(out)); err != nil {
-					return nil, err
+					return out, err
 				}
 			}
 			if a.pol != b.pol {
@@ -397,7 +553,7 @@ func mergeVG(left, right []vgCand, opts vgOptions) ([]vgCand, error) {
 		}
 	}
 	if err := opts.budget.CheckCandidates(len(out)); err != nil {
-		return nil, err
+		return out, err
 	}
 	if opts.stats != nil {
 		opts.stats.merged += int64(len(out))
@@ -413,73 +569,91 @@ func mergeVG(left, right []vgCand, opts vgOptions) ([]vgCand, error) {
 // multi-buffer libraries at the cost of longer lists (see the discussion
 // in Section IV-C). Safe pruning is quadratic in the group size, so the
 // dominance scan honors the budget's context.
+//
+// The scan works entirely in place: one deterministic total-order sort
+// groups the list — (buffer count,) parity, load ascending, slack
+// descending, then the remaining fields as tiebreakers — and survivors are
+// compacted into the front of the same backing array. No maps, no
+// per-group slices, no allocation; the returned slice aliases the input.
 func pruneVG(list []vgCand, opts vgOptions) ([]vgCand, error) {
 	if len(list) <= 1 {
 		return list, nil
 	}
-	type group struct {
-		pol  uint8
-		cost int
-	}
-	byGroup := map[group][]vgCand{}
-	for _, c := range list {
-		g := group{pol: c.pol}
-		if opts.countIndexed {
-			g.cost = c.cost
+	sort.Slice(list, func(i, j int) bool {
+		a, b := &list[i], &list[j]
+		if opts.countIndexed && a.cost != b.cost {
+			return a.cost < b.cost
 		}
-		byGroup[g] = append(byGroup[g], c)
-	}
-	groups := make([]group, 0, len(byGroup))
-	for g := range byGroup {
-		groups = append(groups, g)
-	}
-	sort.Slice(groups, func(i, j int) bool {
-		if groups[i].cost != groups[j].cost {
-			return groups[i].cost < groups[j].cost
+		if a.pol != b.pol {
+			return a.pol < b.pol
 		}
-		return groups[i].pol < groups[j].pol
+		if a.load != b.load {
+			return a.load < b.load
+		}
+		if a.q != b.q {
+			return a.q > b.q
+		}
+		// Total-order tiebreakers: dominance-relevant fields first, so
+		// equal (load, q) candidates survive in a deterministic order.
+		if a.down != b.down {
+			return a.down < b.down
+		}
+		if a.ns != b.ns {
+			return a.ns > b.ns
+		}
+		if a.cost != b.cost {
+			return a.cost < b.cost
+		}
+		return a.nbuf < b.nbuf
 	})
 
-	var out []vgCand
+	sameGroup := func(a, b *vgCand) bool {
+		if a.pol != b.pol {
+			return false
+		}
+		return !opts.countIndexed || a.cost == b.cost
+	}
+
+	origLen := len(list)
+	out := list[:0]
 	pacer := opts.budget.Pacer(1024)
-	for _, g := range groups {
-		cands := byGroup[g]
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].load != cands[j].load {
-				return cands[i].load < cands[j].load
-			}
-			return cands[i].q > cands[j].q
-		})
+	for i := 0; i < len(list); {
+		j := i + 1
+		for j < len(list) && sameGroup(&list[i], &list[j]) {
+			j++
+		}
+		groupStart := len(out)
 		if !opts.safePruning {
 			bestQ := math.Inf(-1)
-			for _, c := range cands {
-				if c.q > bestQ {
+			for k := i; k < j; k++ {
+				if c := list[k]; c.q > bestQ {
 					out = append(out, c)
 					bestQ = c.q
 				}
 			}
-			continue
-		}
-		var kept []vgCand
-		for _, c := range cands {
-			if err := pacer.Tick(); err != nil {
-				return nil, err
-			}
-			dominated := false
-			for _, k := range kept {
-				if k.load <= c.load && k.q >= c.q && k.down <= c.down && k.ns >= c.ns {
-					dominated = true
-					break
+		} else {
+			for k := i; k < j; k++ {
+				if err := pacer.Tick(); err != nil {
+					return list[:origLen], err
+				}
+				c := list[k]
+				dominated := false
+				for gi := groupStart; gi < len(out); gi++ {
+					g := &out[gi]
+					if g.load <= c.load && g.q >= c.q && g.down <= c.down && g.ns >= c.ns {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					out = append(out, c)
 				}
 			}
-			if !dominated {
-				kept = append(kept, c)
-			}
 		}
-		out = append(out, kept...)
+		i = j
 	}
 	if opts.stats != nil {
-		opts.stats.pruned += int64(len(list) - len(out))
+		opts.stats.pruned += int64(origLen - len(out))
 	}
 	return out, nil
 }

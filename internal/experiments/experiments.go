@@ -46,6 +46,16 @@ type Config struct {
 	SafePruning bool
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// DPWorkers bounds the worker pool inside each net's dynamic program
+	// (core.Options.Workers): 0 lets the DP decide per tree, 1 forces the
+	// serial walk, N > 1 forces an N-worker pool. Results are identical
+	// either way; only the schedule changes.
+	DPWorkers int
+}
+
+// coreOptions builds the solver options every table/ablation run shares.
+func (c Config) coreOptions() core.Options {
+	return core.Options{SafePruning: c.SafePruning, Workers: c.DPWorkers}
 }
 
 func (c Config) withDefaults() Config {
@@ -170,7 +180,7 @@ func (s *Suite) runBuffOpt() []netResult {
 		res := make([]netResult, len(s.Nets))
 		s.forEachNet(func(i int) {
 			r, err := core.BuffOptMinBuffers(s.Segmented[i], s.Library, s.Tech.Noise,
-				core.Options{SafePruning: s.Config.SafePruning})
+				s.Config.coreOptions())
 			if err != nil {
 				res[i] = netResult{err: err}
 				return

@@ -164,7 +164,7 @@ func (s *Suite) RunTableIII() TableIII {
 		}, len(s.Nets))
 		s.forEachNet(func(i int) {
 			r, err := core.DelayOptK(s.Segmented[i], s.Library, k,
-				core.Options{SafePruning: s.Config.SafePruning})
+				s.Config.coreOptions())
 			if err != nil {
 				return
 			}
@@ -257,7 +257,7 @@ func (s *Suite) RunTableIV() TableIV {
 		base := elmore.Analyze(s.Segmented[i], nil).MaxDelay
 		bDelay := elmore.Analyze(r.sol.Tree, r.sol.Buffers).MaxDelay
 		d, err := core.DelayOptK(s.Segmented[i], s.Library, r.numBuffers,
-			core.Options{SafePruning: s.Config.SafePruning})
+			s.Config.coreOptions())
 		if err != nil {
 			return
 		}

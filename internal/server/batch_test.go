@@ -1,0 +1,340 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"buffopt/internal/faultinject"
+	"buffopt/internal/obs"
+)
+
+// namedNet clones sampleNet under a different net name, so batch tests
+// can tell items apart by their echoed name.
+func namedNet(name string) string {
+	return strings.Replace(sampleNet, "net sample", "net "+name, 1)
+}
+
+// batchBody marshals a batch envelope over the given netfmt texts.
+func batchBody(t *testing.T, nets ...string) string {
+	t.Helper()
+	items := make([]map[string]any, len(nets))
+	for i, n := range nets {
+		items[i] = map[string]any{"net": n}
+	}
+	b, err := json.Marshal(map[string]any{"nets": items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// normalizeBatch strips the wall-clock fields (the only legitimately
+// nondeterministic bytes in a batch response) so the determinism tests
+// can compare responses byte for byte.
+func normalizeBatch(t *testing.T, body []byte) ([]byte, BatchResponse) {
+	t.Helper()
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("batch response is not JSON: %v\n%s", err, body)
+	}
+	br.ElapsedMS = 0
+	for i := range br.Results {
+		if r := br.Results[i].Result; r != nil {
+			r.ElapsedMS = 0
+			for j := range r.TierErrors {
+				r.TierErrors[j].ElapsedMS = 0
+			}
+		}
+	}
+	b, err := json.Marshal(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, br
+}
+
+func TestBatchSolvesAllNets(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postNet(t, ts, "/solve/batch", "application/json",
+		batchBody(t, namedNet("a"), namedNet("b"), namedNet("c")))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	_, br := normalizeBatch(t, body)
+	if br.Count != 3 || br.Succeeded != 3 || br.Failed != 0 {
+		t.Fatalf("count/succeeded/failed = %d/%d/%d, want 3/3/0", br.Count, br.Succeeded, br.Failed)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		item := br.Results[i]
+		if item.Index != i || item.Result == nil || item.Error != nil {
+			t.Fatalf("item %d = %+v, want index %d with a result", i, item, i)
+		}
+		if item.Result.Net != want {
+			t.Fatalf("item %d solved net %q, want %q (order not preserved)", i, item.Result.Net, want)
+		}
+		if item.Result.NoiseViolations != 0 {
+			t.Fatalf("item %d left %d noise violations", i, item.Result.NoiseViolations)
+		}
+	}
+
+	snap := obs.Default().Snapshot()
+	if got := snap.Counters["server.batch.requests"]; got != 1 {
+		t.Fatalf("server.batch.requests = %d, want 1", got)
+	}
+	if got := snap.Counters["server.batch.nets"]; got != 3 {
+		t.Fatalf("server.batch.nets = %d, want 3", got)
+	}
+	if got := snap.Counters["server.batch.item.outcome.ok"]; got != 3 {
+		t.Fatalf("batch.item.outcome.ok = %d, want 3", got)
+	}
+	// Batch traffic must not leak into the /solve books.
+	if got := snap.Counters["server.requests"]; got != 0 {
+		t.Fatalf("server.requests = %d after a pure batch, want 0", got)
+	}
+}
+
+// TestBatchPartialFailure: one malformed net fails alone; its neighbors
+// still solve, and the error carries the /solve class vocabulary.
+func TestBatchPartialFailure(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postNet(t, ts, "/solve/batch", "application/json",
+		batchBody(t, namedNet("ok1"), "this is not a net\n", namedNet("ok2")))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (partial failure must stay 200), body %s", resp.StatusCode, body)
+	}
+	_, br := normalizeBatch(t, body)
+	if br.Succeeded != 2 || br.Failed != 1 {
+		t.Fatalf("succeeded/failed = %d/%d, want 2/1", br.Succeeded, br.Failed)
+	}
+	bad := br.Results[1]
+	if bad.Result != nil || bad.Error == nil {
+		t.Fatalf("malformed item = %+v, want an error and no result", bad)
+	}
+	if bad.Error.Class != "invalid" || bad.Error.Status != http.StatusBadRequest {
+		t.Fatalf("malformed item error = %+v, want class invalid / 400", bad.Error)
+	}
+	for _, i := range []int{0, 2} {
+		if br.Results[i].Result == nil {
+			t.Fatalf("item %d should have solved despite its bad neighbor: %+v", i, br.Results[i])
+		}
+	}
+}
+
+// TestBatchOrderIndependence: the same nets in a different order produce
+// the same per-net answers — the fan-out schedule must not leak into any
+// result.
+func TestBatchOrderIndependence(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	nets := map[string]string{
+		"a": namedNet("a"), "b": namedNet("b"), "c": namedNet("c"), "d": namedNet("d"),
+	}
+	orders := [][]string{
+		{"a", "b", "c", "d"},
+		{"d", "c", "b", "a"},
+		{"c", "a", "d", "b"},
+	}
+	byNet := map[string][]byte{}
+	for _, order := range orders {
+		texts := make([]string, len(order))
+		for i, name := range order {
+			texts[i] = nets[name]
+		}
+		resp, body := postNet(t, ts, "/solve/batch", "application/json", batchBody(t, texts...))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("order %v: status %d, body %s", order, resp.StatusCode, body)
+		}
+		_, br := normalizeBatch(t, body)
+		for _, item := range br.Results {
+			if item.Result == nil {
+				t.Fatalf("order %v: item %d failed: %+v", order, item.Index, item.Error)
+			}
+			// Canonicalize independently of position: zero the index and
+			// compare by net name.
+			item.Index = 0
+			b, err := json.Marshal(item)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := item.Result.Net
+			if prev, ok := byNet[name]; !ok {
+				byNet[name] = b
+			} else if string(prev) != string(b) {
+				t.Fatalf("net %q answer depends on batch order:\n%s\nvs\n%s", name, prev, b)
+			}
+		}
+	}
+	if len(byNet) != 4 {
+		t.Fatalf("saw %d distinct nets, want 4", len(byNet))
+	}
+}
+
+// TestBatchDeterminism: repeated identical batches are byte-identical
+// (modulo wall-clock fields) at every worker-pool width — 1, 4, and
+// GOMAXPROCS — and across servers.
+func TestBatchDeterminism(t *testing.T) {
+	body := batchBody(t, namedNet("a"), namedNet("b"), namedNet("c"), namedNet("d"), namedNet("e"))
+	var want []byte
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		_, ts := newTestServer(t, Config{Workers: workers})
+		for rep := 0; rep < 3; rep++ {
+			resp, raw := postNet(t, ts, "/solve/batch", "application/json", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("workers %d rep %d: status %d, body %s", workers, rep, resp.StatusCode, raw)
+			}
+			got, _ := normalizeBatch(t, raw)
+			if want == nil {
+				want = got
+				continue
+			}
+			if string(got) != string(want) {
+				t.Fatalf("workers %d rep %d: batch response drifted:\n%s\nvs\n%s", workers, rep, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchRejections walks the whole-batch failure modes.
+func TestBatchRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 2, MaxBytes: 4096})
+	cases := []struct {
+		name        string
+		contentType string
+		body        string
+		wantStatus  int
+		wantClass   string
+	}{
+		{"non-JSON content type", "text/plain", sampleNet, http.StatusBadRequest, "invalid"},
+		{"malformed JSON", "application/json", `{"nets": [`, http.StatusBadRequest, "invalid"},
+		{"empty batch", "application/json", `{"nets": []}`, http.StatusBadRequest, "invalid"},
+		{"missing nets", "application/json", `{}`, http.StatusBadRequest, "invalid"},
+		{"unknown field", "application/json", `{"nets":[{"net":"x"}],"bogus":1}`, http.StatusBadRequest, "invalid"},
+		{"over MaxBatch", "application/json", `{"nets":[{"net":"x"},{"net":"y"},{"net":"z"}]}`, http.StatusRequestEntityTooLarge, "budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postNet(t, ts, "/solve/batch", tc.contentType, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, body)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("error body is not JSON: %v\n%s", err, body)
+			}
+			if er.Class != tc.wantClass {
+				t.Fatalf("class = %q, want %q (%s)", er.Class, tc.wantClass, er.Error)
+			}
+		})
+	}
+
+	t.Run("method not allowed", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/solve/batch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /solve/batch = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+// TestBatchShedsTailItems: a batch wider than Workers+QueueDepth has its
+// overflow items shed individually (partial failure), accounted under the
+// batch's own shed counter — never the /solve one.
+func TestBatchShedsTailItems(t *testing.T) {
+	inj, err := faultinject.New(faultinject.Config{
+		Seed:      11,
+		Rates:     map[faultinject.Fault]float64{faultinject.FaultSlow: 1},
+		SlowDelay: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Injector: inj})
+
+	resp, body := postNet(t, ts, "/solve/batch", "application/json",
+		batchBody(t, namedNet("a"), namedNet("b"), namedNet("c"), namedNet("d")))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	_, br := normalizeBatch(t, body)
+	if br.Succeeded != 2 || br.Failed != 2 {
+		t.Fatalf("succeeded/failed = %d/%d, want 2/2 (1 worker + 1 queue slot)", br.Succeeded, br.Failed)
+	}
+	for _, item := range br.Results {
+		if item.Error == nil {
+			continue
+		}
+		if item.Error.Class != "shed" || item.Error.Status != http.StatusTooManyRequests || item.Error.RetryAfterS < 1 {
+			t.Fatalf("shed item error = %+v", item.Error)
+		}
+	}
+
+	snap := obs.Default().Snapshot()
+	if got := snap.Counters["server.batch.shed.queue_full"]; got != 2 {
+		t.Errorf("server.batch.shed.queue_full = %d, want 2", got)
+	}
+	if got := snap.Counters["server.shed.queue_full"]; got != 0 {
+		t.Errorf("server.shed.queue_full = %d, want 0 (batch sheds must not pollute /solve books)", got)
+	}
+}
+
+// TestBatchWhileDraining: a draining server rejects the whole batch with
+// 503 + Retry-After before decoding anything.
+func TestBatchWhileDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.beginDrain()
+	resp, body := postNet(t, ts, "/solve/batch", "application/json", batchBody(t, namedNet("a")))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining 503 missing Retry-After")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Class != "shed" {
+		t.Fatalf("class = %q, want shed", er.Class)
+	}
+}
+
+// TestBatchMatchesSingleSolve: a net solved via the batch path answers
+// exactly as it does via /solve — same tier, same buffers, same slack
+// bits — so clients can switch endpoints without revalidating.
+func TestBatchMatchesSingleSolve(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	single, sbody := postNet(t, ts, "/solve", "application/json",
+		fmt.Sprintf(`{"net": %q}`, namedNet("x")))
+	if single.StatusCode != http.StatusOK {
+		t.Fatalf("/solve status %d: %s", single.StatusCode, sbody)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(sbody, &sr); err != nil {
+		t.Fatal(err)
+	}
+	sr.ElapsedMS = 0
+	want, err := json.Marshal(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch, bbody := postNet(t, ts, "/solve/batch", "application/json", batchBody(t, namedNet("x")))
+	if batch.StatusCode != http.StatusOK {
+		t.Fatalf("/solve/batch status %d: %s", batch.StatusCode, bbody)
+	}
+	_, br := normalizeBatch(t, bbody)
+	got, err := json.Marshal(*br.Results[0].Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("batch answer differs from /solve:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -77,16 +77,7 @@ func invalidf(format string, args ...any) error {
 // ErrInvalidInput for malformed payloads (400), ErrBudgetExceeded for
 // oversized ones (413).
 func (s *Server) decodeRequest(r *http.Request) (*solveRequest, error) {
-	req := &solveRequest{
-		timeout:  s.cfg.DefaultTimeout,
-		maxCands: s.cfg.MaxCands,
-		params:   noise.Params{CouplingRatio: defaultLambda, Slope: defaultVdd / defaultRise},
-		bufNM:    defaultBufNM,
-		segLen:   defaultSegLen,
-	}
-
 	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBytes)
-	var netText io.Reader
 	if isJSON(r.Header.Get("Content-Type")) {
 		var env jsonEnvelope
 		dec := json.NewDecoder(body)
@@ -97,20 +88,43 @@ func (s *Server) decodeRequest(r *http.Request) (*solveRequest, error) {
 			}
 			return nil, invalidf("malformed JSON request: %v", err)
 		}
-		if env.Net == "" {
-			return nil, invalidf(`JSON request missing "net"`)
-		}
-		if err := applyEnvelope(req, &env); err != nil {
-			return nil, err
-		}
-		netText = strings.NewReader(env.Net)
-	} else {
-		if err := applyQuery(req, r); err != nil {
-			return nil, err
-		}
-		netText = body
+		return s.requestFromEnvelope(&env)
 	}
 
+	req := s.newSolveRequest()
+	if err := applyQuery(req, r); err != nil {
+		return nil, err
+	}
+	return s.finishDecode(req, body)
+}
+
+// newSolveRequest starts a request at the server's defaults.
+func (s *Server) newSolveRequest() *solveRequest {
+	return &solveRequest{
+		timeout:  s.cfg.DefaultTimeout,
+		maxCands: s.cfg.MaxCands,
+		params:   noise.Params{CouplingRatio: defaultLambda, Slope: defaultVdd / defaultRise},
+		bufNM:    defaultBufNM,
+		segLen:   defaultSegLen,
+	}
+}
+
+// requestFromEnvelope builds a validated request from one JSON envelope —
+// the unit of decoding shared by /solve's JSON path and every item of a
+// /solve/batch request.
+func (s *Server) requestFromEnvelope(env *jsonEnvelope) (*solveRequest, error) {
+	if env.Net == "" {
+		return nil, invalidf(`JSON request missing "net"`)
+	}
+	req := s.newSolveRequest()
+	if err := applyEnvelope(req, env); err != nil {
+		return nil, err
+	}
+	return s.finishDecode(req, strings.NewReader(env.Net))
+}
+
+// finishDecode parses and validates the netfmt text, completing a request.
+func (s *Server) finishDecode(req *solveRequest, netText io.Reader) (*solveRequest, error) {
 	tr, err := netfmt.ReadLimited(netText, s.cfg.Limits)
 	if err != nil {
 		if oversized(err) {

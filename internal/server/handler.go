@@ -113,10 +113,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	resp, solveErr := s.solveAdmitted(r.Context(), req, "server.request")
+	if solveErr != nil {
+		writeError(w, guard.HTTPStatus(solveErr), guard.Class(solveErr), solveErr.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveAdmitted runs one admitted, decoded request under its deadline and
+// chaos plan, recording outcome/tier/duration telemetry under ns
+// ("server.request" for /solve, "server.batch.item" for batch items so
+// the two traffic classes stay separately accounted). Shared by /solve
+// and every fanned-out /solve/batch item.
+func (s *Server) solveAdmitted(ctx context.Context, req *solveRequest, ns string) (SolveResponse, error) {
 	// The request context: the client hanging up cancels the solve; the
 	// per-request deadline bounds it either way. The chaos plan (if an
 	// injector is configured) rides the context to the guard/core hooks.
-	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
+	ctx, cancel := context.WithTimeout(ctx, req.timeout)
 	defer cancel()
 	ctx = faultinject.WithPlan(ctx, s.cfg.Injector.Assign())
 
@@ -131,18 +145,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return e
 	})
 	elapsed := time.Since(start)
-	obs.ObserveDuration("server.request.duration", elapsed.Nanoseconds())
-	obs.Inc("server.request.outcome." + guard.Class(solveErr))
+	obs.ObserveDuration(ns+".duration", elapsed.Nanoseconds())
+	obs.Inc(ns + ".outcome." + guard.Class(solveErr))
 
 	if solveErr != nil {
-		writeError(w, guard.HTTPStatus(solveErr), guard.Class(solveErr), solveErr.Error(), 0)
-		return
+		return SolveResponse{}, solveErr
 	}
-	obs.Inc("server.request.tier." + res.Tier.String())
+	obs.Inc(ns + ".tier." + res.Tier.String())
 	for _, te := range res.TierErrors {
-		obs.Inc("server.request.tiererr." + guard.Class(te.Err))
+		obs.Inc(ns + ".tiererr." + guard.Class(te.Err))
 	}
-	writeJSON(w, http.StatusOK, buildResponse(req, res, elapsed))
+	return buildResponse(req, res, elapsed), nil
 }
 
 // solveOne runs one admitted, decoded request through the solver stack.
@@ -205,11 +218,11 @@ func buildResponse(req *solveRequest, res *core.SolveResult, elapsed time.Durati
 	return resp
 }
 
-// shed writes the admission-control rejection for err: 429 for a full
-// queue, 503 for drain, 503 for a client that vanished while queued (it
-// will rarely see the answer anyway). Every shed response carries
-// Retry-After.
-func (s *Server) shed(w http.ResponseWriter, err error) {
+// shedResponse maps an admission rejection to its wire shape: 429 for a
+// full queue, 503 for drain, 503 for a client that vanished while queued
+// (it will rarely see the answer anyway). Used directly by /solve and
+// per-item by /solve/batch.
+func (s *Server) shedResponse(err error) (int, ErrorResponse) {
 	status := http.StatusServiceUnavailable
 	if errors.Is(err, errOverloaded) {
 		status = http.StatusTooManyRequests
@@ -218,8 +231,19 @@ func (s *Server) shed(w http.ResponseWriter, err error) {
 	if retry < 1 {
 		retry = 1
 	}
-	w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
-	writeError(w, status, "shed", err.Error(), retry)
+	return status, ErrorResponse{
+		Error:       err.Error(),
+		Class:       "shed",
+		Status:      status,
+		RetryAfterS: retry,
+	}
+}
+
+// shed writes the admission-control rejection for err, with Retry-After.
+func (s *Server) shed(w http.ResponseWriter, err error) {
+	status, body := s.shedResponse(err)
+	w.Header().Set("Retry-After", strconv.FormatInt(body.RetryAfterS, 10))
+	writeJSON(w, status, body)
 }
 
 // handleHealthz is liveness: 200 for as long as the process serves HTTP.

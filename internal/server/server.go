@@ -80,6 +80,11 @@ type Config struct {
 	DrainTimeout time.Duration
 	// RetryAfter is the hint sent with 429/503 responses. Default 1 s.
 	RetryAfter time.Duration
+	// MaxBatch caps the nets in one /solve/batch request; larger batches
+	// are rejected outright with 413. Default 64. Batch items share the
+	// Workers/QueueDepth pool with /solve traffic, so a batch wider than
+	// Workers+QueueDepth can have its tail items shed individually.
+	MaxBatch int
 	// Injector, when non-nil, assigns chaos faults to admitted requests
 	// (the soak harness; see internal/faultinject). Nil in production.
 	Injector *faultinject.Injector
@@ -109,6 +114,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
 	}
 	return c
 }
@@ -148,6 +156,7 @@ func New(cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/solve/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -231,6 +240,15 @@ func (s *Server) beginDrain() {
 // slot, the client giving up, or drain. The returned release function
 // must be called exactly once when the work is done.
 func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	return s.admitNS(ctx, "server")
+}
+
+// admitNS is admit with a counter namespace: /solve requests shed under
+// "server.shed.*", batch items under "server.batch.shed.*", so the soak
+// invariants (client-observed 429s == shed counter, outcomes + shed ==
+// requests) hold exactly per traffic class. The inflight/queue gauges
+// stay unprefixed — they measure the one shared pool both classes drain.
+func (s *Server) admitNS(ctx context.Context, ns string) (release func(), err error) {
 	if s.draining.Load() {
 		return nil, errDraining
 	}
@@ -256,7 +274,7 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	q := s.queued.Add(1)
 	if q > int64(s.cfg.QueueDepth) {
 		s.queued.Add(-1)
-		obs.Inc("server.shed.queue_full")
+		obs.Inc(ns + ".shed.queue_full")
 		return nil, errOverloaded
 	}
 	// Peak recorded only for admitted waiters: the counter briefly
@@ -270,10 +288,10 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	case s.slots <- struct{}{}:
 		return acquired(), nil
 	case <-ctx.Done():
-		obs.Inc("server.shed.client_gone")
+		obs.Inc(ns + ".shed.client_gone")
 		return nil, fmt.Errorf("%w: %w", guard.ErrCanceled, ctx.Err())
 	case <-s.drainCh:
-		obs.Inc("server.shed.draining")
+		obs.Inc(ns + ".shed.draining")
 		return nil, errDraining
 	}
 }

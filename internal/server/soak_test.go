@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"runtime"
@@ -13,6 +14,17 @@ import (
 	"buffopt/internal/faultinject"
 	"buffopt/internal/obs"
 )
+
+// batchBodyNets builds a batch request of width sample-net copies under
+// distinct names.
+func batchBodyNets(t *testing.T, width int) string {
+	t.Helper()
+	nets := make([]string, width)
+	for i := range nets {
+		nets[i] = namedNet(fmt.Sprintf("soak%d", i))
+	}
+	return batchBody(t, nets...)
+}
 
 // TestSoakUnderChaos is the fault-injection soak: many clients hammer the
 // daemon while a seeded injector deals slow solves, spurious cancels,
@@ -35,10 +47,13 @@ import (
 // -race by scripts/check.sh (short mode) and `make soak` (full).
 func TestSoakUnderChaos(t *testing.T) {
 	clients, perClient := 16, 14
+	batchClients, perBatchClient := 4, 6
 	if testing.Short() {
 		clients, perClient = 8, 5
+		batchClients, perBatchClient = 2, 3
 	}
 	const workers, queueDepth = 4, 4
+	const batchWidth = 3
 
 	inj, err := faultinject.New(faultinject.Config{
 		Seed: 42,
@@ -116,6 +131,58 @@ func TestSoakUnderChaos(t *testing.T) {
 			}
 		}()
 	}
+
+	// Batch clients run alongside, fanning nets through the same pool; the
+	// per-item tally feeds the batch-side accounting assertions below.
+	var (
+		batchOK, batchShed, batchOther int64
+		batchPosts                     = batchClients * perBatchClient
+		batchNets                      = batchPosts * batchWidth
+		batchReq                       = batchBodyNets(t, batchWidth)
+	)
+	for c := 0; c < batchClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perBatchClient; i++ {
+				resp, err := http.Post(ts.URL+"/solve/batch", "application/json", strings.NewReader(batchReq))
+				if err != nil {
+					t.Errorf("batch transport error (daemon died?): %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("batch status %d: %s", resp.StatusCode, body)
+					continue
+				}
+				var br BatchResponse
+				if err := json.Unmarshal(body, &br); err != nil {
+					t.Errorf("batch 200 with undecodable body: %v", err)
+					continue
+				}
+				if br.Count != batchWidth || len(br.Results) != batchWidth {
+					t.Errorf("batch answered %d of %d items", len(br.Results), batchWidth)
+				}
+				for _, item := range br.Results {
+					switch {
+					case item.Error == nil:
+						mu.Lock()
+						batchOK++
+						mu.Unlock()
+					case item.Error.Class == "shed":
+						mu.Lock()
+						batchShed++
+						mu.Unlock()
+					default:
+						mu.Lock()
+						batchOther++
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
 	wg.Wait()
 
 	// The process survived the chaos.
@@ -163,14 +230,19 @@ func TestSoakUnderChaos(t *testing.T) {
 	}
 
 	// Degradation accounting: injected faults equal observed telemetry.
-	if got, want := ctr["server.request.outcome.panic"], inj.Consumed(faultinject.FaultPanic); got != want {
-		t.Errorf("outcome.panic = %d, injected %d panics", got, want)
+	// Plans are dealt to /solve requests and batch items alike, so the
+	// consumed totals must equal the sum across both counter namespaces.
+	if got, want := ctr["server.request.outcome.panic"]+ctr["server.batch.item.outcome.panic"],
+		inj.Consumed(faultinject.FaultPanic); got != want {
+		t.Errorf("outcome.panic = %d across both classes, injected %d panics", got, want)
 	}
-	if got, want := ctr["server.request.tiererr.canceled"], inj.Consumed(faultinject.FaultCancel); got != want {
-		t.Errorf("tiererr.canceled = %d, injected %d cancels", got, want)
+	if got, want := ctr["server.request.tiererr.canceled"]+ctr["server.batch.item.tiererr.canceled"],
+		inj.Consumed(faultinject.FaultCancel); got != want {
+		t.Errorf("tiererr.canceled = %d across both classes, injected %d cancels", got, want)
 	}
-	if got, want := ctr["server.request.tiererr.internal"], inj.Consumed(faultinject.FaultMalformed); got != want {
-		t.Errorf("tiererr.internal = %d, injected %d corruptions", got, want)
+	if got, want := ctr["server.request.tiererr.internal"]+ctr["server.batch.item.tiererr.internal"],
+		inj.Consumed(faultinject.FaultMalformed); got != want {
+		t.Errorf("tiererr.internal = %d across both classes, injected %d corruptions", got, want)
 	}
 	// The obs mirror written at take time agrees with the injector.
 	if got, want := ctr["fault.injected.panic"], inj.Consumed(faultinject.FaultPanic); got != want {
@@ -191,6 +263,35 @@ func TestSoakUnderChaos(t *testing.T) {
 	shed := ctr["server.shed.queue_full"] + ctr["server.shed.draining"] + ctr["server.shed.client_gone"]
 	if outcomes+shed != int64(total) {
 		t.Errorf("outcomes %d + shed %d != %d requests", outcomes, shed, total)
+	}
+
+	// Batch accounting, same books, separate namespace: every posted batch
+	// and every fanned net is counted, every item has exactly one outcome
+	// or shed, and the server-side tallies equal what clients observed.
+	if ctr["server.batch.requests"] != int64(batchPosts) {
+		t.Errorf("server.batch.requests = %d, want %d", ctr["server.batch.requests"], batchPosts)
+	}
+	if ctr["server.batch.nets"] != int64(batchNets) {
+		t.Errorf("server.batch.nets = %d, want %d", ctr["server.batch.nets"], batchNets)
+	}
+	var itemOutcomes int64
+	for name, v := range ctr {
+		if strings.HasPrefix(name, "server.batch.item.outcome.") {
+			itemOutcomes += v
+		}
+	}
+	batchShedSrv := ctr["server.batch.shed.queue_full"] + ctr["server.batch.shed.draining"] + ctr["server.batch.shed.client_gone"]
+	if itemOutcomes+batchShedSrv != int64(batchNets) {
+		t.Errorf("batch item outcomes %d + sheds %d != %d nets", itemOutcomes, batchShedSrv, batchNets)
+	}
+	if batchShedSrv != batchShed {
+		t.Errorf("server counted %d batch sheds, clients saw %d", batchShedSrv, batchShed)
+	}
+	if got := ctr["server.batch.item.outcome.ok"]; got != batchOK {
+		t.Errorf("batch.item.outcome.ok = %d, clients saw %d ok items", got, batchOK)
+	}
+	if batchOK+batchShed+batchOther != int64(batchNets) {
+		t.Errorf("client batch tally %d+%d+%d != %d items", batchOK, batchShed, batchOther, batchNets)
 	}
 
 	// Bounded queue and pool: the peaks never exceeded the configuration.

@@ -28,4 +28,11 @@ go test -race ./...
 echo "== soak (short): go test -race -short -run TestSoakUnderChaos ./internal/server"
 go test -race -short -count=1 -run TestSoakUnderChaos ./internal/server
 
+# The differential/determinism gate on the parallel DP and the batch
+# endpoint (short corpus; `make difftest` runs the full one): the
+# parallel walk must stay bit-identical to serial, and batch responses
+# must not depend on order or pool width.
+echo "== difftest (short): serial/parallel bit identity + batch determinism"
+go test -race -short -count=1 -run 'TestDifferential|TestDeterminism|TestBatch' ./internal/core ./internal/server
+
 echo "check: OK"
