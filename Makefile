@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the tier-1 gate (ROADMAP.md).
 
-.PHONY: build test check bench difftest fuzz soak
+.PHONY: build test check bench cachebench difftest fuzz soak
 
 build:
 	go build ./...
@@ -16,6 +16,12 @@ check:
 # text). Not part of the tier-1 gate. BENCH=/BENCHTIME= override defaults.
 bench:
 	sh scripts/bench.sh
+
+# Cache-focused benchmark recording: the hit-vs-solve pair (the tentpole
+# acceptance is a ≥10× gap) at publication benchtime, written as a dated
+# BENCH_<date>[-n].json alongside the full recordings.
+cachebench:
+	BENCH='BenchmarkSolveCached|BenchmarkSolveUncached' BENCHTIME=2s sh scripts/bench.sh -suffix
 
 # Differential/determinism gate on the parallel dynamic program and the
 # batch endpoint: serial-vs-parallel bit identity over the seeded corpus,

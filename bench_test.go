@@ -9,6 +9,7 @@
 package buffopt_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -192,6 +193,41 @@ func BenchmarkDelayOptK4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.DelayOptK(tr, lib, 4, core.Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveUncached is the whole degradation ladder on one large
+// net — the baseline BenchmarkSolveCached's hits are measured against
+// (the tentpole acceptance: a hit is ≥10× cheaper than a solve).
+func BenchmarkSolveUncached(b *testing.B) {
+	tr, lib, p := benchNet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(context.Background(), tr, lib, p, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveCached measures a cache hit: the canonical hash of the
+// problem plus one deep copy of the stored result, no DP at all.
+func BenchmarkSolveCached(b *testing.B) {
+	tr, lib, p := benchNet(b)
+	c := core.NewSolveCache(64, 0, "bench")
+	if _, err := core.Solve(context.Background(), tr, lib, p, core.Options{Cache: c}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Solve(context.Background(), tr, lib, p, core.Options{Cache: c})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("prewarmed solve missed the cache")
 		}
 	}
 }

@@ -8,6 +8,7 @@
 //	bufferd [-addr :8080] [-workers N] [-queue N] [-max-batch N]
 //	        [-timeout 30s] [-max-timeout 2m] [-max-cands N]
 //	        [-max-bytes 8388608] [-max-nodes N]
+//	        [-cache-entries 4096] [-cache-bytes 268435456]
 //	        [-drain-timeout 15s] [-retry-after 1s]
 //	        [-faults slow=0.1,cancel=0.05] [-fault-seed 1] [-fault-delay 25ms]
 //	        [-metrics out.json] [-v] [-pprof addr]
@@ -29,6 +30,13 @@
 // and a Retry-After header. SIGTERM (or Ctrl-C) drains: readiness flips,
 // in-flight requests finish (bounded by -drain-timeout), and the process
 // exits 0.
+//
+// Results are memoized in a content-addressed LRU cache bounded by
+// -cache-entries and -cache-bytes (set both to 0 to disable). Repeated
+// requests for the same net and knobs are answered from the cache
+// (responses carry "cached": true) and concurrent identical requests
+// coalesce onto one solve; "server.cache.*" counters on /metrics track
+// lookups, hits, misses, coalesced waits, stores, and evictions.
 //
 // The -faults family enables the deterministic fault injector (see
 // internal/faultinject) for soak and chaos testing; leave it unset in
@@ -72,6 +80,8 @@ func run(args []string, stderr *os.File) int {
 	fs.IntVar(&cfg.Limits.MaxNodes, "max-nodes", 0, "cap on nodes per net (0 = netfmt default)")
 	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
 	fs.DurationVar(&cfg.RetryAfter, "retry-after", time.Second, "Retry-After hint on shed responses")
+	fs.IntVar(&cfg.CacheEntries, "cache-entries", 4096, "max results resident in the solve cache (0 = unlimited when -cache-bytes set; both 0 disables)")
+	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 256<<20, "max estimated bytes resident in the solve cache (0 = unlimited when -cache-entries set; both 0 disables)")
 
 	faults := fs.String("faults", "", "fault-injection rates, e.g. slow=0.1,cancel=0.05,panic=0.01,malformed=0.05 (chaos testing only)")
 	faultSeed := fs.Int64("fault-seed", 1, "fault injector PRNG seed")
@@ -102,7 +112,7 @@ func run(args []string, stderr *os.File) int {
 		cfg.Injector = inj
 		fmt.Fprintf(stderr, "bufferd: FAULT INJECTION ACTIVE: %s (seed %d)\n", *faults, *faultSeed)
 	}
-	if cfg.Limits.MaxNodes < 0 || cfg.MaxBytes < 0 {
+	if cfg.Limits.MaxNodes < 0 || cfg.MaxBytes < 0 || cfg.CacheEntries < 0 || cfg.CacheBytes < 0 {
 		fmt.Fprintln(stderr, "bufferd: limits must be non-negative")
 		return guard.ExitUsage
 	}

@@ -37,6 +37,13 @@ type Options struct {
 	// Results are bit-identical across all settings — the parallel
 	// schedule changes when nodes are computed, never what they compute.
 	Workers int
+	// Cache, when non-nil, memoizes whole-net Solve results by canonical
+	// problem hash: repeated identical requests return a deep copy of the
+	// first answer, and concurrent identical requests coalesce onto one
+	// ladder run. Only Solve consults it (the cache key covers Solve's
+	// degradation behavior); the single-engine entry points ignore it.
+	// Excluded from the cache key itself, like Workers.
+	Cache *SolveCache
 }
 
 // Sizing configures simultaneous wire sizing. Widening a wire divides its
@@ -109,7 +116,13 @@ type Result struct {
 // every noise constraint (Algorithm 3, Section IV; optimal for a single
 // buffer type per Theorem 5). It returns ErrNoiseUnfixable (wrapped) when
 // no buffer assignment satisfies the noise constraints.
+//
+// Equivalent to Optimize with Objective MaxSlackNoise.
 func BuffOpt(t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options) (*Result, error) {
+	return Optimize(opts.Budget.Context(), Problem{Tree: t, Library: lib, Params: p, Objective: MaxSlackNoise}, opts)
+}
+
+func buffOpt(t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options) (*Result, error) {
 	vo := opts.vgo()
 	vo.noise = true
 	vo.params = p
@@ -142,7 +155,13 @@ func BuffOpt(t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options)
 // When no buffer count achieves non-negative slack, the noise-feasible
 // solution with maximum slack is returned (best effort): noise constraints
 // are hard, timing is maximized.
+//
+// Equivalent to Optimize with Objective MinBuffersNoise.
 func BuffOptMinBuffers(t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options) (*Result, error) {
+	return Optimize(opts.Budget.Context(), Problem{Tree: t, Library: lib, Params: p, Objective: MinBuffersNoise}, opts)
+}
+
+func buffOptMinBuffers(t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options) (*Result, error) {
 	const hardCap = 64
 	var lastErr error
 	var fallback *vgCand
@@ -198,7 +217,13 @@ func BuffOptMinBuffers(t *rctree.Tree, lib *buffers.Library, p noise.Params, opt
 // DelayOpt is the Section V baseline: Van Ginneken's algorithm with the
 // Lillis extensions but no noise constraints — Algorithm 3 without the
 // boldface modifications. It maximizes the slack at the source.
+//
+// Equivalent to Optimize with Objective MaxSlack.
 func DelayOpt(t *rctree.Tree, lib *buffers.Library, opts Options) (*Result, error) {
+	return Optimize(opts.Budget.Context(), Problem{Tree: t, Library: lib, Objective: MaxSlack}, opts)
+}
+
+func delayOpt(t *rctree.Tree, lib *buffers.Library, opts Options) (*Result, error) {
 	vo := opts.vgo()
 	cands, err := runVG(t, lib, vo)
 	if err != nil {
@@ -213,10 +238,14 @@ func DelayOpt(t *rctree.Tree, lib *buffers.Library, opts Options) (*Result, erro
 
 // DelayOptK is DelayOpt(k) of Section V: the best slack achievable with at
 // most k buffers, via buffer-count-indexed candidate lists.
+//
+// Equivalent to Optimize with Objective MaxSlack and MaxBuffers k.
 func DelayOptK(t *rctree.Tree, lib *buffers.Library, k int, opts Options) (*Result, error) {
-	if k < 0 {
-		return nil, fmt.Errorf("core: negative buffer bound %d", k)
-	}
+	return Optimize(opts.Budget.Context(), Problem{Tree: t, Library: lib, Objective: MaxSlack, MaxBuffers: &k}, opts)
+}
+
+// delayOptK assumes k ≥ 0 (Problem.Validate rejected negatives).
+func delayOptK(t *rctree.Tree, lib *buffers.Library, k int, opts Options) (*Result, error) {
 	vo := opts.vgo()
 	vo.countIndexed = true
 	vo.maxBuffers = k
@@ -234,10 +263,14 @@ func DelayOptK(t *rctree.Tree, lib *buffers.Library, k int, opts Options) (*Resu
 // BuffOptK returns the noise-feasible solution with the best slack using
 // at most k buffers. Used by ablation studies; the Section V tool is
 // BuffOptMinBuffers.
+//
+// Equivalent to Optimize with Objective MaxSlackNoise and MaxBuffers k.
 func BuffOptK(t *rctree.Tree, lib *buffers.Library, p noise.Params, k int, opts Options) (*Result, error) {
-	if k < 0 {
-		return nil, fmt.Errorf("core: negative buffer bound %d", k)
-	}
+	return Optimize(opts.Budget.Context(), Problem{Tree: t, Library: lib, Params: p, Objective: MaxSlackNoise, MaxBuffers: &k}, opts)
+}
+
+// buffOptK assumes k ≥ 0 (Problem.Validate rejected negatives).
+func buffOptK(t *rctree.Tree, lib *buffers.Library, p noise.Params, k int, opts Options) (*Result, error) {
 	vo := opts.vgo()
 	vo.noise = true
 	vo.params = p

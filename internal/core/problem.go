@@ -1,0 +1,276 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/guard"
+	"buffopt/internal/noise"
+	"buffopt/internal/rctree"
+)
+
+// Objective selects what Optimize maximizes or minimizes. The three
+// objectives correspond to the paper's problem statements: Problem 1/2
+// (slack, without and with noise constraints) and Problem 3 (buffer
+// weight subject to noise and timing).
+type Objective uint8
+
+const (
+	// MaxSlack maximizes the slack at the source with no noise
+	// constraints — Van Ginneken's algorithm with the Lillis extensions,
+	// the Section V "DelayOpt" baseline. An optional Problem.MaxBuffers
+	// bound turns it into DelayOpt(k).
+	MaxSlack Objective = iota
+	// MaxSlackNoise maximizes slack subject to every noise constraint
+	// (Problem 2, Algorithm 3). An optional Problem.MaxBuffers bound
+	// restricts the search to solutions with at most k buffers.
+	MaxSlackNoise
+	// MinBuffersNoise inserts the minimum total buffer weight such that
+	// both the noise constraints and timing (slack ≥ 0) hold, maximizing
+	// slack as a secondary objective (Problem 3, the Section V "BuffOpt"
+	// tool). Problem.MaxBuffers must be nil: the buffer count is the
+	// objective, not a constraint.
+	MinBuffersNoise
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MaxSlack:
+		return "max-slack"
+	case MaxSlackNoise:
+		return "max-slack-noise"
+	case MinBuffersNoise:
+		return "min-buffers-noise"
+	}
+	return fmt.Sprintf("objective(%d)", uint8(o))
+}
+
+// ParseObjective is the inverse of Objective.String. Errors wrap
+// guard.ErrInvalidInput.
+func ParseObjective(s string) (Objective, error) {
+	for o := MaxSlack; o <= MinBuffersNoise; o++ {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown objective %q: %w", s, guard.ErrInvalidInput)
+}
+
+// Problem is one complete optimization request: everything that
+// determines the answer, and nothing that doesn't. It subsumes the five
+// historical entry points (BuffOpt, BuffOptK, DelayOpt, DelayOptK,
+// BuffOptMinBuffers), which are now thin wrappers over Optimize, and its
+// CanonicalHash is the content-addressed cache key.
+type Problem struct {
+	// Tree is the routing tree to buffer. Optimize never modifies it.
+	Tree *rctree.Tree
+	// Library is the available buffer repertoire.
+	Library *buffers.Library
+	// Params are the noise-model parameters (λ, μ). Ignored — including
+	// by CanonicalHash — when Objective is MaxSlack.
+	Params noise.Params
+	// Objective selects the problem statement.
+	Objective Objective
+	// MaxBuffers, when non-nil, bounds the total buffer weight (the count
+	// for unit-weight libraries). Valid for MaxSlack and MaxSlackNoise;
+	// must be nil for MinBuffersNoise.
+	MaxBuffers *int
+}
+
+// Validate checks the request's structure. All errors wrap
+// guard.ErrInvalidInput, so servers map them to 400, not 500. Electrical
+// validation (tree parasitics, noise params) stays at the Solve/netfmt
+// boundary; here only the shape of the request is checked, preserving the
+// historical entry points' behavior exactly.
+func (p Problem) Validate() error {
+	if p.Tree == nil {
+		return fmt.Errorf("core: Problem.Tree is nil: %w", guard.ErrInvalidInput)
+	}
+	if p.Library == nil {
+		return fmt.Errorf("core: Problem.Library is nil: %w", guard.ErrInvalidInput)
+	}
+	if err := p.Library.Validate(); err != nil {
+		return invalid(err)
+	}
+	if p.Objective > MinBuffersNoise {
+		return fmt.Errorf("core: unknown objective %d: %w", p.Objective, guard.ErrInvalidInput)
+	}
+	if p.MaxBuffers != nil {
+		if *p.MaxBuffers < 0 {
+			return fmt.Errorf("core: negative buffer bound %d: %w", *p.MaxBuffers, guard.ErrInvalidInput)
+		}
+		if p.Objective == MinBuffersNoise {
+			return fmt.Errorf("core: %s takes no buffer bound (the count is the objective): %w",
+				p.Objective, guard.ErrInvalidInput)
+		}
+	}
+	return nil
+}
+
+// Optimize solves one Problem. It is the single front door the historical
+// entry points now share: the objective plus the optional count bound
+// select the engine configuration, and the result is bit-identical to the
+// corresponding legacy call.
+//
+// ctx carries cancellation. When opts.Budget is nil (or bound to a
+// different context), a budget wired to ctx is installed so cancellation
+// reaches the inner loops; when opts.Budget already carries ctx — as in
+// every legacy wrapper call — it is used as-is, preserving the caller's
+// usage high-water marks.
+//
+// Validation failures wrap guard.ErrInvalidInput. For graceful
+// degradation under deadline pressure, use Solve, which runs the
+// MinBuffersNoise objective down a ladder of weaker engines; Optimize
+// runs exactly one engine and returns its error.
+func Optimize(ctx context.Context, p Problem, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts.Budget = budgetFor(ctx, opts.Budget)
+	switch p.Objective {
+	case MaxSlack:
+		if p.MaxBuffers != nil {
+			return delayOptK(p.Tree, p.Library, *p.MaxBuffers, opts)
+		}
+		return delayOpt(p.Tree, p.Library, opts)
+	case MaxSlackNoise:
+		if p.MaxBuffers != nil {
+			return buffOptK(p.Tree, p.Library, p.Params, *p.MaxBuffers, opts)
+		}
+		return buffOpt(p.Tree, p.Library, p.Params, opts)
+	default: // MinBuffersNoise; Validate rejected everything else
+		return buffOptMinBuffers(p.Tree, p.Library, p.Params, opts)
+	}
+}
+
+// budgetFor reconciles the caller's context with the caller's budget.
+// When the budget already carries ctx — including the nil-budget,
+// background-context pairing every legacy wrapper produces — it is
+// returned unchanged, so legacy call paths keep their exact Budget
+// object (and its usage marks). Otherwise a fresh budget bound to ctx is
+// built, copying the resource caps.
+func budgetFor(ctx context.Context, b *guard.Budget) *guard.Budget {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx == b.Context() {
+		return b
+	}
+	nb := guard.New(ctx)
+	if b != nil {
+		nb.MaxCandidates = b.MaxCandidates
+		nb.MaxTreeNodes = b.MaxTreeNodes
+		nb.MaxSimSteps = b.MaxSimSteps
+	}
+	return nb
+}
+
+// hashVersion prefixes every canonical hash; bump it whenever the
+// serialization below changes, so stale cache entries from an older
+// binary can never alias a new request.
+const hashVersion = "buffopt.problem.v1"
+
+// CanonicalHash returns the content-addressed identity of the request as
+// a hex SHA-256: two Problems hash equal iff the solver computes the same
+// answer for both, byte for byte.
+//
+// Included: the driver model; a preorder walk of the tree covering each
+// node's kind, buffer feasibility, wire parasitics (R, C, length, and the
+// explicit aggressor list — nil and empty are distinct, because nil
+// selects the estimation mode), and sink properties (cap, RAT, noise
+// margin); the buffer library in order, every electrical field plus name
+// and weight; the noise parameters (skipped for MaxSlack, which never
+// reads them); the objective; and the count bound.
+//
+// Excluded, deliberately: node names, IDs, and X/Y coordinates (reports
+// only — two nets differing only in labels are the same problem);
+// Options.Workers and all deadlines (results are bit-identical across
+// them); and Options' output-affecting knobs, which the cache layers on
+// top (see SolveCacheKey). Sibling order is preserved, not sorted: the
+// branch-merge order can steer tie-breaking among equal-slack candidates,
+// so reordered children are a different problem even though renumbered
+// nodes are not.
+func (p Problem) CanonicalHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	b1 := func(v byte) { buf[0] = v; h.Write(buf[:1]) }
+	bol := func(v bool) {
+		if v {
+			b1(1)
+		} else {
+			b1(0)
+		}
+	}
+	str := func(s string) { u64(uint64(len(s))); io.WriteString(h, s) }
+
+	str(hashVersion)
+	if p.Tree == nil {
+		b1(0xff)
+	} else {
+		b1(1)
+		f64(p.Tree.DriverResistance)
+		f64(p.Tree.DriverDelay)
+		stack := []rctree.NodeID{p.Tree.Root()}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n := p.Tree.Node(id)
+			b1(byte(n.Kind))
+			bol(n.BufferOK)
+			f64(n.Wire.R)
+			f64(n.Wire.C)
+			f64(n.Wire.Length)
+			bol(n.Wire.Aggressors != nil)
+			u64(uint64(len(n.Wire.Aggressors)))
+			for _, a := range n.Wire.Aggressors {
+				f64(a.Ratio)
+				f64(a.Slope)
+			}
+			f64(n.Cap)
+			f64(n.RAT)
+			f64(n.NoiseMargin)
+			u64(uint64(len(n.Children)))
+			for i := len(n.Children) - 1; i >= 0; i-- {
+				stack = append(stack, n.Children[i])
+			}
+		}
+	}
+	if p.Library == nil {
+		b1(0xff)
+	} else {
+		b1(1)
+		u64(uint64(len(p.Library.Buffers)))
+		for _, bb := range p.Library.Buffers {
+			str(bb.Name)
+			f64(bb.Cin)
+			f64(bb.R)
+			f64(bb.T)
+			f64(bb.NoiseMargin)
+			bol(bb.Inverting)
+			u64(uint64(int64(bb.Weight)))
+		}
+	}
+	b1(byte(p.Objective))
+	if p.Objective != MaxSlack {
+		f64(p.Params.CouplingRatio)
+		f64(p.Params.Slope)
+	}
+	if p.MaxBuffers == nil {
+		b1(0)
+	} else {
+		b1(1)
+		u64(uint64(int64(*p.MaxBuffers)))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

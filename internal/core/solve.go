@@ -123,6 +123,15 @@ type SolveResult struct {
 	// including elapsed time and budget usage. Empty when Tier ==
 	// TierExact.
 	TierErrors []*TierError
+	// Cached reports that this result was served from Options.Cache
+	// without running the ladder. Cached results are bit-identical to
+	// what a fresh solve would have produced (the solver is
+	// deterministic); the flag exists for telemetry and API responses,
+	// not correctness.
+	Cached bool
+	// Coalesced reports that this request missed the cache but shared a
+	// concurrent identical request's solve instead of running its own.
+	Coalesced bool
 }
 
 // Degradation ladder deadline shares: each tier may spend at most this
@@ -182,6 +191,35 @@ func Solve(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p noise.Pa
 		return nil, err
 	}
 
+	if opts.Cache == nil {
+		return solveLadder(ctx, t, lib, p, opts)
+	}
+	// Cached mode: the ladder runs as the fill of a coalescing cache
+	// lookup. The key covers everything that steers the output —
+	// canonical problem hash, output-affecting options, resource caps
+	// (budget classes cache separately) — and excludes deadlines and
+	// Workers, which never change the bytes of a stored result: only
+	// deterministically-degraded or exact results are stored (see
+	// cacheable). Concurrent identical requests share one ladder run.
+	key := SolveCacheKey(Problem{Tree: t, Library: lib, Params: p, Objective: MinBuffersNoise}, opts)
+	res, out, err := opts.Cache.Do(ctx, key, func() (*SolveResult, bool, error) {
+		r, err := solveLadder(ctx, t, lib, p, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		return r, Cacheable(r), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Cached = out.Hit
+	res.Coalesced = out.Coalesced
+	return res, nil
+}
+
+// solveLadder is Solve's degradation ladder, separated so the cache can
+// run it as a fill function. Inputs are pre-validated.
+func solveLadder(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options) (*SolveResult, error) {
 	type tierFn func(b *guard.Budget) (*Result, error)
 
 	exactOpts := opts

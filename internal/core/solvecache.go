@@ -1,0 +1,196 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"math"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/cache"
+	"buffopt/internal/guard"
+	"buffopt/internal/rctree"
+)
+
+// SolveCache memoizes whole-net SolveResults by canonical problem hash.
+// The solver is deterministic (the differential suite proves serial,
+// parallel, and repeated runs bit-identical), so a hit returns exactly
+// the bytes a fresh solve would have produced. Share one SolveCache
+// across goroutines freely; concurrent identical requests coalesce onto
+// one solve.
+type SolveCache = cache.Cache[*SolveResult]
+
+// NewSolveCache builds a cache for SolveResults bounded by entries and
+// bytes (0 disables the respective bound), reporting its counters under
+// "<namespace>.cache.*" in the obs registry. Values are deep-copied on
+// every read, so callers may freely mutate what they get back.
+func NewSolveCache(entries int, bytes int64, namespace string) *SolveCache {
+	return cache.New(cache.Config[*SolveResult]{
+		MaxEntries: entries,
+		MaxBytes:   bytes,
+		Size:       solveResultSize,
+		Clone:      (*SolveResult).Clone,
+		Namespace:  namespace,
+	})
+}
+
+// solveResultSize approximates a result's resident footprint: the cloned
+// tree dominates, then the assignment maps and tier metadata. The
+// constants are deliberately generous — the byte bound is a memory
+// safety valve, not an accounting ledger.
+func solveResultSize(r *SolveResult) int64 {
+	const (
+		base      = 256 // SolveResult + Result + Solution headers
+		perNode   = 200 // rctree.Node incl. children slice overhead
+		perBuffer = 96  // map entry + Buffer value (incl. name header)
+		perWidth  = 32  // map entry + float
+		perTier   = 192 // TierError + wrapped error chain
+	)
+	sz := int64(base)
+	if r == nil {
+		return sz
+	}
+	if r.Result != nil && r.Solution != nil {
+		if r.Tree != nil {
+			sz += int64(r.Tree.Len()) * perNode
+		}
+		sz += int64(len(r.Buffers)) * perBuffer
+		sz += int64(len(r.Widths)) * perWidth
+	}
+	sz += int64(len(r.TierErrors)) * perTier
+	return sz
+}
+
+// Clone deep-copies the result: the solution tree, the assignment maps,
+// and the tier metadata. Mutating the copy never affects the original,
+// which is what makes cached results safe to hand to many callers.
+func (r *SolveResult) Clone() *SolveResult {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	if r.Result != nil {
+		c.Result = r.Result.Clone()
+	}
+	if r.TierErrors != nil {
+		c.TierErrors = make([]*TierError, len(r.TierErrors))
+		for i, te := range r.TierErrors {
+			t := *te
+			c.TierErrors[i] = &t
+		}
+	}
+	return &c
+}
+
+// Clone deep-copies the result and its solution.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	if r.Solution != nil {
+		sol := &Solution{}
+		if r.Solution.Tree != nil {
+			sol.Tree = r.Solution.Tree.Clone()
+		}
+		if r.Solution.Buffers != nil {
+			sol.Buffers = make(map[rctree.NodeID]buffers.Buffer, len(r.Solution.Buffers))
+			for k, v := range r.Solution.Buffers {
+				sol.Buffers[k] = v
+			}
+		}
+		if r.Solution.Widths != nil {
+			sol.Widths = make(map[rctree.NodeID]float64, len(r.Solution.Widths))
+			for k, v := range r.Solution.Widths {
+				sol.Widths[k] = v
+			}
+		}
+		c.Solution = sol
+	}
+	return &c
+}
+
+// Cacheable reports whether a SolveResult may be stored: exact results
+// always (no tier errors), degraded results only when every failed tier
+// failed for a deterministic reason — a resource-cap trip, class
+// "budget". A wall-clock deadline ("canceled"), a panic, or an internal
+// post-condition violation depends on scheduling luck, so a result shaped
+// by one must never be served to a future request that might do better.
+func Cacheable(r *SolveResult) bool {
+	if r == nil {
+		return false
+	}
+	for _, te := range r.TierErrors {
+		if guard.Class(te.Err) != "budget" {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveCacheKey is the cache key for Solve(tree, lib, params, opts): the
+// problem's canonical hash extended with the Options fields that steer
+// Solve's output. Resource caps are included — a budget-starved ladder
+// deterministically lands on a different (degraded) answer than an
+// uncapped one, so each budget class caches under its own key and a
+// starved answer never masks an exact one. Deadlines and Workers are
+// excluded: deadline-shaped results are refused by Cacheable, and
+// results are bit-identical across worker counts.
+func SolveCacheKey(tree treeHasher, opts Options) string {
+	return optionsKey("solve", tree, opts, true)
+}
+
+// OptimizeCacheKey is the cache key for Optimize(ctx, p, opts). Unlike
+// Solve, Optimize has no degradation ladder: resource caps can only turn
+// success into an error, never change a successful answer, so they are
+// excluded and all budget classes share one entry.
+func OptimizeCacheKey(p Problem, opts Options) string {
+	return optionsKey("optimize", p, opts, false)
+}
+
+// treeHasher lets SolveCacheKey accept a Problem (or anything exposing a
+// canonical hash) without re-deriving one here.
+type treeHasher interface{ CanonicalHash() string }
+
+func optionsKey(mode string, p treeHasher, opts Options, includeCaps bool) string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	bol := func(v bool) {
+		buf[0] = 0
+		if v {
+			buf[0] = 1
+		}
+		h.Write(buf[:1])
+	}
+	io.WriteString(h, "buffopt.options.v1/")
+	io.WriteString(h, mode)
+	io.WriteString(h, "/")
+	io.WriteString(h, p.CanonicalHash())
+
+	bol(opts.SafePruning)
+	bol(opts.Sizing != nil)
+	if opts.Sizing != nil {
+		u64(uint64(len(opts.Sizing.Widths)))
+		for _, w := range opts.Sizing.Widths {
+			f64(w)
+		}
+		f64(opts.Sizing.Fringe)
+	}
+	bol(includeCaps)
+	if includeCaps {
+		var mc, mt, ms int
+		if opts.Budget != nil {
+			mc, mt, ms = opts.Budget.MaxCandidates, opts.Budget.MaxTreeNodes, opts.Budget.MaxSimSteps
+		}
+		u64(uint64(int64(mc)))
+		u64(uint64(int64(mt)))
+		u64(uint64(int64(ms)))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

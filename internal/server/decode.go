@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"buffopt/internal/core"
 	"buffopt/internal/guard"
 	"buffopt/internal/netfmt"
 	"buffopt/internal/noise"
@@ -25,17 +26,34 @@ type solveRequest struct {
 	params   noise.Params
 	bufNM    float64
 	segLen   float64
+	// objective, when non-nil, routes the request to core.Optimize with
+	// that single objective instead of the core.Solve degradation ladder
+	// (the default). Set only from a v1 envelope's "problem" sub-object.
+	objective *core.Objective
+	// k is the optional buffer-count bound for objective requests.
+	k *int
 }
 
 // jsonEnvelope is the application/json request shape. Pointer fields
 // distinguish "absent" (use the server default) from an explicit zero.
 //
-//	{"net": "net x\ndriver ...\nend\n", "timeout_ms": 1000,
+//	{"v": 1, "net": "net x\ndriver ...\nend\n", "timeout_ms": 1000,
 //	 "max_cands": 4096, "lambda": 0.7, "rise": 2.5e-10,
-//	 "vdd": 1.8, "bufnm": 0.8, "seglen": 5e-4}
+//	 "vdd": 1.8, "bufnm": 0.8, "seglen": 5e-4,
+//	 "problem": {"objective": "max-slack-noise", "k": 8}}
 type jsonEnvelope struct {
+	// V is the envelope version. Absent means 1 (the legacy flat shape
+	// predates versioning); any value other than 1 is rejected with a
+	// typed 400 so old servers fail loudly on future shapes instead of
+	// misreading them.
+	V *int `json:"v"`
 	// Net is the netfmt text of the net to solve (required).
 	Net string `json:"net"`
+	// Problem, when present, selects a single optimization objective
+	// (core.Optimize) instead of the default degradation ladder
+	// (core.Solve). Introduced with v1; the physics knobs below stay
+	// top-level in both shapes.
+	Problem *problemEnvelope `json:"problem"`
 	// TimeoutMS is the request deadline in milliseconds (clamped to the
 	// server's MaxTimeout; 0 or absent means the server default).
 	TimeoutMS int64 `json:"timeout_ms"`
@@ -54,6 +72,31 @@ type jsonEnvelope struct {
 	// segmenting, absent means the server default (0.5 mm).
 	SegLen *float64 `json:"seglen"`
 }
+
+// problemEnvelope is the "problem" sub-object of a v1 envelope.
+type problemEnvelope struct {
+	// Objective names the optimization objective: "max-slack",
+	// "max-slack-noise", or "min-buffers-noise" (required when the
+	// sub-object is present).
+	Objective string `json:"objective"`
+	// K bounds the buffer count for the max-slack objectives; it is
+	// invalid with min-buffers-noise (that objective computes the bound).
+	K *int `json:"k"`
+}
+
+// UnsupportedVersionError is the typed decode failure for an envelope
+// whose "v" names a version this server does not speak. It unwraps to
+// guard.ErrInvalidInput, so it maps to HTTP 400 with class "invalid".
+type UnsupportedVersionError struct {
+	// Version is the version the client asked for.
+	Version int
+}
+
+func (e *UnsupportedVersionError) Error() string {
+	return fmt.Sprintf("server: unsupported envelope version %d (this server speaks v1)", e.Version)
+}
+
+func (e *UnsupportedVersionError) Unwrap() error { return guard.ErrInvalidInput }
 
 // Solver physics defaults, matching cmd/buffopt's flags.
 const (
@@ -113,6 +156,9 @@ func (s *Server) newSolveRequest() *solveRequest {
 // the unit of decoding shared by /solve's JSON path and every item of a
 // /solve/batch request.
 func (s *Server) requestFromEnvelope(env *jsonEnvelope) (*solveRequest, error) {
+	if env.V != nil && *env.V != 1 {
+		return nil, &UnsupportedVersionError{Version: *env.V}
+	}
 	if env.Net == "" {
 		return nil, invalidf(`JSON request missing "net"`)
 	}
@@ -185,6 +231,34 @@ func applyEnvelope(req *solveRequest, env *jsonEnvelope) error {
 	if math.IsNaN(req.segLen) || math.IsInf(req.segLen, 0) || req.segLen < 0 {
 		return invalidf("seglen = %g must be non-negative and finite", req.segLen)
 	}
+	return applyProblem(req, env.Problem)
+}
+
+// applyProblem copies a v1 envelope's "problem" sub-object into the
+// request, validating the objective/k combination at decode time so a
+// bad combination is a decode rejection, not a wasted worker slot.
+func applyProblem(req *solveRequest, pe *problemEnvelope) error {
+	if pe == nil {
+		return nil
+	}
+	if pe.Objective == "" {
+		return invalidf(`"problem" missing "objective"`)
+	}
+	obj, err := core.ParseObjective(pe.Objective)
+	if err != nil {
+		return err
+	}
+	if pe.K != nil {
+		if *pe.K < 0 {
+			return invalidf("problem k = %d is negative", *pe.K)
+		}
+		if obj == core.MinBuffersNoise {
+			return invalidf("problem k is invalid with objective %q (it computes the bound)", pe.Objective)
+		}
+		k := *pe.K
+		req.k = &k
+	}
+	req.objective = &obj
 	return nil
 }
 

@@ -37,6 +37,16 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add("text/plain", "")
 	f.Add("application/json", "")
 	f.Add("text/plain", "\x00\xff\xfe net \x00\nend")
+	// Versioned (v1) envelopes: explicit version, future version, the
+	// problem sub-object in legal and illegal shapes.
+	f.Add("application/json", `{"v":1,"net":"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nend\n"}`)
+	f.Add("application/json", `{"v":2,"net":"net x\nend\n"}`)
+	f.Add("application/json", `{"v":-1,"net":"x"}`)
+	f.Add("application/json", `{"net":"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nend\n","problem":{"objective":"max-slack-noise","k":2}}`)
+	f.Add("application/json", `{"net":"x","problem":{"objective":"bogus"}}`)
+	f.Add("application/json", `{"net":"x","problem":{}}`)
+	f.Add("application/json", `{"net":"x","problem":{"objective":"min-buffers-noise","k":1}}`)
+	f.Add("application/json", `{"net":"x","problem":{"objective":"max-slack","k":-7}}`)
 
 	f.Fuzz(func(t *testing.T, contentType, body string) {
 		s := New(Config{
@@ -62,6 +72,9 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 		if req.timeout <= 0 || req.timeout > s.cfg.MaxTimeout {
 			t.Fatalf("decode success with out-of-range timeout %v", req.timeout)
+		}
+		if req.k != nil && (req.objective == nil || *req.k < 0) {
+			t.Fatalf("decode success with dangling or negative k: %v obj %v", *req.k, req.objective)
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -42,6 +43,13 @@ type SolveResponse struct {
 	NoiseViolations int `json:"noise_violations"`
 	// MaxNoiseV is the analyzed worst-case coupled noise, volts.
 	MaxNoiseV float64 `json:"max_noise_v"`
+	// Cached reports that the answer came from the server's result cache
+	// without running a solve. Cached answers are bit-identical to fresh
+	// ones (the solver is deterministic); the flag is telemetry.
+	Cached bool `json:"cached"`
+	// Coalesced reports that the request missed the cache but shared a
+	// concurrent identical request's in-flight solve.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// ElapsedMS is the server-side wall time of the solve, milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
@@ -128,20 +136,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // and every fanned-out /solve/batch item.
 func (s *Server) solveAdmitted(ctx context.Context, req *solveRequest, ns string) (SolveResponse, error) {
 	// The request context: the client hanging up cancels the solve; the
-	// per-request deadline bounds it either way. The chaos plan (if an
-	// injector is configured) rides the context to the guard/core hooks.
+	// per-request deadline bounds it either way.
 	ctx, cancel := context.WithTimeout(ctx, req.timeout)
 	defer cancel()
-	ctx = faultinject.WithPlan(ctx, s.cfg.Injector.Assign())
 
 	start := time.Now()
 	var res *core.SolveResult
 	solveErr := guard.Safe("server.solve", func() error {
-		if faultinject.Take(ctx, faultinject.FaultPanic) {
-			panic(faultinject.ErrInjected)
-		}
 		var e error
-		res, e = s.solveOne(ctx, req)
+		res, e = s.solveCached(ctx, req)
 		return e
 	})
 	elapsed := time.Since(start)
@@ -152,14 +155,78 @@ func (s *Server) solveAdmitted(ctx context.Context, req *solveRequest, ns string
 		return SolveResponse{}, solveErr
 	}
 	obs.Inc(ns + ".tier." + res.Tier.String())
-	for _, te := range res.TierErrors {
-		obs.Inc(ns + ".tiererr." + guard.Class(te.Err))
+	// Tier-failure telemetry counts ladder runs, not answers: a cached or
+	// coalesced response replays the stored tier metadata to its client
+	// but must not double-count the one solve that earned it, or the soak
+	// equality (tiererr counters == injector consumed totals) breaks.
+	if !res.Cached && !res.Coalesced {
+		for _, te := range res.TierErrors {
+			obs.Inc(ns + ".tiererr." + guard.Class(te.Err))
+		}
 	}
 	return buildResponse(req, res, elapsed), nil
 }
 
-// solveOne runs one admitted, decoded request through the solver stack.
+// solveCached runs one request through the result cache when one is
+// configured, or straight through the solver stack when not. The chaos
+// plan (if an injector is configured) is drawn inside the fill — where a
+// solve actually runs — so cache hits and coalesced waiters consume no
+// plan and the injector's assigned==consumed books stay exact.
+func (s *Server) solveCached(ctx context.Context, req *solveRequest) (*core.SolveResult, error) {
+	if s.cache == nil {
+		return s.solveOne(faultinject.WithPlan(ctx, s.cfg.Injector.Assign()), req)
+	}
+	res, out, err := s.cache.Do(ctx, s.cacheKey(req), func() (*core.SolveResult, bool, error) {
+		r, e := s.solveOne(faultinject.WithPlan(ctx, s.cfg.Injector.Assign()), req)
+		if e != nil {
+			return nil, false, e
+		}
+		return r, core.Cacheable(r), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Cached = out.Hit
+	res.Coalesced = out.Coalesced
+	return res, nil
+}
+
+// cacheKey derives the request's content-addressed cache key. It hashes
+// the raw (pre-segmenting) tree via the problem's canonical hash, so two
+// textually different posts of the same net share an entry; the
+// segmenting length is mixed in separately because segmentation
+// deterministically reshapes the worked tree. The budget caps the worker
+// would apply are reconstructed so requests with different effective
+// max_cands never share an entry (a starved ladder deterministically
+// lands on a different, degraded answer). Objective requests key under
+// OptimizeCacheKey, which exposes the objective and k and ignores caps
+// (for Optimize, caps only abort — they never change a success).
+func (s *Server) cacheKey(req *solveRequest) string {
+	p := core.Problem{
+		Tree:      req.tree,
+		Library:   buffers.DefaultLibrary(req.bufNM),
+		Params:    req.params,
+		Objective: core.MinBuffersNoise,
+	}
+	var base string
+	if req.objective != nil {
+		p.Objective = *req.objective
+		p.MaxBuffers = req.k
+		base = core.OptimizeCacheKey(p, core.Options{})
+	} else {
+		b := &guard.Budget{MaxCandidates: req.maxCands, MaxTreeNodes: s.cfg.Limits.MaxNodes}
+		base = core.SolveCacheKey(p, core.Options{Budget: b})
+	}
+	return base + "/seglen:" + strconv.FormatUint(math.Float64bits(req.segLen), 16)
+}
+
+// solveOne runs one admitted, decoded request through the solver stack:
+// the degradation ladder by default, or a single core.Optimize objective
+// when the envelope's "problem" selected one.
 func (s *Server) solveOne(ctx context.Context, req *solveRequest) (*core.SolveResult, error) {
+	if faultinject.Take(ctx, faultinject.FaultPanic) {
+		panic(faultinject.ErrInjected)
+	}
 	work := req.tree.Clone()
 	if req.segLen > 0 {
 		if _, err := segment.ByLength(work, req.segLen); err != nil {
@@ -173,7 +240,22 @@ func (s *Server) solveOne(ctx context.Context, req *solveRequest) (*core.SolveRe
 	b.MaxCandidates = req.maxCands
 	b.MaxTreeNodes = s.cfg.Limits.MaxNodes
 	lib := buffers.DefaultLibrary(req.bufNM)
-	return core.Solve(ctx, work, lib, req.params, core.Options{Budget: b})
+	if req.objective == nil {
+		return core.Solve(ctx, work, lib, req.params, core.Options{Budget: b})
+	}
+	res, err := core.Optimize(ctx, core.Problem{
+		Tree:       work,
+		Library:    lib,
+		Params:     req.params,
+		Objective:  *req.objective,
+		MaxBuffers: req.k,
+	}, core.Options{Budget: b})
+	if err != nil {
+		return nil, err
+	}
+	// Objective answers have no ladder: they are exact by construction,
+	// wrapped so the response/caching path is uniform.
+	return &core.SolveResult{Result: res, Tier: core.TierExact}, nil
 }
 
 // buildResponse shapes a SolveResult for the wire.
@@ -191,6 +273,8 @@ func buildResponse(req *solveRequest, res *core.SolveResult, elapsed time.Durati
 		MaxDelayPS:      timing.MaxDelay * 1e12,
 		NoiseViolations: len(after.Violations),
 		MaxNoiseV:       after.MaxNoise,
+		Cached:          res.Cached,
+		Coalesced:       res.Coalesced,
 		ElapsedMS:       float64(elapsed.Nanoseconds()) / 1e6,
 	}
 	for _, te := range res.TierErrors {

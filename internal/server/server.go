@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"buffopt/internal/core"
 	"buffopt/internal/faultinject"
 	"buffopt/internal/guard"
 	"buffopt/internal/netfmt"
@@ -85,8 +86,19 @@ type Config struct {
 	// Workers/QueueDepth pool with /solve traffic, so a batch wider than
 	// Workers+QueueDepth can have its tail items shed individually.
 	MaxBatch int
+	// CacheEntries and CacheBytes bound the content-addressed result
+	// cache (internal/cache keyed by core.SolveCacheKey): at most
+	// CacheEntries resident results, at most CacheBytes of estimated
+	// footprint (each 0 = that bound unlimited). When both are zero the
+	// cache is disabled and every request runs a fresh solve. The cache
+	// reports under "server.cache.*" on /metrics; concurrent identical
+	// requests coalesce onto one solve.
+	CacheEntries int
+	CacheBytes   int64
 	// Injector, when non-nil, assigns chaos faults to admitted requests
 	// (the soak harness; see internal/faultinject). Nil in production.
+	// Cached and coalesced requests draw no fault: a plan is assigned
+	// only when a solve actually runs.
 	Injector *faultinject.Injector
 }
 
@@ -136,6 +148,9 @@ type Server struct {
 	ready chan struct{} // closed once the listener is up
 	addr  atomic.Value  // string: the bound address
 
+	// cache memoizes whole-net results; nil when disabled by config.
+	cache *core.SolveCache
+
 	handler http.Handler
 }
 
@@ -153,6 +168,9 @@ func New(cfg Config) *Server {
 		slots:   make(chan struct{}, cfg.Workers),
 		drainCh: make(chan struct{}),
 		ready:   make(chan struct{}),
+	}
+	if cfg.CacheEntries > 0 || cfg.CacheBytes > 0 {
+		s.cache = core.NewSolveCache(cfg.CacheEntries, cfg.CacheBytes, "server")
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)

@@ -35,4 +35,12 @@ go test -race -short -count=1 -run TestSoakUnderChaos ./internal/server
 echo "== difftest (short): serial/parallel bit identity + batch determinism"
 go test -race -short -count=1 -run 'TestDifferential|TestDeterminism|TestBatch' ./internal/core ./internal/server
 
+# The cache-determinism gate (short corpus): cache-on vs cache-off byte
+# identity, coalescing accounting, eviction books, budget-class keying —
+# across the cache package, the core Solve threading, and the server's
+# HTTP surface (including the cache-enabled chaos soak).
+echo "== cache gate (short): cache-on/off identity + coalescing + eviction books"
+go test -race -short -count=1 ./internal/cache
+go test -race -short -count=1 -run 'Cache' ./internal/core ./internal/server
+
 echo "check: OK"
