@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the tier-1 gate (ROADMAP.md).
 
-.PHONY: build test check bench cachebench difftest fuzz soak
+.PHONY: build test check bench cachebench fleetbench difftest fuzz soak fleetsoak
 
 build:
 	go build ./...
@@ -40,3 +40,16 @@ fuzz:
 # test; this target is the long version for hunting rare interleavings.
 soak:
 	go test -race -count=5 -run 'TestSoakUnderChaos|TestGracefulDrain|TestForcedDrain' -v ./internal/server
+
+# Fleet chaos soak: a 3-replica in-process fleet behind the router, under
+# request-level faults (slow/cancel/panic/malformed) plus replica-level
+# partitions and a kill, with exact attempt/outcome/fault ledgers. The
+# tier-1 gate runs one short pass; this is the long version.
+fleetsoak:
+	go test -race -count=5 -run 'TestFleetSoakUnderChaos' -v ./internal/fleet
+
+# Fleet benchmark recording: cmd/loadgen drives hash-vs-random routing
+# arms through an in-process fleet and the report (p50/p99, hedge rate,
+# cache-hit rates) is merged into a dated BENCH_<date>[-n].json.
+fleetbench:
+	FLEET=1 sh scripts/bench.sh -suffix

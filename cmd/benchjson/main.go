@@ -7,6 +7,10 @@
 //
 //	go test -bench=. -benchmem -run='^$' . | benchjson -out BENCH_2026-08-05.json
 //	benchjson -in bench.txt -metrics metrics.json -out BENCH_2026-08-05.json
+//	benchjson -in bench.txt -fleet fleet.json -out BENCH_2026-08-05.json
+//
+// -fleet merges a cmd/loadgen fleet report (router p50/p99, hedge rate,
+// per-arm cache-hit rates) into the record under "fleet".
 //
 // The input text stays benchstat-compatible (benchjson only reads it);
 // scripts/bench.sh tees it alongside the JSON for direct benchstat diffs.
@@ -44,22 +48,27 @@ type Record struct {
 	Counters   map[string]int64   `json:"counters,omitempty"`
 	Gauges     map[string]int64   `json:"gauges,omitempty"`
 	Derived    map[string]float64 `json:"derived,omitempty"`
+	// Fleet carries a cmd/loadgen report (router latency quantiles,
+	// hedge rate, cache-hit rates per routing arm) verbatim, so one
+	// dated file records solver and fleet regressions together.
+	Fleet json.RawMessage `json:"fleet,omitempty"`
 }
 
 func main() {
 	var (
 		in      = flag.String("in", "", "bench text input (default stdin)")
 		metrics = flag.String("metrics", "", "obs metrics snapshot JSON to merge (optional)")
+		fleetIn = flag.String("fleet", "", "cmd/loadgen fleet report JSON to merge (optional)")
 		out     = flag.String("out", "", "output JSON path (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*in, *metrics, *out); err != nil {
+	if err := run(*in, *metrics, *fleetIn, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, metricsPath, outPath string) error {
+func run(inPath, metricsPath, fleetPath, outPath string) error {
 	var r io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -90,6 +99,17 @@ func run(inPath, metricsPath, outPath string) error {
 		rec.Counters = snap.Counters
 		rec.Gauges = snap.Gauges
 		rec.Derived = derive(snap.Counters)
+	}
+
+	if fleetPath != "" {
+		data, err := os.ReadFile(fleetPath)
+		if err != nil {
+			return err
+		}
+		if !json.Valid(data) {
+			return fmt.Errorf("fleet report %s: not valid JSON", fleetPath)
+		}
+		rec.Fleet = json.RawMessage(data)
 	}
 
 	if len(rec.Benchmarks) == 0 {

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -69,5 +72,53 @@ func TestDerive(t *testing.T) {
 	}
 	if derive(map[string]int64{}) != nil {
 		t.Error("empty counters should derive nil")
+	}
+}
+
+// TestFleetMerge: a loadgen report rides into the record verbatim under
+// "fleet", and a non-JSON report file is a hard error, not silent junk.
+func TestFleetMerge(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fleet := filepath.Join(dir, "fleet.json")
+	report := `{"replicas": 3, "arms": [{"routing": "hash", "p99_ms": 4.2}]}`
+	if err := os.WriteFile(fleet, []byte(report), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.json")
+	if err := run(in, "", fleet, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("output does not parse: %v\n%s", err, data)
+	}
+	var got struct {
+		Replicas int `json:"replicas"`
+		Arms     []struct {
+			Routing string  `json:"routing"`
+			P99MS   float64 `json:"p99_ms"`
+		} `json:"arms"`
+	}
+	if err := json.Unmarshal(rec.Fleet, &got); err != nil {
+		t.Fatalf("fleet field does not parse: %v", err)
+	}
+	if got.Replicas != 3 || len(got.Arms) != 1 || got.Arms[0].Routing != "hash" || got.Arms[0].P99MS != 4.2 {
+		t.Errorf("fleet round-trip = %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "", bad, out); err == nil {
+		t.Error("invalid fleet report accepted")
 	}
 }

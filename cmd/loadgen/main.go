@@ -1,0 +1,332 @@
+// Command loadgen measures the fleet: it stands up a self-contained
+// in-process fleet (N real bufferd replicas behind the bufferfleet
+// router, over real loopback TCP), drives mixed solve/batch traffic at
+// it, and reports fleet-wide latency quantiles, hedge rate, and cache
+// hit rate as JSON. In -routing both mode (the default) it runs the same
+// traffic twice — once under hash-affinity routing, once under the
+// random-routing control — so the report quantifies what affinity buys:
+// with K distinct nets and replica caches larger than K, hash routing
+// misses each net once fleet-wide while random routing misses it once
+// per replica.
+//
+// Usage:
+//
+//	loadgen [-replicas 3] [-nets 12] [-requests 240] [-clients 8]
+//	        [-batch-every 5] [-batch-width 3] [-max-sinks 6]
+//	        [-workers 2] [-queue 32] [-cache-entries 256]
+//	        [-hedge-min 20ms] [-routing both] [-seed 1] [-out report.json]
+//
+// The traffic is deterministic in -seed (net generation and the request
+// schedule; goroutine interleaving still varies). Every -batch-every'th
+// scheduled request posts a /solve/batch of -batch-width nets instead of
+// a single /solve. The JSON report (stdout, or -out) is merged into
+// BENCH_<date>.json by scripts/bench.sh via benchjson -fleet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"buffopt/internal/fleet"
+	"buffopt/internal/guard"
+	"buffopt/internal/netfmt"
+	"buffopt/internal/netgen"
+	"buffopt/internal/obs"
+	"buffopt/internal/server"
+)
+
+// Arm is the measured result of one routing policy over the traffic.
+type Arm struct {
+	Routing      string  `json:"routing"`
+	Requests     int     `json:"requests"`       // solve posts
+	BatchPosts   int     `json:"batch_posts"`    // batch posts
+	BatchNets    int     `json:"batch_nets"`     // nets inside batches
+	OK           int     `json:"ok"`             // 200 solve responses
+	BatchItemsOK int     `json:"batch_items_ok"` // per-item successes
+	Errors       int     `json:"errors"`         // anything else
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	HedgeRate    float64 `json:"hedge_rate"`     // hedges / upstream attempts
+	CacheHitRate float64 `json:"cache_hit_rate"` // replica cache hits / lookups
+	CacheHits    int64   `json:"cache_hits"`
+	CacheLookups int64   `json:"cache_lookups"`
+}
+
+// Report is loadgen's JSON output.
+type Report struct {
+	Replicas     int     `json:"replicas"`
+	Nets         int     `json:"nets"`
+	Clients      int     `json:"clients"`
+	Seed         int64   `json:"seed"`
+	Arms         []Arm   `json:"arms"`
+	AffinityGain float64 `json:"affinity_gain,omitempty"` // hash hit rate − random hit rate
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		replicas     = fs.Int("replicas", 3, "fleet size")
+		nets         = fs.Int("nets", 12, "distinct nets in the traffic mix")
+		requests     = fs.Int("requests", 240, "scheduled requests (each is one solve, or one batch every -batch-every)")
+		clients      = fs.Int("clients", 8, "concurrent client goroutines")
+		batchEvery   = fs.Int("batch-every", 5, "every Nth scheduled request is a batch (0 disables batches)")
+		batchWidth   = fs.Int("batch-width", 3, "nets per batch post")
+		maxSinks     = fs.Int("max-sinks", 6, "sink-count cap for generated nets (small keeps solves fast)")
+		workers      = fs.Int("workers", 2, "per-replica worker pool")
+		queue        = fs.Int("queue", 32, "per-replica admission queue depth")
+		cacheEntries = fs.Int("cache-entries", 256, "per-replica solve-cache entries")
+		hedgeMin     = fs.Duration("hedge-min", 20*time.Millisecond, "router hedge-delay floor")
+		routing      = fs.String("routing", "both", "hash, random, or both (hash + random control)")
+		seed         = fs.Int64("seed", 1, "net-generation and schedule seed")
+		out          = fs.String("out", "", "write the JSON report here (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return guard.ExitUsage
+	}
+	var modes []string
+	switch *routing {
+	case "both":
+		modes = []string{fleet.RoutingHash, fleet.RoutingRandom}
+	case fleet.RoutingHash, fleet.RoutingRandom:
+		modes = []string{*routing}
+	default:
+		fmt.Fprintf(stderr, "loadgen: unknown -routing %q (want hash, random, or both)\n", *routing)
+		return guard.ExitUsage
+	}
+	if *replicas < 1 || *nets < 1 || *requests < 1 || *clients < 1 || *batchWidth < 1 || *batchEvery < 0 {
+		fmt.Fprintln(stderr, "loadgen: counts must be positive (-batch-every 0 disables batches)")
+		return guard.ExitUsage
+	}
+
+	suite, err := netgen.Generate(netgen.Config{Seed: *seed, NumNets: *nets, MaxSinks: *maxSinks})
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return guard.ExitFailure
+	}
+	corpus := make([]string, 0, len(suite.Nets))
+	for _, tr := range suite.Nets {
+		var sb strings.Builder
+		if err := netfmt.Write(&sb, tr); err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return guard.ExitFailure
+		}
+		corpus = append(corpus, sb.String())
+	}
+
+	rep := Report{Replicas: *replicas, Nets: *nets, Clients: *clients, Seed: *seed}
+	for _, mode := range modes {
+		arm, err := runArm(armConfig{
+			mode:         mode,
+			replicas:     *replicas,
+			requests:     *requests,
+			clients:      *clients,
+			batchEvery:   *batchEvery,
+			batchWidth:   *batchWidth,
+			workers:      *workers,
+			queue:        *queue,
+			cacheEntries: *cacheEntries,
+			hedgeMin:     *hedgeMin,
+			seed:         *seed,
+			corpus:       corpus,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return guard.ExitFailure
+		}
+		fmt.Fprintf(stderr, "loadgen: %-6s p50 %.2fms p99 %.2fms hedge %.3f cache-hit %.3f (%d/%d)\n",
+			mode, arm.P50MS, arm.P99MS, arm.HedgeRate, arm.CacheHitRate, arm.CacheHits, arm.CacheLookups)
+		rep.Arms = append(rep.Arms, arm)
+	}
+	if len(rep.Arms) == 2 {
+		rep.AffinityGain = rep.Arms[0].CacheHitRate - rep.Arms[1].CacheHitRate
+		fmt.Fprintf(stderr, "loadgen: affinity gain %+.3f (hash − random cache-hit rate)\n", rep.AffinityGain)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return guard.ExitFailure
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		stdout.Write(enc)
+		return guard.ExitOK
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return guard.ExitFailure
+	}
+	return guard.ExitOK
+}
+
+type armConfig struct {
+	mode                   string
+	replicas               int
+	requests, clients      int
+	batchEvery, batchWidth int
+	workers, queue         int
+	cacheEntries           int
+	hedgeMin               time.Duration
+	seed                   int64
+	corpus                 []string
+}
+
+// runArm stands up a fresh fleet (fresh telemetry registry, cold
+// caches), drives the schedule through it, and reduces the counters.
+// Fresh state per arm is what makes the two arms comparable: the random
+// arm must not warm the hash arm's caches or inherit its counters.
+func runArm(cfg armConfig) (Arm, error) {
+	prev := obs.Default()
+	obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(prev)
+
+	lab, err := fleet.StartLab(fleet.LabConfig{
+		Replicas: cfg.replicas,
+		Server: server.Config{
+			Workers:      cfg.workers,
+			QueueDepth:   cfg.queue,
+			CacheEntries: cfg.cacheEntries,
+		},
+		Router: fleet.Config{
+			Routing:       cfg.mode,
+			Seed:          cfg.seed,
+			ProbeInterval: 100 * time.Millisecond,
+			HedgeMin:      cfg.hedgeMin,
+		},
+	})
+	if err != nil {
+		return Arm{}, err
+	}
+	base := "http://" + lab.Router.Addr()
+	arm := Arm{Routing: cfg.mode}
+
+	// The schedule: request i solves corpus[i % nets], except every
+	// batch-every'th, which posts a width-sized batch starting there.
+	// Clients pull schedule slots round-robin, so the mix and the key
+	// sequence are seed-deterministic even though timing is not.
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < cfg.requests; i += cfg.clients {
+				if cfg.batchEvery > 0 && i%cfg.batchEvery == cfg.batchEvery-1 {
+					ok, n := postBatch(base, cfg.corpus, i, cfg.batchWidth)
+					mu.Lock()
+					arm.BatchPosts++
+					arm.BatchNets += cfg.batchWidth
+					arm.BatchItemsOK += ok
+					arm.Errors += n
+					mu.Unlock()
+					continue
+				}
+				start := time.Now()
+				ok := postSolve(base, cfg.corpus[i%len(cfg.corpus)])
+				d := time.Since(start)
+				mu.Lock()
+				arm.Requests++
+				if ok {
+					arm.OK++
+					latencies = append(latencies, d)
+				} else {
+					arm.Errors++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := lab.Close(); err != nil {
+		return Arm{}, err
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	arm.P50MS = quantileMS(latencies, 0.50)
+	arm.P99MS = quantileMS(latencies, 0.99)
+
+	ctr := obs.Default().Snapshot().Counters
+	if attempts := ctr["fleet.attempt.launched"]; attempts > 0 {
+		arm.HedgeRate = float64(ctr["fleet.hedge.launched"]) / float64(attempts)
+	}
+	arm.CacheHits = ctr["server.cache.hits"]
+	arm.CacheLookups = ctr["server.cache.lookups"]
+	if arm.CacheLookups > 0 {
+		arm.CacheHitRate = float64(arm.CacheHits) / float64(arm.CacheLookups)
+	}
+	return arm, nil
+}
+
+func postSolve(base, net string) bool {
+	resp, err := http.Post(base+"/solve", "text/plain", strings.NewReader(net))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// postBatch posts a width-wide batch starting at schedule slot i and
+// returns (items succeeded, items failed).
+func postBatch(base string, corpus []string, i, width int) (ok, failed int) {
+	items := make([]string, 0, width)
+	for j := 0; j < width; j++ {
+		n, _ := json.Marshal(corpus[(i+j)%len(corpus)])
+		items = append(items, fmt.Sprintf(`{"net": %s}`, n))
+	}
+	body := fmt.Sprintf(`{"nets": [%s]}`, strings.Join(items, ","))
+	resp, err := http.Post(base+"/solve/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, width
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, width
+	}
+	var br server.BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil || len(br.Results) != width {
+		return 0, width
+	}
+	for _, item := range br.Results {
+		if item.Error == nil {
+			ok++
+		} else {
+			failed++
+		}
+	}
+	return ok, failed
+}
+
+// quantileMS reads quantile q from sorted latency samples, in ms.
+func quantileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

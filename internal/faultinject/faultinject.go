@@ -1,8 +1,9 @@
 // Package faultinject is the deterministic chaos layer behind the soak
 // harness: it decides, per request, whether to inject one of a small set
-// of faults — a slow solve, a spurious cancellation, a worker panic, or a
-// malformed solver result — so the service stack's failure handling can be
-// exercised on demand instead of waiting for production to do it.
+// of faults — a slow solve, a spurious cancellation, a worker panic, a
+// malformed solver result, or (at fleet level) a replica partition or
+// kill — so the service stack's failure handling can be exercised on
+// demand instead of waiting for production to do it.
 //
 // Design constraints, in order:
 //
@@ -64,9 +65,30 @@ const (
 	// candidate-list scenario of Section IV-C gone undetected), which
 	// core.Solve's post-condition validation must catch and degrade past.
 	FaultMalformed
+	// FaultPartition is a replica-level fault: the target replica stops
+	// answering health probes and blackholes requests (connections hang
+	// instead of erroring), which the fleet router's hedging and health
+	// probing must detect and route around. Unlike the per-request faults
+	// above, no in-process hook consumes it — the fleet soak harness draws
+	// it and applies the partition itself, so it must not be configured on
+	// a bufferd replica's injector (the plan would never fire and the
+	// assigned/consumed books would not balance).
+	FaultPartition
+	// FaultKill is a replica-level fault: the target replica's process
+	// exits mid-flight, abruptly closing its listener and every active
+	// connection. Like FaultPartition it is consumed by the fleet chaos
+	// harness, not by the request-path hooks.
+	FaultKill
 
 	numFaults
 )
+
+// ReplicaLevel reports whether f is a replica-level fault (partition,
+// kill): one consumed by the fleet chaos harness rather than by the
+// per-request hook points in guard, core, and server.
+func ReplicaLevel(f Fault) bool {
+	return f == FaultPartition || f == FaultKill
+}
 
 // String returns the fault's stable lowercase name, used in flag specs,
 // metric keys ("fault.injected.<name>") and test assertions.
@@ -82,6 +104,10 @@ func (f Fault) String() string {
 		return "panic"
 	case FaultMalformed:
 		return "malformed"
+	case FaultPartition:
+		return "partition"
+	case FaultKill:
+		return "kill"
 	}
 	return fmt.Sprintf("fault(%d)", int(f))
 }
@@ -94,7 +120,7 @@ func ParseFault(s string) (Fault, error) {
 			return f, nil
 		}
 	}
-	return FaultNone, fmt.Errorf("faultinject: unknown fault %q (want slow, cancel, panic, or malformed)", s)
+	return FaultNone, fmt.Errorf("faultinject: unknown fault %q (want slow, cancel, panic, malformed, partition, or kill)", s)
 }
 
 // ErrInjected marks an error as deliberately injected, so logs and tests
@@ -116,7 +142,13 @@ type Config struct {
 }
 
 // ParseRates parses a CLI fault spec like "slow=0.1,cancel=0.05,panic=0.02"
-// into a rate map. An empty spec yields an empty map (no faults).
+// into a rate map. An empty spec yields an empty map (no faults). A fault
+// named twice is rejected rather than silently last-writer-wins: a spec
+// like "slow=0.5,slow=0" almost certainly means an operator edited the
+// wrong half, and the soak's exact accounting depends on the configured
+// mix being the intended one. Rates outside [0, 1] parse here and are
+// rejected by New, so the two error surfaces stay distinct (spec syntax
+// vs. distribution validity).
 func ParseRates(spec string) (map[Fault]float64, error) {
 	rates := map[Fault]float64{}
 	if strings.TrimSpace(spec) == "" {
@@ -130,6 +162,9 @@ func ParseRates(spec string) (map[Fault]float64, error) {
 		f, err := ParseFault(name)
 		if err != nil {
 			return nil, err
+		}
+		if _, dup := rates[f]; dup {
+			return nil, fmt.Errorf("faultinject: fault %s specified twice", name)
 		}
 		p, err := strconv.ParseFloat(val, 64)
 		if err != nil {

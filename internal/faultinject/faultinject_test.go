@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -154,8 +155,19 @@ func TestParseRates(t *testing.T) {
 	if _, err := ParseRates("slow=x"); err == nil {
 		t.Fatal("non-numeric probability accepted")
 	}
+	if _, err := ParseRates("slow=0.5,slow=0"); err == nil {
+		t.Fatal("duplicate fault accepted")
+	}
 	if empty, err := ParseRates("  "); err != nil || len(empty) != 0 {
 		t.Fatalf("empty spec: %v, %v", empty, err)
+	}
+	// The replica-level spellings parse like any other fault.
+	rates, err = ParseRates("partition=0.02,kill=0.005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[FaultPartition] != 0.02 || rates[FaultKill] != 0.005 {
+		t.Fatalf("replica-level rates = %v", rates)
 	}
 }
 
@@ -178,7 +190,36 @@ func TestParseFaultRoundTrip(t *testing.T) {
 			t.Fatalf("ParseFault(%q) = %v, %v", f.String(), got, err)
 		}
 	}
+	// The new replica-level spellings are in the round-trip set.
+	for _, want := range []struct {
+		name string
+		f    Fault
+	}{{"partition", FaultPartition}, {"kill", FaultKill}} {
+		got, err := ParseFault(want.name)
+		if err != nil || got != want.f {
+			t.Fatalf("ParseFault(%q) = %v, %v; want %v", want.name, got, err, want.f)
+		}
+		if !ReplicaLevel(got) {
+			t.Fatalf("ReplicaLevel(%v) = false", got)
+		}
+	}
+	for f := FaultSlow; f <= FaultMalformed; f++ {
+		if ReplicaLevel(f) {
+			t.Fatalf("ReplicaLevel(%v) = true for a request-level fault", f)
+		}
+	}
 	if _, err := ParseFault("none"); err == nil {
 		t.Fatal(`ParseFault("none") should be rejected: it is not injectable`)
+	}
+	// The unknown-fault error names the full current vocabulary, so a typo
+	// in an operator's -faults spec points at every valid spelling.
+	_, err := ParseFault("bogus")
+	if err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+	for _, word := range []string{"slow", "cancel", "panic", "malformed", "partition", "kill"} {
+		if !strings.Contains(err.Error(), word) {
+			t.Fatalf("unknown-fault error %q does not name %q", err, word)
+		}
 	}
 }

@@ -1,0 +1,57 @@
+package faultinject
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRates hammers the CLI fault-spec parser: whatever the input,
+// it must not panic, and on success the returned map must be internally
+// consistent — only injectable faults as keys, and a spec re-rendered
+// from the map must parse back to the same rates (the round trip the
+// bufferd/bufferfleet -faults flags and the soak harnesses rely on).
+func FuzzParseRates(f *testing.F) {
+	// The corners the satellite checklist calls out: empty, duplicate
+	// keys, and out-of-range probabilities, plus the happy path and the
+	// new replica-level spellings.
+	f.Add("")
+	f.Add("   ")
+	f.Add("slow=0.1,cancel=0.05,panic=0.02,malformed=0.15")
+	f.Add("partition=0.02,kill=0.005")
+	f.Add("slow=0.5,slow=0")
+	f.Add("kill=1.5")
+	f.Add("cancel=-0.25")
+	f.Add("slow=NaN,cancel=Inf")
+	f.Add("=0.5,slow=")
+	f.Add("slow 0.1;cancel 0.2")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		rates, err := ParseRates(spec)
+		if err != nil {
+			return
+		}
+		parts := make([]string, 0, len(rates))
+		for fault, p := range rates {
+			if fault <= FaultNone || fault >= numFaults {
+				t.Fatalf("ParseRates(%q) returned invalid fault %d", spec, int(fault))
+			}
+			if rt, err := ParseFault(fault.String()); err != nil || rt != fault {
+				t.Fatalf("fault %v does not round-trip its own name %q", fault, fault.String())
+			}
+			parts = append(parts, fault.String()+"="+strconv.FormatFloat(p, 'g', -1, 64))
+		}
+		again, err := ParseRates(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("re-rendered spec from %q failed to parse: %v", spec, err)
+		}
+		if len(again) != len(rates) {
+			t.Fatalf("round trip dropped entries: %v vs %v", again, rates)
+		}
+		for fault, p := range rates {
+			if got := again[fault]; got != p && !(p != p && got != got) { // NaN == NaN for this check
+				t.Fatalf("round trip changed rate[%v]: %g vs %g", fault, got, p)
+			}
+		}
+	})
+}

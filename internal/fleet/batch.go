@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"buffopt/internal/obs"
+	"buffopt/internal/server"
+)
+
+// handleBatch is POST /solve/batch on the router. The batch is split
+// into items, each item keyed exactly as its standalone /solve
+// equivalent would be, and the items are regrouped into one sub-batch
+// per owning replica — so a batch of N nets costs the fleet one upstream
+// request per distinct shard, not N, while every item still lands on the
+// shard that caches it. Sub-batches dispatch concurrently with the same
+// hedging/failover machinery as /solve, and the per-item results merge
+// back in request order under the replicas' partial-failure semantics: a
+// shard that sheds or dies fails its items individually, never the
+// batch.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeRouterError(w, http.StatusMethodNotAllowed, "invalid", "POST a batch of nets to /solve/batch", 0)
+		return
+	}
+	obs.Inc("fleet.batch.requests")
+	body, err := rt.readBody(r)
+	if err != nil {
+		writeRouterError(w, http.StatusRequestEntityTooLarge, "invalid", err.Error(), 0)
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+
+	items, err := rt.keyer.SplitBatch(body)
+	if err != nil {
+		// Unsplittable (malformed JSON, no nets, unknown fields): one
+		// replica — chosen by raw-content key so repeats route stably —
+		// produces the authoritative rejection. The router never owns
+		// validation policy.
+		obs.Inc("fleet.batch.unsplittable")
+		key := rt.keyer.SolveKey(ct, nil, body)
+		res := rt.dispatch(r.Context(), key, "/solve/batch", r.URL.RawQuery, ct, body)
+		rt.forward(w, res, "fleet.batch")
+		return
+	}
+	obs.Add("fleet.batch.nets", int64(len(items)))
+
+	// Group items by their primary replica. The group dispatches under
+	// its first item's key: all items in the group share that primary by
+	// construction, and on failover the whole sub-batch moves together —
+	// any replica can solve any item; affinity only prices the cache.
+	type group struct {
+		key     string
+		indices []int
+		raw     []json.RawMessage
+	}
+	groups := map[string]*group{}
+	var groupOrder []string
+	for _, it := range items {
+		primary := rt.rank(it.Key)[0].name
+		g := groups[primary]
+		if g == nil {
+			g = &group{key: it.Key}
+			groups[primary] = g
+			groupOrder = append(groupOrder, primary)
+		}
+		g.indices = append(g.indices, it.Index)
+		g.raw = append(g.raw, it.Raw)
+	}
+
+	start := time.Now()
+	merged := server.BatchResponse{Count: len(items), Results: make([]server.BatchItem, len(items))}
+	var wg sync.WaitGroup
+	for _, name := range groupOrder {
+		g := groups[name]
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			rt.dispatchGroup(r, g.key, g.indices, g.raw, merged.Results)
+		}(g)
+	}
+	wg.Wait()
+
+	for i := range merged.Results {
+		if merged.Results[i].Error == nil {
+			merged.Succeeded++
+		} else {
+			merged.Failed++
+		}
+	}
+	merged.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	obs.Inc("fleet.batch.outcome.ok")
+	writeRouterJSON(w, http.StatusOK, merged)
+}
+
+// dispatchGroup forwards one per-replica sub-batch and scatters its
+// per-item results back into the merged response at their original
+// indices. Every item gets exactly one terminal outcome: the replica's
+// own result or error when the sub-batch round-trips, a synthesized
+// per-item error when it does not.
+func (rt *Router) dispatchGroup(r *http.Request, key string, indices []int, raw []json.RawMessage, out []server.BatchItem) {
+	sub, err := json.Marshal(struct {
+		Nets []json.RawMessage `json:"nets"`
+	}{Nets: raw})
+	if err != nil {
+		rt.failGroup(out, indices, http.StatusInternalServerError, "internal", err.Error(), 0)
+		return
+	}
+	res := rt.dispatch(r.Context(), key, "/solve/batch", "", "application/json", sub)
+	switch {
+	case res != nil && res.canceled:
+		rt.failGroup(out, indices, http.StatusServiceUnavailable, "canceled", "client went away before a replica answered", 0)
+		return
+	case res == nil:
+		ra := int64(rt.cfg.RetryAfter / time.Second)
+		if ra < 1 {
+			ra = 1
+		}
+		obs.Add("fleet.batch.item.unroutable", int64(len(indices)))
+		rt.failGroup(out, indices, http.StatusServiceUnavailable, "unroutable", "no replica reachable for this sub-batch", ra)
+		return
+	case res.shed:
+		// Every replica in the sub-batch's order was shedding: relay the
+		// first shed verbatim per item, Retry-After included.
+		var e server.ErrorResponse
+		if err := json.Unmarshal(res.body, &e); err != nil {
+			e = server.ErrorResponse{Error: "replica shed the sub-batch", Class: "shed", Status: res.status}
+		}
+		obs.Add("fleet.batch.item.shed", int64(len(indices)))
+		for _, idx := range indices {
+			ec := e
+			out[idx] = server.BatchItem{Index: idx, Error: &ec}
+		}
+		return
+	case res.status != http.StatusOK:
+		// The replica rejected the sub-batch as a whole (e.g. it exceeds
+		// the replica's MaxBatch): that verdict becomes each item's error.
+		var e server.ErrorResponse
+		if err := json.Unmarshal(res.body, &e); err != nil {
+			e = server.ErrorResponse{Error: string(bytes.TrimSpace(res.body)), Class: "upstream", Status: res.status}
+		}
+		for _, idx := range indices {
+			ec := e
+			out[idx] = server.BatchItem{Index: idx, Error: &ec}
+		}
+		return
+	}
+
+	var br server.BatchResponse
+	if err := json.Unmarshal(res.body, &br); err != nil || len(br.Results) != len(indices) {
+		rt.failGroup(out, indices, http.StatusBadGateway, "upstream", "replica returned an unreadable batch response", 0)
+		return
+	}
+	for j, idx := range indices {
+		item := br.Results[j]
+		item.Index = idx // restore the client's numbering
+		out[idx] = item
+	}
+}
+
+// failGroup writes one synthesized error to every item of a group.
+func (rt *Router) failGroup(out []server.BatchItem, indices []int, status int, class, msg string, retryAfterS int64) {
+	for _, idx := range indices {
+		out[idx] = server.BatchItem{Index: idx, Error: &server.ErrorResponse{
+			Error:       msg,
+			Class:       class,
+			Status:      status,
+			RetryAfterS: retryAfterS,
+		}}
+	}
+}

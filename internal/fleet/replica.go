@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"buffopt/internal/obs"
+)
+
+// health is a replica's routability state as the router believes it.
+type health int32
+
+const (
+	// healthy: probes and attempts are succeeding; full routing weight.
+	healthy health = iota
+	// suspect: at least one recent connection failure, below the down
+	// threshold. Still routable — a single RST or timeout must not
+	// evacuate a shard — but the next failures are watched.
+	suspect
+	// draining: the replica's /readyz says it is shutting down. It still
+	// answers (in-flight work completes), but new work routes to its
+	// keyspace's next-preferred replicas.
+	draining
+	// down: FailThreshold consecutive connection failures. Routed to
+	// only when every better replica is also unavailable; a successful
+	// probe resurrects it.
+	down
+)
+
+func (h health) String() string {
+	switch h {
+	case healthy:
+		return "healthy"
+	case suspect:
+		return "suspect"
+	case draining:
+		return "draining"
+	case down:
+		return "down"
+	}
+	return "unknown"
+}
+
+// replica is the router's view of one bufferd instance: its stable
+// identity (the configured address, which is also its rendezvous-hash
+// name), its health as inferred from active probes and passive
+// request-path signals, its shed-backpressure deadline, and a window of
+// recent attempt latencies that prices the hedge timer.
+type replica struct {
+	name string // host:port; the rendezvous identity — never changes
+	base string // "http://" + name
+
+	state        atomic.Int32 // health
+	fails        atomic.Int32 // consecutive connection failures
+	backoffUntil atomic.Int64 // unix nanos; shed Retry-After backpressure
+
+	lat latencyWindow
+}
+
+func newReplica(name string) *replica {
+	r := &replica{name: name, base: "http://" + name}
+	r.publish(healthy)
+	return r
+}
+
+func (r *replica) health() health { return health(r.state.Load()) }
+
+func (r *replica) publish(h health) {
+	r.state.Store(int32(h))
+	obs.Set("fleet.replica.state."+r.name, int64(h))
+}
+
+// noteSuccess records a completed round-trip (any HTTP response is a
+// live replica, even a 4xx/5xx). Passive success does not clear
+// draining: a draining replica keeps finishing work right up to its
+// drain deadline, and only its own /readyz flipping back to 200 (see
+// noteReady) may resurrect it.
+func (r *replica) noteSuccess(d time.Duration) {
+	r.fails.Store(0)
+	r.lat.observe(d.Nanoseconds())
+	if h := r.health(); h == suspect || h == down {
+		r.publish(healthy)
+	}
+}
+
+// noteReady records a 200 /readyz probe: the replica's own word that it
+// accepts work, which overrides every inferred state including draining.
+func (r *replica) noteReady() {
+	r.fails.Store(0)
+	if r.health() != healthy {
+		r.publish(healthy)
+	}
+}
+
+// noteDraining records a /readyz "draining" answer.
+func (r *replica) noteDraining() {
+	r.fails.Store(0) // it answered; the connection path is fine
+	if r.health() != draining {
+		r.publish(draining)
+	}
+}
+
+// noteConnError records a connection-level failure (dial refused, reset,
+// attempt timeout — the signatures of a killed or partitioned replica).
+// threshold consecutive failures demote to down; fewer leave the replica
+// routable but suspect. Draining is not overwritten below the threshold:
+// a draining replica that also stops connecting is down either way.
+func (r *replica) noteConnError(threshold int) {
+	f := r.fails.Add(1)
+	switch {
+	case int(f) >= threshold:
+		if r.health() != down {
+			r.publish(down)
+		}
+	case r.health() == healthy:
+		r.publish(suspect)
+	}
+}
+
+// noteShed records admission-control backpressure (a 429/503 shed with
+// Retry-After): the replica is alive but full, so its keyspace fails
+// over until the deadline passes rather than hammering its queue.
+func (r *replica) noteShed(retryAfter time.Duration, now time.Time) {
+	r.fails.Store(0)
+	until := now.Add(retryAfter).UnixNano()
+	for {
+		cur := r.backoffUntil.Load()
+		if until <= cur || r.backoffUntil.CompareAndSwap(cur, until) {
+			return
+		}
+	}
+}
+
+func (r *replica) inBackoff(now time.Time) bool {
+	return now.UnixNano() < r.backoffUntil.Load()
+}
+
+// latencyWindow is a small mutex-guarded ring of recent attempt
+// latencies (nanoseconds). It prices the hedge: a request hedges after
+// its primary's recent latency quantile, so hedges chase genuinely
+// stuck attempts (a partition's blackholed connection) instead of
+// doubling every slightly slow solve.
+type latencyWindow struct {
+	mu  sync.Mutex
+	buf [64]int64
+	n   int // filled entries
+	at  int // next write position
+}
+
+func (w *latencyWindow) observe(ns int64) {
+	w.mu.Lock()
+	w.buf[w.at] = ns
+	w.at = (w.at + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// quantile returns the q-quantile (0 < q <= 1) of the window, or 0 when
+// fewer than 8 samples exist — too little history to price a hedge, so
+// the caller falls back to its configured floor.
+func (w *latencyWindow) quantile(q float64) int64 {
+	w.mu.Lock()
+	n := w.n
+	var tmp [64]int64
+	copy(tmp[:n], w.buf[:n])
+	w.mu.Unlock()
+	if n < 8 {
+		return 0
+	}
+	s := tmp[:n]
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q*float64(n)) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return s[i]
+}

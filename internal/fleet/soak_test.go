@@ -1,0 +1,491 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"buffopt/internal/faultinject"
+	"buffopt/internal/obs"
+	"buffopt/internal/server"
+)
+
+// TestFleetSoakUnderChaos is the fleet-level chaos soak: clients hammer
+// the router while every replica's injector deals request-level faults
+// (slow, cancel, panic, malformed) and a separate fleet-level injector
+// deals replica-level faults — partitions that blackhole a replica for a
+// while, and one abrupt kill. The resilience claims are proved by
+// accounting, not vibes:
+//
+//   - exactly-once responses: every client request gets exactly one
+//     terminal outcome, and the router's outcome counters partition its
+//     request counters exactly;
+//   - exact attempt ledger: every launched upstream attempt settles —
+//     abandoned hedges and blackholed connections included — and the
+//     settle classes partition the launches;
+//   - exact chaos books: the fleet injector's replica-level plans are
+//     each taken exactly once by the chaos driver (applied or skipped,
+//     the two summing to consumed); request-level fault books stay exact
+//     except where the kill severed in-flight solves, and that slack is
+//     bounded by the killed replica's worker count;
+//   - no invented failures: clients see only 200s, injected panics, and
+//     admission sheds — zero router-generated 5xx (no "unroutable", no
+//     "client gone"), because one dead replica out of three must be
+//     absorbed by failover, not surfaced.
+//
+// Run under -race by scripts/check.sh (short mode) and `make fleetsoak`
+// (full).
+func TestFleetSoakUnderChaos(t *testing.T) {
+	solveClients, perClient := 8, 16
+	batchClients, perBatchClient := 3, 5
+	chaosTicks := 60
+	if testing.Short() {
+		solveClients, perClient = 5, 8
+		batchClients, perBatchClient = 2, 3
+		chaosTicks = 35
+	}
+	const (
+		replicas     = 3
+		workers      = 2
+		queueDepth   = 6
+		batchWidth   = 3
+		distinctNets = 12
+		tickEvery    = 20 * time.Millisecond
+		partitionFor = 5 // ticks
+		ladderDepth  = 4 // tiers a single killed solve can fail "canceled"
+	)
+
+	old := obs.Default()
+	obs.SetDefault(obs.NewRegistry())
+	t.Cleanup(func() { obs.SetDefault(old) })
+	baseline := runtime.NumGoroutine()
+
+	// Request-level chaos lives on the replicas...
+	var injectors []*faultinject.Injector
+	for i := 0; i < replicas; i++ {
+		inj, err := faultinject.New(faultinject.Config{
+			Seed: int64(101 + i),
+			Rates: map[faultinject.Fault]float64{
+				faultinject.FaultSlow:      0.08,
+				faultinject.FaultCancel:    0.08,
+				faultinject.FaultPanic:     0.06,
+				faultinject.FaultMalformed: 0.08,
+			},
+			SlowDelay: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		injectors = append(injectors, inj)
+	}
+	// ...replica-level chaos is drawn by this driver-side injector: the
+	// driver takes each plan exactly once and applies it to the lab.
+	fleetInj, err := faultinject.New(faultinject.Config{
+		Seed: 11,
+		Rates: map[faultinject.Fault]float64{
+			faultinject.FaultPartition: 0.30,
+			faultinject.FaultKill:      0.10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lab, err := StartLab(LabConfig{
+		Replicas: replicas,
+		Server: server.Config{
+			Workers:    workers,
+			QueueDepth: queueDepth,
+			// Generous deadline: every "canceled" below is either injected
+			// or severed by the kill, never a genuine timeout.
+			DefaultTimeout: 30 * time.Second,
+			RetryAfter:     time.Second,
+			CacheEntries:   64,
+		},
+		Injectors: injectors,
+		Router: Config{
+			ProbeInterval:  25 * time.Millisecond,
+			ProbeTimeout:   150 * time.Millisecond,
+			FailThreshold:  3,
+			AttemptTimeout: 3 * time.Second,
+			HedgeMin:       30 * time.Millisecond,
+			RetryBackoff:   5 * time.Millisecond,
+			MaxAttempts:    3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + lab.Router.Addr()
+
+	// ---------------------------------------------------------- load
+	var (
+		mu         sync.Mutex
+		classes    = map[string]int{} // solve terminal classes
+		badBodies  int
+		solveTotal = solveClients * perClient
+	)
+	tally := func(class string) {
+		mu.Lock()
+		classes[class]++
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < solveClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				net := labNet((c*perClient + i) % distinctNets)
+				resp, err := http.Post(base+"/solve", "text/plain", strings.NewReader(net))
+				if err != nil {
+					t.Errorf("transport error to the router (it must absorb replica chaos): %v", err)
+					tally("transport")
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var sr server.SolveResponse
+					if err := json.Unmarshal(body, &sr); err != nil {
+						mu.Lock()
+						badBodies++
+						mu.Unlock()
+					}
+					tally("ok")
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Errorf("%d response missing Retry-After", resp.StatusCode)
+					}
+					var er server.ErrorResponse
+					json.Unmarshal(body, &er)
+					tally(er.Class)
+				case http.StatusInternalServerError:
+					var er server.ErrorResponse
+					json.Unmarshal(body, &er)
+					tally(er.Class)
+					if er.Class != "panic" {
+						t.Errorf("unexpected 500 class %q: %s", er.Class, er.Error)
+					}
+				default:
+					t.Errorf("unexpected status %d: %s", resp.StatusCode, body)
+					tally(fmt.Sprintf("status%d", resp.StatusCode))
+				}
+			}
+		}(c)
+	}
+
+	var (
+		batchItemClasses = map[string]int{}
+		batchPosts       = batchClients * perBatchClient
+		batchNets        = batchPosts * batchWidth
+	)
+	for c := 0; c < batchClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perBatchClient; i++ {
+				var items []string
+				for j := 0; j < batchWidth; j++ {
+					n, _ := json.Marshal(labNet((c*31 + i*batchWidth + j) % distinctNets))
+					items = append(items, fmt.Sprintf(`{"net": %s}`, n))
+				}
+				body := fmt.Sprintf(`{"nets": [%s]}`, strings.Join(items, ","))
+				resp, err := http.Post(base+"/solve/batch", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("batch transport error: %v", err)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("batch status %d: %s", resp.StatusCode, raw)
+					continue
+				}
+				var br server.BatchResponse
+				if err := json.Unmarshal(raw, &br); err != nil || br.Count != batchWidth || len(br.Results) != batchWidth {
+					t.Errorf("malformed batch response (err %v): %s", err, raw)
+					continue
+				}
+				for idx, item := range br.Results {
+					if item.Index != idx {
+						t.Errorf("batch result %d carries index %d", idx, item.Index)
+					}
+					class := "ok"
+					if item.Error != nil {
+						class = item.Error.Class
+					}
+					mu.Lock()
+					batchItemClasses[class]++
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+
+	// --------------------------------------------------------- chaos
+	// The driver ticks concurrently with the load: each tick draws at
+	// most one replica-level plan and takes it exactly once. At most one
+	// partition is active at a time and exactly one kill ever applies;
+	// draws that cannot apply are counted as skipped, so applied +
+	// skipped == consumed stays exact.
+	var (
+		partitionsApplied, partitionsSkipped int64
+		killsApplied, killsSkipped           int64
+		killInflight                         int64 // the kill's accounting window
+		killedWorkers                        int64
+	)
+	chaosRng := rand.New(rand.NewPCG(99, 77))
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		partitioned := -1 // index of the currently partitioned replica
+		healAt := 0
+		for tick := 0; tick < chaosTicks; tick++ {
+			time.Sleep(tickEvery)
+			if partitioned >= 0 && tick >= healAt {
+				lab.Replicas[partitioned].Heal()
+				partitioned = -1
+			}
+			plan := fleetInj.Assign()
+			if plan.Take(faultinject.FaultPartition) {
+				target := chaosRng.IntN(replicas)
+				if partitioned >= 0 || lab.Replicas[target].Killed() {
+					partitionsSkipped++
+					continue
+				}
+				lab.Replicas[target].Partition()
+				partitioned = target
+				healAt = tick + partitionFor
+				partitionsApplied++
+			}
+			if plan.Take(faultinject.FaultKill) {
+				target := chaosRng.IntN(replicas)
+				if killsApplied > 0 || target == partitioned || lab.Replicas[target].Killed() {
+					killsSkipped++
+					continue
+				}
+				// Sample the in-flight count at the kill instant: those
+				// solves die with their connections, and they are the
+				// entire tolerance the kill buys in the books below.
+				killInflight = lab.Replicas[target].Server.Inflight()
+				killedWorkers = workers
+				lab.Replicas[target].Kill()
+				killsApplied++
+			}
+		}
+		if partitioned >= 0 {
+			lab.Replicas[partitioned].Heal()
+		}
+	}()
+
+	wg.Wait()
+	<-chaosDone
+
+	// The router survived and still answers health checks.
+	hr, err := http.Get(base + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("router healthz after soak: %v %v", hr, err)
+	}
+	hr.Body.Close()
+
+	// Close drains the router: every in-flight attempt — abandoned
+	// hedges included — settles before the snapshot below.
+	if err := lab.Close(); err != nil {
+		t.Fatalf("lab close: %v", err)
+	}
+
+	snap := obs.Default().Snapshot()
+	ctr := snap.Counters
+	t.Logf("solve classes=%v batch item classes=%v", classes, batchItemClasses)
+	t.Logf("chaos: partitions applied=%d skipped=%d, kills applied=%d skipped=%d, inflight@kill=%d",
+		partitionsApplied, partitionsSkipped, killsApplied, killsSkipped, killInflight)
+	t.Logf("attempts launched=%d settled=%d ok=%d err=%d shed=%d connerr=%d hedges=%d won=%d",
+		ctr["fleet.attempt.launched"], ctr["fleet.attempt.settled"], ctr["fleet.attempt.ok"],
+		ctr["fleet.attempt.error"], ctr["fleet.attempt.shed"], ctr["fleet.attempt.connerr"],
+		ctr["fleet.hedge.launched"], ctr["fleet.hedge.won"])
+
+	// ---- exactly-once responses, client side and router side agreeing.
+	var answered int
+	for _, n := range classes {
+		answered += n
+	}
+	if answered != solveTotal {
+		t.Fatalf("answered %d of %d solve requests", answered, solveTotal)
+	}
+	if badBodies != 0 {
+		t.Errorf("%d 200 responses had undecodable bodies", badBodies)
+	}
+	if ctr["fleet.requests"] != int64(solveTotal) {
+		t.Errorf("fleet.requests = %d, want %d", ctr["fleet.requests"], solveTotal)
+	}
+	var outcomes int64
+	for name, v := range ctr {
+		if strings.HasPrefix(name, "fleet.request.outcome.") {
+			outcomes += v
+		}
+	}
+	if outcomes != int64(solveTotal) {
+		t.Errorf("request outcomes %d != %d requests", outcomes, solveTotal)
+	}
+	if got := ctr["fleet.request.outcome.ok"]; got != int64(classes["ok"]) {
+		t.Errorf("outcome.ok = %d, clients saw %d", got, classes["ok"])
+	}
+	if got := ctr["fleet.request.outcome.error"]; got != int64(classes["panic"]) {
+		t.Errorf("outcome.error = %d, clients saw %d injected panics", got, classes["panic"])
+	}
+	if got := ctr["fleet.request.outcome.shed"]; got != int64(classes["shed"]) {
+		t.Errorf("outcome.shed = %d, clients saw %d sheds", got, classes["shed"])
+	}
+
+	// ---- no invented failures: one dead replica of three is absorbed.
+	for _, name := range []string{
+		"fleet.request.outcome.unroutable",
+		"fleet.request.outcome.client_gone",
+		"fleet.request.outcome.invalid",
+		"fleet.batch.item.unroutable",
+	} {
+		if ctr[name] != 0 {
+			t.Errorf("%s = %d, want 0: the router invented a failure", name, ctr[name])
+		}
+	}
+	for class := range classes {
+		if class != "ok" && class != "panic" && class != "shed" {
+			t.Errorf("clients saw %d responses of unexpected class %q", classes[class], class)
+		}
+	}
+
+	// ---- batch books: every posted batch and net counted, every item
+	// exactly one outcome, no router-invented item failures.
+	if ctr["fleet.batch.requests"] != int64(batchPosts) {
+		t.Errorf("fleet.batch.requests = %d, want %d", ctr["fleet.batch.requests"], batchPosts)
+	}
+	if ctr["fleet.batch.nets"] != int64(batchNets) {
+		t.Errorf("fleet.batch.nets = %d, want %d", ctr["fleet.batch.nets"], batchNets)
+	}
+	var batchAnswered int
+	for class, n := range batchItemClasses {
+		batchAnswered += n
+		if class != "ok" && class != "panic" && class != "shed" {
+			t.Errorf("batch items saw %d of unexpected class %q", n, class)
+		}
+	}
+	if batchAnswered != batchNets {
+		t.Errorf("batch items answered %d of %d", batchAnswered, batchNets)
+	}
+
+	// ---- exact attempt ledger.
+	if ctr["fleet.attempt.launched"] != ctr["fleet.attempt.settled"] {
+		t.Errorf("attempt ledger: launched %d != settled %d",
+			ctr["fleet.attempt.launched"], ctr["fleet.attempt.settled"])
+	}
+	settleClasses := ctr["fleet.attempt.ok"] + ctr["fleet.attempt.error"] +
+		ctr["fleet.attempt.shed"] + ctr["fleet.attempt.connerr"]
+	if settleClasses != ctr["fleet.attempt.settled"] {
+		t.Errorf("attempt settle classes %d != settled %d", settleClasses, ctr["fleet.attempt.settled"])
+	}
+	if ctr["fleet.hedge.won"] > ctr["fleet.hedge.launched"] {
+		t.Errorf("hedge won %d > launched %d", ctr["fleet.hedge.won"], ctr["fleet.hedge.launched"])
+	}
+
+	// ---- exact replica-level chaos books.
+	for _, f := range []faultinject.Fault{faultinject.FaultPartition, faultinject.FaultKill} {
+		if a, c := fleetInj.Assigned(f), fleetInj.Consumed(f); a != c {
+			t.Errorf("%v: assigned %d != consumed %d (driver must take every plan)", f, a, c)
+		}
+	}
+	if got := partitionsApplied + partitionsSkipped; got != fleetInj.Consumed(faultinject.FaultPartition) {
+		t.Errorf("partitions applied %d + skipped %d != consumed %d",
+			partitionsApplied, partitionsSkipped, fleetInj.Consumed(faultinject.FaultPartition))
+	}
+	if got := killsApplied + killsSkipped; got != fleetInj.Consumed(faultinject.FaultKill) {
+		t.Errorf("kills applied %d + skipped %d != consumed %d",
+			killsApplied, killsSkipped, fleetInj.Consumed(faultinject.FaultKill))
+	}
+	if killsApplied > 1 {
+		t.Errorf("driver applied %d kills, at most 1 allowed", killsApplied)
+	}
+	if killInflight > killedWorkers {
+		t.Errorf("sampled %d in-flight at kill, replica has only %d workers", killInflight, killedWorkers)
+	}
+
+	// ---- request-level fault books, summed across replicas. Slow and
+	// panic hooks fire unconditionally before any context check, so they
+	// are exact even across the kill. Cancel and malformed hooks sit
+	// mid-solve; the solves severed by the kill may die before reaching
+	// them, so the slack is bounded by the killed replica's worker count.
+	sum := func(get func(*faultinject.Injector) int64) int64 {
+		var s int64
+		for _, inj := range injectors {
+			s += get(inj)
+		}
+		return s
+	}
+	killTol := killsApplied * killedWorkers
+	for _, f := range []faultinject.Fault{faultinject.FaultSlow, faultinject.FaultPanic} {
+		a := sum(func(i *faultinject.Injector) int64 { return i.Assigned(f) })
+		c := sum(func(i *faultinject.Injector) int64 { return i.Consumed(f) })
+		if a != c {
+			t.Errorf("%v: assigned %d != consumed %d", f, a, c)
+		}
+	}
+	for _, f := range []faultinject.Fault{faultinject.FaultCancel, faultinject.FaultMalformed} {
+		a := sum(func(i *faultinject.Injector) int64 { return i.Assigned(f) })
+		c := sum(func(i *faultinject.Injector) int64 { return i.Consumed(f) })
+		if gap := a - c; gap < 0 || gap > killTol {
+			t.Errorf("%v: assigned %d - consumed %d = %d outside the kill window [0, %d]",
+				f, a, c, gap, killTol)
+		}
+	}
+
+	// Replica-side degradation telemetry agrees with the injectors,
+	// within the kill window: a severed solve may record extra genuine
+	// cancels (one per remaining ladder tier) or drop the tier-error
+	// bookkeeping its fault would have earned.
+	panics := sum(func(i *faultinject.Injector) int64 { return i.Consumed(faultinject.FaultPanic) })
+	if got := ctr["server.request.outcome.panic"] + ctr["server.batch.item.outcome.panic"]; got != panics {
+		t.Errorf("replica outcome.panic = %d, injected %d", got, panics)
+	}
+	cancels := sum(func(i *faultinject.Injector) int64 { return i.Consumed(faultinject.FaultCancel) })
+	gotCancels := ctr["server.request.tiererr.canceled"] + ctr["server.batch.item.tiererr.canceled"]
+	if lo, hi := cancels-killTol, cancels+killTol*ladderDepth; gotCancels < lo || gotCancels > hi {
+		t.Errorf("replica tiererr.canceled = %d outside [%d, %d] around %d injected cancels",
+			gotCancels, lo, hi, cancels)
+	}
+	malformed := sum(func(i *faultinject.Injector) int64 { return i.Consumed(faultinject.FaultMalformed) })
+	gotInternal := ctr["server.request.tiererr.internal"] + ctr["server.batch.item.tiererr.internal"]
+	if lo, hi := malformed-killTol, malformed; gotInternal < lo || gotInternal > hi {
+		t.Errorf("replica tiererr.internal = %d outside [%d, %d] around %d injected corruptions",
+			gotInternal, lo, hi, malformed)
+	}
+
+	// ---- hash affinity held under chaos: with 12 distinct nets posted
+	// repeatedly, the per-shard caches must have been hit.
+	if ctr["server.cache.hits"] == 0 {
+		t.Error("no cache hits: hash affinity did not compose the shard caches")
+	}
+
+	// ---- bounded pools: the shared gauges cover all replicas, so the
+	// bound is per-fleet.
+	if peak := snap.Gauges["server.inflight.peak"]; peak > replicas*workers {
+		t.Errorf("replica inflight peak %d blew past %d workers fleet-wide", peak, replicas*workers)
+	}
+
+	// ---- no goroutine pile-up once the fleet is down.
+	http.DefaultClient.CloseIdleConnections()
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+5 {
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutines %d vs baseline %d after soak", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

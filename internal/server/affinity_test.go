@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestKeyerAgreesAcrossWireShapes: the router's affinity key is the same
+// function as the replicas' cache key, so the same problem posted as raw
+// netfmt, as a JSON envelope, or as a batch item keys identically — that
+// agreement is what turns per-replica LRUs into a fleet-wide cache.
+func TestKeyerAgreesAcrossWireShapes(t *testing.T) {
+	k := NewKeyer(Config{})
+	raw := k.SolveKey("text/plain", url.Values{}, []byte(sampleNet))
+	env := k.SolveKey("application/json", nil, []byte(fmt.Sprintf(`{"net": %q}`, sampleNet)))
+	if raw == "" || raw != env {
+		t.Fatalf("raw-text key %q != envelope key %q for the same net", raw, env)
+	}
+
+	items, err := k.SplitBatch([]byte(fmt.Sprintf(`{"nets": [{"net": %q}]}`, sampleNet)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || items[0].Key != raw {
+		t.Fatalf("batch item key %q != solve key %q", items[0].Key, raw)
+	}
+
+	// A second Keyer with the same config agrees (stateless, derived
+	// purely from content), and the key is stable across calls.
+	if again := NewKeyer(Config{}).SolveKey("text/plain", url.Values{}, []byte(sampleNet)); again != raw {
+		t.Fatalf("key not stable across Keyer instances: %q vs %q", again, raw)
+	}
+}
+
+// TestKeyerSeparatesDistinctProblems: different nets and different
+// solver knobs key differently — they must not share a shard's cache
+// entry, so they must not be forced onto the same shard either.
+func TestKeyerSeparatesDistinctProblems(t *testing.T) {
+	k := NewKeyer(Config{})
+	base := k.SolveKey("text/plain", url.Values{}, []byte(sampleNet))
+
+	// A structurally different net (scaled sink cap) keys differently.
+	variant := strings.Replace(sampleNet, "cap=2.5e-14", "cap=3.5e-14", 1)
+	if got := k.SolveKey("text/plain", url.Values{}, []byte(variant)); got == base {
+		t.Fatal("distinct nets share an affinity key")
+	}
+
+	// A different segmenting length keys differently (segmenting
+	// deterministically reshapes the worked tree).
+	seglen := k.SolveKey("application/json", nil, []byte(fmt.Sprintf(`{"net": %q, "seglen": 1e-3}`, sampleNet)))
+	if seglen == base {
+		t.Fatal("different seglen shares an affinity key")
+	}
+
+	// Query knobs that change the effective budget key differently too
+	// (mirroring the replica's budget-class cache keying).
+	q := url.Values{}
+	q.Set("max_cands", "7")
+	if got := k.SolveKey("text/plain", q, []byte(sampleNet)); got == base {
+		t.Fatal("different max_cands shares an affinity key")
+	}
+}
+
+// TestKeyerFallbackOnUndecodable: undecodable bodies still key
+// deterministically (the replica owns the 400), and the two decode
+// families cannot collide on identical bytes.
+func TestKeyerFallbackOnUndecodable(t *testing.T) {
+	k := NewKeyer(Config{})
+	junk := []byte("this is not a net\n")
+	a := k.SolveKey("text/plain", url.Values{}, junk)
+	b := k.SolveKey("text/plain", url.Values{}, junk)
+	if a == "" || a != b {
+		t.Fatalf("undecodable body key unstable: %q vs %q", a, b)
+	}
+	if !strings.HasPrefix(a, "raw:") {
+		t.Fatalf("undecodable body key %q does not use the raw fallback", a)
+	}
+	if j := k.SolveKey("application/json", nil, junk); j == a {
+		t.Fatal("json and text families collide on identical undecodable bytes")
+	}
+
+	// A malformed item inside a well-formed batch still splits out with
+	// a raw key — partial-failure semantics survive the router.
+	items, err := k.SplitBatch([]byte(fmt.Sprintf(`{"nets": [{"net": %q}, {"bogus": 1}]}`, sampleNet)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("split %d items, want 2", len(items))
+	}
+	if !strings.HasPrefix(items[1].Key, "raw:json:") {
+		t.Fatalf("malformed item key %q, want raw:json: fallback", items[1].Key)
+	}
+
+	// Unsplittable top-level shapes are the router's cue to forward the
+	// whole body to one replica for the authoritative rejection.
+	for _, bad := range []string{`{"nets": []}`, `{"nets": "x"}`, `{"bogus": []}`, `[1,2]`, `not json`} {
+		if _, err := k.SplitBatch([]byte(bad)); err == nil {
+			t.Errorf("SplitBatch(%q) did not reject", bad)
+		}
+	}
+}

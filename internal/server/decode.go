@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -135,7 +136,7 @@ func (s *Server) decodeRequest(r *http.Request) (*solveRequest, error) {
 	}
 
 	req := s.newSolveRequest()
-	if err := applyQuery(req, r); err != nil {
+	if err := applyQuery(req, r.URL.Query()); err != nil {
 		return nil, err
 	}
 	return s.finishDecode(req, body)
@@ -263,8 +264,9 @@ func applyProblem(req *solveRequest, pe *problemEnvelope) error {
 }
 
 // applyQuery copies the raw-netfmt path's query knobs into the request.
-func applyQuery(req *solveRequest, r *http.Request) error {
-	q := r.URL.Query()
+// It takes the values rather than the request so the fleet router's Keyer
+// can share it without synthesizing an *http.Request.
+func applyQuery(req *solveRequest, q url.Values) error {
 	if v := q.Get("timeout_ms"); v != "" {
 		ms, err := strconv.ParseInt(v, 10, 64)
 		if err != nil || ms < 0 {

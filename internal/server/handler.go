@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"strconv"
@@ -311,16 +312,32 @@ func (s *Server) shedResponse(err error) (int, ErrorResponse) {
 	if errors.Is(err, errOverloaded) {
 		status = http.StatusTooManyRequests
 	}
-	retry := int64(s.cfg.RetryAfter / time.Second)
-	if retry < 1 {
-		retry = 1
-	}
 	return status, ErrorResponse{
 		Error:       err.Error(),
 		Class:       "shed",
 		Status:      status,
-		RetryAfterS: retry,
+		RetryAfterS: s.retryAfterSeconds(),
 	}
+}
+
+// retryAfterSeconds renders the shed-retry hint: the configured base plus
+// bounded jitter, so the clients shed by one overload spike — now
+// including the fleet router's retry loop — do not all come back on the
+// same second and re-spike the queue in lockstep. The value stays in
+// [base, base + max(1, base/2)]: never below the configured hint (the
+// contract clients plan around), never more than ~1.5× above it (the
+// hint stays honest). Each draw is independent, which is what de-phases
+// the herd.
+func (s *Server) retryAfterSeconds() int64 {
+	base := int64(s.cfg.RetryAfter / time.Second)
+	if base < 1 {
+		base = 1
+	}
+	spread := base / 2
+	if spread < 1 {
+		spread = 1
+	}
+	return base + rand.Int64N(spread+1)
 }
 
 // shed writes the admission-control rejection for err, with Retry-After.
@@ -347,10 +364,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case s.draining.Load():
-		w.Header().Set("Retry-After", strconv.FormatInt(int64(s.cfg.RetryAfter/time.Second)+1, 10))
+		w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
 		writeJSON(w, http.StatusServiceUnavailable, readyz{Ready: false, Reason: "draining"})
 	case s.saturated():
-		w.Header().Set("Retry-After", strconv.FormatInt(int64(s.cfg.RetryAfter/time.Second)+1, 10))
+		w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
 		writeJSON(w, http.StatusServiceUnavailable, readyz{Ready: false, Reason: "overloaded"})
 	default:
 		writeJSON(w, http.StatusOK, readyz{Ready: true})

@@ -179,6 +179,139 @@ func TestGracefulDrain(t *testing.T) {
 	}
 }
 
+// TestDrainRacesInflightBatch pins the partial-failure semantics the
+// fleet router's failover logic relies on: a SIGTERM drain that begins
+// while a /solve/batch is mid-flight must still complete the items that
+// were already admitted, shed the rest with class "shed" and a
+// Retry-After hint, flip /readyz to 503, and still drain cleanly. The
+// router treats a replica's drain as "finish what you hold, take nothing
+// new" — if drain ever started dropping admitted batch items, failover
+// would double-solve or lose them.
+func TestDrainRacesInflightBatch(t *testing.T) {
+	inj, err := faultinject.New(faultinject.Config{
+		Seed:      17,
+		Rates:     map[faultinject.Fault]float64{faultinject.FaultSlow: 1},
+		SlowDelay: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, url, cancel, errCh := startDaemon(t, Config{
+		Workers:      1,
+		QueueDepth:   1,
+		Injector:     inj,
+		DrainTimeout: 10 * time.Second,
+	})
+
+	// A width-3 batch against a 1-worker, 1-queue-slot pool: one item
+	// runs (held slow for 400ms), one waits, one overflows immediately.
+	body := `{"nets":[` +
+		`{"net":` + jsonString(sampleNet) + `},` +
+		`{"net":` + jsonString(sampleNet) + `},` +
+		`{"net":` + jsonString(sampleNet) + `}]}`
+	respCh := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(url+"/solve/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Errorf("batch post: %v", err)
+			respCh <- nil
+			return
+		}
+		respCh <- resp
+	}()
+
+	// Wait until the batch is mid-flight: one item holding the worker,
+	// one parked in the queue (the overflow item has already been shed).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflight.Load() < 1 || s.queued.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never settled mid-flight: inflight %d queued %d",
+				s.inflight.Load(), s.queued.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Drain begins while the slot is still held, so the queued item is
+	// deterministically shed by drainCh, never raced onto the freed slot.
+	cancel()
+	probeDeadline := time.Now().Add(2 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(probeDeadline) {
+			t.Fatal("drain never began")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rec := httptest.NewRecorder()
+	s.handleReadyz(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("/readyz mid-batch drain = %d %s, want 503 draining", rec.Code, rec.Body.String())
+	}
+
+	// The batch still answers 200 with per-item outcomes: the admitted
+	// item completed, the other two were shed with retry hints.
+	var resp *http.Response
+	select {
+	case resp = <-respCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch response never arrived through drain")
+	}
+	if resp == nil {
+		t.FailNow()
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch through drain = %d, want 200 (body %s)", resp.StatusCode, raw)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatalf("batch body: %v\n%s", err, raw)
+	}
+	if br.Count != 3 || br.Succeeded != 1 || br.Failed != 2 {
+		t.Fatalf("drain-raced batch = %d succeeded / %d failed of %d, want 1/2 of 3", br.Succeeded, br.Failed, br.Count)
+	}
+	for _, item := range br.Results {
+		switch {
+		case item.Result != nil:
+			if item.Result.Tier == "" {
+				t.Errorf("admitted item %d completed without a tier", item.Index)
+			}
+		case item.Error != nil:
+			if item.Error.Class != "shed" {
+				t.Errorf("item %d class = %q, want shed", item.Index, item.Error.Class)
+			}
+			if item.Error.RetryAfterS < 1 {
+				t.Errorf("shed item %d missing retry_after_s: %+v", item.Index, item.Error)
+			}
+		default:
+			t.Errorf("item %d has neither result nor error", item.Index)
+		}
+	}
+
+	// And the drain still completes cleanly.
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("Run returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run never returned")
+	}
+	snap := obs.Default().Snapshot()
+	if snap.Counters["server.batch.shed.draining"] != 1 {
+		t.Errorf("batch.shed.draining = %d, want 1", snap.Counters["server.batch.shed.draining"])
+	}
+	if snap.Counters["server.batch.shed.queue_full"] != 1 {
+		t.Errorf("batch.shed.queue_full = %d, want 1", snap.Counters["server.batch.shed.queue_full"])
+	}
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
 // TestForcedDrain: when in-flight work outlives DrainTimeout, Run force-
 // closes connections and reports the overrun instead of hanging forever.
 func TestForcedDrain(t *testing.T) {

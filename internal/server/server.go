@@ -200,6 +200,13 @@ func (s *Server) Ready() <-chan struct{} { return s.ready }
 // Draining reports whether drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Inflight returns the number of requests currently holding a worker
+// slot. The fleet chaos harness samples it at the moment it kills a
+// replica, because that in-flight count is exactly the accounting
+// tolerance a kill introduces (the requests whose contexts die with
+// their connections).
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
 // Run listens on cfg.Addr and serves until ctx is canceled (the SIGTERM
 // path), then drains: admission stops, /readyz flips to 503, queued
 // requests are shed, and in-flight requests get up to DrainTimeout to
@@ -243,6 +250,12 @@ func (s *Server) Run(ctx context.Context) error {
 	obs.Inc("server.drain.completed")
 	return nil
 }
+
+// BeginDrain flips the server to draining without going through Run's
+// SIGTERM path, for embedders that serve Handler() under their own
+// http.Server (the fleet lab drains one replica this way to exercise the
+// router's keyspace failover). Idempotent; there is no un-drain.
+func (s *Server) BeginDrain() { s.beginDrain() }
 
 // beginDrain flips the server to draining exactly once: new arrivals and
 // queued waiters are shed from here on, /readyz reports 503.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -280,6 +281,72 @@ func TestOverloadShedsAndReadyzFlips(t *testing.T) {
 	snap := obs.Default().Snapshot()
 	if snap.Counters["server.shed.queue_full"] != 1 {
 		t.Fatalf("shed.queue_full = %d, want 1", snap.Counters["server.shed.queue_full"])
+	}
+}
+
+// TestShedRetryAfterJitterBounds: the Retry-After seconds on a shed
+// response are the configured base plus bounded jitter — never below the
+// base, never above base + max(1, base/2) — and actually vary between
+// draws, so shed clients (including the fleet router's retry loop) do
+// not retry in lockstep.
+func TestShedRetryAfterJitterBounds(t *testing.T) {
+	for _, base := range []time.Duration{0, time.Second, 4 * time.Second, 10 * time.Second} {
+		s := New(Config{RetryAfter: base})
+		lo := int64(base / time.Second)
+		if lo < 1 {
+			lo = 1
+		}
+		spread := lo / 2
+		if spread < 1 {
+			spread = 1
+		}
+		seen := map[int64]bool{}
+		for i := 0; i < 200; i++ {
+			status, body := s.shedResponse(errOverloaded)
+			if status != http.StatusTooManyRequests {
+				t.Fatalf("overloaded shed status = %d", status)
+			}
+			if body.RetryAfterS < lo || body.RetryAfterS > lo+spread {
+				t.Fatalf("base %v: RetryAfterS = %d outside [%d, %d]", base, body.RetryAfterS, lo, lo+spread)
+			}
+			seen[body.RetryAfterS] = true
+		}
+		// With ≥2 values in range, 200 identical draws means the jitter
+		// is not actually being applied.
+		if len(seen) < 2 {
+			t.Errorf("base %v: 200 draws produced a single value %v; no jitter", base, seen)
+		}
+	}
+}
+
+// TestSolveShedCarriesRetryAfter pins the single-solve shed path's wire
+// shape (the batch path's was already pinned): the 503 carries a
+// Retry-After header, the header and the body's retry_after_s agree, and
+// the value respects the jitter bounds.
+func TestSolveShedCarriesRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{RetryAfter: 4 * time.Second})
+	s.beginDrain()
+	resp, body := postNet(t, ts, "/solve", "text/plain", sampleNet)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /solve = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	hdr := resp.Header.Get("Retry-After")
+	if hdr == "" {
+		t.Fatal("single-solve shed missing Retry-After header")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Class != "shed" {
+		t.Fatalf("class = %q, want shed", er.Class)
+	}
+	hdrS, err := strconv.ParseInt(hdr, 10, 64)
+	if err != nil || hdrS != er.RetryAfterS {
+		t.Fatalf("header Retry-After %q != body retry_after_s %d", hdr, er.RetryAfterS)
+	}
+	if er.RetryAfterS < 4 || er.RetryAfterS > 6 {
+		t.Fatalf("RetryAfterS = %d outside the [4, 6] jitter bounds for a 4s base", er.RetryAfterS)
 	}
 }
 

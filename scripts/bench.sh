@@ -16,6 +16,10 @@
 #   BENCH      benchmark regex (default: .)
 #   BENCHTIME  -benchtime value (default: 1x — one timed iteration per
 #              benchmark; raise to e.g. 2s for publication-grade numbers)
+#   FLEET      set to 1 to also run cmd/loadgen (hash-vs-random routing
+#              arms through an in-process fleet) and merge its report —
+#              router p50/p99, hedge rate, cache-hit rates — into the
+#              record under "fleet" (see `make fleetbench`)
 #
 # Without a flag, refuses to overwrite a same-day recording: move it
 # aside, or re-run with -suffix or -force.
@@ -64,6 +68,13 @@ go test -bench="$bench" -benchmem -benchtime="$benchtime" -run='^$' . | tee "$tm
 echo "== obs counters: buffopt -alg solve on testdata/sample.net"
 go run ./cmd/buffopt -net testdata/sample.net -alg solve -metrics "$tmpdir/metrics.json" >/dev/null
 
-go run ./cmd/benchjson -in "$tmpdir/bench.txt" -metrics "$tmpdir/metrics.json" -out "$out"
+fleetargs=""
+if [ "${FLEET:-0}" = "1" ]; then
+    echo "== fleet: loadgen hash-vs-random arms over an in-process fleet"
+    go run ./cmd/loadgen -out "$tmpdir/fleet.json"
+    fleetargs="-fleet $tmpdir/fleet.json"
+fi
+
+go run ./cmd/benchjson -in "$tmpdir/bench.txt" -metrics "$tmpdir/metrics.json" $fleetargs -out "$out"
 cp "$tmpdir/bench.txt" "$txt"
 echo "bench: wrote $out (and benchstat text $txt)"

@@ -43,4 +43,11 @@ echo "== cache gate (short): cache-on/off identity + coalescing + eviction books
 go test -race -short -count=1 ./internal/cache
 go test -race -short -count=1 -run 'Cache' ./internal/core ./internal/server
 
+# The fleet chaos gate (short): a 3-replica in-process fleet behind the
+# router under seeded request-level faults plus partitions and a replica
+# kill, with exact attempt/outcome/fault accounting. `make fleetsoak`
+# runs the long version.
+echo "== fleet soak (short): router failover/hedging under partition + kill"
+go test -race -short -count=1 -run TestFleetSoakUnderChaos ./internal/fleet
+
 echo "check: OK"
