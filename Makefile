@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the tier-1 gate (ROADMAP.md).
 
-.PHONY: build test check bench cachebench fleetbench difftest fuzz soak fleetsoak
+.PHONY: build test check bench cachebench fleetbench difftest fuzz soak fleetsoak tracesoak
 
 build:
 	go build ./...
@@ -47,6 +47,16 @@ soak:
 # tier-1 gate runs one short pass; this is the long version.
 fleetsoak:
 	go test -race -count=5 -run 'TestFleetSoakUnderChaos' -v ./internal/fleet
+
+# Trace soak: the distributed-tracing ledger gate. Cross-process trace
+# assembly through the 3-replica lab fleet (/debug/trace/<id> must return
+# one fully linked router→replica tree), then a faulted soak in which
+# every injected fault, admission shed, and hedge must map to exactly one
+# recorded span, with exact collector books (started == finished ==
+# resident + dropped, zero flight-recorder evictions). The tier-1 gate
+# runs one short pass; this is the long version.
+tracesoak:
+	go test -race -count=5 -run 'TestTraceAcrossFleet|TestTraceSoak' -v ./internal/fleet
 
 # Fleet benchmark recording: cmd/loadgen drives hash-vs-random routing
 # arms through an in-process fleet and the report (p50/p99, hedge rate,

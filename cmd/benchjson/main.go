@@ -101,6 +101,17 @@ func run(inPath, metricsPath, fleetPath, outPath string) error {
 		rec.Derived = derive(snap.Counters)
 	}
 
+	// Span-overhead figures come from the benchmark lines themselves, so
+	// they merge with or without a -metrics snapshot.
+	if so := deriveSpanOverhead(rec.Benchmarks); len(so) > 0 {
+		if rec.Derived == nil {
+			rec.Derived = map[string]float64{}
+		}
+		for k, v := range so {
+			rec.Derived[k] = v
+		}
+	}
+
 	if fleetPath != "" {
 		data, err := os.ReadFile(fleetPath)
 		if err != nil {
@@ -195,6 +206,42 @@ func derive(counters map[string]int64) map[string]float64 {
 	}
 	if runs := counters["sim.awe.rails"]; runs > 0 {
 		d["awe_fallback_ratio"] = float64(counters["sim.awe.rejected"]) / float64(runs)
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}
+
+// deriveSpanOverhead reduces the obs span benchmarks (enabled = metrics
+// only, disabled = telemetry off, traced = collector attached) into the
+// per-span costs the regression harness tracks, plus the headline
+// "what does instrumenting cost" delta. Bench names carry a -N GOMAXPROCS
+// suffix, so match on prefix.
+func deriveSpanOverhead(benches []Benchmark) map[string]float64 {
+	pick := func(prefix string) float64 {
+		for _, b := range benches {
+			if b.Name == prefix || strings.HasPrefix(b.Name, prefix+"-") {
+				return b.NsPerOp
+			}
+		}
+		return 0
+	}
+	d := map[string]float64{}
+	enabled := pick("BenchmarkSpanEnabled")
+	disabled := pick("BenchmarkSpanDisabled")
+	traced := pick("BenchmarkSpanTraced")
+	if enabled > 0 {
+		d["span_ns_enabled"] = enabled
+	}
+	if disabled > 0 {
+		d["span_ns_disabled"] = disabled
+	}
+	if traced > 0 {
+		d["span_ns_traced"] = traced
+	}
+	if enabled > 0 && disabled > 0 {
+		d["span_overhead_ns"] = enabled - disabled
 	}
 	if len(d) == 0 {
 		return nil

@@ -9,6 +9,7 @@
 //	        [-timeout 30s] [-max-timeout 2m] [-max-cands N]
 //	        [-max-bytes 8388608] [-max-nodes N]
 //	        [-cache-entries 4096] [-cache-bytes 268435456]
+//	        [-trace-spans 4096] [-trace-latency 1s]
 //	        [-drain-timeout 15s] [-retry-after 1s]
 //	        [-faults slow=0.1,cancel=0.05] [-fault-seed 1] [-fault-delay 25ms]
 //	        [-metrics out.json] [-v] [-pprof addr]
@@ -23,7 +24,13 @@
 //	GET  /healthz      liveness: 200 while the process serves
 //	GET  /readyz       readiness: 503 while draining or overloaded
 //	GET  /metrics      telemetry snapshot as JSON
+//	GET  /metrics/prom the same telemetry in the OpenMetrics text format,
+//	                   with trace-ID exemplars on the latency histograms
 //	GET  /debug/vars   the same counters via expvar
+//	GET  /debug/trace/<id>      retained spans of one trace (every response
+//	                   carries its trace ID in X-Trace-Id)
+//	GET  /debug/flightrecorder  complete traces of recent anomalous
+//	                   requests: sheds, injected faults, slow solves
 //
 // At most -workers solves run concurrently and at most -queue more wait;
 // beyond that, requests — and individual batch items — are shed with 429
@@ -82,6 +89,8 @@ func run(args []string, stderr *os.File) int {
 	fs.DurationVar(&cfg.RetryAfter, "retry-after", time.Second, "Retry-After hint on shed responses")
 	fs.IntVar(&cfg.CacheEntries, "cache-entries", 4096, "max results resident in the solve cache (0 = unlimited when -cache-bytes set; both 0 disables)")
 	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 256<<20, "max estimated bytes resident in the solve cache (0 = unlimited when -cache-entries set; both 0 disables)")
+	fs.IntVar(&cfg.TraceSpans, "trace-spans", 0, "span-collector ring size: recent spans visible at /debug/trace (0 = default 4096)")
+	fs.DurationVar(&cfg.TraceLatency, "trace-latency", 0, "latency past which a request's trace is pinned in the flight recorder (0 = default 1s)")
 
 	faults := fs.String("faults", "", "fault-injection rates, e.g. slow=0.1,cancel=0.05,panic=0.01,malformed=0.05 (chaos testing only)")
 	faultSeed := fs.Int64("fault-seed", 1, "fault injector PRNG seed")

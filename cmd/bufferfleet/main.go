@@ -16,6 +16,7 @@
 //	            [-fail-threshold 3] [-retry-backoff 25ms]
 //	            [-retry-after 1s] [-max-bytes 8388608]
 //	            [-drain-timeout 15s] [-routing hash]
+//	            [-trace-spans 4096] [-trace-latency 1s]
 //	            [-timeout 30s] [-max-timeout 2m] [-max-cands N] [-max-nodes N]
 //	            [-metrics out.json] [-v] [-pprof addr]
 //
@@ -29,6 +30,12 @@
 //	GET  /readyz        503 once no replica is routable (or draining)
 //	GET  /fleet/status  per-replica health, failures, backoff, p90
 //	GET  /metrics       router telemetry snapshot as JSON
+//	GET  /metrics/prom  the same telemetry in the OpenMetrics text format,
+//	                    with trace-ID exemplars on the latency histograms
+//	GET  /debug/trace/<id>      the trace's router spans merged with each
+//	                    replica's retained spans: the cross-process view
+//	GET  /debug/flightrecorder  complete router-side traces of recent
+//	                    anomalous requests (sheds, hedges, slow solves)
 //
 // The -timeout/-max-timeout/-max-cands/-max-nodes flags mirror the
 // replicas' decode knobs so the router derives the same cache key the
@@ -82,6 +89,8 @@ func run(args []string, stderr *os.File) int {
 	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
 	fs.StringVar(&cfg.Routing, "routing", fleet.RoutingHash, "routing policy: hash (cache-affine) or random (control)")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "PRNG seed for -routing random")
+	fs.IntVar(&cfg.TraceSpans, "trace-spans", 0, "span-collector ring size: recent spans visible at /debug/trace (0 = default 4096)")
+	fs.DurationVar(&cfg.TraceLatency, "trace-latency", 0, "latency past which a request's trace is pinned in the flight recorder (0 = default 1s)")
 
 	// Decode knobs, mirroring the replicas' so affinity keys agree.
 	fs.DurationVar(&cfg.Decode.DefaultTimeout, "timeout", 30*time.Second, "replicas' default per-request deadline (affinity-key input)")

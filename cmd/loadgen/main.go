@@ -59,6 +59,16 @@ type Arm struct {
 	CacheHitRate float64 `json:"cache_hit_rate"` // replica cache hits / lookups
 	CacheHits    int64   `json:"cache_hits"`
 	CacheLookups int64   `json:"cache_lookups"`
+	// SlowestTraces are the arm's slowest solve requests, worst first,
+	// each with the trace ID the router minted for it — paste it into
+	// GET /debug/trace/<id> to see where the time went.
+	SlowestTraces []SlowRequest `json:"slowest_traces,omitempty"`
+}
+
+// SlowRequest is one slow solve: its latency and its trace ID.
+type SlowRequest struct {
+	MS      float64 `json:"ms"`
+	TraceID string  `json:"trace_id"`
 }
 
 // Report is loadgen's JSON output.
@@ -149,6 +159,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "loadgen: %-6s p50 %.2fms p99 %.2fms hedge %.3f cache-hit %.3f (%d/%d)\n",
 			mode, arm.P50MS, arm.P99MS, arm.HedgeRate, arm.CacheHitRate, arm.CacheHits, arm.CacheLookups)
+		for _, sr := range arm.SlowestTraces {
+			fmt.Fprintf(stderr, "loadgen: %-6s slow %8.2fms trace %s (GET /debug/trace/%s on a live fleet)\n",
+				mode, sr.MS, sr.TraceID, sr.TraceID)
+		}
 		rep.Arms = append(rep.Arms, arm)
 	}
 	if len(rep.Arms) == 2 {
@@ -221,6 +235,7 @@ func runArm(cfg armConfig) (Arm, error) {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		timed     []SlowRequest
 		wg        sync.WaitGroup
 	)
 	for c := 0; c < cfg.clients; c++ {
@@ -239,13 +254,17 @@ func runArm(cfg armConfig) (Arm, error) {
 					continue
 				}
 				start := time.Now()
-				ok := postSolve(base, cfg.corpus[i%len(cfg.corpus)])
+				ok, trace := postSolve(base, cfg.corpus[i%len(cfg.corpus)])
 				d := time.Since(start)
 				mu.Lock()
 				arm.Requests++
 				if ok {
 					arm.OK++
 					latencies = append(latencies, d)
+					timed = append(timed, SlowRequest{
+						MS:      float64(d) / float64(time.Millisecond),
+						TraceID: trace,
+					})
 				} else {
 					arm.Errors++
 				}
@@ -262,6 +281,15 @@ func runArm(cfg armConfig) (Arm, error) {
 	arm.P50MS = quantileMS(latencies, 0.50)
 	arm.P99MS = quantileMS(latencies, 0.99)
 
+	// The slowest few requests, worst first, keyed by trace ID. The lab is
+	// gone by the time this prints, but against a live fleet these IDs are
+	// exactly what /debug/trace/<id> and the flight recorder answer for.
+	sort.Slice(timed, func(i, j int) bool { return timed[i].MS > timed[j].MS })
+	if len(timed) > 5 {
+		timed = timed[:5]
+	}
+	arm.SlowestTraces = timed
+
 	ctr := obs.Default().Snapshot().Counters
 	if attempts := ctr["fleet.attempt.launched"]; attempts > 0 {
 		arm.HedgeRate = float64(ctr["fleet.hedge.launched"]) / float64(attempts)
@@ -274,14 +302,16 @@ func runArm(cfg armConfig) (Arm, error) {
 	return arm, nil
 }
 
-func postSolve(base, net string) bool {
+// postSolve posts one net and returns whether it succeeded plus the
+// trace ID the router stamped on the response (X-Trace-Id).
+func postSolve(base, net string) (bool, string) {
 	resp, err := http.Post(base+"/solve", "text/plain", strings.NewReader(net))
 	if err != nil {
-		return false
+		return false, ""
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode == http.StatusOK
+	return resp.StatusCode == http.StatusOK, resp.Header.Get("X-Trace-Id")
 }
 
 // postBatch posts a width-wide batch starting at schedule slot i and

@@ -296,6 +296,7 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fill Filler[V]) (V, Outco
 				c.stats.Hits++
 				obs.Inc(c.ns + "hits")
 				c.mu.Unlock()
+				obs.Annotate(ctx, "cache", "hit")
 				return c.clone(v), Outcome{Hit: true}, nil
 			}
 			// Retrying waiter whose replacement leader stored the value
@@ -304,6 +305,7 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fill Filler[V]) (V, Outco
 			c.stats.Coalesced++
 			obs.Inc(c.ns + "coalesced")
 			c.mu.Unlock()
+			obs.Annotate(ctx, "cache", "coalesced")
 			return c.clone(v), Outcome{Coalesced: true}, nil
 		}
 		if first {
@@ -324,6 +326,7 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fill Filler[V]) (V, Outco
 				c.stats.Coalesced++
 				obs.Inc(c.ns + "coalesced")
 				c.mu.Unlock()
+				obs.Annotate(ctx, "cache", "coalesced")
 				return c.clone(f.val), Outcome{Coalesced: true}, nil
 			}
 			// Leader failed (or aborted): retry; this caller may lead.
@@ -333,6 +336,7 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fill Filler[V]) (V, Outco
 		f := &flight[V]{done: make(chan struct{})}
 		c.flights[key] = f
 		c.mu.Unlock()
+		obs.Annotate(ctx, "cache", "miss")
 
 		v, err := c.lead(key, f, fill)
 		if err != nil {

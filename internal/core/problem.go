@@ -12,6 +12,7 @@ import (
 	"buffopt/internal/buffers"
 	"buffopt/internal/guard"
 	"buffopt/internal/noise"
+	"buffopt/internal/obs"
 	"buffopt/internal/rctree"
 )
 
@@ -132,7 +133,14 @@ func Optimize(ctx context.Context, p Problem, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// The budget is reconciled against the caller's original ctx (not the
+	// span's child context) so legacy wrappers keep their exact Budget
+	// object and its usage marks; the trace still reaches the inner loops
+	// because the budget's context carries the caller's span chain.
 	opts.Budget = budgetFor(ctx, opts.Budget)
+	_, sp := obs.Span(ctx, "optimize")
+	sp.SetAttr("objective", p.Objective.String())
+	defer sp.End()
 	switch p.Objective {
 	case MaxSlack:
 		if p.MaxBuffers != nil {

@@ -294,8 +294,11 @@ func solveLadder(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p no
 
 	var tierErrs []*TierError
 	for _, step := range tiers {
-		b, cancel := tierBudget(ctx, opts.Budget, tierShares[step.tier], step.maxCands)
-		_, span := obs.Span(solveCtx, "solve.tier."+step.tier.String())
+		// The tier span's context feeds the tier budget, so DP spans nest
+		// under the tier and an injected mid-flight cancel (guard.Check)
+		// annotates the tier that absorbed it.
+		tctx, span := obs.Span(solveCtx, "solve.tier."+step.tier.String())
+		b, cancel := tierBudget(tctx, opts.Budget, tierShares[step.tier], step.maxCands)
 		start := time.Now()
 		var res *Result
 		err := guard.Safe("core.Solve/"+step.tier.String(), func() error {
@@ -323,8 +326,10 @@ func solveLadder(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p no
 		if err == nil {
 			if step.tier != TierExact {
 				obs.Inc("solve.degraded")
+				solveSpan.SetAttr("degraded", "true")
 			}
 			obs.Inc("solve.answered." + step.tier.String())
+			solveSpan.SetAttr("tier", step.tier.String())
 			return &SolveResult{
 				Result:     res,
 				Tier:       step.tier,

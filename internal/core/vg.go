@@ -218,7 +218,11 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 	var st vgStats
 	opts.stats = &st
 	defer st.flush()
-	defer obs.Timer("vg.run")()
+	// The DP span hangs off the budget's context, which carries the
+	// request's trace (server → tier → here), so per-net DP time is
+	// visible inside cross-process traces.
+	_, vgSpan := obs.Span(opts.budget.Context(), "vg.run")
+	defer vgSpan.End()
 
 	ar := &candArena{}
 	opts.arena = ar
@@ -229,9 +233,11 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 	if workers := opts.workerCount(t.Len()); workers > 1 {
 		obs.Inc("vg.run.parallel")
 		obs.SetMax("vg.parallel.workers", int64(workers))
+		vgSpan.SetAttr("dp", "parallel")
 		err = runVGParallel(t, lib, opts, lists, workers)
 	} else {
 		obs.Inc("vg.run.serial")
+		vgSpan.SetAttr("dp", "serial")
 		err = runVGSerial(t, lib, opts, lists)
 	}
 	if err != nil {

@@ -340,7 +340,14 @@ func PlanFrom(ctx context.Context) *Plan {
 }
 
 // Take is the one-line hook-point helper: it fires fault f if ctx carries
-// a plan assigning it and the plan has not fired yet.
+// a plan assigning it and the plan has not fired yet. A fired fault also
+// stamps fault=<name> onto the enclosing span (when ctx carries one), so
+// every injected fault maps to exactly one recorded trace — the equality
+// the trace soak asserts against Injector.Consumed.
 func Take(ctx context.Context, f Fault) bool {
-	return PlanFrom(ctx).Take(f)
+	if PlanFrom(ctx).Take(f) {
+		obs.Annotate(ctx, "fault", f.String())
+		return true
+	}
+	return false
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"sync"
@@ -28,6 +29,11 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obs.Inc("fleet.batch.requests")
+	// One root span for the batch; each shard group dispatches under its
+	// own child span (see dispatch), which is where hedge attrs live.
+	ctx, span := rt.tracer.StartTrace(r.Context(), "fleet.batch", obs.TraceParentFrom(r.Header))
+	defer span.End()
+	w.Header().Set("X-Trace-Id", span.TraceID().String())
 	body, err := rt.readBody(r)
 	if err != nil {
 		writeRouterError(w, http.StatusRequestEntityTooLarge, "invalid", err.Error(), 0)
@@ -43,8 +49,8 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// validation policy.
 		obs.Inc("fleet.batch.unsplittable")
 		key := rt.keyer.SolveKey(ct, nil, body)
-		res := rt.dispatch(r.Context(), key, "/solve/batch", r.URL.RawQuery, ct, body)
-		rt.forward(w, res, "fleet.batch")
+		res := rt.dispatch(ctx, key, "/solve/batch", r.URL.RawQuery, ct, body)
+		rt.forward(ctx, w, res, "fleet.batch")
 		return
 	}
 	obs.Add("fleet.batch.nets", int64(len(items)))
@@ -80,7 +86,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(g *group) {
 			defer wg.Done()
-			rt.dispatchGroup(r, g.key, g.indices, g.raw, merged.Results)
+			rt.dispatchGroup(ctx, g.key, g.indices, g.raw, merged.Results)
 		}(g)
 	}
 	wg.Wait()
@@ -102,7 +108,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 // indices. Every item gets exactly one terminal outcome: the replica's
 // own result or error when the sub-batch round-trips, a synthesized
 // per-item error when it does not.
-func (rt *Router) dispatchGroup(r *http.Request, key string, indices []int, raw []json.RawMessage, out []server.BatchItem) {
+func (rt *Router) dispatchGroup(ctx context.Context, key string, indices []int, raw []json.RawMessage, out []server.BatchItem) {
 	sub, err := json.Marshal(struct {
 		Nets []json.RawMessage `json:"nets"`
 	}{Nets: raw})
@@ -110,7 +116,7 @@ func (rt *Router) dispatchGroup(r *http.Request, key string, indices []int, raw 
 		rt.failGroup(out, indices, http.StatusInternalServerError, "internal", err.Error(), 0)
 		return
 	}
-	res := rt.dispatch(r.Context(), key, "/solve/batch", "", "application/json", sub)
+	res := rt.dispatch(ctx, key, "/solve/batch", "", "application/json", sub)
 	switch {
 	case res != nil && res.canceled:
 		rt.failGroup(out, indices, http.StatusServiceUnavailable, "canceled", "client went away before a replica answered", 0)

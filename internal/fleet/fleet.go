@@ -42,7 +42,9 @@ import (
 	"math/rand/v2"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -117,6 +119,14 @@ type Config struct {
 	// Transport overrides the upstream HTTP transport (tests). Nil uses
 	// a pooled http.Transport.
 	Transport http.RoundTripper
+	// TraceSpans bounds the router's span-collector ring. Default 4096.
+	TraceSpans int
+	// TraceFlightTraces bounds how many anomalous traces the router's
+	// flight recorder pins at once. Default 256.
+	TraceFlightTraces int
+	// TraceLatency is the request latency past which a trace is pinned
+	// in the flight recorder. Default 1 s.
+	TraceLatency time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -182,6 +192,10 @@ type Router struct {
 	attemptWG sync.WaitGroup // in-flight attempt goroutines, incl. abandoned hedges
 	draining  atomic.Bool
 
+	// tracer collects the router's own spans; /debug/trace assembles the
+	// cross-process view by merging it with the replicas' collectors.
+	tracer *obs.Collector
+
 	ready chan struct{}
 	addr  atomic.Value // string
 
@@ -212,6 +226,11 @@ func New(cfg Config) (*Router, error) {
 		keyer: server.NewKeyer(cfg.Decode),
 		rng:   rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(cfg.Seed)^0x9e3779b97f4a7c15)),
 		ready: make(chan struct{}),
+		tracer: obs.NewCollector(obs.CollectorConfig{
+			RingSpans:        cfg.TraceSpans,
+			FlightTraces:     cfg.TraceFlightTraces,
+			LatencyThreshold: cfg.TraceLatency,
+		}),
 	}
 	for _, name := range cfg.Replicas {
 		rt.replicas = append(rt.replicas, newReplica(name))
@@ -235,12 +254,18 @@ func New(cfg Config) (*Router, error) {
 	mux.HandleFunc("/readyz", rt.handleReadyz)
 	mux.HandleFunc("/fleet/status", rt.handleStatus)
 	mux.HandleFunc("/metrics", rt.handleMetrics)
+	mux.HandleFunc("/metrics/prom", rt.handleMetricsProm)
+	mux.HandleFunc("/debug/trace/", rt.handleTrace)
+	mux.HandleFunc("/debug/flightrecorder", rt.tracer.ServeFlightRecorder)
 	rt.handler = mux
 	return rt, nil
 }
 
 // Handler returns the router's HTTP handler (tests and embedding).
 func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Tracer returns the router's span collector (tests).
+func (rt *Router) Tracer() *obs.Collector { return rt.tracer }
 
 // Addr returns the bound listen address once Run has the listener up.
 func (rt *Router) Addr() string {
@@ -430,6 +455,12 @@ type attemptResult struct {
 // solver error alike — wins and is forwarded verbatim. Returns nil only
 // when every permitted attempt failed at the connection level.
 func (rt *Router) dispatch(ctx context.Context, key, path, rawQuery, contentType string, body []byte) *attemptResult {
+	// One dispatch span per routed unit (a /solve request, or one shard
+	// group of a batch). Hedge attributes live here — not on the request
+	// span — so a batch whose groups hedge independently still maps each
+	// hedge to exactly one span, matching the fleet.hedge.* counters.
+	ctx, span := obs.Span(ctx, "fleet.dispatch")
+	defer span.End()
 	order := rt.rank(key)
 	max := rt.cfg.MaxAttempts
 	if max > len(order) {
@@ -508,6 +539,7 @@ func (rt *Router) dispatch(ctx context.Context, key, path, rawQuery, contentType
 			default:
 				if res.hedged {
 					obs.Inc("fleet.hedge.won")
+					span.SetAttr("hedge", "won")
 				}
 				return res
 			}
@@ -519,6 +551,7 @@ func (rt *Router) dispatch(ctx context.Context, key, path, rawQuery, contentType
 				hedgeArmed = false
 				if launch(true) {
 					obs.Inc("fleet.hedge.launched")
+					span.SetAttr("hedge", "launched")
 				}
 			}
 		case <-relaunchC():
@@ -574,8 +607,33 @@ func (rt *Router) attempt(ctx context.Context, rep *replica, path, rawQuery, con
 	obs.Inc("fleet.attempt.launched")
 	defer obs.Inc("fleet.attempt.settled")
 
+	// WithoutCancel keeps the context's values — including the dispatch
+	// span — so the attempt span links into the request's trace and the
+	// outgoing traceparent header names it as the replica's parent.
 	actx, cancel := context.WithTimeout(context.WithoutCancel(ctx), rt.cfg.AttemptTimeout)
 	defer cancel()
+	actx, span := obs.Span(actx, "fleet.attempt")
+	span.SetAttr("replica", rep.name)
+	if hedged {
+		span.SetAttr("hedged", "true")
+	}
+	res := rt.attemptOnce(actx, rep, path, rawQuery, contentType, body, hedged)
+	switch {
+	case res.err != nil:
+		span.Fail(res.err)
+	default:
+		span.SetAttr("status", strconv.Itoa(res.status))
+		if res.shed {
+			span.SetAttr("shed", "replica")
+		}
+		span.End()
+	}
+	return res
+}
+
+// attemptOnce is the attempt's round-trip body, run under the attempt
+// span's detached context.
+func (rt *Router) attemptOnce(actx context.Context, rep *replica, path, rawQuery, contentType string, body []byte, hedged bool) *attemptResult {
 	url := rep.base + path
 	if rawQuery != "" {
 		url += "?" + rawQuery
@@ -585,6 +643,9 @@ func (rt *Router) attempt(ctx context.Context, rep *replica, path, rawQuery, con
 		return &attemptResult{replica: rep, hedged: hedged, err: err}
 	}
 	req.Header.Set("Content-Type", contentType)
+	if tc := obs.TraceContextFrom(actx); !tc.TraceID.IsZero() {
+		req.Header.Set("traceparent", obs.FormatTraceparent(tc))
+	}
 
 	start := time.Now()
 	resp, err := rt.client.Do(req)
@@ -657,30 +718,39 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obs.Inc("fleet.requests")
+	// The fleet edge is where a trace is born (or adopted, when the
+	// client sent its own traceparent); every replica attempt inherits it.
+	ctx, span := rt.tracer.StartTrace(r.Context(), "fleet.request", obs.TraceParentFrom(r.Header))
+	defer span.End()
+	w.Header().Set("X-Trace-Id", span.TraceID().String())
 	body, err := rt.readBody(r)
 	if err != nil {
 		obs.Inc("fleet.request.outcome.invalid")
+		span.SetAttr("outcome", "invalid")
 		writeRouterError(w, http.StatusRequestEntityTooLarge, "invalid", err.Error(), 0)
 		return
 	}
 	ct := r.Header.Get("Content-Type")
 	key := rt.keyer.SolveKey(ct, r.URL.Query(), body)
 	start := time.Now()
-	res := rt.dispatch(r.Context(), key, "/solve", r.URL.RawQuery, ct, body)
-	obs.ObserveDuration("fleet.request.duration", time.Since(start).Nanoseconds())
-	rt.forward(w, res, "fleet.request")
+	res := rt.dispatch(ctx, key, "/solve", r.URL.RawQuery, ct, body)
+	obs.ObserveDurationExemplar("fleet.request.duration", time.Since(start).Nanoseconds(), span.TraceID())
+	rt.forward(ctx, w, res, "fleet.request")
 }
 
 // forward writes an attemptResult to the client, synthesizing the
 // router's own 503 when no replica could be reached, and counts the
-// request's terminal outcome under ns exactly once.
-func (rt *Router) forward(w http.ResponseWriter, res *attemptResult, ns string) {
+// request's terminal outcome under ns exactly once (mirrored as an
+// outcome/shed attribute on ctx's span).
+func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, res *attemptResult, ns string) {
 	switch {
 	case res != nil && res.canceled:
 		obs.Inc(ns + ".outcome.client_gone")
+		obs.Annotate(ctx, "outcome", "client_gone")
 		writeRouterError(w, http.StatusServiceUnavailable, "canceled", "client went away before a replica answered", 0)
 	case res == nil:
 		obs.Inc(ns + ".outcome.unroutable")
+		obs.Annotate(ctx, "outcome", "unroutable")
 		ra := int64(rt.cfg.RetryAfter / time.Second)
 		if ra < 1 {
 			ra = 1
@@ -691,10 +761,14 @@ func (rt *Router) forward(w http.ResponseWriter, res *attemptResult, ns string) 
 		switch {
 		case res.shed:
 			obs.Inc(ns + ".outcome.shed")
+			obs.Annotate(ctx, "outcome", "shed")
+			obs.Annotate(ctx, "shed", "replica")
 		case res.status == http.StatusOK:
 			obs.Inc(ns + ".outcome.ok")
+			obs.Annotate(ctx, "outcome", "ok")
 		default:
 			obs.Inc(ns + ".outcome.error")
+			obs.Annotate(ctx, "outcome", "error")
 		}
 		if res.contentType != "" {
 			w.Header().Set("Content-Type", res.contentType)
@@ -781,6 +855,78 @@ func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	obs.Default().WriteJSON(w)
+}
+
+// handleMetricsProm serves the registry in the OpenMetrics text format
+// with trace-ID exemplars, same as bufferd's /metrics/prom.
+func (rt *Router) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	obs.Default().WritePrometheus(w)
+}
+
+// handleTrace is GET /debug/trace/<id> on the router: the assembled
+// cross-process view of one trace. The router contributes its own spans
+// and then asks every replica for the same trace ID, merging the answers
+// (deduplicated by span ID, each span tagged with the process it came
+// from) into one tree — the replica root spans carry the router attempt
+// span as their parent, which is what links the pieces.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Path
+	if i := strings.LastIndexByte(raw, '/'); i >= 0 {
+		raw = raw[i+1:]
+	}
+	id, err := obs.ParseTraceID(raw)
+	if err != nil {
+		writeRouterError(w, http.StatusBadRequest, "invalid", "bad trace id: want 32 lowercase hex digits", 0)
+		return
+	}
+	out := obs.TraceJSON{TraceID: id.String()}
+	seen := map[string]bool{}
+	add := func(spans []obs.SpanJSON, origin string) {
+		for _, sp := range spans {
+			if seen[sp.SpanID] {
+				continue
+			}
+			seen[sp.SpanID] = true
+			sp.Origin = origin
+			out.Spans = append(out.Spans, sp)
+		}
+	}
+	add(obs.SpansJSON(rt.tracer.Trace(id)), "router")
+	for _, rep := range rt.replicas {
+		add(rt.fetchReplicaTrace(r.Context(), rep, id), rep.name)
+	}
+	if len(out.Spans) == 0 {
+		writeRouterError(w, http.StatusNotFound, "invalid", "trace not retained anywhere in the fleet", 0)
+		return
+	}
+	sort.Slice(out.Spans, func(i, j int) bool { return out.Spans[i].StartNS < out.Spans[j].StartNS })
+	writeRouterJSON(w, http.StatusOK, out)
+}
+
+// fetchReplicaTrace asks one replica for its retained spans of a trace.
+// Failures (replica down, trace unknown there) contribute nothing — the
+// assembled view is best-effort across whatever is reachable.
+func (rt *Router) fetchReplicaTrace(ctx context.Context, rep *replica, id obs.TraceID) []obs.SpanJSON {
+	tctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet, rep.base+"/debug/trace/"+id.String(), nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var tj obs.TraceJSON
+	if err := json.NewDecoder(io.LimitReader(resp.Body, rt.cfg.MaxBytes)).Decode(&tj); err != nil {
+		return nil
+	}
+	return tj.Spans
 }
 
 func writeRouterJSON(w http.ResponseWriter, status int, body any) {

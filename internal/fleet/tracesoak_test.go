@@ -1,0 +1,608 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"buffopt/internal/faultinject"
+	"buffopt/internal/obs"
+	"buffopt/internal/server"
+)
+
+// getTrace fetches /debug/trace/<id> from base and decodes it.
+func getTrace(base, id string) (obs.TraceJSON, int, error) {
+	resp, err := http.Get(base + "/debug/trace/" + id)
+	if err != nil {
+		return obs.TraceJSON{}, 0, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.TraceJSON{}, resp.StatusCode, nil
+	}
+	var tj obs.TraceJSON
+	if err := json.Unmarshal(body, &tj); err != nil {
+		return obs.TraceJSON{}, resp.StatusCode, fmt.Errorf("undecodable trace body: %v: %s", err, body)
+	}
+	return tj, resp.StatusCode, nil
+}
+
+// jsonAttr reads one attribute off a wire-shaped span ("" when absent).
+func jsonAttr(s obs.SpanJSON, key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// recAttr reads one attribute off a collector record ("" when absent).
+func recAttr(r obs.SpanRecord, key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// pollTrace polls the router's /debug/trace/<id> until check passes or
+// the deadline expires. Polling is required, not paranoia: a replica's
+// request span Ends in a handler defer that can run after the client
+// already holds the response, so the spans trickle into the collectors
+// shortly after the request returns.
+func pollTrace(t *testing.T, base, id string, check func(obs.TraceJSON) error) obs.TraceJSON {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		tj, status, err := getTrace(base, id)
+		if err != nil {
+			t.Fatalf("fetching trace %s: %v", id, err)
+		}
+		if status == http.StatusOK {
+			if lastErr = check(tj); lastErr == nil {
+				return tj
+			}
+		} else {
+			lastErr = fmt.Errorf("status %d", status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("trace %s never assembled: %v", id, lastErr)
+	return obs.TraceJSON{}
+}
+
+// TestTraceAcrossFleet proves the cross-process assembly claim on a live
+// 3-replica lab fleet over real loopback TCP: one POST /solve through
+// the router yields a trace whose /debug/trace/<id> view is a single
+// fully-linked tree — the router's fleet.request span is the ancestor of
+// its dispatch and attempt spans, the winning replica's server.request
+// span hangs under the attempt that carried the traceparent header, and
+// the replica's solver tiers hang under that. It also pins the W3C edge
+// cases end to end: a client-minted traceparent is adopted (same trace
+// ID, router root linked under the client's span), a malformed one
+// starts a fresh trace, and the debug endpoint 400s/404s cleanly.
+func TestTraceAcrossFleet(t *testing.T) {
+	freshObs(t)
+	lab, err := StartLab(LabConfig{
+		Replicas: 3,
+		Server: server.Config{
+			Workers:        2,
+			QueueDepth:     8,
+			DefaultTimeout: 10 * time.Second,
+			CacheEntries:   16,
+		},
+		Router: Config{
+			ProbeInterval:  25 * time.Millisecond,
+			ProbeTimeout:   150 * time.Millisecond,
+			FailThreshold:  3,
+			AttemptTimeout: 3 * time.Second,
+			// No hedging noise in the structural test: the tree must be
+			// deterministic (exactly one attempt per dispatch).
+			HedgeMin:     2 * time.Second,
+			RetryBackoff: 5 * time.Millisecond,
+			MaxAttempts:  3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	base := "http://" + lab.Router.Addr()
+	replicaNames := map[string]bool{}
+	for _, rep := range lab.Replicas {
+		replicaNames[rep.Name] = true
+	}
+
+	solve := func(traceparent string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+"/solve", strings.NewReader(labNet(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("solve through router: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve status %d", resp.StatusCode)
+		}
+		return resp
+	}
+
+	// ---- fresh trace: router-minted ID, fully linked cross-process tree.
+	resp := solve("")
+	id := resp.Header.Get("X-Trace-Id")
+	if _, err := obs.ParseTraceID(id); err != nil {
+		t.Fatalf("X-Trace-Id %q: %v", id, err)
+	}
+	assembled := pollTrace(t, base, id, func(tj obs.TraceJSON) error {
+		if tj.TraceID != id {
+			return fmt.Errorf("trace body names %s, want %s", tj.TraceID, id)
+		}
+		byID := map[string]obs.SpanJSON{}
+		var root obs.SpanJSON
+		roots := 0
+		for _, s := range tj.Spans {
+			if s.TraceID != id {
+				return fmt.Errorf("span %s carries trace %s", s.SpanID, s.TraceID)
+			}
+			byID[s.SpanID] = s
+			if s.Name == "fleet.request" {
+				root = s
+				roots++
+			}
+		}
+		if roots != 1 {
+			return fmt.Errorf("%d fleet.request spans, want 1", roots)
+		}
+		if root.Origin != "router" || root.ParentID != "" {
+			return fmt.Errorf("root span origin=%q parent=%q, want router root", root.Origin, root.ParentID)
+		}
+		// Every other span must link to a parent inside the trace: the
+		// tree is fully connected across the process boundary.
+		for _, s := range tj.Spans {
+			if s.SpanID == root.SpanID {
+				continue
+			}
+			if s.ParentID == "" {
+				return fmt.Errorf("span %s (%s) is an orphan root", s.SpanID, s.Name)
+			}
+			if _, ok := byID[s.ParentID]; !ok {
+				return fmt.Errorf("span %s (%s) parent %s not in trace", s.SpanID, s.Name, s.ParentID)
+			}
+		}
+		// Router side: request -> dispatch -> attempt.
+		var attemptID string
+		for _, s := range tj.Spans {
+			if s.Name == "fleet.dispatch" && s.ParentID == root.SpanID && s.Origin == "router" {
+				for _, a := range tj.Spans {
+					if a.Name == "fleet.attempt" && a.ParentID == s.SpanID && jsonAttr(a, "replica") != "" {
+						attemptID = a.SpanID
+					}
+				}
+			}
+		}
+		if attemptID == "" {
+			return fmt.Errorf("no fleet.request -> fleet.dispatch -> fleet.attempt chain yet")
+		}
+		// Replica side: server.request under the attempt that carried the
+		// traceparent header, solver tiers under the replica.
+		var serverID string
+		for _, s := range tj.Spans {
+			if s.Name == "server.request" && replicaNames[s.Origin] && s.ParentID == attemptID {
+				serverID = s.SpanID
+			}
+		}
+		if serverID == "" {
+			return fmt.Errorf("no server.request span under attempt %s yet", attemptID)
+		}
+		for _, s := range tj.Spans {
+			if strings.HasPrefix(s.Name, "solve.tier.") && replicaNames[s.Origin] {
+				return nil
+			}
+		}
+		return fmt.Errorf("no solve.tier.* span from a replica yet")
+	})
+	t.Logf("trace %s assembled with %d spans across router + replicas", id, len(assembled.Spans))
+
+	// ---- client-minted traceparent: adopted, root linked under it.
+	client := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID()}
+	resp = solve(obs.FormatTraceparent(client))
+	if got := resp.Header.Get("X-Trace-Id"); got != client.TraceID.String() {
+		t.Fatalf("X-Trace-Id = %s, want adopted client trace %s", got, client.TraceID)
+	}
+	pollTrace(t, base, client.TraceID.String(), func(tj obs.TraceJSON) error {
+		for _, s := range tj.Spans {
+			if s.Name == "fleet.request" {
+				if s.ParentID != client.SpanID.String() {
+					return fmt.Errorf("adopted root parent %q, want client span %s", s.ParentID, client.SpanID)
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("no fleet.request span yet")
+	})
+
+	// ---- malformed traceparent: total parsing rejects it, fresh trace.
+	resp = solve("00-xyz-no-01")
+	fresh := resp.Header.Get("X-Trace-Id")
+	if _, err := obs.ParseTraceID(fresh); err != nil {
+		t.Fatalf("malformed traceparent yielded X-Trace-Id %q: %v", fresh, err)
+	}
+	if fresh == id || fresh == client.TraceID.String() {
+		t.Fatalf("malformed traceparent reused trace %s", fresh)
+	}
+
+	// ---- debug endpoint guards.
+	if _, status, _ := getTrace(base, "not-a-trace-id"); status != http.StatusBadRequest {
+		t.Errorf("bad trace id: status %d, want 400", status)
+	}
+	if _, status, _ := getTrace(base, obs.NewTraceID().String()); status != http.StatusNotFound {
+		t.Errorf("unknown trace id: status %d, want 404", status)
+	}
+
+	// ---- OpenMetrics exposition with exemplars, router and replica alike.
+	for _, ep := range []struct{ who, base string }{
+		{"router", base},
+		{"replica", "http://" + lab.Replicas[0].Name},
+	} {
+		pr, err := http.Get(ep.base + "/metrics/prom")
+		if err != nil {
+			t.Fatalf("%s /metrics/prom: %v", ep.who, err)
+		}
+		body, _ := io.ReadAll(pr.Body)
+		pr.Body.Close()
+		text := string(body)
+		for _, want := range []string{"buffopt_", "_bucket{le=", `trace_id="`, "# EOF\n"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s /metrics/prom missing %q", ep.who, want)
+			}
+		}
+	}
+
+	// ---- flight recorder endpoint answers with its books.
+	fr, err := http.Get(base + "/debug/flightrecorder")
+	if err != nil || fr.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flightrecorder: %v %v", fr, err)
+	}
+	var flight obs.FlightJSON
+	if err := json.NewDecoder(fr.Body).Decode(&flight); err != nil {
+		t.Fatalf("flight recorder body: %v", err)
+	}
+	fr.Body.Close()
+}
+
+// TestTraceSoak is the trace-ledger chaos soak: clients hammer the lab
+// fleet while every replica's injector deals request-level faults, and
+// afterwards the span collectors must account for the chaos exactly —
+// not approximately, not "at least once":
+//
+//   - exact books on all four collectors (router + 3 replicas): spans
+//     started == finished, finished == ring-resident + dropped, zero
+//     flight-recorder evictions or truncations;
+//   - every injected fault maps to exactly one recorded span carrying
+//     fault=<name>, counted against Injector.Consumed per fault kind
+//     (anomalous spans pin their traces at record time, so ring churn —
+//     deliberately provoked with a small ring — cannot lose one);
+//   - every admission shed maps to exactly one shed-annotated replica
+//     span, counted against the server.shed.* / server.batch.shed.*
+//     counters;
+//   - every hedge maps to exactly one fleet.dispatch span with a hedge
+//     attribute (hedge=won for the winners), counted against the
+//     fleet.hedge.* counters, and every replica-shed attempt to one
+//     fleet.attempt span with shed=replica.
+//
+// No partitions or kills here: severed connections would (by design)
+// leave bounded slack in the fault books, and this test exists to prove
+// the zero-slack case. Run under -race by scripts/check.sh (short mode)
+// and `make tracesoak` (full).
+func TestTraceSoak(t *testing.T) {
+	solveClients, perClient := 10, 12
+	batchClients, perBatchClient := 3, 4
+	if testing.Short() {
+		solveClients, perClient = 6, 8
+		batchClients, perBatchClient = 2, 3
+	}
+	const (
+		replicas     = 3
+		workers      = 2
+		queueDepth   = 2
+		batchWidth   = 3
+		distinctNets = 12
+	)
+
+	freshObs(t)
+	baseline := runtime.NumGoroutine()
+
+	var injectors []*faultinject.Injector
+	for i := 0; i < replicas; i++ {
+		inj, err := faultinject.New(faultinject.Config{
+			Seed: int64(101 + i),
+			Rates: map[faultinject.Fault]float64{
+				faultinject.FaultSlow:      0.10,
+				faultinject.FaultCancel:    0.08,
+				faultinject.FaultPanic:     0.06,
+				faultinject.FaultMalformed: 0.08,
+			},
+			SlowDelay: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		injectors = append(injectors, inj)
+	}
+
+	lab, err := StartLab(LabConfig{
+		Replicas: replicas,
+		Server: server.Config{
+			Workers:        workers,
+			QueueDepth:     queueDepth,
+			DefaultTimeout: 30 * time.Second,
+			RetryAfter:     time.Second,
+			// No result cache: chaos plans are drawn inside cache fills
+			// (hits and coalesced waiters consume none, keeping the
+			// injector books exact), so a warm cache would starve the
+			// fault ledger this soak exists to exercise. Every request
+			// must run a real solve and draw a real plan.
+			CacheEntries: 0,
+			// Small ring: the soak must overflow it, proving dropped spans
+			// are counted and anomalous ones survive in the flight recorder.
+			TraceSpans: 256,
+			// Generous flight recorder: the exact ledgers below require
+			// zero evictions, and the assertion on Books enforces that.
+			TraceFlightTraces: 4096,
+			// High threshold: only faults/sheds/hedges/errors pin, so the
+			// pinned set is exactly the anomaly set the ledgers count.
+			TraceLatency: 30 * time.Second,
+		},
+		Injectors: injectors,
+		Router: Config{
+			ProbeInterval:     25 * time.Millisecond,
+			ProbeTimeout:      150 * time.Millisecond,
+			FailThreshold:     3,
+			AttemptTimeout:    3 * time.Second,
+			HedgeMin:          20 * time.Millisecond,
+			RetryBackoff:      5 * time.Millisecond,
+			MaxAttempts:       3,
+			TraceSpans:        512,
+			TraceFlightTraces: 4096,
+			TraceLatency:      30 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + lab.Router.Addr()
+
+	// ---------------------------------------------------------- load
+	var (
+		mu         sync.Mutex
+		classes    = map[string]int{}
+		solveTotal = solveClients * perClient
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < solveClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				net := labNet((c*perClient + i) % distinctNets)
+				resp, err := http.Post(base+"/solve", "text/plain", strings.NewReader(net))
+				if err != nil {
+					t.Errorf("transport error to the router: %v", err)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				class := "ok"
+				if resp.StatusCode != http.StatusOK {
+					var er server.ErrorResponse
+					json.Unmarshal(body, &er)
+					class = er.Class
+				}
+				mu.Lock()
+				classes[class]++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	batchPosts := batchClients * perBatchClient
+	batchNets := batchPosts * batchWidth
+	var batchAnswered int
+	for c := 0; c < batchClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perBatchClient; i++ {
+				var items []string
+				for j := 0; j < batchWidth; j++ {
+					n, _ := json.Marshal(labNet((c*31 + i*batchWidth + j) % distinctNets))
+					items = append(items, fmt.Sprintf(`{"net": %s}`, n))
+				}
+				body := fmt.Sprintf(`{"nets": [%s]}`, strings.Join(items, ","))
+				resp, err := http.Post(base+"/solve/batch", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("batch transport error: %v", err)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var br server.BatchResponse
+				if resp.StatusCode != http.StatusOK || json.Unmarshal(raw, &br) != nil {
+					t.Errorf("batch status %d: %s", resp.StatusCode, raw)
+					continue
+				}
+				mu.Lock()
+				batchAnswered += len(br.Results)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Close drains the router's attempt ledger (abandoned hedges settle)
+	// and then each replica waits out its handlers: every span started
+	// anywhere in the fleet is recorded before the books are read.
+	if err := lab.Close(); err != nil {
+		t.Fatalf("lab close: %v", err)
+	}
+
+	snap := obs.Default().Snapshot()
+	ctr := snap.Counters
+
+	var answered int
+	for class, n := range classes {
+		answered += n
+		if class != "ok" && class != "panic" && class != "shed" {
+			t.Errorf("clients saw %d responses of unexpected class %q", n, class)
+		}
+	}
+	if answered != solveTotal {
+		t.Fatalf("answered %d of %d solve requests", answered, solveTotal)
+	}
+	if batchAnswered != batchNets {
+		t.Fatalf("batch items answered %d of %d", batchAnswered, batchNets)
+	}
+
+	// ---- exact books on every collector in the fleet.
+	collectors := []struct {
+		who string
+		col *obs.Collector
+	}{{"router", lab.Router.Tracer()}}
+	for i, rep := range lab.Replicas {
+		collectors = append(collectors, struct {
+			who string
+			col *obs.Collector
+		}{fmt.Sprintf("replica%d", i), rep.Server.Tracer()})
+	}
+	for _, c := range collectors {
+		b := c.col.Books()
+		t.Logf("%s books: started=%d finished=%d resident=%d dropped=%d pinned=%d evicted=%d truncated=%d",
+			c.who, b.Started, b.Finished, b.Resident, b.Dropped, b.Pinned, b.Evicted, b.Truncated)
+		if b.Started != b.Finished {
+			t.Errorf("%s: started %d != finished %d (a span leaked or double-counted)", c.who, b.Started, b.Finished)
+		}
+		if b.Finished != b.Resident+b.Dropped {
+			t.Errorf("%s: finished %d != resident %d + dropped %d", c.who, b.Finished, b.Resident, b.Dropped)
+		}
+		// The exact ledgers below count spans over pinned traces; an
+		// eviction or truncation would silently lose ledger entries, so
+		// both must be zero under the sizes configured above.
+		if b.Evicted != 0 {
+			t.Errorf("%s: %d pinned traces evicted; ledgers below would undercount", c.who, b.Evicted)
+		}
+		if b.Truncated != 0 {
+			t.Errorf("%s: %d spans truncated from pinned traces", c.who, b.Truncated)
+		}
+	}
+
+	// countSpans tallies retained spans matching pred across a collector's
+	// pinned traces. Every span the ledgers care about carries a
+	// fault/shed/hedge attribute, is therefore anomalous, and pins its
+	// trace at record time — so with zero evictions/truncations asserted
+	// above, pinned traces retain each such span exactly once.
+	countSpans := func(col *obs.Collector, pred func(obs.SpanRecord) bool) int64 {
+		var n int64
+		for _, id := range col.PinnedTraces() {
+			for _, r := range col.Trace(id) {
+				if pred(r) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+
+	// ---- fault ledger: every consumed injection is exactly one span.
+	for _, f := range []faultinject.Fault{
+		faultinject.FaultSlow, faultinject.FaultCancel,
+		faultinject.FaultPanic, faultinject.FaultMalformed,
+	} {
+		var consumed int64
+		for _, inj := range injectors {
+			consumed += inj.Consumed(f)
+		}
+		var spans int64
+		for _, rep := range lab.Replicas {
+			spans += countSpans(rep.Server.Tracer(), func(r obs.SpanRecord) bool {
+				return recAttr(r, "fault") == f.String()
+			})
+		}
+		if spans != consumed {
+			t.Errorf("fault=%v: %d annotated spans retained, injectors consumed %d", f, spans, consumed)
+		}
+		if consumed == 0 {
+			t.Errorf("fault=%v: soak consumed none; sizes too small to exercise the ledger", f)
+		}
+	}
+
+	// ---- shed ledger: every admission shed is exactly one replica span.
+	var shedCtr int64
+	for name, v := range ctr {
+		if strings.HasPrefix(name, "server.shed.") || strings.HasPrefix(name, "server.batch.shed.") {
+			shedCtr += v
+		}
+	}
+	var shedSpans int64
+	for _, rep := range lab.Replicas {
+		shedSpans += countSpans(rep.Server.Tracer(), func(r obs.SpanRecord) bool {
+			return recAttr(r, "shed") != ""
+		})
+	}
+	if shedSpans != shedCtr {
+		t.Errorf("shed ledger: %d annotated replica spans, counters say %d", shedSpans, shedCtr)
+	}
+
+	// ---- hedge ledger: every hedge is exactly one dispatch span; wins
+	// flip that span's attribute rather than adding a second one.
+	router := lab.Router.Tracer()
+	hedged := countSpans(router, func(r obs.SpanRecord) bool {
+		return r.Name == "fleet.dispatch" && recAttr(r, "hedge") != ""
+	})
+	if hedged != ctr["fleet.hedge.launched"] {
+		t.Errorf("hedge ledger: %d hedge-annotated dispatch spans, launched counter %d", hedged, ctr["fleet.hedge.launched"])
+	}
+	won := countSpans(router, func(r obs.SpanRecord) bool {
+		return r.Name == "fleet.dispatch" && recAttr(r, "hedge") == "won"
+	})
+	if won != ctr["fleet.hedge.won"] {
+		t.Errorf("hedge ledger: %d hedge=won dispatch spans, won counter %d", won, ctr["fleet.hedge.won"])
+	}
+
+	// ---- attempt-shed ledger on the router.
+	attemptShed := countSpans(router, func(r obs.SpanRecord) bool {
+		return r.Name == "fleet.attempt" && recAttr(r, "shed") == "replica"
+	})
+	if attemptShed != ctr["fleet.attempt.shed"] {
+		t.Errorf("attempt ledger: %d shed-annotated attempt spans, counter %d", attemptShed, ctr["fleet.attempt.shed"])
+	}
+
+	t.Logf("ledgers: sheds=%d hedges=%d (won %d) attempt-sheds=%d classes=%v",
+		shedCtr, hedged, won, attemptShed, classes)
+
+	// ---- no goroutine pile-up once the fleet is down.
+	http.DefaultClient.CloseIdleConnections()
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+5 {
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutines %d vs baseline %d after soak", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

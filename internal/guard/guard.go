@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"buffopt/internal/faultinject"
+	"buffopt/internal/obs"
 )
 
 // The error taxonomy. Every failure a guarded solver can produce wraps
@@ -175,6 +176,7 @@ func (b *Budget) Check() error {
 		return nil
 	}
 	if b.plan.Take(faultinject.FaultCancel) {
+		obs.Annotate(b.ctx, "fault", faultinject.FaultCancel.String())
 		return fmt.Errorf("%w: %w", ErrCanceled, faultinject.ErrInjected)
 	}
 	if err := b.ctx.Err(); err != nil {

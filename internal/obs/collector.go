@@ -1,0 +1,389 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector is an in-process span sink: a bounded overwrite-oldest ring
+// of recently finished spans plus an always-on flight recorder that pins
+// complete traces for anomalous requests (sheds, injected faults, hedged
+// requests, errors, latency above a threshold) so they survive ring
+// churn. It keeps exact books — spans started == finished + in flight,
+// finished == resident + dropped, drops only under ring pressure — which
+// the chaos soaks assert to the last span.
+//
+// A Collector is per-process state (one per bufferd Server, one per
+// fleet Router), not package-global: the in-process lab fleet runs
+// several "processes" in one test binary and each must see only its own
+// spans for the cross-process trace assembly to mean anything.
+type Collector struct {
+	ringSize   int
+	flightMax  int // max pinned traces
+	flightSpan int // max spans retained per pinned trace
+	latency    time.Duration
+
+	started  atomic.Int64
+	finished atomic.Int64
+	dropped  atomic.Int64
+
+	mu          sync.Mutex
+	ring        []SpanRecord // filled up to ringSize, then overwritten oldest-first
+	next        int          // ring slot the next record lands in
+	wrapped     bool         // ring has filled at least once
+	flights     map[TraceID]*flightTrace
+	flightOrder []TraceID // pin order, for FIFO eviction
+	pinned      int64     // traces ever pinned
+	evicted     int64     // pinned traces FIFO-evicted
+	truncated   int64     // spans refused by a full per-trace flight buffer
+}
+
+// flightTrace is one pinned trace's retained spans.
+type flightTrace struct {
+	spans []SpanRecord
+}
+
+// CollectorConfig sizes a Collector. Zero fields take defaults.
+type CollectorConfig struct {
+	// RingSpans bounds the recent-span ring (default 4096). The ring is
+	// the window /debug/trace/<id> can see for ordinary traces; older
+	// spans are dropped (and counted) as new ones arrive.
+	RingSpans int
+	// FlightTraces bounds how many anomalous traces the flight recorder
+	// keeps pinned at once (default 256, FIFO eviction).
+	FlightTraces int
+	// FlightSpansPerTrace bounds the spans retained per pinned trace
+	// (default 512); overflow is counted, never silently lost.
+	FlightSpansPerTrace int
+	// LatencyThreshold pins any trace containing a span at least this
+	// slow (default 1s; negative disables latency pinning).
+	LatencyThreshold time.Duration
+}
+
+// NewCollector builds a Collector with cfg's bounds.
+func NewCollector(cfg CollectorConfig) *Collector {
+	if cfg.RingSpans <= 0 {
+		cfg.RingSpans = 4096
+	}
+	if cfg.FlightTraces <= 0 {
+		cfg.FlightTraces = 256
+	}
+	if cfg.FlightSpansPerTrace <= 0 {
+		cfg.FlightSpansPerTrace = 512
+	}
+	if cfg.LatencyThreshold == 0 {
+		cfg.LatencyThreshold = time.Second
+	}
+	return &Collector{
+		ringSize:   cfg.RingSpans,
+		flightMax:  cfg.FlightTraces,
+		flightSpan: cfg.FlightSpansPerTrace,
+		latency:    cfg.LatencyThreshold,
+		ring:       make([]SpanRecord, 0, cfg.RingSpans),
+		flights:    make(map[TraceID]*flightTrace),
+	}
+}
+
+// SpanRecord is one finished span as stored by the collector.
+type SpanRecord struct {
+	Trace    TraceID
+	ID       SpanID
+	Parent   SpanID // zero for a local root
+	Name     string
+	Path     string // dotted path within this process
+	Start    time.Time
+	Duration time.Duration
+	Err      string // non-empty when the span failed
+	Attrs    []Attr
+}
+
+// attr returns the value of the named attribute ("" when absent).
+func (r *SpanRecord) attr(key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// anomalous reports whether the span should pin its trace in the flight
+// recorder: it failed, it carries a shed/fault/hedge attribute, or it
+// ran past the latency threshold.
+func (c *Collector) anomalous(r *SpanRecord) bool {
+	if r.Err != "" {
+		return true
+	}
+	for _, a := range r.Attrs {
+		switch a.Key {
+		case "fault", "shed", "hedge":
+			return true
+		}
+	}
+	return c.latency > 0 && r.Duration >= c.latency
+}
+
+// StartTrace opens a root span for one request. A zero parent starts a
+// fresh trace; a non-zero parent (from an incoming traceparent header)
+// adopts its trace ID and links under its span ID, which is what stitches
+// router and replica spans into one cross-process tree. The returned
+// context carries the span for obs.Span children and obs.Annotate.
+func (c *Collector) StartTrace(ctx context.Context, name string, parent TraceContext) (context.Context, *SpanHandle) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c == nil {
+		return Span(ctx, name)
+	}
+	trace := parent.TraceID
+	if trace.IsZero() {
+		trace = NewTraceID()
+	}
+	s := &SpanHandle{
+		name:   name,
+		path:   name,
+		start:  time.Now(),
+		col:    c,
+		trace:  trace,
+		id:     NewSpanID(),
+		parent: parent.SpanID,
+	}
+	c.started.Add(1)
+	sc := &spanContext{col: c, path: name, trace: trace, span: s.id, handle: s}
+	return context.WithValue(ctx, spanKey{}, sc), s
+}
+
+// record stores one finished span. Called from SpanHandle.finish.
+func (c *Collector) record(r SpanRecord) {
+	c.finished.Add(1)
+	c.mu.Lock()
+	// Flight recorder first: if the trace is pinned (or this span pins
+	// it), the span is retained on the side before the ring can ever
+	// evict it — an anomalous span is never lost to ring churn.
+	ft := c.flights[r.Trace]
+	if ft == nil && c.anomalous(&r) {
+		ft = &flightTrace{}
+		// Sweep the ring for spans of this trace recorded before the
+		// anomaly surfaced (children finish before parents, so the
+		// tiers of a slow request are already in the ring).
+		for i := range c.ring {
+			if c.ring[i].Trace == r.Trace {
+				ft.spans = append(ft.spans, c.ring[i])
+			}
+		}
+		c.flights[r.Trace] = ft
+		c.flightOrder = append(c.flightOrder, r.Trace)
+		c.pinned++
+		if len(c.flightOrder) > c.flightMax {
+			oldest := c.flightOrder[0]
+			c.flightOrder = c.flightOrder[1:]
+			delete(c.flights, oldest)
+			c.evicted++
+		}
+	}
+	if ft != nil {
+		if len(ft.spans) < c.flightSpan {
+			ft.spans = append(ft.spans, r)
+		} else {
+			c.truncated++
+		}
+	}
+	// Then the ring: append until full, then overwrite oldest-first.
+	if len(c.ring) < c.ringSize {
+		c.ring = append(c.ring, r)
+	} else {
+		c.ring[c.next] = r
+		c.next = (c.next + 1) % c.ringSize
+		c.wrapped = true
+		c.dropped.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// Books is the collector's exact span accounting.
+type Books struct {
+	Started   int64 `json:"started"`  // spans opened against this collector
+	Finished  int64 `json:"finished"` // spans recorded (== Started once quiesced)
+	Resident  int64 `json:"resident"` // spans currently in the ring
+	Dropped   int64 `json:"dropped"`  // spans overwritten by ring pressure
+	Pinned    int64 `json:"pinned_traces"`
+	Evicted   int64 `json:"evicted_traces"`
+	Truncated int64 `json:"truncated_spans"`
+}
+
+// Books returns a snapshot of the collector's accounting. Once the
+// process is quiescent, Started == Finished and Finished == Resident +
+// Dropped hold exactly (flight-recorder copies are copies, not moves,
+// so they never perturb the ring books).
+func (c *Collector) Books() Books {
+	if c == nil {
+		return Books{}
+	}
+	c.mu.Lock()
+	b := Books{
+		Resident:  int64(len(c.ring)),
+		Pinned:    c.pinned,
+		Evicted:   c.evicted,
+		Truncated: c.truncated,
+	}
+	c.mu.Unlock()
+	b.Started = c.started.Load()
+	b.Finished = c.finished.Load()
+	b.Dropped = c.dropped.Load()
+	return b
+}
+
+// Snapshot returns the ring's resident spans, oldest first.
+func (c *Collector) Snapshot() []SpanRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SpanRecord, 0, len(c.ring))
+	if c.wrapped {
+		out = append(out, c.ring[c.next:]...)
+		out = append(out, c.ring[:c.next]...)
+	} else {
+		out = append(out, c.ring...)
+	}
+	return out
+}
+
+// Trace returns every retained span of one trace: the union of the
+// flight recorder's pinned copy and whatever is still resident in the
+// ring, deduplicated by span ID and sorted by start time.
+func (c *Collector) Trace(id TraceID) []SpanRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	var out []SpanRecord
+	seen := make(map[SpanID]bool)
+	if ft := c.flights[id]; ft != nil {
+		for _, r := range ft.spans {
+			if !seen[r.ID] {
+				seen[r.ID] = true
+				out = append(out, r)
+			}
+		}
+	}
+	for i := range c.ring {
+		if r := &c.ring[i]; r.Trace == id && !seen[r.ID] {
+			seen[r.ID] = true
+			out = append(out, *r)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Pinned reports whether the flight recorder currently holds the trace.
+func (c *Collector) Pinned(id TraceID) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flights[id] != nil
+}
+
+// PinnedTraces returns the IDs of currently pinned traces in pin order.
+func (c *Collector) PinnedTraces() []TraceID {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TraceID(nil), c.flightOrder...)
+}
+
+// SpanJSON is the wire shape of one span on the debug endpoints.
+type SpanJSON struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	Path     string `json:"path"`
+	Origin   string `json:"origin,omitempty"` // which process recorded it (router/replica name)
+	StartNS  int64  `json:"start_ns"`         // unix nanoseconds
+	DurNS    int64  `json:"dur_ns"`
+	Err      string `json:"err,omitempty"`
+	Attrs    []Attr `json:"attrs,omitempty"`
+}
+
+// TraceJSON is the wire shape of one assembled trace.
+type TraceJSON struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// FlightJSON is the wire shape of /debug/flightrecorder.
+type FlightJSON struct {
+	Pinned    int64       `json:"pinned_traces"`
+	Evicted   int64       `json:"evicted_traces"`
+	Truncated int64       `json:"truncated_spans"`
+	Traces    []TraceJSON `json:"traces"`
+}
+
+// SpansJSON converts collector records to their wire shape.
+func SpansJSON(spans []SpanRecord) []SpanJSON {
+	out := make([]SpanJSON, 0, len(spans))
+	for _, r := range spans {
+		j := SpanJSON{
+			TraceID: r.Trace.String(),
+			SpanID:  r.ID.String(),
+			Name:    r.Name,
+			Path:    r.Path,
+			StartNS: r.Start.UnixNano(),
+			DurNS:   r.Duration.Nanoseconds(),
+			Err:     r.Err,
+			Attrs:   r.Attrs,
+		}
+		if !r.Parent.IsZero() {
+			j.ParentID = r.Parent.String()
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// ServeTrace serves GET /debug/trace/<32-hex-id>: the retained spans of
+// one trace as TraceJSON, 404 when nothing is retained for it.
+func (c *Collector) ServeTrace(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Path
+	if i := strings.LastIndexByte(raw, '/'); i >= 0 {
+		raw = raw[i+1:]
+	}
+	id, err := ParseTraceID(raw)
+	if err != nil {
+		http.Error(w, "bad trace id: want 32 lowercase hex digits", http.StatusBadRequest)
+		return
+	}
+	spans := c.Trace(id)
+	if len(spans) == 0 {
+		http.Error(w, "trace not retained", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(TraceJSON{TraceID: id.String(), Spans: SpansJSON(spans)})
+}
+
+// ServeFlightRecorder serves GET /debug/flightrecorder: every currently
+// pinned trace with its retained spans, plus the recorder's books.
+func (c *Collector) ServeFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	b := c.Books()
+	out := FlightJSON{Pinned: b.Pinned, Evicted: b.Evicted, Truncated: b.Truncated}
+	for _, id := range c.PinnedTraces() {
+		out.Traces = append(out.Traces, TraceJSON{TraceID: id.String(), Spans: SpansJSON(c.Trace(id))})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// quietCollector returns a collector whose latency pinning never fires,
+// so tests control anomaly via attrs/errors alone.
+func quietCollector(cfg CollectorConfig) *Collector {
+	if cfg.LatencyThreshold == 0 {
+		cfg.LatencyThreshold = -1
+	}
+	return NewCollector(cfg)
+}
+
+// TestCollectorBooksAndWraparound: the ring keeps exact books through
+// overwrite — Started == Finished, Finished == Resident + Dropped, and
+// Snapshot returns the newest ringSize spans oldest-first.
+func TestCollectorBooksAndWraparound(t *testing.T) {
+	fresh(t)
+	c := quietCollector(CollectorConfig{RingSpans: 8})
+	for i := 0; i < 20; i++ {
+		_, sp := c.StartTrace(context.Background(), fmt.Sprintf("req.%d", i), TraceContext{})
+		sp.End()
+	}
+	b := c.Books()
+	if b.Started != 20 || b.Finished != 20 {
+		t.Fatalf("started/finished = %d/%d, want 20/20", b.Started, b.Finished)
+	}
+	if b.Resident != 8 || b.Dropped != 12 {
+		t.Fatalf("resident/dropped = %d/%d, want 8/12", b.Resident, b.Dropped)
+	}
+	if b.Finished != b.Resident+b.Dropped {
+		t.Fatalf("books do not close: finished %d != resident %d + dropped %d", b.Finished, b.Resident, b.Dropped)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot has %d spans, want 8", len(snap))
+	}
+	for i, r := range snap {
+		if want := fmt.Sprintf("req.%d", 12+i); r.Name != want {
+			t.Fatalf("snapshot[%d] = %s, want %s (newest 8, oldest first)", i, r.Name, want)
+		}
+	}
+}
+
+// TestCollectorInFlight: Started counts opens, Finished counts closes, so
+// the difference is spans still in flight; double-End records once.
+func TestCollectorInFlight(t *testing.T) {
+	fresh(t)
+	c := quietCollector(CollectorConfig{})
+	ctx, root := c.StartTrace(context.Background(), "req", TraceContext{})
+	_, child := Span(ctx, "tier")
+	if b := c.Books(); b.Started != 2 || b.Finished != 0 {
+		t.Fatalf("in flight: started/finished = %d/%d, want 2/0", b.Started, b.Finished)
+	}
+	child.End()
+	child.End() // second End must not double-count
+	root.End()
+	if b := c.Books(); b.Started != 2 || b.Finished != 2 {
+		t.Fatalf("quiesced: started/finished = %d/%d, want 2/2", b.Started, b.Finished)
+	}
+}
+
+// TestCollectorTraceTree: children started via obs.Span under a traced
+// context link parent→child across the tree, and Trace reassembles them.
+func TestCollectorTraceTree(t *testing.T) {
+	fresh(t)
+	c := quietCollector(CollectorConfig{})
+	ctx, root := c.StartTrace(context.Background(), "req", TraceContext{})
+	tctx, tier := Span(ctx, "tier")
+	_, dp := Span(tctx, "dp")
+	dp.End()
+	tier.End()
+	root.End()
+
+	spans := c.Trace(root.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range spans {
+		byName[r.Name] = r
+	}
+	if byName["req"].Parent != (SpanID{}) {
+		t.Fatal("root has a parent")
+	}
+	if byName["tier"].Parent != byName["req"].ID {
+		t.Fatal("tier is not linked under req")
+	}
+	if byName["dp"].Parent != byName["tier"].ID {
+		t.Fatal("dp is not linked under tier")
+	}
+	if byName["dp"].Path != "req/tier/dp" {
+		t.Fatalf("dp path = %q", byName["dp"].Path)
+	}
+}
+
+// TestStartTraceAdoptsParent: a non-zero parent (an incoming traceparent)
+// keeps its trace ID and links the new root under the remote span — the
+// cross-process stitch.
+func TestStartTraceAdoptsParent(t *testing.T) {
+	fresh(t)
+	c := quietCollector(CollectorConfig{})
+	parent := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	_, sp := c.StartTrace(context.Background(), "server.request", parent)
+	if sp.TraceID() != parent.TraceID {
+		t.Fatalf("trace = %s, want adopted %s", sp.TraceID(), parent.TraceID)
+	}
+	sp.End()
+	spans := c.Trace(parent.TraceID)
+	if len(spans) != 1 || spans[0].Parent != parent.SpanID {
+		t.Fatalf("adopted root not linked under remote span: %+v", spans)
+	}
+}
+
+// TestFlightRecorderPinsAnomalies: an anomalous span pins its whole
+// trace — including earlier spans swept out of the ring — and the pinned
+// copy survives arbitrary ring churn afterward.
+func TestFlightRecorderPinsAnomalies(t *testing.T) {
+	fresh(t)
+	c := quietCollector(CollectorConfig{RingSpans: 4})
+
+	// A trace whose child finishes clean, then its root sheds.
+	ctx, root := c.StartTrace(context.Background(), "req", TraceContext{})
+	_, child := Span(ctx, "tier")
+	child.End()
+	root.SetAttr("shed", "queue_full")
+	root.End()
+	id := root.TraceID()
+	if !c.Pinned(id) {
+		t.Fatal("anomalous trace not pinned")
+	}
+
+	// Churn the tiny ring far past wraparound: the pinned copy must keep
+	// both spans even though the ring lost them long ago.
+	for i := 0; i < 50; i++ {
+		_, sp := c.StartTrace(context.Background(), "noise", TraceContext{})
+		sp.End()
+	}
+	spans := c.Trace(id)
+	if len(spans) != 2 {
+		t.Fatalf("pinned trace has %d spans after churn, want 2", len(spans))
+	}
+	if spans[0].Name != "req" || spans[1].Name != "tier" {
+		// sorted by start: root starts before child
+		t.Fatalf("pinned spans = %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].attr("shed") != "queue_full" {
+		t.Fatalf("shed attr lost: %+v", spans[0].Attrs)
+	}
+	if b := c.Books(); b.Pinned != 1 || b.Evicted != 0 || b.Truncated != 0 {
+		t.Fatalf("flight books = %+v", b)
+	}
+}
+
+// TestFlightRecorderAnomalyKinds: each anomaly class — error, fault attr,
+// hedge attr, latency over threshold — pins; a clean fast span does not.
+func TestFlightRecorderAnomalyKinds(t *testing.T) {
+	fresh(t)
+	c := NewCollector(CollectorConfig{LatencyThreshold: time.Nanosecond})
+	_, slow := c.StartTrace(context.Background(), "slow", TraceContext{})
+	time.Sleep(time.Millisecond)
+	slow.End()
+	if !c.Pinned(slow.TraceID()) {
+		t.Fatal("slow trace not pinned by latency threshold")
+	}
+
+	c2 := quietCollector(CollectorConfig{})
+	_, failed := c2.StartTrace(context.Background(), "failed", TraceContext{})
+	failed.Fail(fmt.Errorf("boom"))
+	if !c2.Pinned(failed.TraceID()) {
+		t.Fatal("failed trace not pinned")
+	}
+	for _, key := range []string{"fault", "shed", "hedge"} {
+		_, sp := c2.StartTrace(context.Background(), "attr."+key, TraceContext{})
+		sp.SetAttr(key, "x")
+		sp.End()
+		if !c2.Pinned(sp.TraceID()) {
+			t.Fatalf("%s trace not pinned", key)
+		}
+	}
+	_, clean := c2.StartTrace(context.Background(), "clean", TraceContext{})
+	clean.SetAttr("cache", "hit")
+	clean.End()
+	if c2.Pinned(clean.TraceID()) {
+		t.Fatal("clean trace pinned")
+	}
+}
+
+// TestFlightRecorderBounds: FIFO eviction past FlightTraces and span
+// truncation past FlightSpansPerTrace are counted, never silent.
+func TestFlightRecorderBounds(t *testing.T) {
+	fresh(t)
+	c := quietCollector(CollectorConfig{FlightTraces: 2, FlightSpansPerTrace: 3})
+	var ids []TraceID
+	for i := 0; i < 3; i++ {
+		_, sp := c.StartTrace(context.Background(), "req", TraceContext{})
+		sp.SetAttr("shed", "queue_full")
+		sp.End()
+		ids = append(ids, sp.TraceID())
+	}
+	if c.Pinned(ids[0]) {
+		t.Fatal("oldest pinned trace not FIFO-evicted")
+	}
+	if !c.Pinned(ids[1]) || !c.Pinned(ids[2]) {
+		t.Fatal("newest pinned traces evicted")
+	}
+	if b := c.Books(); b.Pinned != 3 || b.Evicted != 1 {
+		t.Fatalf("pinned/evicted = %d/%d, want 3/1", b.Pinned, b.Evicted)
+	}
+
+	// One trace with more spans than the per-trace flight bound.
+	ctx, root := c.StartTrace(context.Background(), "big", TraceContext{})
+	root.SetAttr("shed", "draining")
+	for i := 0; i < 5; i++ {
+		_, sp := Span(ctx, "child")
+		sp.End()
+	}
+	root.End()
+	if got := len(c.Trace(root.TraceID())); got < 3 {
+		t.Fatalf("big trace retains %d spans, want >= 3 (ring still holds the rest)", got)
+	}
+	if b := c.Books(); b.Truncated == 0 {
+		t.Fatal("span truncation not counted")
+	}
+}
+
+// TestSetAttrReplaces: same-key SetAttr replaces (hedge launched→won), so
+// attr-counting ledgers see each span once; Annotate reaches the nearest
+// enclosing span through the context.
+func TestSetAttrReplaces(t *testing.T) {
+	fresh(t)
+	c := quietCollector(CollectorConfig{})
+	ctx, sp := c.StartTrace(context.Background(), "req", TraceContext{})
+	sp.SetAttr("hedge", "launched")
+	sp.SetAttr("hedge", "won")
+	Annotate(ctx, "cache", "miss")
+	Annotate(ctx, "cache", "hit")
+	sp.End()
+	spans := c.Trace(sp.TraceID())
+	if len(spans) != 1 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	if got := spans[0].attr("hedge"); got != "won" {
+		t.Fatalf("hedge = %q, want won", got)
+	}
+	if got := spans[0].attr("cache"); got != "hit" {
+		t.Fatalf("cache = %q, want hit", got)
+	}
+	if len(spans[0].Attrs) != 2 {
+		t.Fatalf("attrs = %+v, want exactly 2", spans[0].Attrs)
+	}
+}
+
+// TestServeTrace: the debug endpoint round-trips one trace as JSON and
+// distinguishes bad IDs (400) from unretained ones (404).
+func TestServeTrace(t *testing.T) {
+	fresh(t)
+	c := quietCollector(CollectorConfig{})
+	ctx, root := c.StartTrace(context.Background(), "req", TraceContext{})
+	_, child := Span(ctx, "tier")
+	child.End()
+	root.End()
+	id := root.TraceID().String()
+
+	rec := httptest.NewRecorder()
+	c.ServeTrace(rec, httptest.NewRequest("GET", "/debug/trace/"+id, nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, id) || !strings.Contains(body, `"name":"tier"`) {
+		t.Fatalf("trace body missing spans: %s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	c.ServeTrace(rec, httptest.NewRequest("GET", "/debug/trace/zzz", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad id: status %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	c.ServeTrace(rec, httptest.NewRequest("GET", "/debug/trace/"+NewTraceID().String(), nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown id: status %d, want 404", rec.Code)
+	}
+}
+
+// TestCollectorConcurrentSnapshotRace: hammer record (through the ring's
+// wraparound/drop path and the flight recorder) while Snapshot, Trace,
+// Books, and PinnedTraces read concurrently. Run under -race this pins
+// the locking discipline; the final books must still close exactly.
+func TestCollectorConcurrentSnapshotRace(t *testing.T) {
+	fresh(t)
+	c := NewCollector(CollectorConfig{RingSpans: 16, FlightTraces: 8, LatencyThreshold: -1})
+	const writers, perWriter = 8, 200
+
+	var writersWG, readersWG sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range c.Snapshot() {
+					_ = c.Trace(rec.Trace)
+					_ = rec.attr("shed")
+				}
+				_ = c.Books()
+				_ = c.PinnedTraces()
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				ctx, root := c.StartTrace(context.Background(), "req", TraceContext{})
+				_, child := Span(ctx, "tier")
+				if i%17 == 0 {
+					child.SetAttr("shed", "queue_full") // exercise pin + sweep under load
+				}
+				child.End()
+				root.End()
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+
+	b := c.Books()
+	const total = writers * perWriter * 2
+	if b.Started != total || b.Finished != total {
+		t.Fatalf("started/finished = %d/%d, want %d", b.Started, b.Finished, total)
+	}
+	if b.Finished != b.Resident+b.Dropped {
+		t.Fatalf("books do not close: finished %d != resident %d + dropped %d", b.Finished, b.Resident, b.Dropped)
+	}
+	if b.Resident != 16 {
+		t.Fatalf("resident = %d, want full ring 16", b.Resident)
+	}
+}
+
+// TestNilCollector: every Collector method is nil-safe, and StartTrace on
+// a nil collector degrades to a plain metrics span.
+func TestNilCollector(t *testing.T) {
+	r := fresh(t)
+	var c *Collector
+	_ = c.Books()
+	_ = c.Snapshot()
+	_ = c.Trace(TraceID{})
+	_ = c.Pinned(TraceID{})
+	_ = c.PinnedTraces()
+	_, sp := c.StartTrace(context.Background(), "plain", TraceContext{})
+	sp.End()
+	if got := r.Counter("plain.count").Value(); got != 1 {
+		t.Fatalf("nil-collector StartTrace did not record metrics: %d", got)
+	}
+}

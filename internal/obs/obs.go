@@ -95,6 +95,9 @@ type Histogram struct {
 	over   atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Int64
+	// ex holds the latest exemplar per bucket (slot len(bounds) is the
+	// overflow bucket's); see ObserveExemplar in prom.go.
+	ex []atomic.Pointer[Exemplar]
 }
 
 // NewHistogram builds a histogram over the given inclusive upper bounds,
@@ -102,6 +105,7 @@ type Histogram struct {
 func NewHistogram(bounds []int64) *Histogram {
 	h := &Histogram{bounds: append([]int64(nil), bounds...)}
 	h.counts = make([]atomic.Int64, len(h.bounds))
+	h.ex = make([]atomic.Pointer[Exemplar], len(h.bounds)+1)
 	return h
 }
 

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Prometheus / OpenMetrics text exposition for the registry, served at
+// /metrics/prom alongside the existing JSON snapshot. Metric names get a
+// `buffopt_` prefix with the dotted hierarchy flattened to underscores
+// ("solve.answered.exact" → buffopt_solve_answered_exact_total), counters
+// emit `_total` samples, and histograms emit the usual cumulative
+// `_bucket{le="..."}` / `_sum` / `_count` series. Latency histograms
+// additionally carry OpenMetrics exemplars — the trace ID of the most
+// recent observation that landed in each bucket — so a p99 spike on a
+// dashboard links straight to /debug/trace/<id> for that bucket's last
+// offender.
+
+// Exemplar links one histogram observation to the trace that produced it.
+type Exemplar struct {
+	TraceID string
+	Value   int64
+	Time    time.Time
+}
+
+// ObserveExemplar records one value like Observe and, when traceID is
+// non-empty, stores it as the bucket's exemplar. Nil-safe.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.over.Add(1)
+	}
+	if traceID != "" {
+		h.ex[i].Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+	}
+}
+
+// ObserveDurationExemplar records a nanosecond duration into the named
+// default-registry histogram with the standard duration buckets, tagging
+// the landing bucket with the request's trace ID as an exemplar. A zero
+// trace degrades to a plain Observe.
+func ObserveDurationExemplar(name string, ns int64, trace TraceID) {
+	h := def.Load().Histogram(name, DurationBuckets)
+	if trace.IsZero() {
+		h.Observe(ns)
+		return
+	}
+	h.ObserveExemplar(ns, trace.String())
+}
+
+// promName flattens a dotted metric name into the Prometheus namespace:
+// "server.shed.queue_full" → "buffopt_server_shed_queue_full". Any byte
+// outside [a-zA-Z0-9_] becomes '_'.
+func promName(name string) string {
+	b := make([]byte, 0, len(name)+8)
+	b = append(b, "buffopt_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus writes the registry in the OpenMetrics text format,
+// deterministically ordered (sorted names), terminated by `# EOF`. A nil
+// registry writes only the terminator.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if r != nil {
+		r.mu.RLock()
+		names := make([]string, 0, len(r.counters))
+		for name := range r.counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			n := promName(name)
+			bw.WriteString("# TYPE " + n + " counter\n")
+			bw.WriteString(n + "_total " + strconv.FormatInt(r.counters[name].Value(), 10) + "\n")
+		}
+		names = names[:0]
+		for name := range r.gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			n := promName(name)
+			bw.WriteString("# TYPE " + n + " gauge\n")
+			bw.WriteString(n + " " + strconv.FormatInt(r.gauges[name].Value(), 10) + "\n")
+		}
+		names = names[:0]
+		for name := range r.hists {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			writePromHistogram(bw, promName(name), r.hists[name])
+		}
+		r.mu.RUnlock()
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+// writePromHistogram emits one histogram's cumulative bucket series with
+// per-bucket exemplars where recorded.
+func writePromHistogram(bw *bufio.Writer, n string, h *Histogram) {
+	bw.WriteString("# TYPE " + n + " histogram\n")
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		bw.WriteString(n + `_bucket{le="` + strconv.FormatInt(bound, 10) + `"} ` + strconv.FormatInt(cum, 10))
+		writeExemplar(bw, h.ex[i].Load())
+		bw.WriteByte('\n')
+	}
+	cum += h.over.Load()
+	bw.WriteString(n + `_bucket{le="+Inf"} ` + strconv.FormatInt(cum, 10))
+	writeExemplar(bw, h.ex[len(h.bounds)].Load())
+	bw.WriteByte('\n')
+	bw.WriteString(n + "_sum " + strconv.FormatInt(h.sum.Load(), 10) + "\n")
+	bw.WriteString(n + "_count " + strconv.FormatInt(h.count.Load(), 10) + "\n")
+}
+
+// writeExemplar appends an OpenMetrics exemplar clause
+// (` # {trace_id="..."} <value> <unix-seconds>`) when e is non-nil.
+func writeExemplar(bw *bufio.Writer, e *Exemplar) {
+	if e == nil {
+		return
+	}
+	bw.WriteString(` # {trace_id="` + e.TraceID + `"} `)
+	bw.WriteString(strconv.FormatInt(e.Value, 10))
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatFloat(float64(e.Time.UnixNano())/1e9, 'f', 3, 64))
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Distributed-tracing identity: every request entering the stack gets a
+// 16-byte trace ID shared by all work done on its behalf — across
+// goroutines, the cache fill, and replica hops — and every span within
+// it gets an 8-byte span ID plus its parent's span ID, so a trace
+// reassembles into a tree. The wire format is the W3C Trace Context
+// `traceparent` header,
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ ^^^^^^^^^^^ trace id ^^^^^^^^^^^ ^^ span id ^^^^^^ ^^ flags
+//
+// which the fleet router injects into upstream attempts and bufferd
+// extracts on arrival. Parsing is strict and total: any malformed header
+// yields an error and the receiver starts a fresh trace — a hostile or
+// truncated header can never panic or corrupt ID state (the fuzz target
+// FuzzParseTraceparent pins this).
+
+// TraceID identifies one request's whole trace. The zero value means "no
+// trace".
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace. The zero value means "no
+// span" (a root span's parent).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the all-zero (invalid) ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the all-zero (invalid) ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID returns a fresh random (non-zero) trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		rand.Read(t[:])
+	}
+	return t
+}
+
+// NewSpanID returns a fresh random (non-zero) span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		rand.Read(s[:])
+	}
+	return s
+}
+
+// ParseTraceID parses 32 lowercase hex digits into a TraceID.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 || !isLowerHex(s) {
+		return t, fmt.Errorf("obs: malformed trace id %q", s)
+	}
+	hex.Decode(t[:], []byte(s))
+	if t.IsZero() {
+		return TraceID{}, fmt.Errorf("obs: all-zero trace id")
+	}
+	return t, nil
+}
+
+// TraceContext is the propagated half of a span: which trace the work
+// belongs to and which span is its parent. The zero value means "no
+// incoming trace — start a fresh one".
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// ParseTraceparent parses a W3C `traceparent` header value. It accepts
+// exactly the version-00 shape (any other known-length version parses if
+// its first four fields match, per the spec's forward-compatibility
+// rule) and rejects everything else: wrong field count or length, the
+// reserved version "ff", non-lowercase-hex digits, and all-zero trace or
+// span IDs. A rejected header is not an operational error — the caller
+// starts a fresh trace — but it is never silently half-parsed.
+func ParseTraceparent(h string) (TraceContext, error) {
+	var tc TraceContext
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return tc, fmt.Errorf("obs: traceparent has %d fields, want at least 4", len(parts))
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isLowerHex(version) {
+		return tc, fmt.Errorf("obs: malformed traceparent version %q", version)
+	}
+	if version == "ff" {
+		return tc, fmt.Errorf("obs: reserved traceparent version ff")
+	}
+	if version == "00" && len(parts) != 4 {
+		return tc, fmt.Errorf("obs: version-00 traceparent has %d fields, want 4", len(parts))
+	}
+	t, err := ParseTraceID(traceID)
+	if err != nil {
+		return tc, err
+	}
+	if len(spanID) != 16 || !isLowerHex(spanID) {
+		return tc, fmt.Errorf("obs: malformed traceparent span id %q", spanID)
+	}
+	var s SpanID
+	hex.Decode(s[:], []byte(spanID))
+	if s.IsZero() {
+		return tc, fmt.Errorf("obs: all-zero traceparent span id")
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return tc, fmt.Errorf("obs: malformed traceparent flags %q", flags)
+	}
+	tc.TraceID, tc.SpanID = t, s
+	return tc, nil
+}
+
+// FormatTraceparent renders tc as a version-00 traceparent value with
+// the sampled flag set (this stack records every span it starts).
+func FormatTraceparent(tc TraceContext) string {
+	return "00-" + tc.TraceID.String() + "-" + tc.SpanID.String() + "-01"
+}
+
+// TraceParentFrom extracts the trace context from an HTTP request's
+// traceparent header. A missing or malformed header yields the zero
+// TraceContext: the receiver starts a fresh trace.
+func TraceParentFrom(h http.Header) TraceContext {
+	tc, err := ParseTraceparent(h.Get("traceparent"))
+	if err != nil {
+		return TraceContext{}
+	}
+	return tc
+}
+
+// isLowerHex reports whether s consists only of [0-9a-f]. The W3C spec
+// requires lowercase; uppercase headers are rejected, not normalized.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

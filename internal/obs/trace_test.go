@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestTraceparentRoundTrip: Format then Parse recovers the identity.
+func TestTraceparentRoundTrip(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+		h := FormatTraceparent(tc)
+		got, err := ParseTraceparent(h)
+		if err != nil {
+			t.Fatalf("ParseTraceparent(%q) = %v", h, err)
+		}
+		if got != tc {
+			t.Fatalf("round trip %q: got %+v, want %+v", h, got, tc)
+		}
+	}
+}
+
+// TestParseTraceparentAccepts: the spec's forward-compatibility rule —
+// a future version with extra fields parses its first four.
+func TestParseTraceparentAccepts(t *testing.T) {
+	for _, h := range []string{
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", // unsampled still parses
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extrafield",
+		"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	} {
+		tc, err := ParseTraceparent(h)
+		if err != nil {
+			t.Errorf("ParseTraceparent(%q) = %v, want accept", h, err)
+			continue
+		}
+		if tc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Errorf("ParseTraceparent(%q) trace = %s", h, tc.TraceID)
+		}
+		if tc.SpanID.String() != "00f067aa0ba902b7" {
+			t.Errorf("ParseTraceparent(%q) span = %s", h, tc.SpanID)
+		}
+	}
+}
+
+// TestParseTraceparentRejects: every malformed shape errors (and the
+// receiver starts a fresh trace) — nothing half-parses.
+func TestParseTraceparentRejects(t *testing.T) {
+	cases := []struct{ name, header string }{
+		{"empty", ""},
+		{"garbage", "not a traceparent"},
+		{"three fields", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7"},
+		{"version 00 with five fields", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"},
+		{"reserved version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"one-digit version", "0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"uppercase version", "0A-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"short trace id", "00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01"},
+		{"long trace id", "00-4bf92f3577b34da6a3ce929d0e0e47366-00f067aa0ba902b7-01"},
+		{"uppercase trace id", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01"},
+		{"all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"short span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b-01"},
+		{"uppercase span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00F067AA0BA902B7-01"},
+		{"all-zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"one-digit flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-1"},
+		{"non-hex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz"},
+	}
+	for _, c := range cases {
+		if tc, err := ParseTraceparent(c.header); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) = %+v, want error", c.name, c.header, tc)
+		}
+	}
+}
+
+// TestTraceParentFrom: the header extractor never errors — missing or
+// malformed yields the zero context, a good header its identity.
+func TestTraceParentFrom(t *testing.T) {
+	h := http.Header{}
+	if tc := TraceParentFrom(h); !tc.TraceID.IsZero() {
+		t.Fatalf("missing header: got %+v, want zero", tc)
+	}
+	h.Set("traceparent", "junk")
+	if tc := TraceParentFrom(h); !tc.TraceID.IsZero() {
+		t.Fatalf("malformed header: got %+v, want zero", tc)
+	}
+	want := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	h.Set("traceparent", FormatTraceparent(want))
+	if tc := TraceParentFrom(h); tc != want {
+		t.Fatalf("good header: got %+v, want %+v", tc, want)
+	}
+}
+
+// TestParseTraceID: the /debug/trace/<id> path parser.
+func TestParseTraceID(t *testing.T) {
+	id := NewTraceID()
+	got, err := ParseTraceID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("ParseTraceID round trip: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "xyz", strings.Repeat("0", 32), strings.Repeat("A", 32), strings.Repeat("f", 31), strings.Repeat("f", 33)} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+// TestNewIDsNonZero: generated IDs are never the reserved zero value and
+// do not repeat over a small sample.
+func TestNewIDsNonZero(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 128; i++ {
+		id := NewTraceID()
+		if id.IsZero() {
+			t.Fatal("NewTraceID returned zero")
+		}
+		if seen[id] {
+			t.Fatal("NewTraceID repeated within 128 draws")
+		}
+		seen[id] = true
+		if NewSpanID().IsZero() {
+			t.Fatal("NewSpanID returned zero")
+		}
+	}
+}
+
+// FuzzParseTraceparent pins the total-parsing guarantee: no input
+// panics, anything accepted is fully well-formed (round-trips through
+// Format modulo the version/flags normalization), and anything rejected
+// leaves the zero TraceContext.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-what-ever")
+	f.Add("")
+	f.Add("----")
+	f.Add("00-ZZ-ZZ-ZZ")
+	f.Add(strings.Repeat("-", 256))
+	f.Fuzz(func(t *testing.T, h string) {
+		tc, err := ParseTraceparent(h)
+		if err != nil {
+			if !tc.TraceID.IsZero() || !tc.SpanID.IsZero() {
+				t.Fatalf("rejected %q but returned non-zero context %+v", h, tc)
+			}
+			return
+		}
+		if tc.TraceID.IsZero() || tc.SpanID.IsZero() {
+			t.Fatalf("accepted %q with a zero ID: %+v", h, tc)
+		}
+		// Whatever parsed must re-format into a header that parses to the
+		// same identity (version and flags normalize to 00/01).
+		again, err := ParseTraceparent(FormatTraceparent(tc))
+		if err != nil || again != tc {
+			t.Fatalf("accepted %q does not round-trip: %+v, %v", h, again, err)
+		}
+	})
+}

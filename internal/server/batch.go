@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -64,9 +65,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	obs.Inc("server.batch.requests")
 
+	// Root span for the whole batch; each item gets its own child span in
+	// solveBatchItem, so per-item sheds and faults annotate distinct spans
+	// and the trace ledgers count items, not batches.
+	ctx, span := s.tracer.StartTrace(r.Context(), "server.batch", obs.TraceParentFrom(r.Header))
+	defer span.End()
+	w.Header().Set("X-Trace-Id", span.TraceID().String())
+
 	if s.draining.Load() {
 		s.shed(w, errDraining)
 		obs.Inc("server.batch.shed.draining")
+		span.SetAttr("shed", "draining")
 		return
 	}
 
@@ -105,7 +114,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.solveBatchItem(r, req, item)
+			s.solveBatchItem(ctx, req, item)
 		}()
 	}
 	wg.Wait()
@@ -125,9 +134,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // solveBatchItem runs one decoded batch item through admission and the
 // solver, filling in its slot of the response. Each item carries its own
 // guard.Safe (inside solveAdmitted), so a panicking net is that item's
-// error, not the batch's.
-func (s *Server) solveBatchItem(r *http.Request, req *solveRequest, item *BatchItem) {
-	release, err := s.admitNS(r.Context(), "server.batch")
+// error, not the batch's. ctx is the batch's traced request context; the
+// per-item span opened here is what admission sheds and injected faults
+// annotate, one span per item.
+func (s *Server) solveBatchItem(ctx context.Context, req *solveRequest, item *BatchItem) {
+	ctx, span := obs.Span(ctx, "server.batch.item")
+	defer span.End()
+	release, err := s.admitNS(ctx, "server.batch")
 	if err != nil {
 		_, body := s.shedResponse(err)
 		item.Error = &body
@@ -135,7 +148,7 @@ func (s *Server) solveBatchItem(r *http.Request, req *solveRequest, item *BatchI
 	}
 	defer release()
 
-	resp, err := s.solveAdmitted(r.Context(), req, "server.batch.item")
+	resp, err := s.solveAdmitted(ctx, req, "server.batch.item")
 	if err != nil {
 		item.Error = &ErrorResponse{
 			Error:  err.Error(),

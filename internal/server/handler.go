@@ -102,9 +102,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	obs.Inc("server.requests")
 
+	// Root span for this process: adopt the router's trace when the
+	// request carries a traceparent header, start a fresh one for direct
+	// traffic. The trace ID is echoed so clients can quote it back at
+	// /debug/trace/<id>.
+	ctx, span := s.tracer.StartTrace(r.Context(), "server.request", obs.TraceParentFrom(r.Header))
+	defer span.End()
+	w.Header().Set("X-Trace-Id", span.TraceID().String())
+
 	// Admission first, decode second: shed requests cost a connection
 	// and a few stack frames, never a parsed net.
-	release, err := s.admit(r.Context())
+	release, err := s.admit(ctx)
 	if err != nil {
 		s.shed(w, err)
 		return
@@ -122,7 +130,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp, solveErr := s.solveAdmitted(r.Context(), req, "server.request")
+	resp, solveErr := s.solveAdmitted(ctx, req, "server.request")
 	if solveErr != nil {
 		writeError(w, guard.HTTPStatus(solveErr), guard.Class(solveErr), solveErr.Error(), 0)
 		return
@@ -149,13 +157,15 @@ func (s *Server) solveAdmitted(ctx context.Context, req *solveRequest, ns string
 		return e
 	})
 	elapsed := time.Since(start)
-	obs.ObserveDuration(ns+".duration", elapsed.Nanoseconds())
+	obs.ObserveDurationExemplar(ns+".duration", elapsed.Nanoseconds(), obs.TraceIDFrom(ctx))
 	obs.Inc(ns + ".outcome." + guard.Class(solveErr))
+	obs.Annotate(ctx, "outcome", guard.Class(solveErr))
 
 	if solveErr != nil {
 		return SolveResponse{}, solveErr
 	}
 	obs.Inc(ns + ".tier." + res.Tier.String())
+	obs.Annotate(ctx, "tier", res.Tier.String())
 	// Tier-failure telemetry counts ladder runs, not answers: a cached or
 	// coalesced response replays the stored tier metadata to its client
 	// but must not double-count the one solve that earned it, or the soak

@@ -100,6 +100,15 @@ type Config struct {
 	// Cached and coalesced requests draw no fault: a plan is assigned
 	// only when a solve actually runs.
 	Injector *faultinject.Injector
+	// TraceSpans bounds the span collector's recent-span ring (the window
+	// /debug/trace/<id> can see for ordinary traces). Default 4096.
+	TraceSpans int
+	// TraceFlightTraces bounds how many anomalous traces the flight
+	// recorder pins at once. Default 256.
+	TraceFlightTraces int
+	// TraceLatency is the request latency past which a trace counts as
+	// anomalous and is pinned in the flight recorder. Default 1 s.
+	TraceLatency time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +160,10 @@ type Server struct {
 	// cache memoizes whole-net results; nil when disabled by config.
 	cache *core.SolveCache
 
+	// tracer collects this server's spans: per-Server (not process-global)
+	// so an in-process lab fleet sees genuinely separate "processes".
+	tracer *obs.Collector
+
 	handler http.Handler
 }
 
@@ -172,16 +185,36 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries > 0 || cfg.CacheBytes > 0 {
 		s.cache = core.NewSolveCache(cfg.CacheEntries, cfg.CacheBytes, "server")
 	}
+	s.tracer = obs.NewCollector(obs.CollectorConfig{
+		RingSpans:        cfg.TraceSpans,
+		FlightTraces:     cfg.TraceFlightTraces,
+		LatencyThreshold: cfg.TraceLatency,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/solve/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics/prom", handlePromMetrics)
+	mux.HandleFunc("/debug/trace/", s.tracer.ServeTrace)
+	mux.HandleFunc("/debug/flightrecorder", s.tracer.ServeFlightRecorder)
 	mux.Handle("/debug/vars", expvar.Handler())
 	obs.PublishExpvar()
 	s.handler = mux
 	return s
+}
+
+// Tracer returns the server's span collector (tests and embedders — the
+// fleet lab reads replica books and traces through it).
+func (s *Server) Tracer() *obs.Collector { return s.tracer }
+
+// handlePromMetrics serves the default registry in the OpenMetrics text
+// format with trace-ID exemplars on the latency histograms, alongside the
+// JSON snapshot at /metrics.
+func handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	obs.Default().WritePrometheus(w)
 }
 
 // Handler returns the daemon's HTTP handler (for tests and embedding).
@@ -306,6 +339,7 @@ func (s *Server) admitNS(ctx context.Context, ns string) (release func(), err er
 	if q > int64(s.cfg.QueueDepth) {
 		s.queued.Add(-1)
 		obs.Inc(ns + ".shed.queue_full")
+		obs.Annotate(ctx, "shed", "queue_full")
 		return nil, errOverloaded
 	}
 	// Peak recorded only for admitted waiters: the counter briefly
@@ -320,9 +354,11 @@ func (s *Server) admitNS(ctx context.Context, ns string) (release func(), err er
 		return acquired(), nil
 	case <-ctx.Done():
 		obs.Inc(ns + ".shed.client_gone")
+		obs.Annotate(ctx, "shed", "client_gone")
 		return nil, fmt.Errorf("%w: %w", guard.ErrCanceled, ctx.Err())
 	case <-s.drainCh:
 		obs.Inc(ns + ".shed.draining")
+		obs.Annotate(ctx, "shed", "draining")
 		return nil, errDraining
 	}
 }

@@ -65,6 +65,12 @@ trap 'rm -rf "$tmpdir"' EXIT
 echo "== go test -bench=$bench -benchtime=$benchtime"
 go test -bench="$bench" -benchmem -benchtime="$benchtime" -run='^$' . | tee "$tmpdir/bench.txt"
 
+# Span-overhead benchmarks: the enabled/disabled/traced triple from
+# internal/obs, appended to the same text so benchjson derives
+# span_ns_{enabled,disabled,traced} and span_overhead_ns into the record.
+echo "== go test -bench=BenchmarkSpan ./internal/obs"
+go test -bench='^BenchmarkSpan' -benchmem -benchtime="$benchtime" -run='^$' ./internal/obs | tee -a "$tmpdir/bench.txt"
+
 echo "== obs counters: buffopt -alg solve on testdata/sample.net"
 go run ./cmd/buffopt -net testdata/sample.net -alg solve -metrics "$tmpdir/metrics.json" >/dev/null
 

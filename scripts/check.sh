@@ -50,4 +50,12 @@ go test -race -short -count=1 -run 'Cache' ./internal/core ./internal/server
 echo "== fleet soak (short): router failover/hedging under partition + kill"
 go test -race -short -count=1 -run TestFleetSoakUnderChaos ./internal/fleet
 
+# The trace gate (short): traceparent parsing invariants and collector
+# books in isolation, then cross-process trace assembly and the exact
+# fault/shed/hedge→span ledgers through the lab fleet. `make tracesoak`
+# runs the long version.
+echo "== trace gate (short): traceparent/collector invariants + fleet trace ledgers"
+go test -race -short -count=1 -run 'TestTrace|TestParseTrace|TestCollector|TestFlightRecorder|TestSpanAllocBudget' ./internal/obs
+go test -race -short -count=1 -run 'TestTraceAcrossFleet|TestTraceSoak' ./internal/fleet
+
 echo "check: OK"
