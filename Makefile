@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the tier-1 gate (ROADMAP.md).
 
-.PHONY: build test check bench cachebench fleetbench difftest fuzz soak fleetsoak tracesoak
+.PHONY: build test check bench cachebench fleetbench difftest fuzz soak fleetsoak tracesoak restartsoak
 
 build:
 	go build ./...
@@ -57,6 +57,15 @@ fleetsoak:
 # runs one short pass; this is the long version.
 tracesoak:
 	go test -race -count=5 -run 'TestTraceAcrossFleet|TestTraceSoak' -v ./internal/fleet
+
+# Restart chaos soak: replicas are kill-restarted under load — snapshots
+# saved, corrupted, and torn between boots — with exact snapshot
+# (loaded + rejected == restarts) and peer-fill (attempts == hits +
+# misses + timeouts) ledgers, and every post-restart response
+# byte-identical to a never-restarted control. The tier-1 gate runs one
+# short pass; this is the long version.
+restartsoak:
+	go test -race -count=5 -run 'TestRestartSoakUnderChaos' -v ./internal/fleet
 
 # Fleet benchmark recording: cmd/loadgen drives hash-vs-random routing
 # arms through an in-process fleet and the report (p50/p99, hedge rate,

@@ -10,7 +10,9 @@
 //	benchjson -in bench.txt -fleet fleet.json -out BENCH_2026-08-05.json
 //
 // -fleet merges a cmd/loadgen fleet report (router p50/p99, hedge rate,
-// per-arm cache-hit rates) into the record under "fleet".
+// per-arm cache-hit rates) into the record under "fleet"; if the report
+// carries a restart arm (loadgen -restart), its numbers are also lifted
+// into "derived" as restart_<field> so they trend with the solver metrics.
 //
 // The input text stays benchstat-compatible (benchjson only reads it);
 // scripts/bench.sh tees it alongside the JSON for direct benchstat diffs.
@@ -121,6 +123,20 @@ func run(inPath, metricsPath, fleetPath, outPath string) error {
 			return fmt.Errorf("fleet report %s: not valid JSON", fleetPath)
 		}
 		rec.Fleet = json.RawMessage(data)
+		// Lift the restart arm's numeric fields (loadgen -restart) into the
+		// derived metrics so restart regressions trend alongside the solver
+		// numbers: restart_warm_p99_ms, restart_cold_p99_ms, ...
+		var fr struct {
+			Restart map[string]float64 `json:"restart"`
+		}
+		if err := json.Unmarshal(data, &fr); err == nil && len(fr.Restart) > 0 {
+			if rec.Derived == nil {
+				rec.Derived = map[string]float64{}
+			}
+			for k, v := range fr.Restart {
+				rec.Derived["restart_"+k] = v
+			}
+		}
 	}
 
 	if len(rec.Benchmarks) == 0 {

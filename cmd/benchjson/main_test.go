@@ -84,7 +84,8 @@ func TestFleetMerge(t *testing.T) {
 		t.Fatal(err)
 	}
 	fleet := filepath.Join(dir, "fleet.json")
-	report := `{"replicas": 3, "arms": [{"routing": "hash", "p99_ms": 4.2}]}`
+	report := `{"replicas": 3, "arms": [{"routing": "hash", "p99_ms": 4.2}],
+		"restart": {"warm_p99_ms": 3.5, "cold_p99_ms": 9.25, "refill_ms": 120.5}}`
 	if err := os.WriteFile(fleet, []byte(report), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -112,6 +113,17 @@ func TestFleetMerge(t *testing.T) {
 	}
 	if got.Replicas != 3 || len(got.Arms) != 1 || got.Arms[0].Routing != "hash" || got.Arms[0].P99MS != 4.2 {
 		t.Errorf("fleet round-trip = %+v", got)
+	}
+	// The restart arm's numbers are lifted into derived as restart_* so
+	// they trend with the rest of the record.
+	for k, want := range map[string]float64{
+		"restart_warm_p99_ms": 3.5,
+		"restart_cold_p99_ms": 9.25,
+		"restart_refill_ms":   120.5,
+	} {
+		if got := rec.Derived[k]; got != want {
+			t.Errorf("derived[%q] = %v, want %v", k, got, want)
+		}
 	}
 
 	bad := filepath.Join(dir, "bad.json")

@@ -9,6 +9,8 @@
 //	        [-timeout 30s] [-max-timeout 2m] [-max-cands N]
 //	        [-max-bytes 8388608] [-max-nodes N]
 //	        [-cache-entries 4096] [-cache-bytes 268435456]
+//	        [-snapshot cache.snap] [-snapshot-interval 30s]
+//	        [-self host:port] [-peers host:port,...] [-peer-timeout 150ms]
 //	        [-trace-spans 4096] [-trace-latency 1s]
 //	        [-drain-timeout 15s] [-retry-after 1s]
 //	        [-faults slow=0.1,cancel=0.05] [-fault-seed 1] [-fault-delay 25ms]
@@ -45,6 +47,15 @@
 // coalesce onto one solve; "server.cache.*" counters on /metrics track
 // lookups, hits, misses, coalesced waits, stores, and evictions.
 //
+// With -snapshot set, the cache survives restarts: the LRU is written to
+// the file periodically (-snapshot-interval) and on drain as a
+// checksummed, atomically-replaced snapshot, and the next boot warm-starts
+// from it. A corrupt, torn, or version-skewed file is rejected whole —
+// logged, counted, cold start — never a crash. With -self and -peers set,
+// a local cache miss first peeks the key's sibling replica
+// (GET /cache/peek/<key>, bounded by -peer-timeout) before solving; see
+// DESIGN.md §15.
+//
 // The -faults family enables the deterministic fault injector (see
 // internal/faultinject) for soak and chaos testing; leave it unset in
 // production.
@@ -56,6 +67,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -91,6 +103,12 @@ func run(args []string, stderr *os.File) int {
 	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 256<<20, "max estimated bytes resident in the solve cache (0 = unlimited when -cache-entries set; both 0 disables)")
 	fs.IntVar(&cfg.TraceSpans, "trace-spans", 0, "span-collector ring size: recent spans visible at /debug/trace (0 = default 4096)")
 	fs.DurationVar(&cfg.TraceLatency, "trace-latency", 0, "latency past which a request's trace is pinned in the flight recorder (0 = default 1s)")
+	fs.StringVar(&cfg.SnapshotPath, "snapshot", "", "cache snapshot file: warm-start from it on boot, rewrite it periodically and on drain (empty disables)")
+	fs.DurationVar(&cfg.SnapshotInterval, "snapshot-interval", 0, "how often to rewrite the cache snapshot while serving (0 = default 30s)")
+	fs.StringVar(&cfg.Self, "self", "", "this replica's host:port as the fleet knows it (rendezvous identity; required for -peers)")
+	var peers peerList
+	fs.Var(&peers, "peers", "comma-separated sibling host:ports to consult on cache misses (peer read-through fill)")
+	fs.DurationVar(&cfg.PeerTimeout, "peer-timeout", 0, "budget for one peer cache peek on a local miss (0 = default 150ms)")
 
 	faults := fs.String("faults", "", "fault-injection rates, e.g. slow=0.1,cancel=0.05,panic=0.01,malformed=0.05 (chaos testing only)")
 	faultSeed := fs.Int64("fault-seed", 1, "fault injector PRNG seed")
@@ -125,6 +143,11 @@ func run(args []string, stderr *os.File) int {
 		fmt.Fprintln(stderr, "bufferd: limits must be non-negative")
 		return guard.ExitUsage
 	}
+	cfg.Peers = peers
+	if len(cfg.Peers) > 0 && cfg.Self == "" {
+		fmt.Fprintln(stderr, "bufferd: -peers requires -self (this replica's name in the rendezvous ring)")
+		return guard.ExitUsage
+	}
 
 	stopObs, err := obs.Start(obs.StartOptions{
 		Verbose:     *verbose,
@@ -155,4 +178,19 @@ func run(args []string, stderr *os.File) int {
 	}
 	fmt.Fprintln(stderr, "bufferd: drained cleanly")
 	return guard.ExitOK
+}
+
+// peerList parses -peers: comma-separated host:ports, empties dropped.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(s string) error {
+	*p = nil
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			*p = append(*p, part)
+		}
+	}
+	return nil
 }

@@ -11,6 +11,7 @@
 //
 //	bufferfleet -replicas host1:8080,host2:8080,host3:8080
 //	            [-addr :8081] [-probe-interval 1s] [-probe-timeout 500ms]
+//	            [-health-dwell 500ms]
 //	            [-attempt-timeout 30s] [-max-attempts 3]
 //	            [-hedge-quantile 0.9] [-hedge-min 20ms]
 //	            [-fail-threshold 3] [-retry-backoff 25ms]
@@ -78,6 +79,7 @@ func run(args []string, stderr *os.File) int {
 	fs.StringVar(&cfg.Addr, "addr", ":8081", "listen address")
 	fs.DurationVar(&cfg.ProbeInterval, "probe-interval", time.Second, "spacing of per-replica /readyz probes")
 	fs.DurationVar(&cfg.ProbeTimeout, "probe-timeout", 500*time.Millisecond, "deadline for one probe round-trip")
+	fs.DurationVar(&cfg.HealthDwell, "health-dwell", 0, "minimum hold time before a replica flips healthy<->suspect (flap damping; 0 = default 500ms)")
 	fs.DurationVar(&cfg.AttemptTimeout, "attempt-timeout", 30*time.Second, "deadline for one forwarded attempt (must exceed the replicas' solve timeout)")
 	fs.IntVar(&cfg.MaxAttempts, "max-attempts", 3, "max distinct replicas tried per request (clamped to the fleet size)")
 	fs.Float64Var(&cfg.HedgeQuantile, "hedge-quantile", 0.9, "primary-latency quantile past which a hedge launches")

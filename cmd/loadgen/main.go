@@ -14,13 +14,18 @@
 //	loadgen [-replicas 3] [-nets 12] [-requests 240] [-clients 8]
 //	        [-batch-every 5] [-batch-width 3] [-max-sinks 6]
 //	        [-workers 2] [-queue 32] [-cache-entries 256]
-//	        [-hedge-min 20ms] [-routing both] [-seed 1] [-out report.json]
+//	        [-hedge-min 20ms] [-routing both] [-restart] [-seed 1]
+//	        [-out report.json]
 //
 // The traffic is deterministic in -seed (net generation and the request
 // schedule; goroutine interleaving still varies). Every -batch-every'th
 // scheduled request posts a /solve/batch of -batch-width nets instead of
-// a single /solve. The JSON report (stdout, or -out) is merged into
-// BENCH_<date>.json by scripts/bench.sh via benchjson -fleet.
+// a single /solve. With -restart, an extra arm runs the same solve
+// schedule on a snapshotted, peer-filling fleet, kill-restarts replica 0
+// halfway through (snapshot saved first, so it warm-starts), and reports
+// the p99 before and after plus the time to re-sweep the corpus. The JSON
+// report (stdout, or -out) is merged into BENCH_<date>.json by
+// scripts/bench.sh via benchjson -fleet.
 package main
 
 import (
@@ -73,12 +78,26 @@ type SlowRequest struct {
 
 // Report is loadgen's JSON output.
 type Report struct {
-	Replicas     int     `json:"replicas"`
-	Nets         int     `json:"nets"`
-	Clients      int     `json:"clients"`
-	Seed         int64   `json:"seed"`
-	Arms         []Arm   `json:"arms"`
-	AffinityGain float64 `json:"affinity_gain,omitempty"` // hash hit rate − random hit rate
+	Replicas     int           `json:"replicas"`
+	Nets         int           `json:"nets"`
+	Clients      int           `json:"clients"`
+	Seed         int64         `json:"seed"`
+	Arms         []Arm         `json:"arms"`
+	AffinityGain float64       `json:"affinity_gain,omitempty"` // hash hit rate − random hit rate
+	Restart      *RestartStats `json:"restart,omitempty"`
+}
+
+// RestartStats measures the -restart arm: the same traffic before and
+// after one replica is kill-restarted mid-run (snapshot saved first, so
+// the comeback is a warm start), plus the cost of re-sweeping the whole
+// corpus through the restarted fleet. benchjson lifts these fields into
+// the BENCH record's derived metrics as restart_*.
+type RestartStats struct {
+	WarmP99MS float64 `json:"warm_p99_ms"` // p99 before the restart
+	ColdP99MS float64 `json:"cold_p99_ms"` // p99 after the restart
+	RefillMS  float64 `json:"refill_ms"`   // wall time of the full-corpus sweep right after the restart
+	Loaded    float64 `json:"snapshot_loaded"`
+	Rejected  float64 `json:"snapshot_rejected"`
 }
 
 func main() {
@@ -101,6 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheEntries = fs.Int("cache-entries", 256, "per-replica solve-cache entries")
 		hedgeMin     = fs.Duration("hedge-min", 20*time.Millisecond, "router hedge-delay floor")
 		routing      = fs.String("routing", "both", "hash, random, or both (hash + random control)")
+		restart      = fs.Bool("restart", false, "also run the restart arm: kill+restart one replica mid-run (snapshotted, warm start) and report warm/cold p99 and refill time")
 		seed         = fs.Int64("seed", 1, "net-generation and schedule seed")
 		out          = fs.String("out", "", "write the JSON report here (default stdout)")
 	)
@@ -168,6 +188,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(rep.Arms) == 2 {
 		rep.AffinityGain = rep.Arms[0].CacheHitRate - rep.Arms[1].CacheHitRate
 		fmt.Fprintf(stderr, "loadgen: affinity gain %+.3f (hash − random cache-hit rate)\n", rep.AffinityGain)
+	}
+	if *restart {
+		rs, err := runRestartArm(armConfig{
+			mode:         fleet.RoutingHash,
+			replicas:     *replicas,
+			requests:     *requests,
+			clients:      *clients,
+			workers:      *workers,
+			queue:        *queue,
+			cacheEntries: *cacheEntries,
+			hedgeMin:     *hedgeMin,
+			seed:         *seed,
+			corpus:       corpus,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return guard.ExitFailure
+		}
+		rep.Restart = &rs
+		fmt.Fprintf(stderr, "loadgen: restart warm-p99 %.2fms cold-p99 %.2fms refill %.2fms (loaded %d, rejected %d)\n",
+			rs.WarmP99MS, rs.ColdP99MS, rs.RefillMS, int64(rs.Loaded), int64(rs.Rejected))
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -300,6 +341,100 @@ func runArm(cfg armConfig) (Arm, error) {
 		arm.CacheHitRate = float64(arm.CacheHits) / float64(arm.CacheLookups)
 	}
 	return arm, nil
+}
+
+// runRestartArm measures crash/restart resilience: a snapshotted,
+// peer-filling fleet serves the first half of the schedule (warm), then
+// replica 0 is kill-restarted — snapshot saved first, so the comeback
+// warm-starts — the whole corpus is swept once (the refill cost), and the
+// second half runs against the restarted fleet (cold). All through the
+// router: the latencies include whatever failover and peer-fill work the
+// restart window causes.
+func runRestartArm(cfg armConfig) (RestartStats, error) {
+	prev := obs.Default()
+	obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(prev)
+
+	snapDir, err := os.MkdirTemp("", "loadgen-snap-")
+	if err != nil {
+		return RestartStats{}, err
+	}
+	defer os.RemoveAll(snapDir)
+
+	lab, err := fleet.StartLab(fleet.LabConfig{
+		Replicas: cfg.replicas,
+		Server: server.Config{
+			Workers:      cfg.workers,
+			QueueDepth:   cfg.queue,
+			CacheEntries: cfg.cacheEntries,
+		},
+		Router: fleet.Config{
+			Routing:       cfg.mode,
+			Seed:          cfg.seed,
+			ProbeInterval: 100 * time.Millisecond,
+			HedgeMin:      cfg.hedgeMin,
+		},
+		SnapshotDir: snapDir,
+		PeerFill:    cfg.replicas > 1,
+	})
+	if err != nil {
+		return RestartStats{}, err
+	}
+	base := "http://" + lab.Router.Addr()
+
+	half := func(lo, hi int) []time.Duration {
+		var (
+			mu        sync.Mutex
+			latencies []time.Duration
+			wg        sync.WaitGroup
+		)
+		for c := 0; c < cfg.clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := lo + c; i < hi; i += cfg.clients {
+					start := time.Now()
+					ok, _ := postSolve(base, cfg.corpus[i%len(cfg.corpus)])
+					if ok {
+						d := time.Since(start)
+						mu.Lock()
+						latencies = append(latencies, d)
+						mu.Unlock()
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		return latencies
+	}
+
+	var rs RestartStats
+	warm := half(0, cfg.requests/2)
+	rs.WarmP99MS = quantileMS(warm, 0.99)
+
+	if err := lab.Replicas[0].Server.SaveSnapshot(); err != nil {
+		return RestartStats{}, err
+	}
+	if err := lab.Replicas[0].Restart(nil); err != nil {
+		return RestartStats{}, err
+	}
+	refillStart := time.Now()
+	for _, net := range cfg.corpus {
+		postSolve(base, net)
+	}
+	rs.RefillMS = float64(time.Since(refillStart)) / float64(time.Millisecond)
+
+	cold := half(cfg.requests/2, cfg.requests)
+	rs.ColdP99MS = quantileMS(cold, 0.99)
+
+	if err := lab.Close(); err != nil {
+		return RestartStats{}, err
+	}
+	ctr := obs.Default().Snapshot().Counters
+	rs.Loaded = float64(ctr["server.cache.snapshot.loaded"])
+	rs.Rejected = float64(ctr["server.cache.snapshot.rejected"])
+	return rs, nil
 }
 
 // postSolve posts one net and returns whether it succeeded plus the

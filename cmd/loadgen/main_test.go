@@ -93,3 +93,47 @@ func TestCompareRun(t *testing.T) {
 		t.Errorf("affinity gain %.3f inconsistent with arms", rep.AffinityGain)
 	}
 }
+
+// TestRestartArm drives the -restart arm: a snapshotted fleet serves
+// half the schedule, one replica kill-restarts (warm), the corpus is
+// re-swept, and the report carries warm/cold p99s, the refill time, and
+// the snapshot ledger of the restart.
+func TestRestartArm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stands up a fleet")
+	}
+	out := filepath.Join(t.TempDir(), "report.json")
+	var errBuf bytes.Buffer
+	code := run([]string{
+		"-replicas", "3",
+		"-nets", "6",
+		"-requests", "60",
+		"-clients", "4",
+		"-routing", "hash",
+		"-restart",
+		"-out", out,
+	}, &bytes.Buffer{}, &errBuf)
+	if code != guard.ExitOK {
+		t.Fatalf("run = %d; stderr:\n%s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, data)
+	}
+	if rep.Restart == nil {
+		t.Fatal("report has no restart arm")
+	}
+	rs := rep.Restart
+	if rs.WarmP99MS <= 0 || rs.ColdP99MS <= 0 || rs.RefillMS <= 0 {
+		t.Errorf("restart stats not measured: %+v", rs)
+	}
+	// One clean restart with the snapshot saved first: exactly one load,
+	// zero rejections.
+	if rs.Loaded != 1 || rs.Rejected != 0 {
+		t.Errorf("snapshot ledger loaded=%v rejected=%v, want 1/0", rs.Loaded, rs.Rejected)
+	}
+}

@@ -388,6 +388,51 @@ func (c *Cache[V]) finishFlight(key string, f *flight[V], v V, store bool, err e
 	close(f.done)
 }
 
+// Peek returns a private copy of the value stored under key without
+// touching the LRU order or the hit/miss books. The peer read-through
+// layer uses it to answer sibling peeks: a remote replica's curiosity
+// must neither keep an entry alive here nor skew the local
+// hits+misses==lookups ledger. Counted under "<ns>.peeks".
+func (c *Cache[V]) Peek(key string) (V, bool) {
+	c.mu.Lock()
+	obs.Inc(c.ns + "peeks")
+	el, ok := c.byKey[key]
+	var v V
+	if ok {
+		v = el.Value.(*entry[V]).val
+	}
+	c.mu.Unlock()
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return c.clone(v), true
+}
+
+// Entry is one (key, value) pair exported by Entries and restored by
+// LoadSnapshot.
+type Entry[V any] struct {
+	Key string
+	Val V
+}
+
+// Entries returns private copies of every resident entry, least recently
+// used first, so replaying them through Put reconstructs both the
+// contents and the recency order.
+func (c *Cache[V]) Entries() []Entry[V] {
+	c.mu.Lock()
+	out := make([]Entry[V], 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry[V])
+		out = append(out, Entry[V]{Key: e.key, Val: e.val})
+	}
+	c.mu.Unlock()
+	for i := range out {
+		out[i].Val = c.clone(out[i].Val)
+	}
+	return out
+}
+
 // Stats returns a consistent snapshot of the accounting counters.
 func (c *Cache[V]) Stats() Stats {
 	c.mu.Lock()

@@ -1,0 +1,213 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// String codec for the tests: values are opaque bytes to the snapshot
+// layer, so strings exercise it fully.
+func encString(key, v string) ([]byte, error) { return []byte(v), nil }
+func decString(key string, b []byte) (string, error) {
+	return string(b), nil
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	c := New(Config[string]{MaxEntries: 8, Namespace: "snaptest"})
+	c.Put("a", "alpha")
+	c.Put("b", "beta")
+	c.Put("c", "gamma")
+	c.Get("a") // touch: a is now MRU, b is LRU after c
+
+	if _, _, err := c.SaveSnapshot(path, encString); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+
+	fresh := New(Config[string]{MaxEntries: 8, Namespace: "snaptest"})
+	n, err := fresh.LoadSnapshot(path, decString)
+	if err != nil || n != 3 {
+		t.Fatalf("LoadSnapshot = %d, %v; want 3, nil", n, err)
+	}
+	for key, want := range map[string]string{"a": "alpha", "b": "beta", "c": "gamma"} {
+		if got, ok := fresh.Get(key); !ok || got != want {
+			t.Fatalf("after load, Get(%q) = %q, %v; want %q", key, got, ok, want)
+		}
+	}
+	// Recency order survived the round trip: shrinking to 2 entries must
+	// evict b (the LRU at save time), keeping c and a.
+	bounded := New(Config[string]{MaxEntries: 2})
+	if _, err := bounded.LoadSnapshot(path, decString); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bounded.Peek("b"); ok {
+		t.Fatal("LRU entry b survived a 2-entry reload; recency order lost")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, ok := bounded.Peek(key); !ok {
+			t.Fatalf("MRU entry %q missing after bounded reload", key)
+		}
+	}
+}
+
+func TestSnapshotAbsentIsColdStart(t *testing.T) {
+	c := New(Config[string]{MaxEntries: 8})
+	n, err := c.LoadSnapshot(filepath.Join(t.TempDir(), "missing.snap"), decString)
+	if n != 0 || err != nil {
+		t.Fatalf("LoadSnapshot(absent) = %d, %v; want 0, nil", n, err)
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	entries := []Entry[string]{{Key: "k1", Val: "v1"}, {Key: "k2", Val: "v2"}}
+	valid, skipped := EncodeSnapshot(entries, encString)
+	if skipped != 0 {
+		t.Fatalf("EncodeSnapshot skipped %d", skipped)
+	}
+	if got, err := DecodeSnapshot(valid, decString); err != nil || len(got) != 2 {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     valid[:snapshotOverhead-1],
+		"truncated": valid[:len(valid)-7],
+		"trailing":  append(append([]byte(nil), valid...), 0xAB),
+	}
+	// A flipped bit anywhere — magic, version, count, keys, values,
+	// checksum itself — must reject.
+	for _, off := range []int{0, 9, 13, 20, len(valid) - 1} {
+		b := append([]byte(nil), valid...)
+		b[off] ^= 0x40
+		cases[fmt.Sprintf("flip@%d", off)] = b
+	}
+	// Version skew with a *correct* checksum: a future writer's file must
+	// be rejected on the version field, not accidentally on the checksum.
+	future := append([]byte(nil), valid[:len(valid)-sha256.Size]...)
+	binary.LittleEndian.PutUint32(future[len(snapshotMagic):], 99)
+	sum := sha256.Sum256(future)
+	future = append(future, sum[:]...)
+	cases["future-version"] = future
+
+	for name, data := range cases {
+		got, err := DecodeSnapshot(data, decString)
+		if err == nil {
+			t.Fatalf("%s: corrupt snapshot accepted (%d entries)", name, len(got))
+		}
+		if !errors.Is(err, ErrSnapshotInvalid) {
+			t.Fatalf("%s: error %v does not wrap ErrSnapshotInvalid", name, err)
+		}
+		if got != nil {
+			t.Fatalf("%s: rejected snapshot still returned entries", name)
+		}
+	}
+	if _, err := DecodeSnapshot(cases["future-version"], decString); !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version rejected for the wrong reason: %v", err)
+	}
+
+	// Through LoadSnapshot: the cache must stay cold.
+	path := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(path, cases["truncated"], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config[string]{MaxEntries: 8})
+	if _, err := c.LoadSnapshot(path, decString); err == nil {
+		t.Fatal("LoadSnapshot accepted a truncated file")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache has %d entries after a rejected load", c.Len())
+	}
+}
+
+func TestSnapshotValueDecodeFailureRejectsWhole(t *testing.T) {
+	// One bad value poisons the file: all-or-nothing, so a half-trusted
+	// snapshot can never half-load.
+	data, _ := EncodeSnapshot([]Entry[string]{{Key: "good", Val: "x"}, {Key: "bad", Val: "y"}}, encString)
+	dec := func(key string, b []byte) (string, error) {
+		if key == "bad" {
+			return "", errors.New("value refuses to decode")
+		}
+		return string(b), nil
+	}
+	if got, err := DecodeSnapshot(data, dec); err == nil {
+		t.Fatalf("snapshot with an undecodable value accepted (%d entries)", len(got))
+	}
+}
+
+func TestSnapshotEncodeSkipsUnencodable(t *testing.T) {
+	enc := func(key, v string) ([]byte, error) {
+		if v == "degraded" {
+			return nil, errors.New("not snapshottable")
+		}
+		return []byte(v), nil
+	}
+	data, skipped := EncodeSnapshot([]Entry[string]{{Key: "a", Val: "ok"}, {Key: "b", Val: "degraded"}}, enc)
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	got, err := DecodeSnapshot(data, decString)
+	if err != nil || len(got) != 1 || got[0].Key != "a" {
+		t.Fatalf("decode after skip = %v, %v", got, err)
+	}
+}
+
+func TestSaveSnapshotAtomic(t *testing.T) {
+	// A save over an existing snapshot must leave no temp litter and the
+	// new contents in place.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	c := New(Config[string]{MaxEntries: 4})
+	c.Put("k", "v1")
+	if _, _, err := c.SaveSnapshot(path, encString); err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", "v2")
+	if _, _, err := c.SaveSnapshot(path, encString); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("snapshot dir has %d files, want 1 (temp file left behind?)", len(names))
+	}
+	fresh := New(Config[string]{MaxEntries: 4})
+	if _, err := fresh.LoadSnapshot(path, decString); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fresh.Peek("k"); v != "v2" {
+		t.Fatalf("reloaded %q, want v2", v)
+	}
+}
+
+func TestPeekDoesNotTouchBooksOrRecency(t *testing.T) {
+	c := New(Config[string]{MaxEntries: 2})
+	c.Put("old", "1")
+	c.Put("new", "2")
+	before := c.Stats()
+	if v, ok := c.Peek("old"); !ok || v != "1" {
+		t.Fatalf("Peek(old) = %q, %v", v, ok)
+	}
+	if _, ok := c.Peek("nope"); ok {
+		t.Fatal("Peek(nope) hit")
+	}
+	after := c.Stats()
+	if after.Lookups != before.Lookups || after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("Peek moved the books: %+v -> %+v", before, after)
+	}
+	// "old" was peeked but must still be the eviction victim: Peek must
+	// not refresh recency, or a sibling's read-through would pin entries
+	// alive here.
+	c.Put("third", "3")
+	if _, ok := c.Peek("old"); ok {
+		t.Fatal("peeked entry survived eviction; Peek refreshed recency")
+	}
+}

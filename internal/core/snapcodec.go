@@ -1,0 +1,241 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"buffopt/internal/buffers"
+	"buffopt/internal/rctree"
+)
+
+// Binary codec for SolveResult, the value format of cache snapshots and
+// peer-fill peeks (DESIGN.md §15). Only clean exact results are encoded:
+// TierErrors carry arbitrary wrapped error chains that cannot round-trip
+// faithfully, and a degraded result is tied to the budget that produced
+// it — persisting either would let a restart or a peer hand out a result
+// the local solver would not have produced. Exact results are the bulk of
+// a warm cache, so the restriction costs little and buys byte-exactness:
+// a decoded result re-analyzes (noise.Analyze, elmore.Analyze) to the
+// same response bytes the original solve produced.
+//
+// The cache key is embedded in the encoding and re-checked on decode.
+// Keys are content-addressed (Problem.CanonicalHash plus option hashes),
+// so a key mismatch means the bytes answer a different problem than the
+// slot claims — a stale or transplanted entry — and the decode fails
+// rather than poison the cache.
+
+// resultMagic versions the value encoding independently of the snapshot
+// envelope.
+const resultMagic = "bsr1"
+
+// ErrNotSnapshottable marks results the codec refuses to persist:
+// degraded results, results carrying tier errors, and results with no
+// solution payload. Callers treat it as "skip this entry", not a fault.
+var ErrNotSnapshottable = errors.New("core: result not snapshottable")
+
+// EncodeSolveResult serializes r for storage under the cache key.
+func EncodeSolveResult(key string, r *SolveResult) ([]byte, error) {
+	if r == nil || r.Result == nil || r.Solution == nil || r.Solution.Tree == nil {
+		return nil, fmt.Errorf("%w: missing solution payload", ErrNotSnapshottable)
+	}
+	if r.Tier != TierExact || r.Degraded || len(r.TierErrors) > 0 {
+		return nil, fmt.Errorf("%w: tier %v, degraded=%v, %d tier errors",
+			ErrNotSnapshottable, r.Tier, r.Degraded, len(r.TierErrors))
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, resultMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = append(buf, byte(r.Tier))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Slack))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(r.Cost)))
+
+	tree := r.Solution.Tree.AppendBinary(nil)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tree)))
+	buf = append(buf, tree...)
+
+	// Map iteration order is random; sort by node ID so identical results
+	// encode to identical bytes (snapshots of the same cache state are
+	// reproducible).
+	bufIDs := sortedIDs(r.Solution.Buffers)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(bufIDs)))
+	for _, id := range bufIDs {
+		b := r.Solution.Buffers[id]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(id)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Name)))
+		buf = append(buf, b.Name...)
+		for _, f := range [...]float64{b.Cin, b.R, b.T, b.NoiseMargin} {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+		inv := byte(0)
+		if b.Inverting {
+			inv = 1
+		}
+		buf = append(buf, inv)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(b.Weight)))
+	}
+
+	widthIDs := sortedIDs(r.Solution.Widths)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(widthIDs)))
+	for _, id := range widthIDs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(id)))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Solution.Widths[id]))
+	}
+	return buf, nil
+}
+
+// DecodeSolveResult parses data encoded by EncodeSolveResult and verifies
+// it against the cache key it is stored under: the embedded key must
+// match, the tree must validate, and every buffer/width node ID must name
+// a tree node. Any mismatch is an error — a snapshot or peek that fails
+// here is dropped whole rather than served. The decoded result carries
+// fresh provenance (Cached/Coalesced cleared; the caller sets them).
+func DecodeSolveResult(key string, data []byte) (*SolveResult, error) {
+	c := rcursor{buf: data}
+	if string(c.take(len(resultMagic))) != resultMagic {
+		return nil, fmt.Errorf("core: decode result: bad magic")
+	}
+	gotKey := string(c.field())
+	if c.err == nil && gotKey != key {
+		return nil, fmt.Errorf("core: decode result: stored under key %q but encodes key %q", key, gotKey)
+	}
+	tier := Tier(c.byte())
+	slack := math.Float64frombits(c.uint64())
+	cost := int(int64(c.uint64()))
+	treeBytes := c.field()
+	if c.err != nil {
+		return nil, fmt.Errorf("core: decode result: %w", c.err)
+	}
+	if tier != TierExact {
+		return nil, fmt.Errorf("core: decode result: tier %d, only exact results are persisted", tier)
+	}
+	tree, err := rctree.DecodeBinary(treeBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: decode result: %w", err)
+	}
+
+	nbuf := int(c.uint32())
+	if c.err == nil && nbuf > len(c.buf)/45 {
+		return nil, fmt.Errorf("core: decode result: buffer count %d exceeds input size", nbuf)
+	}
+	var bufs map[rctree.NodeID]buffers.Buffer
+	if nbuf > 0 && c.err == nil {
+		bufs = make(map[rctree.NodeID]buffers.Buffer, nbuf)
+	}
+	for i := 0; i < nbuf && c.err == nil; i++ {
+		id := rctree.NodeID(int32(c.uint32()))
+		var b buffers.Buffer
+		b.Name = string(c.field())
+		b.Cin = math.Float64frombits(c.uint64())
+		b.R = math.Float64frombits(c.uint64())
+		b.T = math.Float64frombits(c.uint64())
+		b.NoiseMargin = math.Float64frombits(c.uint64())
+		b.Inverting = c.byte() == 1
+		b.Weight = int(int64(c.uint64()))
+		if c.err != nil {
+			break
+		}
+		if id < 0 || int(id) >= tree.Len() {
+			return nil, fmt.Errorf("core: decode result: buffer at node %d, tree has %d nodes", id, tree.Len())
+		}
+		bufs[id] = b
+	}
+
+	nwid := int(c.uint32())
+	if c.err == nil && nwid > len(c.buf)/12 {
+		return nil, fmt.Errorf("core: decode result: width count %d exceeds input size", nwid)
+	}
+	var widths map[rctree.NodeID]float64
+	if nwid > 0 && c.err == nil {
+		widths = make(map[rctree.NodeID]float64, nwid)
+	}
+	for i := 0; i < nwid && c.err == nil; i++ {
+		id := rctree.NodeID(int32(c.uint32()))
+		w := math.Float64frombits(c.uint64())
+		if c.err != nil {
+			break
+		}
+		if id < 0 || int(id) >= tree.Len() {
+			return nil, fmt.Errorf("core: decode result: width at node %d, tree has %d nodes", id, tree.Len())
+		}
+		widths[id] = w
+	}
+	if c.err != nil {
+		return nil, fmt.Errorf("core: decode result: %w", c.err)
+	}
+	if len(c.buf) != 0 {
+		return nil, fmt.Errorf("core: decode result: %d trailing bytes", len(c.buf))
+	}
+	return &SolveResult{
+		Result: &Result{
+			Solution: &Solution{Tree: tree, Buffers: bufs, Widths: widths},
+			Slack:    slack,
+			Cost:     cost,
+		},
+		Tier: tier,
+	}, nil
+}
+
+// sortedIDs returns the map's keys in ascending order.
+func sortedIDs[V any](m map[rctree.NodeID]V) []rctree.NodeID {
+	ids := make([]rctree.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// rcursor mirrors the rctree decoder: a byte cursor with a sticky error.
+type rcursor struct {
+	buf []byte
+	err error
+}
+
+func (c *rcursor) take(n int) []byte {
+	if c.err != nil || n < 0 || n > len(c.buf) {
+		if c.err == nil {
+			c.err = fmt.Errorf("truncated input (want %d bytes, have %d)", n, len(c.buf))
+		}
+		return nil
+	}
+	b := c.buf[:n]
+	c.buf = c.buf[n:]
+	return b
+}
+
+func (c *rcursor) byte() byte {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *rcursor) uint32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *rcursor) uint64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *rcursor) field() []byte {
+	n := int(c.uint32())
+	if c.err == nil && n > len(c.buf) {
+		c.err = fmt.Errorf("field length %d exceeds remaining %d bytes", n, len(c.buf))
+		return nil
+	}
+	return c.take(n)
+}

@@ -79,15 +79,24 @@ const (
 	// connection. Like FaultPartition it is consumed by the fleet chaos
 	// harness, not by the request-path hooks.
 	FaultKill
+	// FaultRestart is a replica-level fault: the target replica's process
+	// is killed and then restarted on the same address — the rolling
+	// deploy / crash-loop scenario. The restarted replica warm-starts
+	// from its cache snapshot, which the chaos harness may have corrupted
+	// or torn in between, so the boot-time snapshot validation and the
+	// peer read-through fill are what keep the fleet's answers identical
+	// across the window. Like FaultPartition and FaultKill it is consumed
+	// by the fleet chaos harness, not by the request-path hooks.
+	FaultRestart
 
 	numFaults
 )
 
 // ReplicaLevel reports whether f is a replica-level fault (partition,
-// kill): one consumed by the fleet chaos harness rather than by the
-// per-request hook points in guard, core, and server.
+// kill, restart): one consumed by the fleet chaos harness rather than by
+// the per-request hook points in guard, core, and server.
 func ReplicaLevel(f Fault) bool {
-	return f == FaultPartition || f == FaultKill
+	return f == FaultPartition || f == FaultKill || f == FaultRestart
 }
 
 // String returns the fault's stable lowercase name, used in flag specs,
@@ -108,6 +117,8 @@ func (f Fault) String() string {
 		return "partition"
 	case FaultKill:
 		return "kill"
+	case FaultRestart:
+		return "restart"
 	}
 	return fmt.Sprintf("fault(%d)", int(f))
 }
@@ -120,7 +131,7 @@ func ParseFault(s string) (Fault, error) {
 			return f, nil
 		}
 	}
-	return FaultNone, fmt.Errorf("faultinject: unknown fault %q (want slow, cancel, panic, malformed, partition, or kill)", s)
+	return FaultNone, fmt.Errorf("faultinject: unknown fault %q (want slow, cancel, panic, malformed, partition, kill, or restart)", s)
 }
 
 // ErrInjected marks an error as deliberately injected, so logs and tests

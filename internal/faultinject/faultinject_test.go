@@ -194,7 +194,7 @@ func TestParseFaultRoundTrip(t *testing.T) {
 	for _, want := range []struct {
 		name string
 		f    Fault
-	}{{"partition", FaultPartition}, {"kill", FaultKill}} {
+	}{{"partition", FaultPartition}, {"kill", FaultKill}, {"restart", FaultRestart}} {
 		got, err := ParseFault(want.name)
 		if err != nil || got != want.f {
 			t.Fatalf("ParseFault(%q) = %v, %v; want %v", want.name, got, err, want.f)
@@ -217,7 +217,7 @@ func TestParseFaultRoundTrip(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown fault accepted")
 	}
-	for _, word := range []string{"slow", "cancel", "panic", "malformed", "partition", "kill"} {
+	for _, word := range []string{"slow", "cancel", "panic", "malformed", "partition", "kill", "restart"} {
 		if !strings.Contains(err.Error(), word) {
 			t.Fatalf("unknown-fault error %q does not name %q", err, word)
 		}

@@ -79,7 +79,16 @@ type Config struct {
 	// affinity, never correctness.
 	Decode server.Config
 	// ProbeInterval spaces the per-replica /readyz probes. Default 1 s.
+	// Each wait is independently jittered ±20% so a mass restart cannot
+	// synchronize the fleet's probe bursts against recovering replicas.
 	ProbeInterval time.Duration
+	// HealthDwell is the minimum time a replica's healthy/suspect state
+	// must be held before flipping to the other: flap damping for a
+	// replica oscillating ready/unready under intermittent probe
+	// failures. Demotion to down (the failure threshold), resurrection
+	// from down or draining, and entering draining are never damped.
+	// Default 500 ms.
+	HealthDwell time.Duration
 	// ProbeTimeout bounds one probe round-trip. Default 500 ms.
 	ProbeTimeout time.Duration
 	// AttemptTimeout bounds one forwarded attempt end to end. It must
@@ -138,6 +147,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	if c.HealthDwell <= 0 {
+		c.HealthDwell = 500 * time.Millisecond
 	}
 	if c.AttemptTimeout <= 0 {
 		c.AttemptTimeout = 30 * time.Second
@@ -233,7 +245,7 @@ func New(cfg Config) (*Router, error) {
 		}),
 	}
 	for _, name := range cfg.Replicas {
-		rt.replicas = append(rt.replicas, newReplica(name))
+		rt.replicas = append(rt.replicas, newReplica(name, cfg.HealthDwell))
 		rt.names = append(rt.names, name)
 	}
 	transport := cfg.Transport
@@ -333,17 +345,29 @@ func (rt *Router) Run(ctx context.Context) error {
 // ----------------------------------------------------------------- probes
 
 func (rt *Router) probeLoop(ctx context.Context, rep *replica) {
-	t := time.NewTicker(rt.cfg.ProbeInterval)
-	defer t.Stop()
+	// Each wait is drawn fresh from [0.8, 1.2]×ProbeInterval, seeded per
+	// replica: after a fleet-wide restart every router's probe loops
+	// desynchronize within a few periods instead of hammering recovering
+	// replicas in lockstep. Deterministic seeding keeps soak timing
+	// reproducible.
+	rng := rand.New(rand.NewPCG(server.RendezvousScore(rep.name, "probe-jitter"), 0x9e3779b97f4a7c15))
 	rt.probeOnce(ctx, rep)
+	t := time.NewTimer(jitterInterval(rt.cfg.ProbeInterval, rng))
+	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
 			rt.probeOnce(ctx, rep)
+			t.Reset(jitterInterval(rt.cfg.ProbeInterval, rng))
 		}
 	}
+}
+
+// jitterInterval returns base scaled by a uniform factor in [0.8, 1.2].
+func jitterInterval(base time.Duration, rng *rand.Rand) time.Duration {
+	return time.Duration(float64(base) * (0.8 + 0.4*rng.Float64()))
 }
 
 // probeOnce asks one replica's /readyz and folds the answer into its

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"buffopt/internal/server"
+)
+
+// TestProbeJitterBounds: every drawn interval stays within ±20% of the
+// base, and the draws actually vary — the desynchronization the jitter
+// exists for.
+func TestProbeJitterBounds(t *testing.T) {
+	base := 250 * time.Millisecond
+	lo := time.Duration(float64(base) * 0.8)
+	hi := time.Duration(float64(base) * 1.2)
+	rng := rand.New(rand.NewPCG(server.RendezvousScore("replica:1", "probe-jitter"), 0x9e3779b97f4a7c15))
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 10_000; i++ {
+		d := jitterInterval(base, rng)
+		if d < lo || d > hi {
+			t.Fatalf("draw %d: %v outside [%v, %v]", i, d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct intervals in 10k draws; jitter is not jittering", len(seen))
+	}
+}
+
+// TestProbeJitterPerReplicaPhase: two replicas' jitter streams differ, so
+// a fleet booted at one instant does not probe in lockstep.
+func TestProbeJitterPerReplicaPhase(t *testing.T) {
+	base := time.Second
+	a := rand.New(rand.NewPCG(server.RendezvousScore("replica:1", "probe-jitter"), 0x9e3779b97f4a7c15))
+	b := rand.New(rand.NewPCG(server.RendezvousScore("replica:2", "probe-jitter"), 0x9e3779b97f4a7c15))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if jitterInterval(base, a) == jitterInterval(base, b) {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("both replicas drew identical jitter streams")
+	}
+}
+
+// TestHealthDwellDampsFlapping: within the dwell window a healthy replica
+// shrugs off a lone connection failure and a suspect one shrugs off a
+// lone success — the healthy↔suspect pair must not thrash per probe.
+func TestHealthDwellDampsFlapping(t *testing.T) {
+	r := newReplica("replica:1", time.Hour)
+
+	// Freshly healthy: one failure inside the dwell stays healthy (still
+	// counted toward the threshold), and must not flip state.
+	r.noteConnError(3)
+	if got := r.health(); got != healthy {
+		t.Fatalf("one failure inside dwell: state %v, want healthy", got)
+	}
+	if got := r.fails.Load(); got != 1 {
+		t.Fatalf("failure inside dwell not counted: fails = %d", got)
+	}
+
+	// Age the state past the dwell: now the same failure demotes.
+	r.stateSince.Store(time.Now().Add(-2 * time.Hour).UnixNano())
+	r.noteConnError(3)
+	if got := r.health(); got != suspect {
+		t.Fatalf("failure after dwell: state %v, want suspect", got)
+	}
+
+	// Freshly suspect: a success inside the dwell must not bounce back.
+	r.noteSuccess(time.Millisecond)
+	if got := r.health(); got != suspect {
+		t.Fatalf("success inside dwell: state %v, want suspect (damped)", got)
+	}
+	r.noteReady()
+	if got := r.health(); got != suspect {
+		t.Fatalf("ready probe inside dwell: state %v, want suspect (damped)", got)
+	}
+
+	// Aged suspect: success promotes.
+	r.stateSince.Store(time.Now().Add(-2 * time.Hour).UnixNano())
+	r.noteSuccess(time.Millisecond)
+	if got := r.health(); got != healthy {
+		t.Fatalf("success after dwell: state %v, want healthy", got)
+	}
+}
+
+// TestHealthDwellNeverDelaysHardTransitions: the threshold crossing to
+// down and resurrection from down/draining carry real information and
+// bypass the dwell entirely.
+func TestHealthDwellNeverDelaysHardTransitions(t *testing.T) {
+	r := newReplica("replica:1", time.Hour)
+
+	// Threshold trip straight out of a fresh healthy state: down at once,
+	// despite the dwell — damping suspects must never mask a dead replica.
+	r.noteConnError(2)
+	r.noteConnError(2)
+	if got := r.health(); got != down {
+		t.Fatalf("threshold crossed inside dwell: state %v, want down", got)
+	}
+
+	// Resurrection from down is immediate too (fresh down state).
+	r.noteSuccess(time.Millisecond)
+	if got := r.health(); got != healthy {
+		t.Fatalf("success on a down replica: state %v, want healthy", got)
+	}
+
+	// Draining is entered and exited without dwell.
+	r.noteDraining()
+	if got := r.health(); got != draining {
+		t.Fatalf("draining probe: state %v, want draining", got)
+	}
+	r.noteReady()
+	if got := r.health(); got != healthy {
+		t.Fatalf("ready after draining: state %v, want healthy", got)
+	}
+}
+
+// TestHealthDwellZeroDisables: dwell 0 restores the undamped behavior.
+func TestHealthDwellZeroDisables(t *testing.T) {
+	r := newReplica("replica:1", 0)
+	r.noteConnError(3)
+	if got := r.health(); got != suspect {
+		t.Fatalf("dwell 0, one failure: state %v, want suspect", got)
+	}
+	r.noteSuccess(time.Millisecond)
+	if got := r.health(); got != healthy {
+		t.Fatalf("dwell 0, success: state %v, want healthy", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,14 @@ type LabConfig struct {
 	// Router is the router config template; Replicas and Addr are filled
 	// in (the router listens on a loopback port).
 	Router Config
+	// SnapshotDir, when non-empty, gives each replica a cache snapshot
+	// file ("replica<i>.snap" inside it), so a Restart warm-starts from
+	// disk — and the restart chaos driver can corrupt or truncate the
+	// file in between to exercise the rejection path.
+	SnapshotDir string
+	// PeerFill wires each replica's Self/Peers to the lab's replica set,
+	// enabling peer read-through fill on local cache misses.
+	PeerFill bool
 }
 
 // StartLab stands the fleet up: replicas first, then the router probing
@@ -62,6 +71,27 @@ func StartLab(cfg LabConfig) (*Lab, error) {
 		}
 	}()
 
+	// Open every listener before building any server: peer read-through
+	// fill needs each replica's Self/Peers names, and a name here is the
+	// bound address.
+	lns := make([]net.Listener, 0, cfg.Replicas)
+	names := make([]string, 0, cfg.Replicas)
+	defer func() {
+		if !ok {
+			for i := len(lab.Replicas); i < len(lns); i++ {
+				lns[i].Close()
+			}
+		}
+	}()
+	for i := 0; i < cfg.Replicas; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("fleet: lab replica listen: %w", err)
+		}
+		lns = append(lns, ln)
+		names = append(names, ln.Addr().String())
+	}
+
 	for i := 0; i < cfg.Replicas; i++ {
 		scfg := cfg.Server
 		scfg.Addr = "" // unused: the lab owns the listener
@@ -70,11 +100,14 @@ func StartLab(cfg LabConfig) (*Lab, error) {
 		} else {
 			scfg.Injector = nil
 		}
-		rep, err := startLabReplica(scfg)
-		if err != nil {
-			return nil, err
+		if cfg.SnapshotDir != "" {
+			scfg.SnapshotPath = filepath.Join(cfg.SnapshotDir, fmt.Sprintf("replica%d.snap", i))
 		}
-		lab.Replicas = append(lab.Replicas, rep)
+		if cfg.PeerFill {
+			scfg.Self = names[i]
+			scfg.Peers = append(append([]string(nil), names[:i]...), names[i+1:]...)
+		}
+		lab.Replicas = append(lab.Replicas, startLabReplica(lns[i], scfg))
 	}
 
 	rcfg := cfg.Router
@@ -124,27 +157,31 @@ type LabReplica struct {
 	// Server is the underlying bufferd instance (Inflight, BeginDrain).
 	Server *server.Server
 
+	cfg    server.Config // retained so Restart rebuilds an identical server
 	valve  *valve
 	hs     *http.Server
 	done   chan error
 	killed atomic.Bool
 }
 
-func startLabReplica(cfg server.Config) (*LabReplica, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("fleet: lab replica listen: %w", err)
-	}
-	s := server.New(cfg)
+func startLabReplica(ln net.Listener, cfg server.Config) *LabReplica {
 	rep := &LabReplica{
-		Name:   ln.Addr().String(),
-		Server: s,
-		valve:  &valve{},
-		done:   make(chan error, 1),
+		Name: ln.Addr().String(),
+		cfg:  cfg,
 	}
-	rep.hs = &http.Server{Handler: rep.valve.wrap(s.Handler())}
-	go func() { rep.done <- rep.hs.Serve(ln) }()
-	return rep, nil
+	rep.boot(ln)
+	return rep
+}
+
+// boot builds a fresh server (warm-starting from the snapshot path, if
+// configured) and starts serving it through a fresh valve on ln.
+func (r *LabReplica) boot(ln net.Listener) {
+	r.Server = server.New(r.cfg)
+	r.valve = &valve{}
+	r.done = make(chan error, 1)
+	r.hs = &http.Server{Handler: r.valve.wrap(r.Server.Handler())}
+	hs, done := r.hs, r.done
+	go func() { done <- hs.Serve(ln) }()
 }
 
 // Partition blackholes the replica: every connection that reaches it —
@@ -177,6 +214,41 @@ func (r *LabReplica) Kill() {
 
 // Killed reports whether Kill has run.
 func (r *LabReplica) Killed() bool { return r.killed.Load() }
+
+// SnapshotPath returns the replica's cache snapshot file ("" when
+// LabConfig.SnapshotDir was unset) — the file a restart chaos driver
+// tampers with between Kill and re-listen.
+func (r *LabReplica) SnapshotPath() string { return r.cfg.SnapshotPath }
+
+// Restart applies the restart fault: Kill, then optionally tamper with
+// the on-disk snapshot (tamper receives SnapshotPath; nil leaves the file
+// alone), then bind a fresh server to the same address — same rendezvous
+// identity, state only as durable as the snapshot survived. The rebind
+// retries briefly: the dead listener's port frees as its close completes.
+// Not safe for concurrent use with the other chaos methods; the chaos
+// driver is single-threaded.
+func (r *LabReplica) Restart(tamper func(snapshotPath string) error) error {
+	r.Kill()
+	if tamper != nil {
+		if err := tamper(r.cfg.SnapshotPath); err != nil {
+			return fmt.Errorf("fleet: lab replica %s snapshot tamper: %w", r.Name, err)
+		}
+	}
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		if ln, err = net.Listen("tcp", r.Name); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: lab replica re-listen %s: %w", r.Name, err)
+	}
+	r.boot(ln)
+	r.killed.Store(false)
+	return nil
+}
 
 // Drain flips the replica to draining: /readyz answers 503 "draining",
 // queued work is shed, in-flight work completes. The connection path

@@ -55,12 +55,23 @@ type replica struct {
 	state        atomic.Int32 // health
 	fails        atomic.Int32 // consecutive connection failures
 	backoffUntil atomic.Int64 // unix nanos; shed Retry-After backpressure
+	stateSince   atomic.Int64 // unix nanos of the last state transition
+
+	// dwell is the minimum time the healthy/suspect states must be held
+	// before flipping to the other (Config.HealthDwell): flap damping, so
+	// a replica oscillating ready/unready under intermittent probe
+	// failures does not thrash healthy↔suspect on every probe. Only that
+	// pair is damped — crossing the failure threshold to down, a down or
+	// draining replica's resurrection, and entering draining are all
+	// undamped, because those transitions carry information a dwell
+	// would only delay (and the soaks rely on them being prompt).
+	dwell time.Duration
 
 	lat latencyWindow
 }
 
-func newReplica(name string) *replica {
-	r := &replica{name: name, base: "http://" + name}
+func newReplica(name string, dwell time.Duration) *replica {
+	r := &replica{name: name, base: "http://" + name, dwell: dwell}
 	r.publish(healthy)
 	return r
 }
@@ -69,7 +80,16 @@ func (r *replica) health() health { return health(r.state.Load()) }
 
 func (r *replica) publish(h health) {
 	r.state.Store(int32(h))
+	r.stateSince.Store(time.Now().UnixNano())
 	obs.Set("fleet.replica.state."+r.name, int64(h))
+}
+
+// dwelled reports whether the current state has been held for at least
+// the minimum dwell. Racing observers may each see "dwelled" and publish
+// concurrently; the states they publish are the same, so the race is
+// benign (the state machine is advisory, not transactional).
+func (r *replica) dwelled() bool {
+	return r.dwell <= 0 || time.Now().UnixNano()-r.stateSince.Load() >= int64(r.dwell)
 }
 
 // noteSuccess records a completed round-trip (any HTTP response is a
@@ -80,8 +100,16 @@ func (r *replica) publish(h health) {
 func (r *replica) noteSuccess(d time.Duration) {
 	r.fails.Store(0)
 	r.lat.observe(d.Nanoseconds())
-	if h := r.health(); h == suspect || h == down {
+	switch r.health() {
+	case down:
 		r.publish(healthy)
+	case suspect:
+		// Damped: a lone success amid intermittent failures must not
+		// bounce the state back just for the next failure to re-demote
+		// it. Suspect routes like healthy, so holding it costs nothing.
+		if r.dwelled() {
+			r.publish(healthy)
+		}
 	}
 }
 
@@ -89,7 +117,12 @@ func (r *replica) noteSuccess(d time.Duration) {
 // accepts work, which overrides every inferred state including draining.
 func (r *replica) noteReady() {
 	r.fails.Store(0)
-	if r.health() != healthy {
+	switch r.health() {
+	case suspect:
+		if r.dwelled() {
+			r.publish(healthy)
+		}
+	case draining, down:
 		r.publish(healthy)
 	}
 }
@@ -115,7 +148,13 @@ func (r *replica) noteConnError(threshold int) {
 			r.publish(down)
 		}
 	case r.health() == healthy:
-		r.publish(suspect)
+		// Damped (see dwell): the failure still counts toward the down
+		// threshold either way, so damping never delays detection of a
+		// genuinely dead replica — only the cosmetic healthy↔suspect
+		// churn of an intermittently failing one.
+		if r.dwelled() {
+			r.publish(suspect)
+		}
 	}
 }
 

@@ -1,0 +1,132 @@
+package rctree
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// codecTree builds a tree exercising every encoded feature: internal
+// nodes, multiple sinks, explicit aggressors (including an empty non-nil
+// slice), coordinates, and a post-construction SplitWire so child order
+// is not simply creation order.
+func codecTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := New("src", 100, 2e-12)
+	v1, err := tr.AddInternal(tr.Root(), Wire{R: 2, C: 3e-15, Length: 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := tr.AddSink(v1, Wire{R: 1, C: 2e-15, Length: 2, Aggressors: []Coupling{{Ratio: 0.25, Slope: 5e9}}}, "s1", 1e-15, 1e-10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.AddSink(v1, Wire{R: 4, C: 1e-15, Length: 1, Aggressors: []Coupling{}}, "s2", 2e-15, 1.1e-10, 0.22); err != nil {
+		t.Fatal(err)
+	}
+	tr.Node(s1).X, tr.Node(s1).Y = 3.5, -1.25
+	if _, err := tr.SplitWire(s1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := codecTree(t)
+	enc, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(enc)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	// Bit-exactness is the contract (a decoded tree must re-analyze to
+	// byte-identical responses), so compare re-encodings rather than
+	// structs: any drift in floats, names, child order, or the
+	// nil-vs-empty aggressor distinction shows up as a byte diff.
+	enc2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoded tree differs from original encoding")
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("decoded %d nodes, want %d", got.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		a, b := tr.Node(NodeID(i)), got.Node(NodeID(i))
+		if a.Name != b.Name || a.Kind != b.Kind || a.Parent != b.Parent {
+			t.Fatalf("node %d: %+v != %+v", i, a, b)
+		}
+		if (a.Wire.Aggressors == nil) != (b.Wire.Aggressors == nil) {
+			t.Fatalf("node %d: nil-vs-empty aggressors not preserved", i)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("decoded tree invalid: %v", err)
+	}
+}
+
+func TestCodecRoundTripSpecialFloats(t *testing.T) {
+	// RAT may legitimately be huge; verify full bit patterns survive,
+	// including negative zero.
+	tr := New("s", 0, 0)
+	if _, err := tr.AddSink(tr.Root(), Wire{R: 1, C: 1}, "k", 0, math.MaxFloat64, 0); err != nil {
+		t.Fatal(err)
+	}
+	tr.Node(1).X = math.Copysign(0, -1)
+	enc, _ := tr.MarshalBinary()
+	got, err := DecodeBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Node(1).X) != math.Float64bits(tr.Node(1).X) {
+		t.Fatal("negative zero not preserved")
+	}
+	if got.Node(1).RAT != math.MaxFloat64 {
+		t.Fatal("RAT bits not preserved")
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	enc, err := codecTree(t).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every prefix truncation must fail cleanly, never panic.
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeBinary(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage.
+	if _, err := DecodeBinary(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xff
+	if _, err := DecodeBinary(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// A huge node count must be rejected by the size bound, not
+	// attempted as an allocation.
+	bad = append([]byte(nil), enc...)
+	countOff := len(treeMagic) + 16
+	for i := 0; i < 4; i++ {
+		bad[countOff+i] = 0xff
+	}
+	if _, err := DecodeBinary(bad); err == nil {
+		t.Fatal("absurd node count accepted")
+	}
+	// Structural corruption (parent out of range) must be caught even
+	// when lengths parse: point node 1's parent at 200.
+	tr := codecTree(t)
+	tr.nodes[1].Parent = 200
+	enc2 := tr.AppendBinary(nil)
+	if _, err := DecodeBinary(enc2); err == nil {
+		t.Fatal("out-of-range parent accepted")
+	}
+}

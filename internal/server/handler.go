@@ -187,7 +187,15 @@ func (s *Server) solveCached(ctx context.Context, req *solveRequest) (*core.Solv
 	if s.cache == nil {
 		return s.solveOne(faultinject.WithPlan(ctx, s.cfg.Injector.Assign()), req)
 	}
-	res, out, err := s.cache.Do(ctx, s.cacheKey(req), func() (*core.SolveResult, bool, error) {
+	key := s.cacheKey(req)
+	res, out, err := s.cache.Do(ctx, key, func() (*core.SolveResult, bool, error) {
+		// Shared cache tier: before paying for a solve, ask the key's
+		// sibling for a cached copy. A peer-filled result is exact by
+		// codec construction, so it is cacheable here verbatim; a fault
+		// plan is still assigned only when a solve actually runs.
+		if pr := s.peerFill(ctx, key); pr != nil {
+			return pr, true, nil
+		}
 		r, e := s.solveOne(faultinject.WithPlan(ctx, s.cfg.Injector.Assign()), req)
 		if e != nil {
 			return nil, false, e

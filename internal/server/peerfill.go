@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"buffopt/internal/core"
+	"buffopt/internal/obs"
+)
+
+// Peer read-through fill: the fleet's shared cache tier (DESIGN.md §15).
+//
+// The router rendezvous-hashes every key over the replica set, so under
+// healthy routing a replica only ever misses on keys it has simply not
+// seen yet. But while a replica is down or restarting, the router fails
+// its keys over to each key's #2 replica — which solves and caches them.
+// When the replica comes back (possibly cold, if its snapshot was lost),
+// the warm copies of exactly its keys therefore sit on exactly the
+// replicas this file consults: on a local miss, the fill first asks the
+// key's first non-self name in rendezvous order for a cached copy via
+// GET /cache/peek/<key>, under a budget (Config.PeerTimeout) small
+// enough that a dead peer costs a fraction of the solve it would have
+// saved.
+//
+// No-recursion rule: the peek handler answers purely from the resident
+// cache — it never solves, never peeks onward, and never touches the
+// admission queue — so a peek can neither cascade across the fleet nor
+// deadlock two replicas peeking each other. The requester-side ledger is
+//
+//	fleet.peerfill.attempts == hits + misses + timeouts
+//
+// where a hit is a decoded, key-verified result; a miss is a definitive
+// "peer has nothing usable" (404, unexpected status, or a payload that
+// fails decode or key validation); and a timeout is any transport-level
+// failure, deadline or not — the classes a restart window produces.
+
+// initPeers builds the rendezvous name set once at construction.
+func (s *Server) initPeers() {
+	if s.cache == nil || s.cfg.Self == "" || len(s.cfg.Peers) == 0 {
+		return
+	}
+	seen := map[string]bool{s.cfg.Self: true}
+	names := []string{s.cfg.Self}
+	for _, p := range s.cfg.Peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		names = append(names, p)
+	}
+	if len(names) < 2 {
+		return
+	}
+	s.peerNames = names
+	s.peerClient = &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: 4,
+		IdleConnTimeout:     30 * time.Second,
+	}}
+}
+
+// peerFor returns the sibling to consult for key: the first name in the
+// key's rendezvous order that is not this replica. With the router
+// routing key to its #1 name, that is the #2 — the hedge/failover target
+// whose cache the restart window warmed.
+func (s *Server) peerFor(key string) string {
+	for _, i := range RendezvousRank(key, s.peerNames) {
+		if n := s.peerNames[i]; n != s.cfg.Self {
+			return n
+		}
+	}
+	return ""
+}
+
+// peerFill tries to fill a local miss from the key's peer. It returns
+// nil — and the caller solves locally — on any failure; a peer peek can
+// delay a solve by at most PeerTimeout, never fail it.
+func (s *Server) peerFill(ctx context.Context, key string) *core.SolveResult {
+	if s.peerClient == nil {
+		return nil
+	}
+	peer := s.peerFor(key)
+	if peer == "" {
+		return nil
+	}
+	obs.Inc("fleet.peerfill.attempts")
+	pctx, cancel := context.WithTimeout(ctx, s.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, "http://"+peer+"/cache/peek/"+key, nil)
+	if err != nil {
+		obs.Inc("fleet.peerfill.misses")
+		obs.Annotate(ctx, "peerfill", "miss")
+		return nil
+	}
+	resp, err := s.peerClient.Do(req)
+	if err != nil {
+		obs.Inc("fleet.peerfill.timeouts")
+		obs.Annotate(ctx, "peerfill", "timeout")
+		return nil
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		obs.Inc("fleet.peerfill.misses")
+		obs.Annotate(ctx, "peerfill", "miss")
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBytes))
+	if err != nil {
+		obs.Inc("fleet.peerfill.timeouts")
+		obs.Annotate(ctx, "peerfill", "timeout")
+		return nil
+	}
+	res, err := core.DecodeSolveResult(key, body)
+	if err != nil {
+		// The payload failed decode or claimed a different key: a peer
+		// can be wrong, but it cannot poison this cache.
+		obs.Inc("fleet.peerfill.misses")
+		obs.Annotate(ctx, "peerfill", "miss")
+		return nil
+	}
+	obs.Inc("fleet.peerfill.hits")
+	obs.Annotate(ctx, "peerfill", "hit")
+	return res
+}
+
+// handleCachePeek serves GET /cache/peek/<key>: the resident entry under
+// <key>, encoded, or 404. Pure cache read — no solve, no admission, no
+// onward peek (the no-recursion rule above) — so it is safe to answer
+// even while saturated; a peek is how a sibling avoids adding a solve to
+// this replica's load. Entries the codec refuses to persist (degraded
+// results) answer 404: the sibling should solve those itself.
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "invalid", "use GET", 0)
+		return
+	}
+	obs.Inc("server.peek.requests")
+	key := strings.TrimPrefix(r.URL.Path, "/cache/peek/")
+	if s.cache == nil || key == "" {
+		obs.Inc("server.peek.misses")
+		http.NotFound(w, r)
+		return
+	}
+	v, ok := s.cache.Peek(key)
+	if ok {
+		if data, err := core.EncodeSolveResult(key, v); err == nil {
+			obs.Inc("server.peek.hits")
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(data)
+			return
+		}
+	}
+	obs.Inc("server.peek.misses")
+	http.NotFound(w, r)
+}

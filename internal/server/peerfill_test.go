@@ -1,0 +1,153 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"buffopt/internal/obs"
+)
+
+// hostPort strips the scheme from an httptest URL: peers are addressed
+// as host:port, the same form the fleet's replica names take.
+func hostPort(url string) string { return strings.TrimPrefix(url, "http://") }
+
+// TestPeerFillHit: replica B misses locally, peeks its peer A (warm for
+// the key), and serves A's cached result — counted as a peer-fill hit and
+// byte-identical to A's own response.
+func TestPeerFillHit(t *testing.T) {
+	_, tsA := newTestServer(t, Config{CacheEntries: 16})
+	_, bA := solveOK(t, tsA, "text/plain", sampleNet)
+
+	_, tsB := newTestServer(t, Config{
+		CacheEntries: 16,
+		Self:         "replica-b.test:1",
+		Peers:        []string{hostPort(tsA.URL)},
+	})
+	_, bB := solveOK(t, tsB, "text/plain", sampleNet)
+	if normalize(t, bA) != normalize(t, bB) {
+		t.Fatalf("peer-filled response differs from the peer's own:\nA %s\nB %s", bA, bB)
+	}
+	snap := obs.Default().Snapshot()
+	for counter, want := range map[string]int64{
+		"fleet.peerfill.attempts": 1,
+		"fleet.peerfill.hits":     1,
+		"fleet.peerfill.misses":   0,
+		"fleet.peerfill.timeouts": 0,
+		"server.peek.hits":        1,
+	} {
+		if got := snap.Counters[counter]; got != want {
+			t.Fatalf("%s = %d, want %d", counter, got, want)
+		}
+	}
+	// The fill was admitted into B's cache: the repeat is a plain local hit
+	// with no further peek traffic.
+	second, _ := solveOK(t, tsB, "text/plain", sampleNet)
+	if !second.Cached {
+		t.Fatal("peer-filled entry was not cached locally")
+	}
+	if got := obs.Default().Snapshot().Counters["fleet.peerfill.attempts"]; got != 1 {
+		t.Fatalf("local hit still peeked the peer: attempts = %d", got)
+	}
+}
+
+// TestPeerFillMissSolvesLocally: a cold peer answers 404; the replica
+// counts a miss and solves itself.
+func TestPeerFillMissSolvesLocally(t *testing.T) {
+	_, tsA := newTestServer(t, Config{CacheEntries: 16}) // cold
+
+	_, tsB := newTestServer(t, Config{
+		CacheEntries: 16,
+		Self:         "replica-b.test:1",
+		Peers:        []string{hostPort(tsA.URL)},
+	})
+	sr, _ := solveOK(t, tsB, "text/plain", sampleNet)
+	if sr.Cached {
+		t.Fatal("first request claims cached")
+	}
+	snap := obs.Default().Snapshot()
+	if got := snap.Counters["fleet.peerfill.misses"]; got != 1 {
+		t.Fatalf("peerfill.misses = %d, want 1", got)
+	}
+	if got := snap.Counters["fleet.peerfill.hits"]; got != 0 {
+		t.Fatalf("peerfill.hits = %d, want 0", got)
+	}
+}
+
+// TestPeerFillTimeoutBounded: a black-hole peer (accepts, never answers)
+// costs at most PeerTimeout and is counted as a timeout; the solve still
+// succeeds.
+func TestPeerFillTimeoutBounded(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // hold open, never respond
+		}
+	}()
+
+	_, tsB := newTestServer(t, Config{
+		CacheEntries: 16,
+		Self:         "replica-b.test:1",
+		Peers:        []string{ln.Addr().String()},
+		PeerTimeout:  50 * time.Millisecond,
+	})
+	start := time.Now()
+	sr, _ := solveOK(t, tsB, "text/plain", sampleNet)
+	if sr.Cached {
+		t.Fatal("request claims cached")
+	}
+	// Generous bound: the peek may cost PeerTimeout, the solve some more,
+	// but a hung peer must not hang the request.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("request took %v with a black-hole peer", elapsed)
+	}
+	snap := obs.Default().Snapshot()
+	if got := snap.Counters["fleet.peerfill.timeouts"]; got != 1 {
+		t.Fatalf("peerfill.timeouts = %d, want 1", got)
+	}
+	if got := snap.Counters["fleet.peerfill.attempts"]; got != 1 {
+		t.Fatalf("peerfill.attempts = %d, want 1", got)
+	}
+}
+
+// TestCachePeekEndpoint: the peek route's own contract — GET only, 404
+// for unknown keys, no solve ever triggered.
+func TestCachePeekEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: 16})
+
+	resp, err := http.Get(ts.URL + "/cache/peek/no-such-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("peek of an absent key: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/cache/peek/x", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST to peek: status %d, want 405", resp.StatusCode)
+	}
+
+	snap := obs.Default().Snapshot()
+	if got := snap.Counters["server.peek.requests"]; got != 1 {
+		t.Fatalf("peek.requests = %d, want 1 (405 should not count)", got)
+	}
+	if got := snap.Counters["server.requests"]; got != 0 {
+		t.Fatalf("a peek counted as %d solve requests; the no-recursion rule is broken", got)
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+import "hash/fnv"
+
+// Rendezvous (highest-random-weight) hashing lives in this package — the
+// lowest layer that needs it — because both ends of the fleet use the
+// same order: the router (internal/fleet) ranks replicas to route and
+// fail over, and the replicas themselves rank the combined Self+Peers
+// name set to find a key's next-preferred sibling for peer read-through
+// fill. One function means one answer: the sibling a restarted replica
+// peeks is exactly the replica the router was failing that key over to
+// while it was down, so the entry is where the fill expects it.
+
+// RendezvousScore is the highest-random-weight score of one (key,
+// replica) pair: fnv64a over the replica name, a separator, and the
+// affinity key. Rendezvous hashing wins over a hash ring here because
+// the fleet is small (single digits of replicas) and the property we
+// need is exactly HRW's: every key has a total preference order over
+// replicas, and removing one replica reassigns only that replica's keys
+// — each to its key's next-preferred survivor — while every other
+// key's assignment is untouched. That next-in-order replica is also the
+// natural hedge, failover, and peer-fill target, so all four read the
+// same list.
+func RendezvousScore(replica, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(replica))
+	h.Write([]byte{0}) // separator: ("ab","c") must not collide with ("a","bc")
+	h.Write([]byte(key))
+	s := h.Sum64()
+	// fnv alone is a poor HRW score: replica names that differ in one
+	// byte (10.0.0.1 vs 10.0.0.2) yield correlated hashes across keys,
+	// and one replica ends up owning nearly the whole keyspace. The
+	// splitmix64 finalizer restores avalanche so per-replica scores are
+	// effectively independent and the keyspace splits evenly.
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	s ^= s >> 27
+	s *= 0x94d049bb133111eb
+	s ^= s >> 31
+	return s
+}
+
+// RendezvousRank returns the indices of names ordered by descending
+// score for key (ties broken by index, which cannot recur for distinct
+// names in practice but keeps the sort total). The order is a pure
+// function of (key, names): every router instance with the same replica
+// list ranks a key identically, which is what makes the router
+// stateless and horizontally scalable.
+func RendezvousRank(key string, names []string) []int {
+	order := make([]int, len(names))
+	scores := make([]uint64, len(names))
+	for i, n := range names {
+		order[i] = i
+		scores[i] = RendezvousScore(n, key)
+	}
+	// Insertion sort: len(names) is single digits; no sort.Slice closure
+	// allocation on the per-request path.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if scores[a] > scores[b] || (scores[a] == scores[b] && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+	return order
+}

@@ -95,6 +95,27 @@ type Config struct {
 	// requests coalesce onto one solve.
 	CacheEntries int
 	CacheBytes   int64
+	// SnapshotPath, when non-empty (and the cache is enabled), makes the
+	// server durable across restarts: on construction it warm-starts the
+	// cache from the snapshot file at this path (a corrupt or
+	// version-skewed file is rejected whole — counted, logged, cold
+	// start), and Run saves the cache back periodically and on drain.
+	// SaveSnapshot saves on demand for embedders that bypass Run.
+	SnapshotPath string
+	// SnapshotInterval spaces Run's periodic snapshot saves. Default 30 s.
+	SnapshotInterval time.Duration
+	// Self and Peers enable peer read-through fill: on a local cache
+	// miss, the server consults the key's next-preferred sibling (by the
+	// same rendezvous order the fleet router uses over the combined
+	// Self+Peers name set) with a GET /cache/peek/<key> before paying for
+	// a solve. Self must be this replica's own name as it appears in the
+	// router's replica list; peer fill is disabled when Self is empty,
+	// Peers is empty, or the cache is off.
+	Self  string
+	Peers []string
+	// PeerTimeout bounds one peer peek round-trip; a peek that cannot
+	// beat it is abandoned and the local solve proceeds. Default 150 ms.
+	PeerTimeout time.Duration
 	// Injector, when non-nil, assigns chaos faults to admitted requests
 	// (the soak harness; see internal/faultinject). Nil in production.
 	// Cached and coalesced requests draw no fault: a plan is assigned
@@ -139,6 +160,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 150 * time.Millisecond
+	}
 	return c
 }
 
@@ -159,6 +186,11 @@ type Server struct {
 
 	// cache memoizes whole-net results; nil when disabled by config.
 	cache *core.SolveCache
+
+	// peerNames is the rendezvous name set for peer read-through fill
+	// (Self first, then deduplicated Peers); nil when peer fill is off.
+	peerNames  []string
+	peerClient *http.Client
 
 	// tracer collects this server's spans: per-Server (not process-global)
 	// so an in-process lab fleet sees genuinely separate "processes".
@@ -185,6 +217,11 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries > 0 || cfg.CacheBytes > 0 {
 		s.cache = core.NewSolveCache(cfg.CacheEntries, cfg.CacheBytes, "server")
 	}
+	// Warm-start before the handler exists: embedders that serve
+	// Handler() under their own http.Server (the fleet lab) never call
+	// Run, so the load cannot live there.
+	s.loadSnapshot()
+	s.initPeers()
 	s.tracer = obs.NewCollector(obs.CollectorConfig{
 		RingSpans:        cfg.TraceSpans,
 		FlightTraces:     cfg.TraceFlightTraces,
@@ -195,6 +232,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/solve/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/cache/peek/", s.handleCachePeek)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics/prom", handlePromMetrics)
 	mux.HandleFunc("/debug/trace/", s.tracer.ServeTrace)
@@ -260,6 +298,28 @@ func (s *Server) Run(ctx context.Context) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	// Periodic snapshot saves, so a crash between drains loses at most
+	// one interval of cache warmth; the final save below runs after the
+	// drain, when no fill can race the file.
+	snapDone := make(chan struct{})
+	if s.cache != nil && s.cfg.SnapshotPath != "" {
+		go func() {
+			defer close(snapDone)
+			t := time.NewTicker(s.cfg.SnapshotInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					s.SaveSnapshot()
+				}
+			}
+		}()
+	} else {
+		close(snapDone)
+	}
+
 	select {
 	case err := <-serveErr:
 		// The listener died on its own; nothing left to drain.
@@ -277,10 +337,16 @@ func (s *Server) Run(ctx context.Context) error {
 		srv.Close()
 		<-serveErr
 		obs.Inc("server.drain.forced")
+		<-snapDone
+		s.SaveSnapshot()
 		return fmt.Errorf("server: drain timed out after %v: %w", s.cfg.DrainTimeout, err)
 	}
 	<-serveErr // http.ErrServerClosed
 	obs.Inc("server.drain.completed")
+	<-snapDone
+	if err := s.SaveSnapshot(); err != nil {
+		return fmt.Errorf("server: drain snapshot: %w", err)
+	}
 	return nil
 }
 

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"buffopt/internal/cache"
+	"buffopt/internal/core"
+	"buffopt/internal/obs"
+)
+
+// TestSnapshotWarmRestart: solve, save, build a second server on the same
+// snapshot path — the "restarted process" — and the same request must hit
+// its cache with byte-identical solver output.
+func TestSnapshotWarmRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	cfg := Config{CacheEntries: 16, SnapshotPath: path}
+
+	sA, tsA := newTestServer(t, cfg)
+	first, b1 := solveOK(t, tsA, "text/plain", sampleNet)
+	if first.Cached {
+		t.Fatal("first request claims cached")
+	}
+	if err := sA.SaveSnapshot(); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+
+	_, tsB := newTestServer(t, cfg)
+	warm, b2 := solveOK(t, tsB, "text/plain", sampleNet)
+	if !warm.Cached {
+		t.Fatal("request after warm restart missed the cache")
+	}
+	if normalize(t, b1) != normalize(t, b2) {
+		t.Fatalf("warm-restart response differs from the original:\nwas %s\nnow %s", b1, b2)
+	}
+	snap := obs.Default().Snapshot()
+	if got := snap.Counters["server.cache.snapshot.loaded"]; got != 1 {
+		t.Fatalf("snapshot.loaded = %d, want 1", got)
+	}
+	if got := snap.Counters["server.cache.snapshot.rejected"]; got != 0 {
+		t.Fatalf("snapshot.rejected = %d, want 0", got)
+	}
+}
+
+// TestSnapshotCorruptColdStart: a corrupt or torn snapshot must reject
+// whole — counted, cold start, no panic, no entry served.
+func TestSnapshotCorruptColdStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	cfg := Config{CacheEntries: 16, SnapshotPath: path}
+
+	sA, tsA := newTestServer(t, cfg)
+	solveOK(t, tsA, "text/plain", sampleNet)
+	if err := sA.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"corrupt": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x20
+			return c
+		},
+		"torn": func(b []byte) []byte { return b[:len(b)/2] },
+	} {
+		if err := os.WriteFile(path, mutate(valid), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// newTestServer installs a fresh obs registry, so the counters
+		// below belong to this boot alone.
+		_, ts := newTestServer(t, cfg)
+		cold, _ := solveOK(t, ts, "text/plain", sampleNet)
+		if cold.Cached {
+			t.Fatalf("%s: response served from a rejected snapshot", name)
+		}
+		snap := obs.Default().Snapshot()
+		if got := snap.Counters["server.cache.snapshot.rejected"]; got != 1 {
+			t.Fatalf("%s: snapshot.rejected = %d, want exactly 1", name, got)
+		}
+		if got := snap.Counters["server.cache.snapshot.loaded"]; got != 0 {
+			t.Fatalf("%s: snapshot.loaded = %d after a rejected boot", name, got)
+		}
+	}
+}
+
+// TestSnapshotStaleKeyRejected: an entry whose value encodes a different
+// key than its slot (a transplanted or stale snapshot entry) must reject
+// the whole file — the cache can never serve bytes under a key they do
+// not answer.
+func TestSnapshotStaleKeyRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	cfg := Config{CacheEntries: 16, SnapshotPath: path}
+
+	sA, tsA := newTestServer(t, cfg)
+	solveOK(t, tsA, "text/plain", sampleNet)
+	if err := sA.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := cache.DecodeSnapshot(data, func(key string, val []byte) ([]byte, error) {
+		return val, nil
+	})
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("reading back the snapshot: %d entries, %v", len(entries), err)
+	}
+	// Re-home the value under a different slot key and re-seal the file
+	// with a valid checksum: only the key-vs-content validation can
+	// catch this.
+	forged, _ := cache.EncodeSnapshot([]cache.Entry[[]byte]{
+		{Key: "some-other-net", Val: entries[0].Val},
+	}, func(key string, v []byte) ([]byte, error) { return v, nil })
+	if err := os.WriteFile(path, forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = core.NewSolveCache(16, 0, "forged").LoadSnapshot(path, core.DecodeSolveResult)
+	if err == nil {
+		t.Fatal("stale-keyed snapshot accepted")
+	}
+	_, ts := newTestServer(t, cfg)
+	if got := obs.Default().Snapshot().Counters["server.cache.snapshot.rejected"]; got != 1 {
+		t.Fatalf("snapshot.rejected = %d, want 1", got)
+	}
+	cold, _ := solveOK(t, ts, "text/plain", sampleNet)
+	if cold.Cached {
+		t.Fatal("response served from a stale-keyed snapshot")
+	}
+}

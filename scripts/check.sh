@@ -58,4 +58,13 @@ echo "== trace gate (short): traceparent/collector invariants + fleet trace ledg
 go test -race -short -count=1 -run 'TestTrace|TestParseTrace|TestCollector|TestFlightRecorder|TestSpanAllocBudget' ./internal/obs
 go test -race -short -count=1 -run 'TestTraceAcrossFleet|TestTraceSoak' ./internal/fleet
 
+# The restart gate (short): snapshot codec corruption invariants, then
+# kill-restart chaos through the lab fleet — warm starts, rejected
+# corrupt/torn snapshots, peer read-through fill — with exact snapshot
+# and peer-fill ledgers and byte-identical post-restart responses.
+# `make restartsoak` runs the long version.
+echo "== restart gate (short): snapshot warm/cold boots + restart chaos ledgers"
+go test -race -short -count=1 -run 'TestSnapshot|TestPeerFill|TestCachePeek' ./internal/server
+go test -race -short -count=1 -run TestRestartSoakUnderChaos ./internal/fleet
+
 echo "check: OK"
