@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the tier-1 gate (ROADMAP.md).
 
-.PHONY: build test check bench cachebench fleetbench difftest fuzz soak fleetsoak tracesoak restartsoak
+.PHONY: build test check bench cachebench fleetbench difftest enginetest fuzz enginefuzz soak fleetsoak tracesoak restartsoak
 
 build:
 	go build ./...
@@ -30,8 +30,23 @@ cachebench:
 difftest:
 	go test -race -count=1 -run 'TestDifferential|TestDeterminism|TestBatch|TestConcurrentParallelSolves' ./internal/core ./internal/server
 
+# Cross-engine equivalence gate: the Li–Shi O(bn²) fast-merge engine
+# against the classic O(b²n²) DP — the full 200-net stratified
+# differential, the metamorphic properties, the exhaustive oracle, the
+# checked-in fuzz corpus replay, and the merge-level frontier property
+# tests the fast merge's soundness proof rests on. The tier-1 gate
+# (scripts/check.sh) runs the short sample; this is the full corpus.
+enginetest:
+	GOFLAGS=-count=1 go test -race ./internal/core/enginetest
+	GOFLAGS=-count=1 go test -race -run 'TestPrunedListsAreStrictFrontiers|TestMergeDifferentialProperty' ./internal/core
+
 fuzz:
 	go test -fuzz=FuzzRead -fuzztime=30s ./internal/netfmt
+
+# Engine-equivalence fuzzing: random trees × random sub-libraries, the
+# classic DP vs the Li–Shi engine, bit-identical objectives required.
+enginefuzz:
+	go test -fuzz=FuzzEngineEquivalence -fuzztime=60s ./internal/core/enginetest
 
 # Fault-injection soak: repeatedly hammers the bufferd server stack —
 # admission control, drain lifecycle, seeded chaos injector — under the

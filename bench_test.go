@@ -11,6 +11,7 @@ package buffopt_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"testing"
 
 	"buffopt/internal/buffers"
@@ -268,6 +269,59 @@ func BenchmarkTableIIWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// sweepLibrary builds a b-type non-inverting library spanning the default
+// library's drive range geometrically: stronger types trade lower output
+// resistance for higher input capacitance, so no type dominates another
+// and the DP genuinely carries candidates from every type — the merge
+// work scales with b instead of collapsing to one survivor.
+func sweepLibrary(n int, noiseMargin float64) *buffers.Library {
+	l := &buffers.Library{}
+	for i := 0; i < n; i++ {
+		f := 1.0
+		if n > 1 {
+			f = float64(i) / float64(n-1)
+		}
+		// Drive ratio 1..15, the span of the default library (100 Ω to
+		// 1.5 kΩ); stronger buffers pay more Cin and intrinsic delay.
+		w := math.Pow(15, f)
+		l.Buffers = append(l.Buffers, buffers.Buffer{
+			Name:        fmt.Sprintf("SWP_X%d", i),
+			R:           1500 / w,
+			Cin:         8e-15 * w,
+			T:           40e-12 * (1 + 0.5*f),
+			NoiseMargin: noiseMargin,
+		})
+	}
+	return l
+}
+
+// BenchmarkLibrarySweep prices the classic O(b²n²) cross-product merge
+// against the Li–Shi O(bn²) frontier walk as the library grows: the
+// Table II workload net under the delay objective (the fast merge's home
+// turf), with b buffer types from 1 to 32. The b=11 row uses the Section V
+// library itself. The classic engine's per-merge work grows quadratically
+// in the per-type candidate population while Li–Shi's grows linearly, so
+// the rows bracket the crossover BENCH and EXPERIMENTS.md quote.
+func BenchmarkLibrarySweep(b *testing.B) {
+	tr, def, _ := benchNet(b)
+	for _, n := range []int{1, 2, 4, 8, 11, 16, 32} {
+		lib := sweepLibrary(n, 0.8)
+		if n == len(def.Buffers) {
+			lib = def // the Section V library, inverters included
+		}
+		for _, engine := range []string{core.EngineVG, core.EngineLiShi} {
+			b.Run(fmt.Sprintf("types-%d/%s", n, engine), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.DelayOpt(tr, lib, core.Options{Engine: engine}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

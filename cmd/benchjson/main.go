@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -103,13 +104,19 @@ func run(inPath, metricsPath, fleetPath, outPath string) error {
 		rec.Derived = derive(snap.Counters)
 	}
 
-	// Span-overhead figures come from the benchmark lines themselves, so
-	// they merge with or without a -metrics snapshot.
-	if so := deriveSpanOverhead(rec.Benchmarks); len(so) > 0 {
+	// Span-overhead and engine-sweep figures come from the benchmark lines
+	// themselves, so they merge with or without a -metrics snapshot.
+	for _, dm := range []map[string]float64{
+		deriveSpanOverhead(rec.Benchmarks),
+		deriveEngineSweep(rec.Benchmarks),
+	} {
+		if len(dm) == 0 {
+			continue
+		}
 		if rec.Derived == nil {
 			rec.Derived = map[string]float64{}
 		}
-		for k, v := range so {
+		for k, v := range dm {
 			rec.Derived[k] = v
 		}
 	}
@@ -226,6 +233,63 @@ func derive(counters map[string]int64) map[string]float64 {
 	if len(d) == 0 {
 		return nil
 	}
+	return d
+}
+
+// deriveEngineSweep reduces the BenchmarkLibrarySweep rows into the
+// engine-comparison figures the regression harness tracks: the classic
+// cross-product merge's time over the Li–Shi frontier walk's at each
+// library size b (engine_sweep_speedup_b<N>, > 1 means Li–Shi wins), and
+// engine_crossover_b, the smallest b where Li–Shi is faster (0 if never).
+func deriveEngineSweep(benches []Benchmark) map[string]float64 {
+	type pair struct{ vg, lishi float64 }
+	sizes := map[int]*pair{}
+	for _, b := range benches {
+		rest, ok := strings.CutPrefix(b.Name, "BenchmarkLibrarySweep/types-")
+		if !ok {
+			continue
+		}
+		nStr, engine, ok := strings.Cut(rest, "/")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil {
+			continue
+		}
+		p := sizes[n]
+		if p == nil {
+			p = &pair{}
+			sizes[n] = p
+		}
+		switch {
+		case strings.HasPrefix(engine, "vg"):
+			p.vg = b.NsPerOp
+		case strings.HasPrefix(engine, "lishi"):
+			p.lishi = b.NsPerOp
+		}
+	}
+	d := map[string]float64{}
+	crossover := 0
+	ns := make([]int, 0, len(sizes))
+	for n := range sizes {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	for _, n := range ns {
+		p := sizes[n]
+		if p.vg <= 0 || p.lishi <= 0 {
+			continue
+		}
+		d[fmt.Sprintf("engine_sweep_speedup_b%d", n)] = p.vg / p.lishi
+		if crossover == 0 && p.lishi < p.vg {
+			crossover = n
+		}
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	d["engine_crossover_b"] = float64(crossover)
 	return d
 }
 

@@ -75,6 +75,34 @@ func TestDerive(t *testing.T) {
 	}
 }
 
+// TestDeriveEngineSweep: the library-sweep rows reduce to per-size
+// vg/lishi speedups and the smallest library size where Li–Shi wins.
+func TestDeriveEngineSweep(t *testing.T) {
+	d := deriveEngineSweep([]Benchmark{
+		{Name: "BenchmarkLibrarySweep/types-2/vg-8", NsPerOp: 100},
+		{Name: "BenchmarkLibrarySweep/types-2/lishi-8", NsPerOp: 125},
+		{Name: "BenchmarkLibrarySweep/types-11/vg-8", NsPerOp: 900},
+		{Name: "BenchmarkLibrarySweep/types-11/lishi-8", NsPerOp: 300},
+		{Name: "BenchmarkLibrarySweep/types-32/lishi-8", NsPerOp: 500}, // vg row missing: skipped
+		{Name: "BenchmarkBuffOpt-8", NsPerOp: 42},
+	})
+	if math.Abs(d["engine_sweep_speedup_b2"]-0.8) > 1e-12 {
+		t.Errorf("speedup_b2 = %v", d["engine_sweep_speedup_b2"])
+	}
+	if math.Abs(d["engine_sweep_speedup_b11"]-3) > 1e-12 {
+		t.Errorf("speedup_b11 = %v", d["engine_sweep_speedup_b11"])
+	}
+	if _, ok := d["engine_sweep_speedup_b32"]; ok {
+		t.Error("half-present size 32 should be skipped")
+	}
+	if d["engine_crossover_b"] != 11 {
+		t.Errorf("crossover = %v, want 11", d["engine_crossover_b"])
+	}
+	if deriveEngineSweep([]Benchmark{{Name: "BenchmarkBuffOpt-8", NsPerOp: 1}}) != nil {
+		t.Error("no sweep rows should derive nil")
+	}
+}
+
 // TestFleetMerge: a loadgen report rides into the record verbatim under
 // "fleet", and a non-JSON report file is a hard error, not silent junk.
 func TestFleetMerge(t *testing.T) {

@@ -44,6 +44,14 @@ type Options struct {
 	// degradation behavior); the single-engine entry points ignore it.
 	// Excluded from the cache key itself, like Workers.
 	Cache *SolveCache
+	// Engine selects the dynamic-program organization: EngineVG (the
+	// default, also chosen by ""), EngineLiShi, or EngineAuto. Engines
+	// are bit-identical on objective values by construction — the
+	// enginetest suite is the gate — so Engine is excluded from every
+	// cache key, like Workers: a cached result answers a request from any
+	// engine. Unknown names are rejected with guard.ErrInvalidInput by
+	// Optimize and Solve.
+	Engine string
 }
 
 // Sizing configures simultaneous wire sizing. Widening a wire divides its
@@ -80,9 +88,14 @@ func (s *Sizing) Validate() error {
 	return nil
 }
 
-// vgo builds the engine options shared by every public entry point.
+// vgo builds the engine options shared by every public entry point. The
+// engine name is assumed validated (Optimize and Solve call ParseEngine
+// first); an unvalidated empty string still resolves to the VG default.
 func (o Options) vgo() vgOptions {
-	v := vgOptions{safePruning: o.SafePruning, budget: o.Budget, workers: o.Workers}
+	v := vgOptions{safePruning: o.SafePruning, budget: o.Budget, workers: o.Workers, engine: o.Engine}
+	if v.engine == "" {
+		v.engine = EngineVG
+	}
 	if o.Sizing != nil {
 		v.widths = o.Sizing.Widths
 		v.fringe = o.Sizing.Fringe

@@ -133,6 +133,11 @@ func Optimize(ctx context.Context, p Problem, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	engine, err := ParseEngine(opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	opts.Engine = engine
 	// The budget is reconciled against the caller's original ctx (not the
 	// span's child context) so legacy wrappers keep their exact Budget
 	// object and its usage marks; the trace still reaches the inner loops
@@ -140,6 +145,7 @@ func Optimize(ctx context.Context, p Problem, opts Options) (*Result, error) {
 	opts.Budget = budgetFor(ctx, opts.Budget)
 	_, sp := obs.Span(ctx, "optimize")
 	sp.SetAttr("objective", p.Objective.String())
+	sp.SetAttr("engine", engine)
 	defer sp.End()
 	switch p.Objective {
 	case MaxSlack:

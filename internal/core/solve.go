@@ -190,6 +190,11 @@ func Solve(ctx context.Context, t *rctree.Tree, lib *buffers.Library, p noise.Pa
 	if err := opts.Sizing.Validate(); err != nil {
 		return nil, err
 	}
+	engine, err := ParseEngine(opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	opts.Engine = engine
 
 	if opts.Cache == nil {
 		return solveLadder(ctx, t, lib, p, opts)

@@ -133,6 +133,23 @@ type vgOptions struct {
 	// arena recycles candidate-list backing arrays for the run; installed
 	// by runVG alongside stats.
 	arena *candArena
+	// engine selects the candidate-list organization; runVG resolves the
+	// public name ("auto" included) to EngineVG or EngineLiShi before the
+	// walk starts, so computeNode only ever sees the two concrete names.
+	engine string
+}
+
+// fastMergeOK reports whether computeNode may use the Li–Shi sorted
+// frontier merge at a branch node. The Li–Shi argument is about the
+// 2-D (C, q) dominance of the delay DP: with noise constraints the
+// node's buffer-insertion step must see merge candidates the 2-D
+// frontier discards (a dominated candidate can be the only
+// noise-feasible driver for some buffer type), and with safe pruning the
+// frontier itself is 4-D — in both configurations the fast merge would
+// change results, so those runs use the classic cross product node by
+// node and stay bit-identical that way.
+func (o vgOptions) fastMergeOK() bool {
+	return o.engine == EngineLiShi && !o.noise && !o.safePruning
 }
 
 // minParallelNodes gates automatic parallelism: below this tree size the
@@ -215,6 +232,9 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 		return nil, err
 	}
 
+	opts.engine = resolveEngine(opts, lib)
+	obs.Inc("vg.run.engine." + opts.engine)
+
 	var st vgStats
 	opts.stats = &st
 	defer st.flush()
@@ -222,6 +242,7 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 	// request's trace (server → tier → here), so per-net DP time is
 	// visible inside cross-process traces.
 	_, vgSpan := obs.Span(opts.budget.Context(), "vg.run")
+	vgSpan.SetAttr("engine", opts.engine)
 	defer vgSpan.End()
 
 	ar := &candArena{}
@@ -336,7 +357,13 @@ func computeNode(t *rctree.Tree, lib *buffers.Library, opts vgOptions, v rctree.
 		list, lists[c] = lists[c], nil
 	case len(node.Children) == 2:
 		l, r := node.Children[0], node.Children[1]
-		merged, err := mergeVG(lists[l], lists[r], opts)
+		var merged []vgCand
+		var err error
+		if opts.fastMergeOK() {
+			merged, err = lishiMerge(lists[l], lists[r], opts)
+		} else {
+			merged, err = mergeVG(lists[l], lists[r], opts)
+		}
 		ar.put(lists[l])
 		ar.put(lists[r])
 		lists[l], lists[r] = nil, nil
@@ -455,8 +482,18 @@ func insertBuffers(v rctree.NodeID, list []vgCand, lib *buffers.Library, opts vg
 			if opts.countIndexed {
 				k.cost = c.cost + b.Cost()
 			}
+			// Acceptance is value-canonical: on an exact slack tie the
+			// cheaper (then smaller) solution wins, never the one that
+			// happened to be scanned first. The classic and Li–Shi merges
+			// emit candidates in different orders, so a first-wins rule
+			// would make the selected cost/nbuf depend on the engine.
 			cur, ok := best[k]
-			if !ok || q > cur.q {
+			better := !ok || q > cur.q
+			if !better && q == cur.q {
+				nc := c.cost + b.Cost()
+				better = nc < cur.cost || (nc == cur.cost && c.nbuf+1 < cur.nbuf)
+			}
+			if better {
 				best[k] = vgCand{
 					load: b.Cin,
 					q:    q,
@@ -528,34 +565,7 @@ func mergeVG(left, right []vgCand, opts vgOptions) ([]vgCand, error) {
 			if opts.countIndexed && opts.maxBuffers > 0 && a.cost+b.cost > opts.maxBuffers {
 				continue
 			}
-			var sol *solLink
-			switch {
-			case a.sol == nil:
-				sol = b.sol
-			case b.sol == nil:
-				sol = a.sol
-			default:
-				// Junction link: reuse a's head with both prevs via a
-				// synthetic link carrying a's head assignment would double
-				// count; instead create a link that repeats a's head
-				// assignment — maps deduplicate identical (node, buf)
-				// pairs, so repeating is safe and keeps links binary.
-				sol = &solLink{
-					node: a.sol.node, buf: a.sol.buf,
-					width: a.sol.width, isWidth: a.sol.isWidth,
-					prev: [2]*solLink{a.sol, b.sol},
-				}
-			}
-			out = append(out, vgCand{
-				load: a.load + b.load,
-				q:    math.Min(a.q, b.q),
-				down: a.down + b.down,
-				ns:   math.Min(a.ns, b.ns),
-				nbuf: a.nbuf + b.nbuf,
-				cost: a.cost + b.cost,
-				pol:  a.pol,
-				sol:  sol,
-			})
+			out = append(out, mergedCand(a, b))
 		}
 	}
 	if err := opts.budget.CheckCandidates(len(out)); err != nil {
@@ -566,6 +576,43 @@ func mergeVG(left, right []vgCand, opts vgOptions) ([]vgCand, error) {
 		opts.stats.generated += int64(len(out))
 	}
 	return out, nil
+}
+
+// mergedCand combines one candidate from each sibling branch — a from
+// the left child, b from the right: loads and currents add, slacks take
+// the minimum (Steps 3–4 of Fig. 11). The single shared construction for
+// every merge implementation (classic cross product and the Li–Shi
+// frontier walk), so engines cannot drift in arithmetic or in solution
+// linking.
+func mergedCand(a, b vgCand) vgCand {
+	var sol *solLink
+	switch {
+	case a.sol == nil:
+		sol = b.sol
+	case b.sol == nil:
+		sol = a.sol
+	default:
+		// Junction link: reuse a's head with both prevs via a
+		// synthetic link carrying a's head assignment would double
+		// count; instead create a link that repeats a's head
+		// assignment — maps deduplicate identical (node, buf)
+		// pairs, so repeating is safe and keeps links binary.
+		sol = &solLink{
+			node: a.sol.node, buf: a.sol.buf,
+			width: a.sol.width, isWidth: a.sol.isWidth,
+			prev: [2]*solLink{a.sol, b.sol},
+		}
+	}
+	return vgCand{
+		load: a.load + b.load,
+		q:    math.Min(a.q, b.q),
+		down: a.down + b.down,
+		ns:   math.Min(a.ns, b.ns),
+		nbuf: a.nbuf + b.nbuf,
+		cost: a.cost + b.cost,
+		pol:  a.pol,
+		sol:  sol,
+	}
 }
 
 // pruneVG removes inferior candidates (Step 7 of Fig. 11): within each

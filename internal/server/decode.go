@@ -33,6 +33,10 @@ type solveRequest struct {
 	objective *core.Objective
 	// k is the optional buffer-count bound for objective requests.
 	k *int
+	// engine names the DP merge engine ("vg", "lishi", "auto"); empty
+	// means the core default. Engines are bit-identical by construction,
+	// so this knob is deliberately excluded from the cache key.
+	engine string
 }
 
 // jsonEnvelope is the application/json request shape. Pointer fields
@@ -55,6 +59,9 @@ type jsonEnvelope struct {
 	// (core.Solve). Introduced with v1; the physics knobs below stay
 	// top-level in both shapes.
 	Problem *problemEnvelope `json:"problem"`
+	// Options, when present, carries solver knobs that change how the
+	// answer is computed but never what it is.
+	Options *optionsEnvelope `json:"options"`
 	// TimeoutMS is the request deadline in milliseconds (clamped to the
 	// server's MaxTimeout; 0 or absent means the server default).
 	TimeoutMS int64 `json:"timeout_ms"`
@@ -83,6 +90,14 @@ type problemEnvelope struct {
 	// K bounds the buffer count for the max-slack objectives; it is
 	// invalid with min-buffers-noise (that objective computes the bound).
 	K *int `json:"k"`
+}
+
+// optionsEnvelope is the "options" sub-object of a v1 envelope.
+type optionsEnvelope struct {
+	// Engine selects the DP merge engine: "vg" (the classic cross-product
+	// merge), "lishi" (the O(bn²) frontier walk), or "auto". The engines
+	// are bit-identical by construction, so the choice affects speed only.
+	Engine string `json:"engine"`
 }
 
 // UnsupportedVersionError is the typed decode failure for an envelope
@@ -232,6 +247,13 @@ func applyEnvelope(req *solveRequest, env *jsonEnvelope) error {
 	if math.IsNaN(req.segLen) || math.IsInf(req.segLen, 0) || req.segLen < 0 {
 		return invalidf("seglen = %g must be non-negative and finite", req.segLen)
 	}
+	if env.Options != nil {
+		engine, err := core.ParseEngine(env.Options.Engine)
+		if err != nil {
+			return err // wraps guard.ErrInvalidInput: 400, class "invalid"
+		}
+		req.engine = engine
+	}
 	return applyProblem(req, env.Problem)
 }
 
@@ -284,6 +306,13 @@ func applyQuery(req *solveRequest, q url.Values) error {
 		if n > 0 {
 			req.maxCands = n
 		}
+	}
+	if v := q.Get("engine"); v != "" {
+		engine, err := core.ParseEngine(v)
+		if err != nil {
+			return err
+		}
+		req.engine = engine
 	}
 	return nil
 }

@@ -35,6 +35,16 @@ go test -race -short -count=1 -run TestSoakUnderChaos ./internal/server
 echo "== difftest (short): serial/parallel bit identity + batch determinism"
 go test -race -short -count=1 -run 'TestDifferential|TestDeterminism|TestBatch' ./internal/core ./internal/server
 
+# The engine gate (short): the Li–Shi fast-merge engine must stay
+# bit-identical to the classic DP — a stratified differential sample
+# across all four net-size strata, the metamorphic properties, the
+# exhaustive oracle, and the pruned-frontier invariants the fast merge's
+# soundness proof rests on, plus the engine plumbing through the server
+# envelope. `make enginetest` runs the full corpus.
+echo "== engine gate (short): Li-Shi/VG bit identity + frontier invariants"
+GOFLAGS=-count=1 go test -race -short ./internal/core/enginetest
+GOFLAGS=-count=1 go test -race -short -run 'TestPrunedListsAreStrictFrontiers|TestMergeDifferentialProperty|TestEngine' ./internal/core ./internal/server
+
 # The cache-determinism gate (short corpus): cache-on vs cache-off byte
 # identity, coalescing accounting, eviction books, budget-class keying —
 # across the cache package, the core Solve threading, and the server's
