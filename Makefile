@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the tier-1 gate (ROADMAP.md).
 
-.PHONY: build test check bench cachebench fleetbench difftest enginetest fuzz enginefuzz soak fleetsoak tracesoak restartsoak
+.PHONY: build test check bench cachebench fleetbench ecobench difftest enginetest fuzz enginefuzz soak fleetsoak tracesoak restartsoak ecosoak
 
 build:
 	go build ./...
@@ -82,8 +82,26 @@ tracesoak:
 restartsoak:
 	go test -race -count=5 -run 'TestRestartSoakUnderChaos' -v ./internal/fleet
 
+# ECO (incremental re-solve) chaos soak: /solve/delta sessions hammered
+# with concurrent edit streams under seeded faults and forced session
+# eviction, with exact reuse/request/session-book ledgers, plus the
+# core-level edit-stream differential (delta answers bit-identical to
+# from-scratch solves across engines, objectives, and serial/parallel).
+# The tier-1 gate runs one short pass; this is the long version.
+ecosoak:
+	go test -race -count=5 -run 'TestEcoSoakUnderChaos' -v ./internal/server
+	go test -race -count=2 -run 'TestDelta|TestNewSessionValidation' -v ./internal/core
+
 # Fleet benchmark recording: cmd/loadgen drives hash-vs-random routing
 # arms through an in-process fleet and the report (p50/p99, hedge rate,
 # cache-hit rates) is merged into a dated BENCH_<date>[-n].json.
 fleetbench:
 	FLEET=1 sh scripts/bench.sh -suffix
+
+# ECO benchmark recording: the full-vs-delta re-solve pair from
+# BenchmarkDeltaResolve (the tentpole acceptance is a ≥10× gap on a
+# single-leaf edit) plus the loadgen -eco arm (/solve/delta sessions,
+# delta latency quantiles, memo reuse rate), written as a dated
+# BENCH_<date>[-n].json with eco_* derived metrics.
+ecobench:
+	BENCH='BenchmarkDeltaResolve' BENCHTIME=2s ECO=1 sh scripts/bench.sh -suffix

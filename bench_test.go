@@ -593,3 +593,107 @@ func BenchmarkAblationSegmentation(b *testing.B) {
 		})
 	}
 }
+
+// deltaBenchNet builds the ECO benchmark workload: a deterministic
+// complete binary tree of ~500 nodes (the ISSUE's acceptance scale) with
+// every internal node a legal buffer site.
+func deltaBenchNet(b *testing.B) *rctree.Tree {
+	b.Helper()
+	tr := rctree.New("eco-bench", 120, 30e-12)
+	wire := func(i int) rctree.Wire {
+		return rctree.Wire{
+			R:      60 + float64(i%7)*12,
+			C:      15e-15 + float64(i%5)*6e-15,
+			Length: 0.25e-3,
+		}
+	}
+	// 8 internal levels (255 internal nodes) + 256 sinks = 511 nodes.
+	frontier := []rctree.NodeID{tr.Root()}
+	id := 0
+	for level := 0; level < 7; level++ {
+		var next []rctree.NodeID
+		for _, p := range frontier {
+			for c := 0; c < 2; c++ {
+				id++
+				v, err := tr.AddInternal(p, wire(id), true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	for _, p := range frontier {
+		for c := 0; c < 2; c++ {
+			id++
+			if _, err := tr.AddSink(p, wire(id), fmt.Sprintf("s%d", id),
+				8e-15+float64(id%9)*2e-15, (300+float64(id%11)*40)*1e-12, 0.8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkDeltaResolve prices the incremental (ECO) re-solve engine
+// against the full dynamic program it replaces: "full" re-runs Optimize
+// from scratch after a single-leaf cap change; "delta" pushes the same
+// change through a Session, re-solving only the edited sink's ancestor
+// path and replaying every untouched subtree from the memo. The delta
+// row also reports reuse_rate (reused lookups / total lookups), which
+// benchjson lifts into eco_reuse_rate; the full/delta ns ratio becomes
+// eco_speedup. The acceptance floor is 10×.
+func BenchmarkDeltaResolve(b *testing.B) {
+	tr := deltaBenchNet(b)
+	lib := buffers.DefaultLibrary(0.8)
+	prob := core.Problem{Tree: tr, Library: lib, Objective: core.MaxSlack}
+	sink := tr.Sinks()[0]
+	capAt := func(i int) float64 { return 8e-15 + float64(i%7)*1.5e-15 }
+
+	b.Run("full", func(b *testing.B) {
+		work := tr.Clone()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			work.Node(sink).Cap = capAt(i)
+			p := prob
+			p.Tree = work
+			b.StartTimer()
+			if _, err := core.Optimize(context.Background(), p, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("delta", func(b *testing.B) {
+		s, err := core.NewSession(prob, core.SessionConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the memo: the first solve resolves every subtree.
+		if _, err := core.Delta(context.Background(), s, nil, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		var reused, lookups int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Delta(context.Background(), s,
+				[]core.Edit{{Op: core.EditSetCap, Node: sink, Value: capAt(i)}}, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reused += res.Reused
+			lookups += res.Lookups
+		}
+		b.StopTimer()
+		if lookups > 0 {
+			b.ReportMetric(float64(reused)/float64(lookups), "reuse_rate")
+		}
+	})
+}

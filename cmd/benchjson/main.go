@@ -11,8 +11,9 @@
 //
 // -fleet merges a cmd/loadgen fleet report (router p50/p99, hedge rate,
 // per-arm cache-hit rates) into the record under "fleet"; if the report
-// carries a restart arm (loadgen -restart), its numbers are also lifted
-// into "derived" as restart_<field> so they trend with the solver metrics.
+// carries a restart arm (loadgen -restart) or an eco arm (loadgen -eco),
+// their numbers are also lifted into "derived" as restart_<field> /
+// eco_<field> so they trend with the solver metrics.
 //
 // The input text stays benchstat-compatible (benchjson only reads it);
 // scripts/bench.sh tees it alongside the JSON for direct benchstat diffs.
@@ -38,6 +39,9 @@ type Benchmark struct {
 	NsPerOp    float64 `json:"ns_per_op"`
 	BPerOp     float64 `json:"b_per_op,omitempty"`
 	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "reuse_rate") keyed
+	// by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Record is the file written to BENCH_<date>.json.
@@ -109,6 +113,7 @@ func run(inPath, metricsPath, fleetPath, outPath string) error {
 	for _, dm := range []map[string]float64{
 		deriveSpanOverhead(rec.Benchmarks),
 		deriveEngineSweep(rec.Benchmarks),
+		deriveEco(rec.Benchmarks),
 	} {
 		if len(dm) == 0 {
 			continue
@@ -135,14 +140,25 @@ func run(inPath, metricsPath, fleetPath, outPath string) error {
 		// numbers: restart_warm_p99_ms, restart_cold_p99_ms, ...
 		var fr struct {
 			Restart map[string]float64 `json:"restart"`
+			Eco     map[string]float64 `json:"eco"`
 		}
-		if err := json.Unmarshal(data, &fr); err == nil && len(fr.Restart) > 0 {
-			if rec.Derived == nil {
-				rec.Derived = map[string]float64{}
+		if err := json.Unmarshal(data, &fr); err == nil {
+			lift := func(prefix string, m map[string]float64) {
+				if len(m) == 0 {
+					return
+				}
+				if rec.Derived == nil {
+					rec.Derived = map[string]float64{}
+				}
+				for k, v := range m {
+					rec.Derived[prefix+k] = v
+				}
 			}
-			for k, v := range fr.Restart {
-				rec.Derived["restart_"+k] = v
-			}
+			lift("restart_", fr.Restart)
+			// The eco arm (loadgen -eco): eco_delta_p99_ms,
+			// eco_session_reuse_rate, ... — distinct from the bench-derived
+			// eco_speedup / eco_reuse_rate (BenchmarkDeltaResolve).
+			lift("eco_", fr.Eco)
 		}
 	}
 
@@ -212,6 +228,11 @@ func parseLine(line string) (Benchmark, bool) {
 			b.BPerOp = v
 		case "allocs/op":
 			b.AllocsOp = v
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[fields[i+1]] = v
 		}
 	}
 	if b.NsPerOp == 0 {
@@ -325,6 +346,33 @@ func deriveSpanOverhead(benches []Benchmark) map[string]float64 {
 	}
 	if len(d) == 0 {
 		return nil
+	}
+	return d
+}
+
+// deriveEco reduces the BenchmarkDeltaResolve rows into the incremental
+// re-solve figures the regression harness tracks: eco_speedup, the full
+// dynamic program's time over the session delta's for a single-leaf edit
+// (the ISSUE's acceptance floor is 10), and eco_reuse_rate, the fraction
+// of subtree lookups answered from the session memo.
+func deriveEco(benches []Benchmark) map[string]float64 {
+	var full, delta float64
+	var reuse float64
+	for _, b := range benches {
+		switch {
+		case strings.HasPrefix(b.Name, "BenchmarkDeltaResolve/full"):
+			full = b.NsPerOp
+		case strings.HasPrefix(b.Name, "BenchmarkDeltaResolve/delta"):
+			delta = b.NsPerOp
+			reuse = b.Extra["reuse_rate"]
+		}
+	}
+	if full <= 0 || delta <= 0 {
+		return nil
+	}
+	d := map[string]float64{"eco_speedup": full / delta}
+	if reuse > 0 {
+		d["eco_reuse_rate"] = reuse
 	}
 	return d
 }

@@ -103,6 +103,37 @@ func TestDeriveEngineSweep(t *testing.T) {
 	}
 }
 
+// TestDeriveEco: the full/delta pair from BenchmarkDeltaResolve reduces
+// to eco_speedup, and the delta row's custom reuse_rate unit rides along
+// as eco_reuse_rate.
+func TestDeriveEco(t *testing.T) {
+	d := deriveEco([]Benchmark{
+		{Name: "BenchmarkDeltaResolve/full-8", NsPerOp: 7_000_000},
+		{Name: "BenchmarkDeltaResolve/delta-8", NsPerOp: 250_000,
+			Extra: map[string]float64{"reuse_rate": 0.99}},
+	})
+	if math.Abs(d["eco_speedup"]-28) > 1e-9 {
+		t.Errorf("eco_speedup = %v, want 28", d["eco_speedup"])
+	}
+	if math.Abs(d["eco_reuse_rate"]-0.99) > 1e-12 {
+		t.Errorf("eco_reuse_rate = %v", d["eco_reuse_rate"])
+	}
+	if deriveEco([]Benchmark{{Name: "BenchmarkDeltaResolve/full-8", NsPerOp: 1}}) != nil {
+		t.Error("a lone full row should derive nil")
+	}
+}
+
+// TestParseLineExtraUnits: custom b.ReportMetric units land in Extra.
+func TestParseLineExtraUnits(t *testing.T) {
+	b, ok := parseLine("BenchmarkDeltaResolve/delta-8   	    5000	    238833 ns/op	         0.9899 reuse_rate")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.NsPerOp != 238833 || math.Abs(b.Extra["reuse_rate"]-0.9899) > 1e-12 {
+		t.Errorf("parsed %+v", b)
+	}
+}
+
 // TestFleetMerge: a loadgen report rides into the record verbatim under
 // "fleet", and a non-JSON report file is a hard error, not silent junk.
 func TestFleetMerge(t *testing.T) {
@@ -113,7 +144,8 @@ func TestFleetMerge(t *testing.T) {
 	}
 	fleet := filepath.Join(dir, "fleet.json")
 	report := `{"replicas": 3, "arms": [{"routing": "hash", "p99_ms": 4.2}],
-		"restart": {"warm_p99_ms": 3.5, "cold_p99_ms": 9.25, "refill_ms": 120.5}}`
+		"restart": {"warm_p99_ms": 3.5, "cold_p99_ms": 9.25, "refill_ms": 120.5},
+		"eco": {"delta_p99_ms": 1.75, "session_reuse_rate": 0.82, "sessions": 12}}`
 	if err := os.WriteFile(fleet, []byte(report), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -148,6 +180,16 @@ func TestFleetMerge(t *testing.T) {
 		"restart_warm_p99_ms": 3.5,
 		"restart_cold_p99_ms": 9.25,
 		"restart_refill_ms":   120.5,
+	} {
+		if got := rec.Derived[k]; got != want {
+			t.Errorf("derived[%q] = %v, want %v", k, got, want)
+		}
+	}
+	// Likewise the eco arm's numbers as eco_*.
+	for k, want := range map[string]float64{
+		"eco_delta_p99_ms":       1.75,
+		"eco_session_reuse_rate": 0.82,
+		"eco_sessions":           12,
 	} {
 		if got := rec.Derived[k]; got != want {
 			t.Errorf("derived[%q] = %v, want %v", k, got, want)

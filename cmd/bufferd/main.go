@@ -9,6 +9,7 @@
 //	        [-timeout 30s] [-max-timeout 2m] [-max-cands N]
 //	        [-max-bytes 8388608] [-max-nodes N]
 //	        [-cache-entries 4096] [-cache-bytes 268435456]
+//	        [-session-ttl 5m] [-max-sessions 64] [-session-memo-bytes N]
 //	        [-snapshot cache.snap] [-snapshot-interval 30s]
 //	        [-self host:port] [-peers host:port,...] [-peer-timeout 150ms]
 //	        [-trace-spans 4096] [-trace-latency 1s]
@@ -23,6 +24,14 @@
 //	POST /solve/batch  {"nets": [{...}, ...]} — up to -max-batch nets fanned
 //	                   across the worker pool; per-net results and errors
 //	                   (partial failures stay 200)
+//	POST /solve/delta  incremental (ECO) re-solves over a v2 envelope:
+//	                   {"v": 2, "net": ...} creates a session,
+//	                   {"v": 2, "session": {"id": ...}, "edits": [...]}
+//	                   edits and re-solves it, reusing every memoized
+//	                   subtree the edits did not touch — bit-identical to
+//	                   a from-scratch solve. Sessions idle out after
+//	                   -session-ttl, at most -max-sessions live (LRU),
+//	                   each memo bounded by -session-memo-bytes.
 //	GET  /healthz      liveness: 200 while the process serves
 //	GET  /readyz       readiness: 503 while draining or overloaded
 //	GET  /metrics      telemetry snapshot as JSON
@@ -101,6 +110,9 @@ func run(args []string, stderr *os.File) int {
 	fs.DurationVar(&cfg.RetryAfter, "retry-after", time.Second, "Retry-After hint on shed responses")
 	fs.IntVar(&cfg.CacheEntries, "cache-entries", 4096, "max results resident in the solve cache (0 = unlimited when -cache-bytes set; both 0 disables)")
 	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 256<<20, "max estimated bytes resident in the solve cache (0 = unlimited when -cache-entries set; both 0 disables)")
+	fs.DurationVar(&cfg.SessionTTL, "session-ttl", 0, "idle expiry for /solve/delta sessions (0 = default 5m)")
+	fs.IntVar(&cfg.MaxSessions, "max-sessions", 0, "max live /solve/delta sessions; beyond that the least recently used is evicted (0 = default 64)")
+	fs.Int64Var(&cfg.SessionMemoBytes, "session-memo-bytes", 0, "per-session subtree-memo byte budget; eviction recomputes, never changes answers (0 = default 16 MiB)")
 	fs.IntVar(&cfg.TraceSpans, "trace-spans", 0, "span-collector ring size: recent spans visible at /debug/trace (0 = default 4096)")
 	fs.DurationVar(&cfg.TraceLatency, "trace-latency", 0, "latency past which a request's trace is pinned in the flight recorder (0 = default 1s)")
 	fs.StringVar(&cfg.SnapshotPath, "snapshot", "", "cache snapshot file: warm-start from it on boot, rewrite it periodically and on drain (empty disables)")

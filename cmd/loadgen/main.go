@@ -14,7 +14,7 @@
 //	loadgen [-replicas 3] [-nets 12] [-requests 240] [-clients 8]
 //	        [-batch-every 5] [-batch-width 3] [-max-sinks 6]
 //	        [-workers 2] [-queue 32] [-cache-entries 256]
-//	        [-hedge-min 20ms] [-routing both] [-restart] [-seed 1]
+//	        [-hedge-min 20ms] [-routing both] [-restart] [-eco] [-seed 1]
 //	        [-out report.json]
 //
 // The traffic is deterministic in -seed (net generation and the request
@@ -23,9 +23,13 @@
 // a single /solve. With -restart, an extra arm runs the same solve
 // schedule on a snapshotted, peer-filling fleet, kill-restarts replica 0
 // halfway through (snapshot saved first, so it warm-starts), and reports
-// the p99 before and after plus the time to re-sweep the corpus. The JSON
-// report (stdout, or -out) is merged into BENCH_<date>.json by
-// scripts/bench.sh via benchjson -fleet.
+// the p99 before and after plus the time to re-sweep the corpus. With
+// -eco, an extra arm opens one /solve/delta session per net on a single
+// replica (sessions are replica-affine by design; the router does not
+// proxy them) and drives incremental edit streams at it, reporting delta
+// latency quantiles and the session memo's reuse rate. The JSON report
+// (stdout, or -out) is merged into BENCH_<date>.json by scripts/bench.sh
+// via benchjson -fleet.
 package main
 
 import (
@@ -85,6 +89,7 @@ type Report struct {
 	Arms         []Arm         `json:"arms"`
 	AffinityGain float64       `json:"affinity_gain,omitempty"` // hash hit rate − random hit rate
 	Restart      *RestartStats `json:"restart,omitempty"`
+	Eco          *EcoStats     `json:"eco,omitempty"`
 }
 
 // RestartStats measures the -restart arm: the same traffic before and
@@ -98,6 +103,25 @@ type RestartStats struct {
 	RefillMS  float64 `json:"refill_ms"`   // wall time of the full-corpus sweep right after the restart
 	Loaded    float64 `json:"snapshot_loaded"`
 	Rejected  float64 `json:"snapshot_rejected"`
+}
+
+// EcoStats measures the -eco arm: one incremental (ECO) session per
+// corpus net on a single replica, hammered with edit streams. benchjson
+// lifts the numeric fields into the BENCH record's derived metrics as
+// eco_* (eco_delta_p99_ms, eco_session_reuse_rate, ...), so delta-path
+// regressions trend alongside the solver numbers.
+type EcoStats struct {
+	Sessions   int     `json:"sessions"`
+	Deltas     int     `json:"deltas"`
+	OK         int     `json:"ok"`
+	Errors     int     `json:"errors"`
+	DeltaP50MS float64 `json:"delta_p50_ms"`
+	DeltaP99MS float64 `json:"delta_p99_ms"`
+	// ReuseRate is memo lookups answered without recomputation, summed
+	// over every delta response (reused / lookups).
+	ReuseRate float64 `json:"session_reuse_rate"`
+	Reused    float64 `json:"reused"`
+	Lookups   float64 `json:"lookups"`
 }
 
 func main() {
@@ -121,6 +145,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hedgeMin     = fs.Duration("hedge-min", 20*time.Millisecond, "router hedge-delay floor")
 		routing      = fs.String("routing", "both", "hash, random, or both (hash + random control)")
 		restart      = fs.Bool("restart", false, "also run the restart arm: kill+restart one replica mid-run (snapshotted, warm start) and report warm/cold p99 and refill time")
+		eco          = fs.Bool("eco", false, "also run the eco arm: per-net /solve/delta sessions on one replica, incremental edit streams, delta latency and memo reuse")
 		seed         = fs.Int64("seed", 1, "net-generation and schedule seed")
 		out          = fs.String("out", "", "write the JSON report here (default stdout)")
 	)
@@ -209,6 +234,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Restart = &rs
 		fmt.Fprintf(stderr, "loadgen: restart warm-p99 %.2fms cold-p99 %.2fms refill %.2fms (loaded %d, rejected %d)\n",
 			rs.WarmP99MS, rs.ColdP99MS, rs.RefillMS, int64(rs.Loaded), int64(rs.Rejected))
+	}
+	if *eco {
+		es, err := runEcoArm(armConfig{
+			requests:     *requests,
+			clients:      *clients,
+			workers:      *workers,
+			queue:        *queue,
+			cacheEntries: *cacheEntries,
+			seed:         *seed,
+			corpus:       corpus,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return guard.ExitFailure
+		}
+		rep.Eco = &es
+		fmt.Fprintf(stderr, "loadgen: eco sessions %d deltas %d (ok %d, errors %d) p50 %.2fms p99 %.2fms reuse %.3f\n",
+			es.Sessions, es.Deltas, es.OK, es.Errors, es.DeltaP50MS, es.DeltaP99MS, es.ReuseRate)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -435,6 +478,137 @@ func runRestartArm(cfg armConfig) (RestartStats, error) {
 	rs.Loaded = float64(ctr["server.cache.snapshot.loaded"])
 	rs.Rejected = float64(ctr["server.cache.snapshot.rejected"])
 	return rs, nil
+}
+
+// runEcoArm measures the incremental (ECO) path: one /solve/delta
+// session per corpus net on a single replica — sessions are
+// replica-affine by design, so the router is not involved — then an
+// edit stream of small sink-cap perturbations spread across the client
+// goroutines. Every 200 carries the session memo's per-response reuse
+// ledger; the arm sums it into a fleet-level reuse rate.
+func runEcoArm(cfg armConfig) (EcoStats, error) {
+	prev := obs.Default()
+	obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(prev)
+
+	lab, err := fleet.StartLab(fleet.LabConfig{
+		Replicas: 1,
+		Server: server.Config{
+			Workers:      cfg.workers,
+			QueueDepth:   cfg.queue,
+			CacheEntries: cfg.cacheEntries,
+		},
+	})
+	if err != nil {
+		return EcoStats{}, err
+	}
+	base := "http://" + lab.Replicas[0].Name
+
+	// One session per corpus net. Sink IDs and baseline caps come from
+	// re-reading the corpus text: segmentation appends its new nodes
+	// after the originals, so file node IDs survive on the server side.
+	type ecoSession struct {
+		id    string
+		sinks []int
+		caps  []float64
+	}
+	var es EcoStats
+	var sessions []ecoSession
+	for _, net := range cfg.corpus {
+		tr, err := netfmt.Read(strings.NewReader(net))
+		if err != nil {
+			lab.Close()
+			return EcoStats{}, err
+		}
+		n, _ := json.Marshal(net)
+		status, raw := postDelta(base, fmt.Sprintf(`{"v": 2, "net": %s}`, n))
+		if status != http.StatusOK {
+			es.Errors++
+			continue
+		}
+		var dr server.DeltaResponse
+		if err := json.Unmarshal(raw, &dr); err != nil || dr.SessionID == "" {
+			es.Errors++
+			continue
+		}
+		s := ecoSession{id: dr.SessionID}
+		for _, id := range tr.Sinks() {
+			s.sinks = append(s.sinks, int(id))
+			s.caps = append(s.caps, tr.Node(id).Cap)
+		}
+		sessions = append(sessions, s)
+	}
+	es.Sessions = len(sessions)
+	if es.Sessions == 0 {
+		lab.Close()
+		return EcoStats{}, fmt.Errorf("eco arm: no sessions could be created")
+	}
+
+	var (
+		mu              sync.Mutex
+		latencies       []time.Duration
+		reused, lookups float64
+		wg              sync.WaitGroup
+	)
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < cfg.requests; i += cfg.clients {
+				s := sessions[i%len(sessions)]
+				j := i % len(s.sinks)
+				// Small deterministic perturbation of the sink's own cap:
+				// every edit changes the answer without risking a noise
+				// infeasibility that a wild cap value could cause.
+				v := s.caps[j] * (1 + 0.02*float64(i%7))
+				body := fmt.Sprintf(`{"v": 2, "session": {"id": %q}, "edits": [{"op": "set-cap", "node": %d, "value": %g}]}`,
+					s.id, s.sinks[j], v)
+				start := time.Now()
+				status, raw := postDelta(base, body)
+				d := time.Since(start)
+				mu.Lock()
+				es.Deltas++
+				if status == http.StatusOK {
+					var dr server.DeltaResponse
+					if json.Unmarshal(raw, &dr) == nil {
+						reused += float64(dr.Reused)
+						lookups += float64(dr.Lookups)
+					}
+					es.OK++
+					latencies = append(latencies, d)
+				} else {
+					es.Errors++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := lab.Close(); err != nil {
+		return EcoStats{}, err
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	es.DeltaP50MS = quantileMS(latencies, 0.50)
+	es.DeltaP99MS = quantileMS(latencies, 0.99)
+	es.Reused = reused
+	es.Lookups = lookups
+	if lookups > 0 {
+		es.ReuseRate = reused / lookups
+	}
+	return es, nil
+}
+
+// postDelta posts a v2 delta envelope directly at one replica and
+// returns the status code and body.
+func postDelta(base, body string) (int, []byte) {
+	resp, err := http.Post(base+"/solve/delta", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
 }
 
 // postSolve posts one net and returns whether it succeeded plus the

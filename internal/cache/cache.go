@@ -433,6 +433,23 @@ func (c *Cache[V]) Entries() []Entry[V] {
 	return out
 }
 
+// Purge evicts every resident entry and returns how many were dropped.
+// Each entry counts as an eviction, so the stored == evicted + resident
+// books stay balanced — a purged cache looks exactly like one whose
+// bounds evicted everything. In-progress flights are untouched: their
+// leaders complete normally and may re-store. Session teardown uses this
+// to retire a session's memo table under exact accounting.
+func (c *Cache[V]) Purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	for c.ll.Len() > 0 {
+		c.evictOldestLocked()
+	}
+	c.publishGaugesLocked()
+	return n
+}
+
 // Stats returns a consistent snapshot of the accounting counters.
 func (c *Cache[V]) Stats() Stats {
 	c.mu.Lock()

@@ -415,3 +415,29 @@ func TestDoConcurrentDistinctKeys(t *testing.T) {
 	wg.Wait()
 	checkBooks(t, c)
 }
+
+func TestPurge(t *testing.T) {
+	c := newTestCache(Config[*val]{MaxEntries: 8})
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), &val{n: i, blob: []byte{1, 2}})
+	}
+	if n := c.Purge(); n != 5 {
+		t.Errorf("Purge dropped %d entries, want 5", n)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("after Purge: %d entries, %d bytes resident", c.Len(), c.Bytes())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("purged entry still resident")
+	}
+	checkBooks(t, c)
+	if n := c.Purge(); n != 0 {
+		t.Errorf("second Purge dropped %d entries", n)
+	}
+	// A purged cache keeps working.
+	c.Put("k9", &val{n: 9, blob: []byte{3}})
+	if _, ok := c.Get("k9"); !ok {
+		t.Error("post-purge Put not resident")
+	}
+	checkBooks(t, c)
+}

@@ -44,14 +44,20 @@ type Options struct {
 	// degradation behavior); the single-engine entry points ignore it.
 	// Excluded from the cache key itself, like Workers.
 	Cache *SolveCache
-	// Engine selects the dynamic-program organization: EngineVG (the
-	// default, also chosen by ""), EngineLiShi, or EngineAuto. Engines
+	// Engine selects the dynamic-program organization: EngineAuto (the
+	// default, also chosen by ""), EngineVG, or EngineLiShi. Engines
 	// are bit-identical on objective values by construction — the
 	// enginetest suite is the gate — so Engine is excluded from every
 	// cache key, like Workers: a cached result answers a request from any
 	// engine. Unknown names are rejected with guard.ErrInvalidInput by
 	// Optimize and Solve.
 	Engine string
+
+	// memo, when non-nil, threads a session's subtree memo table into the
+	// dynamic program (see Delta). Unexported: only the session layer may
+	// install it, because correctness depends on the hashes slice staying
+	// synchronized with the tree being solved.
+	memo *memoRun
 }
 
 // Sizing configures simultaneous wire sizing. Widening a wire divides its
@@ -90,11 +96,11 @@ func (s *Sizing) Validate() error {
 
 // vgo builds the engine options shared by every public entry point. The
 // engine name is assumed validated (Optimize and Solve call ParseEngine
-// first); an unvalidated empty string still resolves to the VG default.
+// first); an unvalidated empty string still resolves to the auto default.
 func (o Options) vgo() vgOptions {
-	v := vgOptions{safePruning: o.SafePruning, budget: o.Budget, workers: o.Workers, engine: o.Engine}
+	v := vgOptions{safePruning: o.SafePruning, budget: o.Budget, workers: o.Workers, engine: o.Engine, memo: o.memo}
 	if v.engine == "" {
-		v.engine = EngineVG
+		v.engine = EngineAuto
 	}
 	if o.Sizing != nil {
 		v.widths = o.Sizing.Widths
@@ -131,6 +137,10 @@ type Result struct {
 // no buffer assignment satisfies the noise constraints.
 //
 // Equivalent to Optimize with Objective MaxSlackNoise.
+//
+// Deprecated: use Optimize with Objective MaxSlackNoise (or a Session for
+// incremental re-solves). Kept for source compatibility; the equivalence
+// is pinned by tests and will not drift.
 func BuffOpt(t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options) (*Result, error) {
 	return Optimize(opts.Budget.Context(), Problem{Tree: t, Library: lib, Params: p, Objective: MaxSlackNoise}, opts)
 }
@@ -170,6 +180,10 @@ func buffOpt(t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options)
 // are hard, timing is maximized.
 //
 // Equivalent to Optimize with Objective MinBuffersNoise.
+//
+// Deprecated: use Optimize with Objective MinBuffersNoise (or a Session
+// for incremental re-solves). Kept for source compatibility; the
+// equivalence is pinned by tests and will not drift.
 func BuffOptMinBuffers(t *rctree.Tree, lib *buffers.Library, p noise.Params, opts Options) (*Result, error) {
 	return Optimize(opts.Budget.Context(), Problem{Tree: t, Library: lib, Params: p, Objective: MinBuffersNoise}, opts)
 }
@@ -232,6 +246,10 @@ func buffOptMinBuffers(t *rctree.Tree, lib *buffers.Library, p noise.Params, opt
 // boldface modifications. It maximizes the slack at the source.
 //
 // Equivalent to Optimize with Objective MaxSlack.
+//
+// Deprecated: use Optimize with Objective MaxSlack (or a Session for
+// incremental re-solves). Kept for source compatibility; the equivalence
+// is pinned by tests and will not drift.
 func DelayOpt(t *rctree.Tree, lib *buffers.Library, opts Options) (*Result, error) {
 	return Optimize(opts.Budget.Context(), Problem{Tree: t, Library: lib, Objective: MaxSlack}, opts)
 }
@@ -253,6 +271,10 @@ func delayOpt(t *rctree.Tree, lib *buffers.Library, opts Options) (*Result, erro
 // most k buffers, via buffer-count-indexed candidate lists.
 //
 // Equivalent to Optimize with Objective MaxSlack and MaxBuffers k.
+//
+// Deprecated: use Optimize with Objective MaxSlack and MaxBuffers (or a
+// Session for incremental re-solves). Kept for source compatibility; the
+// equivalence is pinned by tests and will not drift.
 func DelayOptK(t *rctree.Tree, lib *buffers.Library, k int, opts Options) (*Result, error) {
 	return Optimize(opts.Budget.Context(), Problem{Tree: t, Library: lib, Objective: MaxSlack, MaxBuffers: &k}, opts)
 }
@@ -278,6 +300,10 @@ func delayOptK(t *rctree.Tree, lib *buffers.Library, k int, opts Options) (*Resu
 // BuffOptMinBuffers.
 //
 // Equivalent to Optimize with Objective MaxSlackNoise and MaxBuffers k.
+//
+// Deprecated: use Optimize with Objective MaxSlackNoise and MaxBuffers
+// (or a Session for incremental re-solves). Kept for source
+// compatibility; the equivalence is pinned by tests and will not drift.
 func BuffOptK(t *rctree.Tree, lib *buffers.Library, p noise.Params, k int, opts Options) (*Result, error) {
 	return Optimize(opts.Budget.Context(), Problem{Tree: t, Library: lib, Params: p, Objective: MaxSlackNoise, MaxBuffers: &k}, opts)
 }

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"buffopt/internal/guard"
+	"buffopt/internal/rctree"
+)
+
+// The delta differential suite is the gate on the incremental (ECO)
+// re-solve engine: over seeded edit streams — sink cap/RAT tweaks, wire
+// resizes, subtree grafts, subtree prunes — it asserts that Delta's
+// answer is bit-identical to a from-scratch Optimize on the session's
+// post-edit tree, for both engines, all three objective profiles, serial
+// and parallel. Memoization is allowed to change how much work a
+// re-solve does, never what it answers.
+
+// graftDonor builds a small, valid, binary two-sink subtree to graft.
+func graftDonor(rng *rand.Rand) *rctree.Tree {
+	sub := rctree.New("donor", 100, 10e-12)
+	w := func() rctree.Wire {
+		return rctree.Wire{
+			R:      50 + 100*rng.Float64(),
+			C:      10e-15 + 40e-15*rng.Float64(),
+			Length: 0.2e-3,
+		}
+	}
+	j, _ := sub.AddInternal(sub.Root(), w(), true)
+	sub.AddSink(j, w(), "d0", 5e-15+20e-15*rng.Float64(), 400e-12, 0.5)
+	sub.AddSink(j, w(), "d1", 5e-15+20e-15*rng.Float64(), 500e-12, 0.5)
+	return sub
+}
+
+// randomEdit draws one valid edit against the session's current tree:
+// the stream generator mirrors what an ECO flow does (pin cap changes
+// after placement, RAT updates from a new timing run, wire resizes,
+// cloned gadget grafts, dead-logic prunes).
+func randomEdit(t *rctree.Tree, rng *rand.Rand) (Edit, bool) {
+	sinks := t.Sinks()
+	switch rng.Intn(5) {
+	case 0:
+		return Edit{Op: EditSetCap, Node: sinks[rng.Intn(len(sinks))], Value: 5e-15 + 50e-15*rng.Float64()}, true
+	case 1:
+		return Edit{Op: EditSetRAT, Node: sinks[rng.Intn(len(sinks))], Value: (100 + 900*rng.Float64()) * 1e-12}, true
+	case 2:
+		v := rctree.NodeID(1 + rng.Intn(t.Len()-1)) // any non-root node has a parent wire
+		w := t.Node(v).Wire
+		f := 0.5 + rng.Float64()
+		w.R /= f
+		w.C *= 1 + 0.3*(f-1)
+		return Edit{Op: EditSetWire, Node: v, Wire: w}, true
+	case 3:
+		// Graft below a node with spare fan-out (≤1 child, not a sink).
+		for try := 0; try < 20; try++ {
+			v := rctree.NodeID(rng.Intn(t.Len()))
+			n := t.Node(v)
+			if n.Kind != rctree.Sink && len(n.Children) < 2 {
+				return Edit{
+					Op:   EditGraft,
+					Node: v,
+					Wire: rctree.Wire{R: 80, C: 20e-15, Length: 0.3e-3},
+					Sub:  graftDonor(rng),
+				}, true
+			}
+		}
+		return Edit{}, false
+	default:
+		// Prune a subtree that leaves the tree valid: not the root, not a
+		// parent's only child, and not the last sink.
+		for try := 0; try < 20; try++ {
+			v := rctree.NodeID(1 + rng.Intn(t.Len()-1))
+			p := t.Node(v).Parent
+			if len(t.Node(p).Children) < 2 {
+				continue
+			}
+			doomed := len(t.Subtree(v))
+			sinksLost := 0
+			for _, d := range t.Subtree(v) {
+				if t.Node(d).Kind == rctree.Sink {
+					sinksLost++
+				}
+			}
+			if sinksLost >= t.NumSinks() || doomed >= t.Len()-2 {
+				continue
+			}
+			return Edit{Op: EditPrune, Node: v}, true
+		}
+		return Edit{}, false
+	}
+}
+
+// deltaProfiles are the (objective, engine, workers) grid the streams run
+// under: both engines, all three objectives, serial and parallel.
+func deltaProfiles() []struct {
+	name string
+	obj  Objective
+	opts Options
+} {
+	type prof = struct {
+		name string
+		obj  Objective
+		opts Options
+	}
+	var out []prof
+	for _, eng := range []string{EngineVG, EngineLiShi} {
+		for _, workers := range []int{1, 4} {
+			out = append(out,
+				prof{fmt.Sprintf("max-slack/%s/w%d", eng, workers), MaxSlack, Options{Engine: eng, Workers: workers}},
+				prof{fmt.Sprintf("max-slack-noise/%s/w%d", eng, workers), MaxSlackNoise, Options{Engine: eng, Workers: workers}},
+				prof{fmt.Sprintf("min-buffers-noise/%s/w%d", eng, workers), MinBuffersNoise, Options{Engine: eng, Workers: workers}},
+			)
+		}
+	}
+	return out
+}
+
+// resultsEqual compares a Delta answer with a from-scratch reference bit
+// for bit: slack and cost exactly, then the full placement and width
+// maps.
+func resultsEqual(got *Result, want *Result) error {
+	if math.Float64bits(got.Slack) != math.Float64bits(want.Slack) {
+		return fmt.Errorf("slack differs: %g vs %g", got.Slack, want.Slack)
+	}
+	if got.Cost != want.Cost {
+		return fmt.Errorf("cost differs: %d vs %d", got.Cost, want.Cost)
+	}
+	if err := assignEqual(got.Buffers, want.Buffers); err != nil {
+		return err
+	}
+	if len(got.Widths) != len(want.Widths) {
+		return fmt.Errorf("width maps differ: %v vs %v", got.Widths, want.Widths)
+	}
+	for k, v := range got.Widths {
+		if want.Widths[k] != v {
+			return fmt.Errorf("width at node %d: %g vs %g", k, v, want.Widths[k])
+		}
+	}
+	return nil
+}
+
+// TestDeltaDifferential is the exactness gate: seeded edit streams over
+// corpus nets, every Delta answer bit-compared against Optimize on a
+// clone of the session's post-edit tree.
+func TestDeltaDifferential(t *testing.T) {
+	t.Parallel()
+	n := 8
+	steps := 6
+	if testing.Short() {
+		n, steps = 4, 4
+	}
+	nets, lib, params := diffCorpus(t, n)
+	for _, prof := range deltaProfiles() {
+		prof := prof
+		t.Run(prof.name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(41))
+			for ni, net := range nets {
+				p := Problem{Tree: net, Library: lib, Params: params, Objective: prof.obj}
+				s, err := NewSession(p, SessionConfig{})
+				if err != nil {
+					t.Fatalf("net %d: NewSession: %v", ni, err)
+				}
+				for step := 0; step < steps; step++ {
+					var edits []Edit
+					for len(edits) < 1+rng.Intn(3) {
+						if e, ok := randomEdit(s.Tree(), rng); ok {
+							edits = append(edits, e)
+							if e.Op == EditGraft || e.Op == EditPrune {
+								break // topology edits renumber; re-draw against the new tree
+							}
+						}
+					}
+					got, err := Delta(context.Background(), s, edits, prof.opts)
+					if err != nil {
+						t.Fatalf("net %d step %d: Delta: %v", ni, step, err)
+					}
+					ref := p
+					ref.Tree = s.Tree()
+					want, err := Optimize(context.Background(), ref, prof.opts)
+					if err != nil {
+						t.Fatalf("net %d step %d: reference Optimize: %v", ni, step, err)
+					}
+					if err := resultsEqual(got.Result, want); err != nil {
+						t.Fatalf("net %d step %d: delta diverged from scratch: %v", ni, step, err)
+					}
+					if got.Lookups != got.Reused+got.Resolved {
+						t.Fatalf("net %d step %d: ledger broken: lookups %d != reused %d + resolved %d",
+							ni, step, got.Lookups, got.Reused, got.Resolved)
+					}
+				}
+				st := s.Stats()
+				if st.Lookups != st.Reused+st.Resolved {
+					t.Fatalf("net %d: session ledger broken: %+v", ni, st)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaReusesUntouchedSubtrees pins the point of the whole engine: a
+// single-leaf edit on a deep net re-resolves only the O(depth) ancestors
+// of the change, everything else comes from the memo.
+func TestDeltaReusesUntouchedSubtrees(t *testing.T) {
+	t.Parallel()
+	nets, lib, params := diffCorpus(t, 6)
+	var net *rctree.Tree
+	for _, cand := range nets {
+		if net == nil || cand.Len() > net.Len() {
+			net = cand
+		}
+	}
+	s, err := NewSession(Problem{Tree: net, Library: lib, Params: params, Objective: MaxSlackNoise}, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First solve warms the memo: everything resolves, nothing reuses.
+	first, err := Delta(context.Background(), s, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Reused != 0 || first.Resolved != int64(net.Len()) {
+		t.Fatalf("warm-up ledger: %+v (want 0 reused, %d resolved)", first, net.Len())
+	}
+	// A single sink edit invalidates exactly its root path.
+	sink := s.Tree().Sinks()[0]
+	depth := len(s.Tree().PathToRoot(sink))
+	second, err := Delta(context.Background(), s,
+		[]Edit{{Op: EditSetCap, Node: sink, Value: 33e-15}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Resolved != int64(depth) {
+		t.Fatalf("re-resolved %d subtrees, want exactly the %d-node root path", second.Resolved, depth)
+	}
+	if second.Reused == 0 || second.Reused+second.Resolved != second.Lookups {
+		t.Fatalf("reuse ledger: %+v", second)
+	}
+	// A no-edit re-solve reuses the root outright: one lookup, one hit.
+	third, err := Delta(context.Background(), s, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Lookups != 1 || third.Reused != 1 || third.Resolved != 0 {
+		t.Fatalf("idempotent re-solve ledger: %+v (want a single root hit)", third)
+	}
+}
+
+// TestDeltaEditAtomicity pins the all-or-nothing contract: a batch with
+// one invalid edit leaves the session tree, hashes, and ledger untouched.
+func TestDeltaEditAtomicity(t *testing.T) {
+	t.Parallel()
+	nets, lib, params := diffCorpus(t, 2)
+	s, err := NewSession(Problem{Tree: nets[0], Library: lib, Params: params, Objective: MaxSlack}, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Tree()
+	sink := before.Sinks()[0]
+	_, err = Delta(context.Background(), s, []Edit{
+		{Op: EditSetCap, Node: sink, Value: 99e-15},         // valid
+		{Op: EditSetCap, Node: before.Root(), Value: 1e-15}, // root is not a sink
+	}, Options{})
+	if !errors.Is(err, guard.ErrInvalidInput) {
+		t.Fatalf("bad batch error = %v, want guard.ErrInvalidInput", err)
+	}
+	after := s.Tree()
+	if got := after.Node(sink).Cap; got != before.Node(sink).Cap {
+		t.Fatalf("failed batch leaked a partial edit: cap %g, want %g", got, before.Node(sink).Cap)
+	}
+	if st := s.Stats(); st.Edits != 0 || st.Deltas != 0 {
+		t.Fatalf("failed batch moved the ledger: %+v", st)
+	}
+
+	// Invalid edits of every class map to invalid-input, never panic.
+	for _, bad := range []Edit{
+		{Op: EditSetCap, Node: -1, Value: 1e-15},
+		{Op: EditSetCap, Node: sink, Value: math.NaN()},
+		{Op: EditSetRAT, Node: rctree.NodeID(before.Len()), Value: 1e-12},
+		{Op: EditSetWire, Node: before.Root(), Wire: rctree.Wire{R: 1, C: 1e-15}},
+		{Op: EditSetWire, Node: sink, Wire: rctree.Wire{R: -1, C: 1e-15}},
+		{Op: EditGraft, Node: sink, Sub: graftDonor(rand.New(rand.NewSource(1)))},
+		{Op: EditGraft, Node: before.Root()}, // nil subtree
+		{Op: EditPrune, Node: before.Root()},
+		{Op: EditOp(99), Node: sink},
+	} {
+		if _, err := Delta(context.Background(), s, []Edit{bad}, Options{}); !errors.Is(err, guard.ErrInvalidInput) {
+			t.Errorf("edit %+v: error = %v, want guard.ErrInvalidInput", bad, err)
+		}
+	}
+}
+
+// TestDeltaMemoEviction pins graceful degradation: a byte-starved memo
+// evicts entries, and the next Delta recomputes them — slower, never
+// wrong.
+func TestDeltaMemoEviction(t *testing.T) {
+	t.Parallel()
+	nets, lib, params := diffCorpus(t, 2)
+	p := Problem{Tree: nets[0], Library: lib, Params: params, Objective: MaxSlackNoise}
+	s, err := NewSession(p, SessionConfig{MemoBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Delta(context.Background(), s, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if ev := s.MemoStats().Evicted; ev == 0 {
+		t.Fatalf("4 KiB budget evicted nothing over a %d-node net", nets[0].Len())
+	}
+	if s.MemoBytes() > 4096 {
+		t.Fatalf("resident bytes %d exceed the 4096 budget", s.MemoBytes())
+	}
+	got, err := Delta(context.Background(), s, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Optimize(context.Background(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultsEqual(got.Result, want); err != nil {
+		t.Fatalf("evicted memo changed the answer: %v", err)
+	}
+}
+
+// TestDeltaPurge pins Session.Purge: books stay exact and the next solve
+// rebuilds the memo from scratch.
+func TestDeltaPurge(t *testing.T) {
+	t.Parallel()
+	nets, lib, params := diffCorpus(t, 2)
+	s, err := NewSession(Problem{Tree: nets[0], Library: lib, Params: params, Objective: MaxSlack}, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Delta(context.Background(), s, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Purge(); n == 0 {
+		t.Fatal("Purge dropped nothing after a full solve")
+	}
+	if s.MemoBytes() != 0 {
+		t.Fatalf("post-purge resident bytes = %d, want 0", s.MemoBytes())
+	}
+	res, err := Delta(context.Background(), s, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reused != 0 || res.Resolved != int64(nets[0].Len()) {
+		t.Fatalf("post-purge ledger %+v, want a full recompute", res)
+	}
+}
+
+// TestNewSessionValidation pins the front-door checks.
+func TestNewSessionValidation(t *testing.T) {
+	t.Parallel()
+	nets, lib, params := diffCorpus(t, 2)
+	if _, err := NewSession(Problem{Library: lib, Params: params}, SessionConfig{}); !errors.Is(err, guard.ErrInvalidInput) {
+		t.Errorf("nil tree: %v, want invalid-input", err)
+	}
+	if _, err := NewSession(Problem{Tree: nets[0], Params: params}, SessionConfig{}); !errors.Is(err, guard.ErrInvalidInput) {
+		t.Errorf("nil library: %v, want invalid-input", err)
+	}
+	wide := rctree.New("wide", 100, 10e-12)
+	w := rctree.Wire{R: 50, C: 20e-15, Length: 0.2e-3}
+	wide.AddSink(wide.Root(), w, "a", 10e-15, 400e-12, 0.5)
+	wide.AddSink(wide.Root(), w, "b", 10e-15, 400e-12, 0.5)
+	wide.AddSink(wide.Root(), w, "c", 10e-15, 400e-12, 0.5)
+	if _, err := NewSession(Problem{Tree: wide, Library: lib, Params: params}, SessionConfig{}); !errors.Is(err, guard.ErrInvalidInput) {
+		t.Errorf("non-binary tree: %v, want invalid-input", err)
+	}
+	if _, err := Delta(context.Background(), nil, nil, Options{}); !errors.Is(err, guard.ErrInvalidInput) {
+		t.Errorf("nil session: %v, want invalid-input", err)
+	}
+	s, err := NewSession(Problem{Tree: nets[0], Library: lib, Params: params}, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Delta(context.Background(), s, nil, Options{Engine: "warp"}); !errors.Is(err, guard.ErrInvalidInput) {
+		t.Errorf("unknown engine: %v, want invalid-input", err)
+	}
+	// The session's private clone isolates it from caller mutation.
+	nets[0].Node(nets[0].Sinks()[0]).Cap = 1e-3
+	if got := s.Tree().Node(s.Tree().Sinks()[0]).Cap; got == 1e-3 {
+		t.Error("session shares the caller's tree")
+	}
+}
+
+// TestDeltaConcurrentSessions pins that one session serializes its Deltas
+// (the race detector is the real judge here) while remaining correct.
+func TestDeltaConcurrentEdits(t *testing.T) {
+	t.Parallel()
+	nets, lib, params := diffCorpus(t, 2)
+	p := Problem{Tree: nets[0], Library: lib, Params: params, Objective: MaxSlack}
+	s, err := NewSession(p, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := s.Tree().Sinks()
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 5; i++ {
+				e := Edit{Op: EditSetCap, Node: sinks[(g+i)%len(sinks)], Value: float64(10+g+i) * 1e-15}
+				if _, err := Delta(context.Background(), s, []Edit{e}, Options{}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Whatever interleaving happened, the final state must solve exactly
+	// like a fresh problem over the final tree.
+	got, err := Delta(context.Background(), s, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := p
+	ref.Tree = s.Tree()
+	want, err := Optimize(context.Background(), ref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultsEqual(got.Result, want); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Lookups != st.Reused+st.Resolved {
+		t.Fatalf("session ledger broken after concurrent edits: %+v", st)
+	}
+}

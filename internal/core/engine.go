@@ -19,7 +19,7 @@ const (
 	// EngineVG is the classic Van Ginneken-style dynamic program
 	// (Algorithm 3 with the Lillis extensions): full cross-product branch
 	// merges followed by dominance pruning. O(b²n²) over a b-type
-	// library. The default.
+	// library.
 	EngineVG = "vg"
 	// EngineLiShi is the Li–Shi fast multi-type organization (PAPERS.md,
 	// arXiv:0710.4691): candidate lists kept in the canonical sorted
@@ -38,13 +38,16 @@ const (
 )
 
 // ParseEngine validates and normalizes an engine name: the empty string
-// selects EngineVG (the default). Unknown names wrap
-// guard.ErrInvalidInput, so CLIs exit with the invalid-input code and
-// bufferd answers 400 — never a panic or a silent fallback.
+// selects EngineAuto (the default), which resolves per run to Li–Shi
+// where the fast merge applies and classic VG everywhere else — the
+// BENCH-backed choice (see DESIGN §16: Li–Shi wins from 2 buffer types
+// up, and auto is bit-identical to both by the enginetest gate). Unknown
+// names wrap guard.ErrInvalidInput, so CLIs exit with the invalid-input
+// code and bufferd answers 400 — never a panic or a silent fallback.
 func ParseEngine(s string) (string, error) {
 	switch s {
 	case "":
-		return EngineVG, nil
+		return EngineAuto, nil
 	case EngineVG, EngineLiShi, EngineAuto:
 		return s, nil
 	}

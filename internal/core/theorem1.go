@@ -14,6 +14,14 @@
 // noise.Params, and produce a Solution: a (possibly augmented) copy of the
 // tree plus a node → buffer assignment that the elmore and noise analyzers
 // accept directly.
+//
+// The preferred entry points are Optimize (one objective, one call),
+// Solve (the degradation ladder), and NewSession/Delta (incremental
+// re-solves over an edit stream, reusing untouched subtrees). The named
+// wrappers BuffOpt, BuffOptK, BuffOptMinBuffers, DelayOpt, and DelayOptK
+// are deprecated aliases for Optimize with the corresponding Objective;
+// they remain for source compatibility and their equivalence is pinned
+// by tests.
 package core
 
 import (

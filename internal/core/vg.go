@@ -137,6 +137,13 @@ type vgOptions struct {
 	// public name ("auto" included) to EngineVG or EngineLiShi before the
 	// walk starts, so computeNode only ever sees the two concrete names.
 	engine string
+	// memo, when non-nil, turns the run into a memoized (ECO) re-solve:
+	// the top-down gate (memoGate) loads finished candidate lists for
+	// every subtree whose entry is current, and only the remaining
+	// compute set runs the DP — with every computed list stored back.
+	// Results are bit-identical to a memo-free run; the delta
+	// differential suite is the gate.
+	memo *memoRun
 }
 
 // fastMergeOK reports whether computeNode may use the Li–Shi sorted
@@ -251,15 +258,28 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 
 	lists := make([][]vgCand, t.Len())
 	var err error
-	if workers := opts.workerCount(t.Len()); workers > 1 {
-		obs.Inc("vg.run.parallel")
-		obs.SetMax("vg.parallel.workers", int64(workers))
-		vgSpan.SetAttr("dp", "parallel")
-		err = runVGParallel(t, lib, opts, lists, workers)
-	} else {
-		obs.Inc("vg.run.serial")
-		vgSpan.SetAttr("dp", "serial")
-		err = runVGSerial(t, lib, opts, lists)
+	// A memoized run gates first: hit subtrees load their finished lists
+	// and only the remaining compute set (in postorder, ancestor-closed)
+	// runs the DP below.
+	order := t.Postorder()
+	if opts.memo != nil {
+		opts.memo.suffix = memoKeySuffix(opts, lib)
+		order, err = memoGate(t, opts, lists)
+	}
+	if err == nil {
+		if workers := opts.workerCount(len(order)); workers > 1 {
+			obs.Inc("vg.run.parallel")
+			obs.SetMax("vg.parallel.workers", int64(workers))
+			vgSpan.SetAttr("dp", "parallel")
+			err = runVGParallel(t, lib, opts, lists, workers, order)
+		} else {
+			obs.Inc("vg.run.serial")
+			vgSpan.SetAttr("dp", "serial")
+			err = runVGSerial(t, lib, opts, lists, order)
+		}
+	}
+	if opts.memo != nil {
+		opts.memo.flush(vgSpan)
 	}
 	if err != nil {
 		releaseLists(ar, lists)
@@ -295,10 +315,11 @@ func runVG(t *rctree.Tree, lib *buffers.Library, opts vgOptions) ([]vgCand, erro
 	return out, nil
 }
 
-// runVGSerial is the single-goroutine bottom-up walk: every node in
-// postorder, children always before parents.
-func runVGSerial(t *rctree.Tree, lib *buffers.Library, opts vgOptions, lists [][]vgCand) error {
-	for _, v := range t.Postorder() {
+// runVGSerial is the single-goroutine bottom-up walk over order — the
+// full postorder for a from-scratch run, or a memoized run's compute set
+// (children always before parents either way).
+func runVGSerial(t *rctree.Tree, lib *buffers.Library, opts vgOptions, lists [][]vgCand, order []rctree.NodeID) error {
+	for _, v := range order {
 		if err := computeNode(t, lib, opts, v, lists); err != nil {
 			return err
 		}
@@ -444,6 +465,9 @@ func computeNode(t *rctree.Tree, lib *buffers.Library, opts vgOptions, v rctree.
 		}
 	}
 	st.list(len(list))
+	if opts.memo != nil {
+		opts.memo.store(t, v, list)
+	}
 	lists[v] = list
 	return nil
 }

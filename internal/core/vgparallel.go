@@ -33,14 +33,31 @@ import (
 // by guard.Safe) stops the run; workers notice the flag at node
 // boundaries and abandon their paths. The caller releases the lists of
 // whatever subtrees had finished.
-func runVGParallel(t *rctree.Tree, lib *buffers.Library, opts vgOptions, lists [][]vgCand, workers int) error {
-	// Ready bookkeeping: pending[v] counts v's unfinished children; the
-	// leaves (always sinks in a validated tree) seed the climb, in
-	// postorder so early workers start on disjoint subtrees.
+//
+// order is the compute set in postorder: the full tree for a from-scratch
+// run, or a memoized run's miss set. The set is always ancestor-closed
+// (a memoized run never computes a node whose parent it reuses), so the
+// climb's parent is in the set unless the node is the root — the same
+// termination logic either way.
+func runVGParallel(t *rctree.Tree, lib *buffers.Library, opts vgOptions, lists [][]vgCand, workers int, order []rctree.NodeID) error {
+	// Ready bookkeeping: pending[v] counts v's unfinished in-set children;
+	// the set's leaves (sinks, or nodes whose whole fan-in was loaded from
+	// the memo) seed the climb, in postorder so early workers start on
+	// disjoint subtrees.
+	inSet := make([]bool, t.Len())
+	for _, v := range order {
+		inSet[v] = true
+	}
 	pending := make([]atomic.Int32, t.Len())
 	var leaves []rctree.NodeID
-	for _, v := range t.Postorder() {
-		if n := len(t.Node(v).Children); n > 0 {
+	for _, v := range order {
+		n := 0
+		for _, c := range t.Node(v).Children {
+			if inSet[c] {
+				n++
+			}
+		}
+		if n > 0 {
 			pending[v].Store(int32(n))
 		} else {
 			leaves = append(leaves, v)

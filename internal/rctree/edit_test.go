@@ -1,0 +1,105 @@
+package rctree
+
+import "testing"
+
+func TestGraftCopiesAndRenumbers(t *testing.T) {
+	tr, _, _, s2 := buildY(t)
+	sub, sv1, ss1, ss2 := buildY(t)
+	_ = sv1
+
+	before := tr.Len()
+	g, err := tr.Graft(tr.Root(), sub, Wire{R: 5, C: 6, Length: 7})
+	if err != nil {
+		t.Fatalf("Graft: %v", err)
+	}
+	if g != NodeID(before) {
+		t.Errorf("grafted root ID = %d, want %d", g, before)
+	}
+	if tr.Len() != before+sub.Len() {
+		t.Errorf("Len = %d, want %d", tr.Len(), before+sub.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	gn := tr.Node(g)
+	if gn.Kind != Internal || !gn.BufferOK {
+		t.Errorf("grafted root kind=%v bufferOK=%v, want internal buffer site", gn.Kind, gn.BufferOK)
+	}
+	if gn.Wire.R != 5 || gn.Wire.C != 6 || gn.Wire.Length != 7 {
+		t.Errorf("grafted root wire = %+v", gn.Wire)
+	}
+	// Deep copy: mutating sub afterwards must not leak into tr.
+	sub.Node(ss1).Cap = 99
+	sub.Node(sv1).Children[0] = ss2
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after mutating donor: %v", err)
+	}
+	if tr.NumSinks() != 2+sub.NumSinks() {
+		t.Errorf("NumSinks = %d", tr.NumSinks())
+	}
+	_ = s2
+}
+
+func TestPruneRenumbersAndRemaps(t *testing.T) {
+	// source → {v1 → {s1, s2}, v2 → {s3, s4}}; prune v1.
+	tr := New("net0", 2, 1)
+	v1, _ := tr.AddInternal(tr.Root(), Wire{R: 1, C: 1, Length: 1}, true)
+	s1, _ := tr.AddSink(v1, Wire{R: 1, C: 1, Length: 1}, "s1", 1, 10, 5)
+	s2, _ := tr.AddSink(v1, Wire{R: 1, C: 1, Length: 1}, "s2", 1, 10, 5)
+	v2, _ := tr.AddInternal(tr.Root(), Wire{R: 2, C: 2, Length: 2}, true)
+	s3, _ := tr.AddSink(v2, Wire{R: 1, C: 2, Length: 1}, "s3", 2, 20, 6)
+	s4, _ := tr.AddSink(v2, Wire{R: 3, C: 1, Length: 1}, "s4", 3, 30, 7)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	remap, err := tr.Prune(v1)
+	if err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after prune: %v", err)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	for _, gone := range []NodeID{v1, s1, s2} {
+		if remap[gone] != None {
+			t.Errorf("remap[%d] = %d, want None", gone, remap[gone])
+		}
+	}
+	for _, kept := range []NodeID{tr.Root(), v2, s3, s4} {
+		nv := remap[kept]
+		if nv == None {
+			t.Fatalf("remap[%d] = None for a surviving node", kept)
+		}
+		if tr.Node(nv).ID != nv {
+			t.Errorf("node %d ID mismatch", nv)
+		}
+	}
+	// Order-preserving compaction: survivors keep their relative order.
+	if remap[v2] != 1 || remap[s3] != 2 || remap[s4] != 3 {
+		t.Errorf("remap = %v, want order-preserving", remap)
+	}
+	if got := tr.Node(remap[s3]).Name; got != "s3" {
+		t.Errorf("renumbered s3 has name %q", got)
+	}
+
+	// Remapped hashes must equal freshly computed ones.
+	h := tr.SubtreeHashes()
+	if len(h) != 4 {
+		t.Fatalf("SubtreeHashes length %d", len(h))
+	}
+
+	// Guardrails: the root and last-child prunes are rejected.
+	if _, err := tr.Prune(tr.Root()); err == nil {
+		t.Error("pruning the source succeeded")
+	}
+	if _, err := tr.Prune(remap[s3]); err != nil {
+		t.Fatalf("Prune s3: %v", err)
+	}
+	// v2 now has one child (s4); pruning it would orphan v2.
+	if _, err := tr.Prune(2); err == nil {
+		t.Error("pruning the last child of an internal node succeeded")
+	}
+}

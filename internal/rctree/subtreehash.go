@@ -1,0 +1,135 @@
+package rctree
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"math"
+)
+
+// SubtreeHash is the canonical content identity of one subtree: two nodes
+// carry the same hash iff the dynamic program computes the same candidate
+// list for both. It is the subtree-granular analogue of
+// core.Problem.CanonicalHash and follows the same inclusion rules:
+// included are each node's kind, buffer feasibility, parent-wire
+// parasitics (R, C, length, and the explicit aggressor list — nil and
+// empty are distinct, because nil selects the noise estimation mode), and
+// sink properties (cap, RAT, noise margin), plus the children's hashes in
+// sibling order. Excluded, deliberately: node names, IDs, and X/Y
+// coordinates (reports only — a renumbered subtree is the same subtree).
+// Sibling order is preserved, not sorted, for the same reason the problem
+// hash preserves it: merge order can steer tie-breaking among equal-slack
+// candidates.
+//
+// The parent wire belongs to the hash because it belongs to the DP value:
+// a node's finished candidate list is charged with its parent wire before
+// the parent consumes it, so the list is a pure function of exactly this
+// hash (plus the solve options a memo key appends on top).
+type SubtreeHash [32]byte
+
+// subtreeHashVersion prefixes every subtree hash; bump it whenever the
+// serialization below changes, so memo entries from an older binary can
+// never alias a new subtree.
+const subtreeHashVersion = "buffopt.subtree.v1"
+
+// hashNode computes node v's subtree hash from its own fields and its
+// children's already-current hashes in h.
+func (t *Tree) hashNode(h []SubtreeHash, v NodeID) SubtreeHash {
+	n := &t.nodes[v]
+	hs := sha256.New()
+	var buf [8]byte
+	u64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		hs.Write(buf[:])
+	}
+	f64 := func(x float64) { u64(math.Float64bits(x)) }
+	b1 := func(x byte) { buf[0] = x; hs.Write(buf[:1]) }
+	bol := func(x bool) {
+		if x {
+			b1(1)
+		} else {
+			b1(0)
+		}
+	}
+
+	io.WriteString(hs, subtreeHashVersion)
+	b1(byte(n.Kind))
+	bol(n.BufferOK)
+	f64(n.Wire.R)
+	f64(n.Wire.C)
+	f64(n.Wire.Length)
+	bol(n.Wire.Aggressors != nil)
+	u64(uint64(len(n.Wire.Aggressors)))
+	for _, a := range n.Wire.Aggressors {
+		f64(a.Ratio)
+		f64(a.Slope)
+	}
+	f64(n.Cap)
+	f64(n.RAT)
+	f64(n.NoiseMargin)
+	u64(uint64(len(n.Children)))
+	for _, c := range n.Children {
+		hs.Write(h[c][:])
+	}
+	var out SubtreeHash
+	hs.Sum(out[:0])
+	return out
+}
+
+// SubtreeHashes computes the hash of every subtree in one bottom-up pass:
+// the returned slice is indexed by NodeID. Cost is O(n) hash operations;
+// incremental edits keep the slice current with RehashPath/RehashSubtree
+// instead of recomputing it.
+func (t *Tree) SubtreeHashes() []SubtreeHash {
+	h := make([]SubtreeHash, len(t.nodes))
+	for _, v := range t.Postorder() {
+		h[v] = t.hashNode(h, v)
+	}
+	return h
+}
+
+// growHashes extends h to cover n nodes (topology edits append nodes).
+func growHashes(h []SubtreeHash, n int) []SubtreeHash {
+	for len(h) < n {
+		h = append(h, SubtreeHash{})
+	}
+	return h[:n]
+}
+
+// RehashPath refreshes the hashes of v and every ancestor up to the root,
+// assuming all hashes strictly below v are current — the exact
+// invalidation footprint of an in-place edit to node v's own fields
+// (sink cap/RAT, wire parasitics). Returns the possibly-regrown slice.
+func (t *Tree) RehashPath(h []SubtreeHash, v NodeID) []SubtreeHash {
+	h = growHashes(h, len(t.nodes))
+	for v != None {
+		h[v] = t.hashNode(h, v)
+		v = t.nodes[v].Parent
+	}
+	return h
+}
+
+// RehashSubtree refreshes every hash inside the subtree rooted at v,
+// bottom-up, then continues up v's ancestor path — the invalidation
+// footprint of a structural edit (graft) that introduced or rewired nodes
+// below v. Returns the possibly-regrown slice.
+func (t *Tree) RehashSubtree(h []SubtreeHash, v NodeID) []SubtreeHash {
+	h = growHashes(h, len(t.nodes))
+	type frame struct {
+		id   NodeID
+		next int
+	}
+	stack := []frame{{id: v}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ch := t.nodes[f.id].Children
+		if f.next < len(ch) {
+			f.next++
+			stack = append(stack, frame{id: ch[f.next-1]})
+			continue
+		}
+		h[f.id] = t.hashNode(h, f.id)
+		stack = stack[:len(stack)-1]
+	}
+	return t.RehashPath(h, t.nodes[v].Parent)
+}

@@ -1,0 +1,92 @@
+package rctree
+
+import "testing"
+
+func TestSubtreeHashIdentityRules(t *testing.T) {
+	tr, v1, s1, _ := buildY(t)
+	h := tr.SubtreeHashes()
+	if len(h) != tr.Len() {
+		t.Fatalf("SubtreeHashes length %d, want %d", len(h), tr.Len())
+	}
+
+	// Names, IDs, and coordinates are reports only: changing them must not
+	// change any hash.
+	tr2, _, _, _ := buildY(t)
+	tr2.Node(s1).Name = "renamed"
+	tr2.Node(s1).X, tr2.Node(s1).Y = 42, -7
+	h2 := tr2.SubtreeHashes()
+	for v := range h {
+		if h[v] != h2[v] {
+			t.Errorf("node %d hash changed under name/coordinate edits", v)
+		}
+	}
+
+	// Electricals are identity: a sink cap change alters exactly the
+	// root-to-sink path.
+	tr3, _, _, _ := buildY(t)
+	tr3.Node(s1).Cap = 9
+	h3 := tr3.SubtreeHashes()
+	changed := map[NodeID]bool{s1: true, v1: true, tr.Root(): true}
+	for v := range h {
+		if changed[NodeID(v)] == (h[v] == h3[v]) {
+			t.Errorf("node %d: hash changed=%v, want %v", v, h[v] != h3[v], changed[NodeID(v)])
+		}
+	}
+
+	// Nil vs empty aggressors selects a different noise mode.
+	tr4, _, s1b, _ := buildY(t)
+	tr4.Node(s1b).Wire.Aggressors = []Coupling{}
+	h4 := tr4.SubtreeHashes()
+	if h4[s1b] == h[s1] {
+		t.Errorf("nil and empty aggressor lists hash equal")
+	}
+
+	// Sibling order is identity (merge order steers tie-breaks).
+	tr5, v1b, _, _ := buildY(t)
+	ch := tr5.Node(v1b).Children
+	ch[0], ch[1] = ch[1], ch[0]
+	if tr5.SubtreeHashes()[v1b] == h[v1] {
+		t.Errorf("swapped siblings hash equal")
+	}
+}
+
+func TestRehashPathMatchesFull(t *testing.T) {
+	tr, _, s1, _ := buildY(t)
+	h := tr.SubtreeHashes()
+	tr.Node(s1).RAT = 55
+	h = tr.RehashPath(h, s1)
+	want := tr.SubtreeHashes()
+	for v := range want {
+		if h[v] != want[v] {
+			t.Errorf("node %d: incremental path rehash disagrees with full rehash", v)
+		}
+	}
+}
+
+func TestRehashSubtreeAfterGraft(t *testing.T) {
+	tr, _, s1, _ := buildY(t)
+	h := tr.SubtreeHashes()
+
+	sub := New("subnet", 1, 0)
+	if _, err := sub.AddSink(sub.Root(), Wire{R: 1, C: 1, Length: 1}, "gs", 0.5, 80, 10); err != nil {
+		t.Fatalf("AddSink: %v", err)
+	}
+	g, err := tr.Graft(s1, sub, Wire{R: 2, C: 2, Length: 2})
+	if err == nil {
+		t.Fatalf("graft below a sink succeeded at %d", g)
+	}
+	g, err = tr.Graft(tr.Root(), sub, Wire{R: 2, C: 2, Length: 2})
+	if err != nil {
+		t.Fatalf("Graft: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after graft: %v", err)
+	}
+	h = tr.RehashSubtree(h, g)
+	want := tr.SubtreeHashes()
+	for v := range want {
+		if h[v] != want[v] {
+			t.Errorf("node %d: incremental graft rehash disagrees with full rehash", v)
+		}
+	}
+}

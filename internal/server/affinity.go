@@ -49,7 +49,7 @@ func (k *Keyer) SolveKey(contentType string, query url.Values, body []byte) stri
 // decodeSolve mirrors (*Server).decodeRequest over in-memory bytes.
 func (k *Keyer) decodeSolve(contentType string, query url.Values, body []byte) (*solveRequest, error) {
 	if isJSON(contentType) {
-		var env jsonEnvelope
+		var env Envelope
 		dec := json.NewDecoder(bytes.NewReader(body))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&env); err != nil {
@@ -107,7 +107,7 @@ func (k *Keyer) SplitBatch(body []byte) ([]SplitItem, error) {
 // keyed, so a net posted alone and the same net posted inside a batch
 // land on the same shard and share one cache entry.
 func (k *Keyer) itemKey(raw json.RawMessage) string {
-	var env jsonEnvelope
+	var env Envelope
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&env); err != nil {

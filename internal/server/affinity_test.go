@@ -102,3 +102,40 @@ func TestKeyerFallbackOnUndecodable(t *testing.T) {
 		}
 	}
 }
+
+// TestKeyerV1V2Equivalence: a v1 envelope and a v2 envelope saying the
+// same thing produce the same affinity (and therefore cache) key — the
+// options consolidation moved where knobs are written, not what they
+// mean. Conversely, a knob with a different value still separates.
+func TestKeyerV1V2Equivalence(t *testing.T) {
+	k := NewKeyer(Config{})
+	v1 := k.SolveKey("application/json", nil, []byte(fmt.Sprintf(
+		`{"v": 1, "net": %q, "timeout_ms": 900, "max_cands": 64, "lambda": 0.6, "seglen": 1e-3, "problem": {"objective": "max-slack", "k": 3}}`, sampleNet)))
+	v2 := k.SolveKey("application/json", nil, []byte(fmt.Sprintf(
+		`{"v": 2, "net": %q, "options": {"timeout_ms": 900, "max_cands": 64, "lambda": 0.6, "seglen": 1e-3}, "problem": {"objective": "max-slack", "k": 3}}`, sampleNet)))
+	if strings.HasPrefix(v1, "raw:") || strings.HasPrefix(v2, "raw:") {
+		t.Fatalf("equivalence envelopes fell back to raw keys: %q %q", v1, v2)
+	}
+	if v1 != v2 {
+		t.Fatalf("v1 key %q != v2 key %q for the same request", v1, v2)
+	}
+
+	// Same shape, different knob value: keys must separate. (seglen, not
+	// lambda: noise params are excluded from non-noise objective keys
+	// because they cannot change a max-slack answer.)
+	other := k.SolveKey("application/json", nil, []byte(fmt.Sprintf(
+		`{"v": 2, "net": %q, "options": {"timeout_ms": 900, "max_cands": 64, "lambda": 0.6, "seglen": 2e-3}, "problem": {"objective": "max-slack", "k": 3}}`, sampleNet)))
+	if other == v2 {
+		t.Fatal("different seglen shares an affinity key across v2 envelopes")
+	}
+
+	// The engine knob stays excluded from the key in both versions.
+	vg := k.SolveKey("application/json", nil, []byte(fmt.Sprintf(
+		`{"v": 2, "net": %q, "options": {"engine": "vg"}}`, sampleNet)))
+	auto := k.SolveKey("application/json", nil, []byte(fmt.Sprintf(
+		`{"v": 2, "net": %q, "options": {"engine": "auto"}}`, sampleNet)))
+	def := k.SolveKey("application/json", nil, []byte(fmt.Sprintf(`{"v": 2, "net": %q}`, sampleNet)))
+	if vg != auto || auto != def {
+		t.Fatalf("engine knob leaked into the affinity key: vg %q auto %q default %q", vg, auto, def)
+	}
+}

@@ -19,7 +19,7 @@ import (
 //
 //	{"nets": [{"net": "net a\n...end\n"}, {"net": "...", "timeout_ms": 500}]}
 type batchEnvelope struct {
-	Nets []jsonEnvelope `json:"nets"`
+	Nets []Envelope `json:"nets"`
 }
 
 // BatchResponse is the 200 body of POST /solve/batch. The batch as a

@@ -262,7 +262,16 @@ func TestEnvelopeVersioning(t *testing.T) {
 	}{
 		{"explicit v1", `{"v":1,"net":` + net + `}`, http.StatusOK, ""},
 		{"v0 rejected", `{"v":0,"net":` + net + `}`, http.StatusBadRequest, "unsupported envelope version 0"},
-		{"v2 rejected", `{"v":2,"net":` + net + `}`, http.StatusBadRequest, "unsupported envelope version 2"},
+		{"v2 accepted", `{"v":2,"net":` + net + `}`, http.StatusOK, ""},
+		{"v3 rejected", `{"v":3,"net":` + net + `}`, http.StatusBadRequest, "unsupported envelope version 3"},
+		{"v2 options knobs", `{"v":2,"net":` + net + `,"options":{"engine":"vg","timeout_ms":2000,"lambda":0.6}}`, http.StatusOK, ""},
+		{"v2 rejects top-level knob", `{"v":2,"net":` + net + `,"timeout_ms":2000}`, http.StatusBadRequest, `moved "timeout_ms" into "options"`},
+		{"v2 rejects top-level lambda", `{"v":2,"net":` + net + `,"lambda":0.6}`, http.StatusBadRequest, `moved "lambda" into "options"`},
+		{"v1 rejects options knob", `{"v":1,"net":` + net + `,"options":{"timeout_ms":2000}}`, http.StatusBadRequest, "options.timeout_ms requires a v2 envelope"},
+		{"implicit v1 rejects options knob", `{"net":` + net + `,"options":{"seglen":0}}`, http.StatusBadRequest, "options.seglen requires a v2 envelope"},
+		{"v1 rejects session", `{"net":` + net + `,"session":{"id":"x"}}`, http.StatusBadRequest, "v2 envelope"},
+		{"solve rejects session", `{"v":2,"net":` + net + `,"session":{"id":"x"}}`, http.StatusBadRequest, "/solve/delta"},
+		{"solve rejects edits", `{"v":2,"net":` + net + `,"edits":[{"op":"set-cap","node":1,"value":1e-15}]}`, http.StatusBadRequest, "/solve/delta"},
 		{"problem objective", `{"v":1,"net":` + net + `,"problem":{"objective":"max-slack-noise"}}`, http.StatusOK, ""},
 		{"problem with k", `{"net":` + net + `,"problem":{"objective":"max-slack","k":3}}`, http.StatusOK, ""},
 		{"unknown objective", `{"net":` + net + `,"problem":{"objective":"fastest"}}`, http.StatusBadRequest, "objective"},
@@ -295,7 +304,7 @@ func TestEnvelopeVersioning(t *testing.T) {
 	// the server can switch on it.
 	s := New(Config{})
 	v := 3
-	_, err := s.requestFromEnvelope(&jsonEnvelope{V: &v, Net: sampleNet})
+	_, err := s.requestFromEnvelope(&Envelope{V: &v, Net: sampleNet})
 	var uve *UnsupportedVersionError
 	if !errors.As(err, &uve) || uve.Version != 3 {
 		t.Errorf("err = %v, want *UnsupportedVersionError{3}", err)

@@ -39,67 +39,6 @@ type solveRequest struct {
 	engine string
 }
 
-// jsonEnvelope is the application/json request shape. Pointer fields
-// distinguish "absent" (use the server default) from an explicit zero.
-//
-//	{"v": 1, "net": "net x\ndriver ...\nend\n", "timeout_ms": 1000,
-//	 "max_cands": 4096, "lambda": 0.7, "rise": 2.5e-10,
-//	 "vdd": 1.8, "bufnm": 0.8, "seglen": 5e-4,
-//	 "problem": {"objective": "max-slack-noise", "k": 8}}
-type jsonEnvelope struct {
-	// V is the envelope version. Absent means 1 (the legacy flat shape
-	// predates versioning); any value other than 1 is rejected with a
-	// typed 400 so old servers fail loudly on future shapes instead of
-	// misreading them.
-	V *int `json:"v"`
-	// Net is the netfmt text of the net to solve (required).
-	Net string `json:"net"`
-	// Problem, when present, selects a single optimization objective
-	// (core.Optimize) instead of the default degradation ladder
-	// (core.Solve). Introduced with v1; the physics knobs below stay
-	// top-level in both shapes.
-	Problem *problemEnvelope `json:"problem"`
-	// Options, when present, carries solver knobs that change how the
-	// answer is computed but never what it is.
-	Options *optionsEnvelope `json:"options"`
-	// TimeoutMS is the request deadline in milliseconds (clamped to the
-	// server's MaxTimeout; 0 or absent means the server default).
-	TimeoutMS int64 `json:"timeout_ms"`
-	// MaxCands caps the DP candidate lists (may tighten, never loosen,
-	// the server's own cap; 0 or absent means the server default).
-	MaxCands int `json:"max_cands"`
-	// Lambda is the coupling-to-total-capacitance ratio λ.
-	Lambda *float64 `json:"lambda"`
-	// Rise is the aggressor rise time in seconds.
-	Rise *float64 `json:"rise"`
-	// Vdd is the supply voltage in volts.
-	Vdd *float64 `json:"vdd"`
-	// BufNM is the buffer library noise margin in volts.
-	BufNM *float64 `json:"bufnm"`
-	// SegLen is the wire segmenting length in meters; 0 disables
-	// segmenting, absent means the server default (0.5 mm).
-	SegLen *float64 `json:"seglen"`
-}
-
-// problemEnvelope is the "problem" sub-object of a v1 envelope.
-type problemEnvelope struct {
-	// Objective names the optimization objective: "max-slack",
-	// "max-slack-noise", or "min-buffers-noise" (required when the
-	// sub-object is present).
-	Objective string `json:"objective"`
-	// K bounds the buffer count for the max-slack objectives; it is
-	// invalid with min-buffers-noise (that objective computes the bound).
-	K *int `json:"k"`
-}
-
-// optionsEnvelope is the "options" sub-object of a v1 envelope.
-type optionsEnvelope struct {
-	// Engine selects the DP merge engine: "vg" (the classic cross-product
-	// merge), "lishi" (the O(bn²) frontier walk), or "auto". The engines
-	// are bit-identical by construction, so the choice affects speed only.
-	Engine string `json:"engine"`
-}
-
 // UnsupportedVersionError is the typed decode failure for an envelope
 // whose "v" names a version this server does not speak. It unwraps to
 // guard.ErrInvalidInput, so it maps to HTTP 400 with class "invalid".
@@ -109,7 +48,7 @@ type UnsupportedVersionError struct {
 }
 
 func (e *UnsupportedVersionError) Error() string {
-	return fmt.Sprintf("server: unsupported envelope version %d (this server speaks v1)", e.Version)
+	return fmt.Sprintf("server: unsupported envelope version %d (this server speaks v1 and v2)", e.Version)
 }
 
 func (e *UnsupportedVersionError) Unwrap() error { return guard.ErrInvalidInput }
@@ -138,7 +77,7 @@ func invalidf(format string, args ...any) error {
 func (s *Server) decodeRequest(r *http.Request) (*solveRequest, error) {
 	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBytes)
 	if isJSON(r.Header.Get("Content-Type")) {
-		var env jsonEnvelope
+		var env Envelope
 		dec := json.NewDecoder(body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&env); err != nil {
@@ -169,17 +108,23 @@ func (s *Server) newSolveRequest() *solveRequest {
 }
 
 // requestFromEnvelope builds a validated request from one JSON envelope —
-// the unit of decoding shared by /solve's JSON path and every item of a
-// /solve/batch request.
-func (s *Server) requestFromEnvelope(env *jsonEnvelope) (*solveRequest, error) {
-	if env.V != nil && *env.V != 1 {
-		return nil, &UnsupportedVersionError{Version: *env.V}
+// the unit of decoding shared by /solve's JSON path, every item of a
+// /solve/batch request, and the fleet router's affinity Keyer. Both
+// envelope versions land here; the session fields are /solve/delta's
+// alone.
+func (s *Server) requestFromEnvelope(env *Envelope) (*solveRequest, error) {
+	ver, err := env.Version()
+	if err != nil {
+		return nil, err
+	}
+	if env.Session != nil || len(env.Edits) > 0 {
+		return nil, invalidf(`"session"/"edits" are incremental-solve fields; POST them to /solve/delta`)
 	}
 	if env.Net == "" {
 		return nil, invalidf(`JSON request missing "net"`)
 	}
 	req := s.newSolveRequest()
-	if err := applyEnvelope(req, env); err != nil {
+	if err := applyEnvelope(req, env, ver); err != nil {
 		return nil, err
 	}
 	return s.finishDecode(req, strings.NewReader(env.Net))
@@ -207,29 +152,33 @@ func (s *Server) finishDecode(req *solveRequest, netText io.Reader) (*solveReque
 	return req, s.clampAndCheck(req)
 }
 
-// applyEnvelope copies the JSON envelope's knobs into the request.
-func applyEnvelope(req *solveRequest, env *jsonEnvelope) error {
-	if env.TimeoutMS < 0 {
-		return invalidf("timeout_ms = %d is negative", env.TimeoutMS)
+// applyEnvelope copies the envelope's knobs into the request, reading
+// them from the place version ver puts them (top-level for v1, "options"
+// for v2). The validation is shared, so the two shapes accept exactly
+// the same values.
+func applyEnvelope(req *solveRequest, env *Envelope, ver int) error {
+	k := env.knobs(ver)
+	if k.timeoutMS < 0 {
+		return invalidf("timeout_ms = %d is negative", k.timeoutMS)
 	}
-	if env.TimeoutMS > 0 {
-		req.timeout = time.Duration(env.TimeoutMS) * time.Millisecond
+	if k.timeoutMS > 0 {
+		req.timeout = time.Duration(k.timeoutMS) * time.Millisecond
 	}
-	if env.MaxCands < 0 {
-		return invalidf("max_cands = %d is negative", env.MaxCands)
+	if k.maxCands < 0 {
+		return invalidf("max_cands = %d is negative", k.maxCands)
 	}
-	if env.MaxCands > 0 {
-		req.maxCands = env.MaxCands
+	if k.maxCands > 0 {
+		req.maxCands = k.maxCands
 	}
 	lambda, rise, vdd := defaultLambda, defaultRise, defaultVdd
-	if env.Lambda != nil {
-		lambda = *env.Lambda
+	if k.lambda != nil {
+		lambda = *k.lambda
 	}
-	if env.Rise != nil {
-		rise = *env.Rise
+	if k.rise != nil {
+		rise = *k.rise
 	}
-	if env.Vdd != nil {
-		vdd = *env.Vdd
+	if k.vdd != nil {
+		vdd = *k.vdd
 	}
 	if rise <= 0 || math.IsNaN(rise) || math.IsInf(rise, 0) {
 		return invalidf("rise = %g must be positive and finite", rise)
@@ -238,17 +187,17 @@ func applyEnvelope(req *solveRequest, env *jsonEnvelope) error {
 		return invalidf("lambda/vdd must be finite")
 	}
 	req.params = noise.Params{CouplingRatio: lambda, Slope: vdd / rise}
-	if env.BufNM != nil {
-		req.bufNM = *env.BufNM
+	if k.bufNM != nil {
+		req.bufNM = *k.bufNM
 	}
-	if env.SegLen != nil {
-		req.segLen = *env.SegLen
+	if k.segLen != nil {
+		req.segLen = *k.segLen
 	}
 	if math.IsNaN(req.segLen) || math.IsInf(req.segLen, 0) || req.segLen < 0 {
 		return invalidf("seglen = %g must be non-negative and finite", req.segLen)
 	}
-	if env.Options != nil {
-		engine, err := core.ParseEngine(env.Options.Engine)
+	if k.engine != "" {
+		engine, err := core.ParseEngine(k.engine)
 		if err != nil {
 			return err // wraps guard.ErrInvalidInput: 400, class "invalid"
 		}
@@ -257,10 +206,10 @@ func applyEnvelope(req *solveRequest, env *jsonEnvelope) error {
 	return applyProblem(req, env.Problem)
 }
 
-// applyProblem copies a v1 envelope's "problem" sub-object into the
+// applyProblem copies an envelope's "problem" sub-object into the
 // request, validating the objective/k combination at decode time so a
 // bad combination is a decode rejection, not a wasted worker slot.
-func applyProblem(req *solveRequest, pe *problemEnvelope) error {
+func applyProblem(req *solveRequest, pe *ProblemEnvelope) error {
 	if pe == nil {
 		return nil
 	}

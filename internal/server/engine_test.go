@@ -94,4 +94,14 @@ func TestEngineSharesCacheKey(t *testing.T) {
 	if normalize(t, b1) != normalize(t, b2) {
 		t.Errorf("cached cross-engine answers differ:\n%s\n%s", b1, b2)
 	}
+
+	// The default path — no engine named at all — resolves to auto and
+	// shares the same entry with the same bytes.
+	third, b3 := solveOK(t, ts, "application/json", `{"net":`+net+`}`)
+	if !third.Cached {
+		t.Fatal("default-engine request missed the cache entry the vg request filled")
+	}
+	if normalize(t, b1) != normalize(t, b3) {
+		t.Errorf("cached default-engine answer differs from vg:\n%s\n%s", b1, b3)
+	}
 }

@@ -47,6 +47,16 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add("application/json", `{"net":"x","problem":{}}`)
 	f.Add("application/json", `{"net":"x","problem":{"objective":"min-buffers-noise","k":1}}`)
 	f.Add("application/json", `{"net":"x","problem":{"objective":"max-slack","k":-7}}`)
+	// v2 envelopes: consolidated options in legal and illegal placements,
+	// and the delta-only fields that /solve must bounce.
+	f.Add("application/json", `{"v":2,"net":"net x\ndriver r=1 t=0\nnode 0 source x=0 y=0\nend\n","options":{"engine":"auto","timeout_ms":1000,"lambda":0.7,"seglen":0}}`)
+	f.Add("application/json", `{"v":2,"net":"x","timeout_ms":5}`)
+	f.Add("application/json", `{"v":1,"net":"x","options":{"timeout_ms":5}}`)
+	f.Add("application/json", `{"v":2,"net":"x","options":{"max_cands":-1}}`)
+	f.Add("application/json", `{"v":2,"session":{"id":"abc"}}`)
+	f.Add("application/json", `{"v":2,"net":"x","edits":[{"op":"set-cap","node":2,"value":1e-14}]}`)
+	f.Add("application/json", `{"v":1,"session":{"id":"abc"}}`)
+	f.Add("application/json", `{"v":2,"options":{"rise":-1},"net":"x"}`)
 
 	f.Fuzz(func(t *testing.T, contentType, body string) {
 		s := New(Config{

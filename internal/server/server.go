@@ -116,6 +116,19 @@ type Config struct {
 	// PeerTimeout bounds one peer peek round-trip; a peek that cannot
 	// beat it is abandoned and the local solve proceeds. Default 150 ms.
 	PeerTimeout time.Duration
+	// SessionTTL bounds how long an idle /solve/delta session survives;
+	// each use refreshes the clock. Expired sessions answer 404 (the
+	// client re-creates), never a silent full solve. Default 5 min.
+	SessionTTL time.Duration
+	// MaxSessions caps live delta sessions per replica; creating beyond
+	// it evicts the least-recently-used session. Default 64.
+	MaxSessions int
+	// SessionMemoEntries and SessionMemoBytes bound each session's
+	// subtree memo (the incremental re-solve state). An evicted memo
+	// entry is recomputed on next use — slower, never wrong. Defaults
+	// 8192 entries, 16 MiB.
+	SessionMemoEntries int
+	SessionMemoBytes   int64
 	// Injector, when non-nil, assigns chaos faults to admitted requests
 	// (the soak harness; see internal/faultinject). Nil in production.
 	// Cached and coalesced requests draw no fault: a plan is assigned
@@ -166,6 +179,18 @@ func (c Config) withDefaults() Config {
 	if c.PeerTimeout <= 0 {
 		c.PeerTimeout = 150 * time.Millisecond
 	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionMemoEntries <= 0 {
+		c.SessionMemoEntries = 8192
+	}
+	if c.SessionMemoBytes <= 0 {
+		c.SessionMemoBytes = 16 << 20
+	}
 	return c
 }
 
@@ -186,6 +211,9 @@ type Server struct {
 
 	// cache memoizes whole-net results; nil when disabled by config.
 	cache *core.SolveCache
+
+	// sessions holds the incremental (ECO) /solve/delta sessions.
+	sessions *sessionStore
 
 	// peerNames is the rendezvous name set for peer read-through fill
 	// (Self first, then deduplicated Peers); nil when peer fill is off.
@@ -227,9 +255,11 @@ func New(cfg Config) *Server {
 		FlightTraces:     cfg.TraceFlightTraces,
 		LatencyThreshold: cfg.TraceLatency,
 	})
+	s.sessions = newSessionStore(cfg.SessionTTL, cfg.MaxSessions)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/solve/batch", s.handleBatch)
+	mux.HandleFunc("/solve/delta", s.handleDelta)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/cache/peek/", s.handleCachePeek)

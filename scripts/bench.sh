@@ -20,6 +20,10 @@
 #              arms through an in-process fleet) and merge its report —
 #              router p50/p99, hedge rate, cache-hit rates — into the
 #              record under "fleet" (see `make fleetbench`)
+#   ECO        set to 1 to add loadgen's -eco arm (/solve/delta sessions
+#              with incremental edit streams on one replica); its delta
+#              latency and memo reuse numbers are lifted into "derived"
+#              as eco_* (see `make ecobench`). Implies the loadgen run.
 #
 # Without a flag, refuses to overwrite a same-day recording: move it
 # aside, or re-run with -suffix or -force.
@@ -75,9 +79,13 @@ echo "== obs counters: buffopt -alg solve on testdata/sample.net"
 go run ./cmd/buffopt -net testdata/sample.net -alg solve -metrics "$tmpdir/metrics.json" >/dev/null
 
 fleetargs=""
-if [ "${FLEET:-0}" = "1" ]; then
-    echo "== fleet: loadgen hash-vs-random arms over an in-process fleet"
-    go run ./cmd/loadgen -out "$tmpdir/fleet.json"
+if [ "${FLEET:-0}" = "1" ] || [ "${ECO:-0}" = "1" ]; then
+    ecoflag=""
+    if [ "${ECO:-0}" = "1" ]; then
+        ecoflag="-eco"
+    fi
+    echo "== fleet: loadgen hash-vs-random arms over an in-process fleet${ecoflag:+ (+ eco arm)}"
+    go run ./cmd/loadgen $ecoflag -out "$tmpdir/fleet.json"
     fleetargs="-fleet $tmpdir/fleet.json"
 fi
 

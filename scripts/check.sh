@@ -77,4 +77,15 @@ echo "== restart gate (short): snapshot warm/cold boots + restart chaos ledgers"
 go test -race -short -count=1 -run 'TestSnapshot|TestPeerFill|TestCachePeek' ./internal/server
 go test -race -short -count=1 -run TestRestartSoakUnderChaos ./internal/fleet
 
+# The ECO gate (short): the incremental re-solve engine. Core-level: the
+# edit-stream differential (delta answers bit-identical to from-scratch
+# solves across engines, objectives, serial/parallel) plus memo eviction
+# and edit atomicity. Server-level: /solve/delta session lifecycle (TTL
+# expiry, LRU and byte-budget eviction, 404-never-silent-full-solve) and
+# the chaos soak with exact reuse/request/session-book ledgers.
+# `make ecosoak` runs the long version.
+echo "== eco gate (short): delta bit identity + session ledgers + eco chaos soak"
+go test -race -short -count=1 -run 'TestDelta|TestNewSessionValidation' ./internal/core
+go test -race -short -count=1 -run 'TestDelta|TestEcoSoakUnderChaos' ./internal/server
+
 echo "check: OK"
